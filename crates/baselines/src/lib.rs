@@ -1,0 +1,30 @@
+//! # tetris-baselines
+//!
+//! The comparator schedulers of the Tetris paper's evaluation (§5.1) plus
+//! ablation and floor baselines:
+//!
+//! * [`FairScheduler`] / [`CapacityScheduler`] — slot-based Hadoop 1.x
+//!   schedulers (slots defined on memory only; CPU/disk/network never
+//!   examined → fragmentation *and* over-allocation);
+//! * [`DrfScheduler`] — Dominant Resource Fairness as shipped (CPU+memory
+//!   only), plus an all-dimension extended variant;
+//! * [`SrtfScheduler`] — multi-resource shortest-remaining-work ordering
+//!   without packing (the §5.3.1 ablation);
+//! * [`RandomScheduler`] — seeded random placement floor;
+//! * [`UpperBoundScheduler`] — the §2.2.3 aggregate-bin relaxation that
+//!   upper-bounds the gains any packing scheduler can hope for.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod drf;
+mod random;
+mod slots;
+mod srtf_only;
+mod upper_bound;
+
+pub use drf::DrfScheduler;
+pub use random::RandomScheduler;
+pub use slots::{CapacityScheduler, FairScheduler, DEFAULT_SLOT_MEM};
+pub use srtf_only::SrtfScheduler;
+pub use upper_bound::{UpperBoundOutcome, UpperBoundScheduler};

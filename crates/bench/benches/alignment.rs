@@ -1,0 +1,36 @@
+//! Throughput of the five alignment scorers (paper Table 7 candidates).
+//! Scoring is the inner loop of the packer — `schedule()` evaluates one
+//! score per (candidate, machine) pair — so it must stay in the
+//! few-nanosecond range.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tetris_core::AlignmentKind;
+use tetris_resources::{units::GB, MachineSpec, Resource, ResourceVec};
+
+fn bench_alignment(c: &mut Criterion) {
+    let capacity = MachineSpec::paper_large().capacity();
+    let avail = capacity * 0.6;
+    let demand = ResourceVec::zero()
+        .with(Resource::Cpu, 2.0)
+        .with(Resource::Mem, 4.0 * GB)
+        .with(Resource::DiskRead, 20e6)
+        .with(Resource::DiskWrite, 10e6)
+        .with(Resource::NetIn, 15e6);
+
+    let mut group = c.benchmark_group("alignment_score");
+    for kind in AlignmentKind::ALL {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                black_box(kind.score(
+                    black_box(&demand),
+                    black_box(&avail),
+                    black_box(&capacity),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_alignment);
+criterion_main!(benches);

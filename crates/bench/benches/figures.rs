@@ -1,0 +1,26 @@
+//! Wall-clock cost of regenerating representative paper artifacts at
+//! laptop scale — a regression guard for the experiment harness. (The
+//! artifacts themselves are produced by `reproduce`; see tetris-expts.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tetris_expts::experiments::{motivating, workload_tables};
+use tetris_expts::Scale;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reproduce");
+    group.sample_size(10);
+
+    group.bench_function("fig1_motivating", |b| {
+        b.iter(|| motivating::fig1(Scale::Laptop))
+    });
+    group.bench_function("table2_correlation", |b| {
+        b.iter(|| workload_tables::table2(Scale::Laptop))
+    });
+    group.bench_function("fig2_heatmaps", |b| {
+        b.iter(|| workload_tables::fig2(Scale::Laptop))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Paper Table 8 — scheduler overheads: time for one scheduling decision
+//! with many tasks pending.
+//!
+//! The paper measures the YARN resource manager's heartbeat processing
+//! time with 10 k/50 k pending tasks and finds Tetris costs about the same
+//! as stock YARN. Here we measure one full `schedule()` invocation (the
+//! work triggered by a heartbeat that freed resources) at several backlog
+//! sizes, for Tetris and the baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tetris_baselines::{CapacityScheduler, DrfScheduler, FairScheduler};
+use tetris_bench::{bench_cluster, pending_workload};
+use tetris_core::{TetrisConfig, TetrisScheduler};
+use tetris_sim::probe::ScheduleProbe;
+use tetris_sim::{SchedulerPolicy, SimConfig};
+
+fn bench_overheads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_decision");
+    group.sample_size(10);
+
+    for &pending in &[2_000usize, 10_000, 50_000] {
+        let probe = ScheduleProbe::new(
+            bench_cluster(100),
+            pending_workload(pending),
+            SimConfig::default(),
+        );
+        let actual = probe.pending();
+
+        type PolicyMaker = Box<dyn Fn() -> Box<dyn SchedulerPolicy>>;
+        let mk_policies: Vec<(&str, PolicyMaker)> = vec![
+            (
+                "tetris",
+                Box::new(|| Box::new(TetrisScheduler::new(TetrisConfig::default()))),
+            ),
+            ("fair", Box::new(|| Box::new(FairScheduler::new()))),
+            ("capacity", Box::new(|| Box::new(CapacityScheduler::new()))),
+            ("drf", Box::new(|| Box::new(DrfScheduler::new()))),
+        ];
+        for (name, mk) in mk_policies {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("{actual}_pending")),
+                &actual,
+                |b, _| {
+                    let mut policy = mk();
+                    b.iter(|| probe.measure(policy.as_mut()));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_overheads);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! End-to-end engine throughput: how fast the discrete-event simulator
+//! chews through a complete workload (placements, flow-rate updates,
+//! completions). Guards the incremental rate-recomputation path against
+//! regressions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tetris_bench::bench_cluster;
+use tetris_core::{TetrisConfig, TetrisScheduler};
+use tetris_sim::{GreedyFifo, Simulation};
+use tetris_workload::WorkloadSuiteConfig;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_suite");
+    group.sample_size(10);
+
+    for &jobs in &[10usize, 25] {
+        let w = WorkloadSuiteConfig::scaled(jobs, 0.05).generate(5);
+        let tasks = w.num_tasks();
+        group.bench_with_input(
+            BenchmarkId::new("greedy_fifo", format!("{tasks}_tasks")),
+            &w,
+            |b, w| {
+                b.iter(|| {
+                    Simulation::build(bench_cluster(10), w.clone())
+                        .scheduler(GreedyFifo::new())
+                        .seed(5)
+                        .run()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("tetris", format!("{tasks}_tasks")),
+            &w,
+            |b, w| {
+                b.iter(|| {
+                    Simulation::build(bench_cluster(10), w.clone())
+                        .scheduler(TetrisScheduler::new(TetrisConfig::default()))
+                        .seed(5)
+                        .run()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

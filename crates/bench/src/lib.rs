@@ -1,0 +1,56 @@
+//! # tetris-bench
+//!
+//! Criterion benchmarks for the Tetris reproduction:
+//!
+//! * `overheads` — the paper's Table 8: time for one scheduling decision
+//!   (a node-manager heartbeat's worth of matching) with thousands of
+//!   tasks pending, for Tetris and the baselines;
+//! * `alignment` — throughput of the five alignment scorers (Table 7's
+//!   candidates);
+//! * `simulator` — end-to-end simulated-work throughput of the
+//!   discrete-event engine;
+//! * `figures` — wall-clock cost of regenerating representative figures
+//!   (guards against the experiment harness regressing).
+//!
+//! Run with `cargo bench -p tetris-bench`.
+
+#![forbid(unsafe_code)]
+
+use tetris_resources::MachineSpec;
+use tetris_sim::ClusterConfig;
+use tetris_workload::{Workload, WorkloadSuiteConfig};
+
+/// A workload with at least `n` pending map tasks for the overhead
+/// benches: grow the job count until the root stages hold enough tasks
+/// (class sizes are drawn randomly, so the count per job varies).
+pub fn pending_workload(n: usize) -> Workload {
+    let mut jobs = (n / 90).max(1);
+    loop {
+        let mut cfg = WorkloadSuiteConfig::scaled(jobs, 0.125);
+        cfg.arrival_horizon = 1.0; // everyone pending together
+        let w = cfg.generate(17);
+        let maps: usize = w.jobs.iter().map(|j| j.stages[0].len()).sum();
+        if maps >= n {
+            return w;
+        }
+        jobs += (jobs / 4).max(1);
+    }
+}
+
+/// The benchmark cluster.
+pub fn bench_cluster(machines: usize) -> ClusterConfig {
+    ClusterConfig::uniform(machines, MachineSpec::paper_large())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pending_workload_scales() {
+        let w = pending_workload(1000);
+        let maps: usize = w.jobs.iter().map(|j| j.stages[0].len()).sum();
+        assert!(maps >= 1000, "only {maps} maps");
+        assert!(w.validate().is_ok());
+    }
+}

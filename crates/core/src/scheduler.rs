@@ -1,0 +1,759 @@
+//! The Tetris scheduler (paper §3): multi-resource packing via alignment
+//! scores, multi-resource SRTF, the fairness knob and the barrier knob,
+//! combined into one `SchedulerPolicy`.
+
+use std::collections::BTreeSet;
+
+use tetris_resources::{Resource, ResourceVec};
+use tetris_sim::{Assignment, ClusterView, MachineId, SchedulerPolicy};
+use tetris_workload::{JobId, TaskUid};
+
+use crate::align::AlignmentKind;
+use crate::barrier::stage_promoted;
+use crate::estimate::{DemandEstimator, EstimationMode};
+use crate::fairness::{eligible_jobs, job_share, FairnessMeasure};
+use crate::srtf::{job_remaining_work_with, ranks, CombinedScorer};
+
+/// Configuration of the Tetris scheduler. Defaults follow the paper's
+/// recommended operating point.
+#[derive(Debug, Clone)]
+pub struct TetrisConfig {
+    /// Fairness knob `f ∈ [0,1]` (§3.4). 0 = pure packing efficiency,
+    /// →1 = strict fairness. Paper default: 0.25.
+    pub fairness_knob: f64,
+    /// Barrier knob `b ∈ [0,1]` (§3.5): promote stragglers of a
+    /// barrier-feeding stage once `b` of it has finished; 1 disables.
+    /// Paper default: 0.9 (good range [0.85, 0.95]).
+    pub barrier_knob: f64,
+    /// Penalty applied to the alignment score when a placement reads
+    /// remote input (§3.2). Paper default: 10 %, insensitive in 8–20 %.
+    pub remote_penalty: f64,
+    /// SRTF weight multiplier `m` (ε = m·ā/p̄, §3.3.2). 0 disables the
+    /// remaining-work term (pure packing). Paper default: 1.
+    pub srtf_multiplier: f64,
+    /// Alignment heuristic (Table 7). Default: cosine.
+    pub alignment: AlignmentKind,
+    /// How distance-from-fair-share is measured for the fairness knob.
+    pub fairness_measure: FairnessMeasure,
+    /// Ablation switch: when false, Tetris only *sees* CPU and memory —
+    /// like the shipped baselines — so it over-allocates disk/network.
+    /// Used to decompose the gains (§5.3.1: "nearly two-thirds of the
+    /// gains are due to avoiding over-allocation").
+    pub consider_io_dims: bool,
+    /// Demand estimation mode (§4.1).
+    pub estimation: EstimationMode,
+    /// Starvation prevention by reservation — the paper's §3.5 future-work
+    /// item ("a more principled solution that reserves machine resources
+    /// for starved tasks"). When a runnable task has been pending longer
+    /// than `patience` seconds, Tetris reserves the machine where it is
+    /// closest to fitting: nothing else is placed there until the starved
+    /// task fits. The default is `None` — the paper's deployed behaviour,
+    /// which relies on heartbeat batching alone (§3.5) — so enabling
+    /// reservations is an explicit, documented extension.
+    pub starvation: Option<StarvationConfig>,
+}
+
+/// Parameters of starvation-prevention reservations (§3.5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StarvationConfig {
+    /// Pending age (seconds) after which a task counts as starved.
+    pub patience: f64,
+    /// Maximum machines reserved at once (bounds the capacity set aside).
+    pub max_reservations: usize,
+}
+
+impl Default for StarvationConfig {
+    fn default() -> Self {
+        StarvationConfig {
+            patience: 120.0,
+            max_reservations: 2,
+        }
+    }
+}
+
+impl Default for TetrisConfig {
+    fn default() -> Self {
+        TetrisConfig {
+            fairness_knob: 0.25,
+            barrier_knob: 0.9,
+            remote_penalty: 0.10,
+            srtf_multiplier: 1.0,
+            alignment: AlignmentKind::Cosine,
+            fairness_measure: FairnessMeasure::DominantShare,
+            consider_io_dims: true,
+            estimation: EstimationMode::Exact,
+            starvation: None,
+        }
+    }
+}
+
+impl TetrisConfig {
+    /// Pure packing: no fairness constraint, no SRTF, no barrier hints.
+    /// The "most efficient and most unfair" configuration.
+    pub fn packing_only() -> Self {
+        TetrisConfig {
+            fairness_knob: 0.0,
+            srtf_multiplier: 0.0,
+            barrier_knob: 1.0,
+            ..Self::default()
+        }
+    }
+
+    /// Validate ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.fairness_knob) {
+            return Err("fairness_knob must be in [0,1]".into());
+        }
+        if !(0.0..=1.0).contains(&self.barrier_knob) {
+            return Err("barrier_knob must be in [0,1]".into());
+        }
+        if !(0.0..=1.0).contains(&self.remote_penalty) {
+            return Err("remote_penalty must be in [0,1]".into());
+        }
+        if !(self.srtf_multiplier >= 0.0) || !self.srtf_multiplier.is_finite() {
+            return Err("srtf_multiplier must be finite and ≥ 0".into());
+        }
+        if let Some(sc) = &self.starvation {
+            if !(sc.patience > 0.0) || sc.max_reservations == 0 {
+                return Err("invalid starvation config".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One placement candidate: the next pending task of one stage of one
+/// eligible job. Tasks of a stage are statistically similar (§4.1), so
+/// scoring one representative per stage keeps the per-event cost
+/// independent of job size without losing score fidelity.
+struct Candidate {
+    /// Owning job.
+    job: JobId,
+    /// Stage index within the job.
+    stage: usize,
+    promoted: bool,
+    /// Remaining-work rank of the owning job (0 = shortest).
+    p: f64,
+    /// Estimated demand (shared by the stage's tasks).
+    demand: ResourceVec,
+    /// Machines holding replicas of the head task's stored inputs.
+    preferred: Vec<MachineId>,
+    /// True if the task reads shuffle output (treated as remote-heavy).
+    shuffle: bool,
+    /// Cursor into the stage's pending slice (stable within one
+    /// `schedule()` call — the engine applies assignments afterwards).
+    next: usize,
+    /// Per capacity-class normalized demand: `norms[class]` = (normalized
+    /// demand, normalized demand with NetIn dropped). Filled once per
+    /// `schedule()` call.
+    norms: Vec<(ResourceVec, ResourceVec)>,
+    /// Cached "has a head task" flag, maintained as `next` advances.
+    alive: bool,
+}
+
+impl Candidate {
+    /// Head task via the view's zero-copy pending slice.
+    fn head(&self, view: &ClusterView<'_>) -> Option<TaskUid> {
+        view.stage_pending_slice(self.job, self.stage)
+            .get(self.next)
+            .copied()
+    }
+}
+
+/// The Tetris scheduler.
+///
+/// ```
+/// use tetris_core::{TetrisConfig, TetrisScheduler};
+/// use tetris_sim::{ClusterConfig, Simulation};
+/// use tetris_resources::MachineSpec;
+/// use tetris_workload::WorkloadSuiteConfig;
+///
+/// let outcome = Simulation::build(
+///         ClusterConfig::uniform(4, MachineSpec::paper_large()),
+///         WorkloadSuiteConfig::small().generate(3),
+///     )
+///     .scheduler(TetrisScheduler::new(TetrisConfig::default()))
+///     .seed(3)
+///     .run();
+/// assert!(outcome.all_jobs_completed());
+/// ```
+pub struct TetrisScheduler {
+    cfg: TetrisConfig,
+    scorer: CombinedScorer,
+    estimator: DemandEstimator,
+    /// Machines currently reserved for a starved task (§3.5).
+    reservations: Vec<(MachineId, TaskUid)>,
+}
+
+impl TetrisScheduler {
+    /// Build from a config.
+    ///
+    /// # Panics
+    /// If the config is out of range.
+    pub fn new(cfg: TetrisConfig) -> Self {
+        cfg.validate().expect("invalid TetrisConfig");
+        TetrisScheduler {
+            scorer: CombinedScorer::new(cfg.srtf_multiplier),
+            estimator: DemandEstimator::new(cfg.estimation),
+            reservations: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// Machines currently reserved for starved tasks (diagnostics).
+    pub fn reserved_machines(&self) -> Vec<MachineId> {
+        self.reservations.iter().map(|&(m, _)| m).collect()
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &TetrisConfig {
+        &self.cfg
+    }
+
+    /// Project a vector to the dimensions this configuration considers.
+    fn visible(&self, v: &ResourceVec) -> ResourceVec {
+        if self.cfg.consider_io_dims {
+            *v
+        } else {
+            v.project(&[Resource::Cpu, Resource::Mem])
+        }
+    }
+}
+
+impl SchedulerPolicy for TetrisScheduler {
+    fn name(&self) -> String {
+        let mut name = format!(
+            "tetris(f={},b={},m={},{})",
+            self.cfg.fairness_knob,
+            self.cfg.barrier_knob,
+            self.cfg.srtf_multiplier,
+            self.cfg.alignment.label()
+        );
+        if !self.cfg.consider_io_dims {
+            name.push_str("[cpu-mem-only]");
+        }
+        name
+    }
+
+    fn uses_tracker(&self) -> bool {
+        // Tetris subtracts tracker-reported external usage (§4.3).
+        true
+    }
+
+    fn schedule(&mut self, view: &ClusterView<'_>) -> Vec<Assignment> {
+        self.estimator.update(view);
+        // Reservations for tasks that got placed/finished meanwhile lapse.
+        self.reservations.retain(|&(_, t)| view.is_runnable(t));
+        // J = active jobs with runnable work: a job with nothing pending
+        // cannot use an offer, so it neither receives one nor dilutes the
+        // ⌈(1−f)|J|⌉ cutoff (§3.4).
+        let jobs: Vec<JobId> = view
+            .active_jobs()
+            .into_iter()
+            .filter(|&j| !view.job_pending_stages(j).is_empty())
+            .collect();
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+
+        let total_capacity = view.total_capacity();
+        let n_machines = view.num_machines();
+        let reference = total_capacity / n_machines as f64;
+
+        // Fairness knob: restrict to the jobs furthest from fair share.
+        let total_slots: usize = jobs.iter().map(|&j| view.job_running(j)).sum::<usize>()
+            + view.num_pending();
+        let shares: Vec<(JobId, f64)> = jobs
+            .iter()
+            .map(|&j| {
+                (
+                    j,
+                    job_share(
+                        self.cfg.fairness_measure,
+                        &view.job_allocated(j),
+                        view.job_running(j),
+                        &total_capacity,
+                        total_slots.max(1),
+                    ),
+                )
+            })
+            .collect();
+        let eligible = eligible_jobs(shares, self.cfg.fairness_knob);
+
+        // One pass per eligible job: fetch progress once, derive the SRTF
+        // remaining-work score and the per-stage candidates from it.
+        let mut p_scores: Vec<f64> = Vec::with_capacity(eligible.len());
+        let mut cands: Vec<Candidate> = Vec::new();
+        for &j in &eligible {
+            let family = view.job_family(j);
+            let progress = view.stage_progress(j);
+            p_scores.push(job_remaining_work_with(view, j, &reference, &progress));
+            let p_slot = p_scores.len() - 1; // rank filled in below
+            for (stage, pending) in view.job_pending_stages(j) {
+                let head = pending[0];
+                let spec = view.task(head);
+                let demand = self.estimator.estimate(
+                    spec,
+                    j,
+                    family.as_deref(),
+                    progress[stage].finished,
+                );
+                cands.push(Candidate {
+                    job: j,
+                    stage,
+                    promoted: stage_promoted(&progress[stage], self.cfg.barrier_knob),
+                    p: p_slot as f64, // placeholder: index into p_ranks
+                    demand,
+                    preferred: view.preferred_machines(head),
+                    shuffle: spec.reads_shuffle(),
+                    next: 0,
+                    norms: Vec::new(),
+                    alive: true,
+                });
+            }
+        }
+        if cands.is_empty() {
+            return Vec::new();
+        }
+        // Resolve remaining-work ranks (0 = least remaining work).
+        let p_ranks = ranks(&p_scores);
+        for c in &mut cands {
+            c.p = p_ranks[c.p as usize];
+        }
+
+        // Focus on machines whose availability changed; fall back to the
+        // whole cluster when no hint exists (arrivals, tracker ticks).
+        let hinted: BTreeSet<MachineId> = view.freed_machines().iter().copied().collect();
+        let machines: Vec<MachineId> = if hinted.is_empty() {
+            view.machines().collect()
+        } else {
+            hinted.into_iter().collect()
+        };
+
+        // Working availability ledger over the whole cluster (remote
+        // feasibility can touch machines outside the hint set).
+        let mut avail: Vec<ResourceVec> = view.machines().map(|m| view.available(m)).collect();
+        let mut banned: BTreeSet<(usize, usize)> = BTreeSet::new(); // (cand, machine)
+        let mut out = Vec::new();
+
+        // Envelope prefilter: a candidate whose (capacity-clamped) demand
+        // exceeds the per-dimension *maximum* availability over all
+        // considered machines fits nowhere — skip it for the whole call.
+        // Valid throughout: availability only shrinks as we place.
+        let mut cap_env = ResourceVec::zero();
+        let mut avail_env = ResourceVec::zero();
+        for &m in &machines {
+            cap_env = cap_env.max(&view.capacity(m));
+            avail_env = avail_env.max(&avail[m.index()].clamp_non_negative());
+        }
+        let live: Vec<usize> = (0..cands.len())
+            .filter(|&ci| {
+                let d = self.visible(&cands[ci].demand.min(&cap_env));
+                // Local placements shed NetIn, so exclude it from pruning.
+                let d = d.with(Resource::NetIn, d.get(Resource::NetIn).min(avail_env.get(Resource::NetIn)));
+                d.fits_within(&avail_env)
+            })
+            .collect();
+        // Cheapest-candidate floor: no live candidate demands less than
+        // this much CPU/memory, so a machine below the floor hosts nothing
+        // and is skipped without scanning (saturated-cluster fast path).
+        let (mut min_cpu, mut min_mem) = (f64::INFINITY, f64::INFINITY);
+        for &ci in &live {
+            let d = self.visible(&cands[ci].demand.min(&cap_env));
+            min_cpu = min_cpu.min(d.get(Resource::Cpu));
+            min_mem = min_mem.min(d.get(Resource::Mem));
+        }
+
+        // Capacity classes (clusters have very few distinct machine
+        // specs): precompute each live candidate's normalized demand per
+        // class so the inner scan does no per-pair normalization.
+        let mut classes: Vec<ResourceVec> = Vec::new();
+        let class_of: Vec<usize> = view
+            .machines()
+            .map(|m| {
+                let cap = view.capacity(m);
+                match classes.iter().position(|c| *c == cap) {
+                    Some(i) => i,
+                    None => {
+                        classes.push(cap);
+                        classes.len() - 1
+                    }
+                }
+            })
+            .collect();
+        for &ci in &live {
+            let c = &mut cands[ci];
+            c.norms = classes
+                .iter()
+                .map(|cap| {
+                    let clamped = c.demand.min(cap);
+                    let norm = if self.cfg.consider_io_dims {
+                        clamped.normalized_by(cap)
+                    } else {
+                        clamped
+                            .project(&[Resource::Cpu, Resource::Mem])
+                            .normalized_by(cap)
+                    };
+                    let mut norm_local = norm;
+                    norm_local.set(Resource::NetIn, 0.0);
+                    (norm, norm_local)
+                })
+                .collect();
+        }
+
+        // Fill each machine greedily: pick the highest-scoring candidate
+        // that fits, charge it, repeat until nothing fits (§3.2 "this
+        // process is repeated recursively until the machine cannot
+        // accommodate any further tasks").
+        for &m in &machines {
+            // A machine reserved for a starved task accepts only that task
+            // (§3.5 reservation extension).
+            if let Some(&(_, starved)) = self.reservations.iter().find(|&&(rm, _)| rm == m) {
+                if view.is_runnable(starved) {
+                    let plan = view.plan(starved, m);
+                    let local = self.visible(&plan.local);
+                    let feasible = local.fits_within(&self.visible(&avail[m.index()]))
+                        && (!self.cfg.consider_io_dims
+                            || plan
+                                .remote
+                                .iter()
+                                .all(|(src, dem)| dem.fits_within(&avail[src.index()])));
+                    if feasible {
+                        avail[m.index()] -= plan.local;
+                        for (src, dem) in &plan.remote {
+                            avail[src.index()] -= *dem;
+                        }
+                        out.push(Assignment {
+                            task: starved,
+                            machine: m,
+                        });
+                        // Consume the matching candidate head if present so
+                        // the task is not double-placed this round.
+                        for c in &mut cands {
+                            if c.head(view) == Some(starved) {
+                                c.next += 1;
+                                c.alive = c.head(view).is_some();
+                            }
+                        }
+                        self.reservations.retain(|&(rm, _)| rm != m);
+                    }
+                }
+                continue;
+            }
+            let capacity = view.capacity(m);
+            let cls = class_of[m.index()];
+            loop {
+                {
+                    let a = &avail[m.index()];
+                    if live.is_empty()
+                        || a.get(Resource::Cpu) < min_cpu
+                        || a.get(Resource::Mem) < min_mem
+                    {
+                        break;
+                    }
+                }
+                let machine_avail = self.visible(&avail[m.index()]);
+                // Hoisted per machine-iteration: normalized availability.
+                let avail_norm = machine_avail.clamp_non_negative().normalized_by(&capacity);
+                // Select the best candidate by (promoted, score).
+                let ban_check = !banned.is_empty();
+                let mut best: Option<(usize, bool, f64)> = None;
+                for &ci in &live {
+                    let c = &cands[ci];
+                    if !c.alive || (ban_check && banned.contains(&(ci, m.index()))) {
+                        continue;
+                    }
+                    let (norm, norm_local) = &c.norms[cls];
+                    let local = !c.shuffle && c.preferred.binary_search(&m).is_ok();
+                    let demand_norm = if local { norm_local } else { norm };
+                    // Feasibility in normalized space (capacity-relative);
+                    // the demand was clamped to the class capacity, so a
+                    // deliberate over-estimate (§4.1) cannot make the task
+                    // unplaceable everywhere.
+                    if !demand_norm.fits_within(&avail_norm) {
+                        continue;
+                    }
+                    let mut a = self.cfg.alignment.score_normalized(demand_norm, &avail_norm);
+                    let is_remote =
+                        c.shuffle || (!c.preferred.is_empty() && !local);
+                    if is_remote {
+                        a *= 1.0 - self.cfg.remote_penalty;
+                    }
+                    let score = if c.promoted {
+                        // Promoted stragglers rank above everyone and are
+                        // ordered among themselves by alignment (§3.5).
+                        a
+                    } else {
+                        self.scorer.combined(a, c.p)
+                    };
+                    let better = match best {
+                        None => true,
+                        Some((_, bp, bs)) => (c.promoted, score) > (bp, bs),
+                    };
+                    if better {
+                        best = Some((ci, c.promoted, score));
+                    }
+                }
+                let Some((ci, _, _)) = best else { break };
+
+                // Authoritative feasibility via the full placement plan
+                // (checks disk/net-out at every remote input source).
+                let uid = cands[ci].head(view).expect("candidate head");
+                let plan = view.plan(uid, m);
+                let local = self.visible(&plan.local);
+                let feasible = local.fits_within(&self.visible(&avail[m.index()]))
+                    && (!self.cfg.consider_io_dims
+                        || plan
+                            .remote
+                            .iter()
+                            .all(|(src, dem)| dem.fits_within(&avail[src.index()])));
+                if !feasible {
+                    banned.insert((ci, m.index()));
+                    continue;
+                }
+
+                // Commit.
+                avail[m.index()] -= plan.local;
+                for (src, dem) in &plan.remote {
+                    avail[src.index()] -= *dem;
+                }
+                let a_placed = self
+                    .cfg
+                    .alignment
+                    .score(&local, &self.visible(&avail[m.index()]), &capacity);
+                self.scorer.observe_alignment(a_placed.max(0.0));
+                out.push(Assignment { task: uid, machine: m });
+                cands[ci].next += 1;
+                cands[ci].alive = cands[ci].head(view).is_some();
+            }
+        }
+
+        // Starvation detection (§3.5 extension): a head task pending past
+        // the patience threshold gets a machine reserved — the one where
+        // its demand shortfall is smallest — so churn of small tasks can
+        // no longer starve it.
+        if let Some(sc) = self.cfg.starvation {
+            for c in &cands {
+                if self.reservations.len() >= sc.max_reservations {
+                    break;
+                }
+                let Some(head) = c.head(view) else { continue };
+                if view.task_pending_age(head) < sc.patience {
+                    continue;
+                }
+                if self.reservations.iter().any(|&(_, t)| t == head) {
+                    continue;
+                }
+                let demand = self.visible(&c.demand);
+                let mut best: Option<(MachineId, f64)> = None;
+                for m in view.machines() {
+                    if self.reservations.iter().any(|&(rm, _)| rm == m) {
+                        continue;
+                    }
+                    let cap = view.capacity(m);
+                    if !demand.min(&cap).fits_within(&cap) {
+                        continue;
+                    }
+                    // Shortfall: worst normalized gap between demand and
+                    // current availability (0 ⇒ it already fits).
+                    let a = self.visible(&avail[m.index()]);
+                    let gap = (demand - a)
+                        .clamp_non_negative()
+                        .normalized_by(&cap)
+                        .max_component();
+                    let better = match best {
+                        None => true,
+                        Some((_, bg)) => gap < bg,
+                    };
+                    if better {
+                        best = Some((m, gap));
+                    }
+                }
+                if let Some((m, _)) = best {
+                    self.reservations.push((m, head));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tetris_resources::MachineSpec;
+    use tetris_sim::{ClusterConfig, Simulation};
+    use tetris_workload::WorkloadSuiteConfig;
+
+    #[test]
+    fn config_validation() {
+        assert!(TetrisConfig::default().validate().is_ok());
+        let mut c = TetrisConfig::default();
+        c.fairness_knob = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = TetrisConfig::default();
+        c.remote_penalty = -0.1;
+        assert!(c.validate().is_err());
+        let mut c = TetrisConfig::default();
+        c.srtf_multiplier = f64::NAN;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid TetrisConfig")]
+    fn new_panics_on_bad_config() {
+        let mut c = TetrisConfig::default();
+        c.barrier_knob = 2.0;
+        let _ = TetrisScheduler::new(c);
+    }
+
+    #[test]
+    fn name_reflects_config() {
+        let s = TetrisScheduler::new(TetrisConfig::default());
+        assert!(s.name().starts_with("tetris(f=0.25,b=0.9,m=1,cosine"));
+        let mut c = TetrisConfig::default();
+        c.consider_io_dims = false;
+        assert!(TetrisScheduler::new(c).name().contains("cpu-mem-only"));
+    }
+
+    #[test]
+    fn completes_a_small_suite() {
+        let outcome = Simulation::build(
+            ClusterConfig::uniform(6, MachineSpec::paper_large()),
+            WorkloadSuiteConfig::small().generate(5),
+        )
+        .scheduler(TetrisScheduler::new(TetrisConfig::default()))
+        .seed(5)
+        .run();
+        assert!(outcome.all_jobs_completed());
+        assert!(outcome.stats.placements >= outcome.tasks.len() as u64);
+    }
+
+    #[test]
+    fn never_overallocates_any_dimension_without_reclamation() {
+        // With idle reclamation off, availability is the demand ledger and
+        // Tetris's feasibility checks make over-allocation impossible
+        // (§3.2).
+        let cluster = ClusterConfig::uniform(6, MachineSpec::paper_large());
+        let cap = MachineSpec::paper_large().capacity();
+        let mut cfg = tetris_sim::SimConfig::default();
+        cfg.seed = 8;
+        cfg.reclaim_idle = false;
+        let outcome = Simulation::build(cluster, WorkloadSuiteConfig::small().generate(8))
+            .scheduler(TetrisScheduler::new(TetrisConfig::default()))
+            .config(cfg)
+            .run();
+        assert!(outcome.all_jobs_completed());
+        for s in &outcome.samples {
+            for ms in s.machines.as_ref().unwrap() {
+                for r in Resource::ALL {
+                    assert!(
+                        ms.allocated.get(r) <= cap.get(r) * (1.0 + 1e-9) + 1e-6,
+                        "over-allocated {r}: {}",
+                        ms.allocated.get(r)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reclamation_never_overcommits_memory_and_helps_throughput() {
+        // With reclamation on (the paper's §4.1 design), idle CPU/IO peaks
+        // are re-offered — but memory is a held resource and must never be
+        // over-committed by Tetris.
+        let cluster = ClusterConfig::uniform(6, MachineSpec::paper_large());
+        let cap = MachineSpec::paper_large().capacity();
+        let run = |reclaim| {
+            let mut cfg = tetris_sim::SimConfig::default();
+            cfg.seed = 8;
+            cfg.reclaim_idle = reclaim;
+            Simulation::build(
+                ClusterConfig::uniform(6, MachineSpec::paper_large()),
+                WorkloadSuiteConfig::small().generate(8),
+            )
+            .scheduler(TetrisScheduler::new(TetrisConfig::default()))
+            .config(cfg)
+            .run()
+        };
+        let _ = cluster;
+        let with = run(true);
+        let without = run(false);
+        assert!(with.all_jobs_completed());
+        for s in &with.samples {
+            for ms in s.machines.as_ref().unwrap() {
+                assert!(
+                    ms.allocated.get(Resource::Mem) <= cap.get(Resource::Mem) * (1.0 + 1e-9),
+                    "memory over-committed: {}",
+                    ms.allocated.get(Resource::Mem)
+                );
+            }
+        }
+        // Reclamation must not hurt completion; it usually improves it.
+        assert!(with.makespan() <= without.makespan() * 1.10);
+    }
+
+    #[test]
+    fn cpu_mem_only_ablation_overallocates_io() {
+        // With IO dims masked, Tetris behaves like the baselines and can
+        // over-allocate disk/network on IO-heavy workloads: 12 disk-bound
+        // writers (150 MB/s demand each) fit a machine by CPU+memory but
+        // demand 9× its 200 MB/s disk.
+        use tetris_resources::units::{GB, MB};
+        use tetris_workload::gen::{TaskParams, WorkloadBuilder};
+        let mut b = WorkloadBuilder::new();
+        let j = b.begin_job("writers", None, 0.0);
+        b.add_stage(j, "w", vec![], 12, |_| TaskParams {
+            cores: 1.0,
+            mem: GB,
+            duration: 20.0,
+            cpu_frac: 0.1,
+            io_burst: 1.0,
+            inputs: vec![],
+            output_bytes: 3000.0 * MB, // 150 MB/s over 20 s
+            remote_frac: 1.0,
+        });
+        let mut cfg = TetrisConfig::default();
+        cfg.consider_io_dims = false;
+        let cluster = ClusterConfig::uniform(2, MachineSpec::paper_large());
+        let mut sim_cfg = tetris_sim::SimConfig::default();
+        sim_cfg.sample_period = Some(1.0);
+        let outcome = Simulation::build(cluster, b.finish())
+            .scheduler(TetrisScheduler::new(cfg))
+            .config(sim_cfg)
+            .run();
+        let cap = MachineSpec::paper_large().capacity();
+        let overallocated = outcome.samples.iter().any(|s| {
+            s.machines.as_ref().unwrap().iter().any(|ms| {
+                ms.allocated.get(Resource::DiskWrite) > cap.get(Resource::DiskWrite) * 1.01
+            })
+        });
+        assert!(overallocated, "expected IO over-allocation in the ablation");
+        // ... and the contention stretches the tasks well past ideal.
+        assert!(
+            outcome.mean_task_stretch() > 1.5,
+            "stretch {}",
+            outcome.mean_task_stretch()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let run = || {
+            Simulation::build(
+                ClusterConfig::uniform(5, MachineSpec::paper_large()),
+                WorkloadSuiteConfig::small().generate(2),
+            )
+            .scheduler(TetrisScheduler::new(TetrisConfig::default()))
+            .seed(2)
+            .run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.makespan(), b.makespan());
+        assert_eq!(
+            a.tasks.iter().map(|t| t.finish).collect::<Vec<_>>(),
+            b.tasks.iter().map(|t| t.finish).collect::<Vec<_>>()
+        );
+    }
+}

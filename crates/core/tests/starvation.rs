@@ -1,0 +1,157 @@
+//! The §3.5 starvation-prevention extension, end to end.
+//!
+//! A single machine runs a churn of small tasks; a large task (14 of 16
+//! cores) arrives early but never finds 14 cores free because freed cores
+//! are instantly taken by more small tasks. With reservations, Tetris
+//! notices the starved task after `patience` seconds, reserves the
+//! machine, lets it drain, and runs the large task; without them, the
+//! large task waits for the churn to end.
+
+use tetris_core::{StarvationConfig, TetrisConfig, TetrisScheduler};
+use tetris_resources::{units::GB, MachineSpec, ResourceVec};
+use tetris_sim::{ClusterConfig, SimConfig, Simulation};
+use tetris_workload::gen::{TaskParams, WorkloadBuilder};
+use tetris_workload::{JobId, Workload};
+
+fn starvation_workload() -> Workload {
+    let mut b = WorkloadBuilder::new();
+    let churn = b.begin_job("churn", None, 0.0);
+    // Durations staggered per task so completions never coincide: freed
+    // cores come back two at a time and the large task never sees 14 free.
+    b.add_stage(churn, "small", vec![], 200, |i| TaskParams {
+        cores: 2.0,
+        mem: 2.0 * GB,
+        duration: 8.0 + (i % 7) as f64 * 1.3,
+        cpu_frac: 1.0,
+        io_burst: 1.0,
+        inputs: vec![],
+        output_bytes: 0.0,
+        remote_frac: 1.0,
+    });
+    let big = b.begin_job("big", None, 5.0);
+    b.add_stage(big, "large", vec![], 1, |_| TaskParams {
+        cores: 14.0,
+        mem: 8.0 * GB,
+        duration: 10.0,
+        cpu_frac: 1.0,
+        io_burst: 1.0,
+        inputs: vec![],
+        output_bytes: 0.0,
+        remote_frac: 1.0,
+    });
+    b.finish()
+}
+
+fn run(starvation: Option<StarvationConfig>) -> tetris_sim::SimOutcome {
+    let spec = MachineSpec::new()
+        .cores(16.0)
+        .memory(32.0 * GB)
+        .disks(4, 50e6)
+        .nic(125e6);
+    let mut tc = TetrisConfig::default();
+    // Pure packing pressure: no SRTF reordering, no fairness restriction.
+    tc.srtf_multiplier = 0.0;
+    tc.fairness_knob = 0.0;
+    tc.starvation = starvation;
+    let mut cfg = SimConfig::default();
+    cfg.seed = 1;
+    Simulation::build(ClusterConfig::uniform(1, spec), starvation_workload())
+        .scheduler(TetrisScheduler::new(tc))
+        .config(cfg)
+        .run()
+}
+
+#[test]
+fn reservation_rescues_the_starved_task() {
+    let patience = 60.0;
+    let with = run(Some(StarvationConfig {
+        patience,
+        max_reservations: 1,
+    }));
+    let without = run(None);
+    assert!(with.all_jobs_completed());
+    assert!(without.all_jobs_completed());
+
+    let big_with = with.jct(JobId(1)).unwrap();
+    let big_without = without.jct(JobId(1)).unwrap();
+
+    // Without reservations the big task waits out most of the churn
+    // (200 tasks / 8 concurrent × 10 s ≈ 250 s).
+    assert!(
+        big_without > 150.0,
+        "expected starvation without reservations, big jct = {big_without}"
+    );
+    // With reservations it runs shortly after the patience threshold:
+    // reservation at ~65 s, machine drains ≤ 10 s, task runs 10 s.
+    assert!(
+        big_with < patience + 40.0,
+        "reservation did not rescue the task: big jct = {big_with}"
+    );
+    assert!(big_with < big_without / 2.0);
+}
+
+#[test]
+fn reservation_cost_to_everyone_else_is_bounded() {
+    let with = run(Some(StarvationConfig {
+        patience: 60.0,
+        max_reservations: 1,
+    }));
+    let without = run(None);
+    // The churn job pays only the drain window, a small fraction of its
+    // total runtime.
+    let churn_with = with.jct(JobId(0)).unwrap();
+    let churn_without = without.jct(JobId(0)).unwrap();
+    assert!(
+        churn_with < churn_without * 1.15,
+        "churn slowed too much: {churn_with} vs {churn_without}"
+    );
+}
+
+#[test]
+fn no_reservations_when_nothing_starves() {
+    // Plenty of room: the large task fits immediately; behaviour must be
+    // identical with and without the mechanism.
+    let spec = MachineSpec::new()
+        .cores(16.0)
+        .memory(32.0 * GB)
+        .disks(4, 50e6)
+        .nic(125e6);
+    let mut b = WorkloadBuilder::new();
+    let j = b.begin_job("j", None, 0.0);
+    b.add_stage(j, "s", vec![], 4, |_| TaskParams {
+        cores: 2.0,
+        mem: 2.0 * GB,
+        duration: 10.0,
+        cpu_frac: 1.0,
+        io_burst: 1.0,
+        inputs: vec![],
+        output_bytes: 0.0,
+        remote_frac: 1.0,
+    });
+    let w = b.finish();
+    let run_one = |starve: Option<StarvationConfig>| {
+        let mut tc = TetrisConfig::default();
+        tc.starvation = starve;
+        Simulation::build(ClusterConfig::uniform(2, spec), w.clone())
+            .scheduler(TetrisScheduler::new(tc))
+            .seed(2)
+            .run()
+    };
+    let a = run_one(Some(StarvationConfig::default()));
+    let b_ = run_one(None);
+    assert_eq!(a.makespan(), b_.makespan());
+    assert_eq!(
+        a.tasks.iter().map(|t| t.finish).collect::<Vec<_>>(),
+        b_.tasks.iter().map(|t| t.finish).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn reserved_vector_is_observable() {
+    // API surface: reserved_machines() reports and clears.
+    let mut tc = TetrisConfig::default();
+    tc.starvation = Some(StarvationConfig::default());
+    let s = TetrisScheduler::new(tc);
+    assert!(s.reserved_machines().is_empty());
+    let _ = ResourceVec::zero();
+}

@@ -1,0 +1,95 @@
+//! `reproduce` — regenerate the paper's tables and figures.
+//!
+//! ```sh
+//! reproduce all            # every experiment, laptop scale
+//! reproduce fig4 table7    # selected experiments
+//! reproduce --full fig7    # paper-scale cluster & workload (slow)
+//! reproduce --list         # what exists
+//! ```
+
+use std::time::Instant;
+
+use tetris_expts::experiments::registry;
+use tetris_expts::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Laptop;
+    let mut ids: Vec<String> = Vec::new();
+    let mut list = false;
+    let mut take_seed = false;
+    for a in &args {
+        if take_seed {
+            take_seed = false;
+            match a.parse::<u64>() {
+                Ok(_) => std::env::set_var("TETRIS_SEED", a),
+                Err(_) => {
+                    eprintln!("--seed expects an integer");
+                    std::process::exit(2);
+                }
+            }
+            continue;
+        }
+        match a.as_str() {
+            "--full" => scale = Scale::Full,
+            "--laptop" => scale = Scale::Laptop,
+            "--seed" => take_seed = true,
+            "--list" => list = true,
+            "-h" | "--help" => {
+                print_help();
+                return;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+
+    let reg = registry();
+    if list || (ids.is_empty()) {
+        print_help();
+        println!("\nexperiments:");
+        for e in &reg {
+            println!("  {:<8} {}", e.id, e.what);
+        }
+        if !list {
+            println!("\nrun `reproduce all` for the full battery.");
+        }
+        return;
+    }
+
+    let selected: Vec<&_> = if ids.iter().any(|i| i == "all") {
+        reg.iter().collect()
+    } else {
+        let mut out = Vec::new();
+        for id in &ids {
+            match reg.iter().find(|e| e.id == *id) {
+                Some(e) => out.push(e),
+                None => {
+                    eprintln!("unknown experiment '{id}' (try --list)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        out
+    };
+
+    for e in selected {
+        let start = Instant::now();
+        println!("{}", "=".repeat(74));
+        println!("[{}] {}", e.id, e.what);
+        println!("{}", "=".repeat(74));
+        let report = (e.run)(scale);
+        println!("{report}");
+        println!("({} finished in {:.1}s)\n", e.id, start.elapsed().as_secs_f64());
+    }
+}
+
+fn print_help() {
+    println!(
+        "reproduce — regenerate the Tetris paper's tables and figures\n\n\
+         usage: reproduce [--full|--laptop] [--seed N] [--list] <experiment>... | all\n\n\
+         --laptop  20-machine cluster, scaled workloads (default; seconds\n\
+                   per experiment)\n\
+         --full    250-machine cluster, paper-scale workloads (roughly ten\n\
+                   minutes per simulation run — pick experiments singly)"
+    );
+}

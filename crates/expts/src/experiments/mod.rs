@@ -1,0 +1,146 @@
+//! One module per paper artifact. Every experiment returns its report as a
+//! string so the binary can print it and tests can assert on it.
+
+pub mod deployment;
+pub mod extensions;
+pub mod ingestion;
+pub mod knobs;
+pub mod load;
+pub mod motivating;
+pub mod sensitivity;
+pub mod simulation;
+pub mod upper_bound;
+pub mod workload_tables;
+
+use crate::Scale;
+
+/// An experiment: id, what it reproduces, runner.
+pub struct Experiment {
+    /// Short id used on the command line ("fig4", "table2", ...).
+    pub id: &'static str,
+    /// One-line description of the paper artifact.
+    pub what: &'static str,
+    /// Runner.
+    pub run: fn(Scale) -> String,
+}
+
+/// The full registry, in the paper's order.
+pub fn registry() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            id: "fig1",
+            what: "Figure 1 — motivating example: packing vs DRF on 3 jobs",
+            run: motivating::fig1,
+        },
+        Experiment {
+            id: "table2",
+            what: "Table 2 — cross-resource demand correlation matrix",
+            run: workload_tables::table2,
+        },
+        Experiment {
+            id: "fig2",
+            what: "Figure 2 — heat-map of task resource demands",
+            run: workload_tables::fig2,
+        },
+        Experiment {
+            id: "table3",
+            what: "Table 3 — resource tightness probabilities",
+            run: workload_tables::table3,
+        },
+        Experiment {
+            id: "ub",
+            what: "§2.2.3 — aggregate upper bound on packing gains",
+            run: upper_bound::ub,
+        },
+        Experiment {
+            id: "fig4",
+            what: "Figure 4 — deployment: JCT improvement CDF + makespan",
+            run: deployment::fig4,
+        },
+        Experiment {
+            id: "fig5",
+            what: "Figure 5 — running tasks and utilization timelines",
+            run: deployment::fig5,
+        },
+        Experiment {
+            id: "table6",
+            what: "Table 6 — machine high-usage probabilities per scheduler",
+            run: deployment::table6,
+        },
+        Experiment {
+            id: "fig6",
+            what: "Figure 6 — resource tracker vs data ingestion",
+            run: ingestion::fig6,
+        },
+        Experiment {
+            id: "fig7",
+            what: "Figure 7 — simulation: JCT improvement CDFs + ablations",
+            run: simulation::fig7,
+        },
+        Experiment {
+            id: "table7",
+            what: "Table 7 — alignment heuristic comparison",
+            run: simulation::table7,
+        },
+        Experiment {
+            id: "fig8",
+            what: "Figure 8 — fairness knob sweep (efficiency side)",
+            run: knobs::fig8,
+        },
+        Experiment {
+            id: "fig9",
+            what: "Figure 9 — fairness knob sweep (job slowdowns)",
+            run: knobs::fig9,
+        },
+        Experiment {
+            id: "riu",
+            what: "§5.3.2 — relative integral unfairness",
+            run: knobs::riu,
+        },
+        Experiment {
+            id: "fig10",
+            what: "Figure 10 — barrier knob sweep",
+            run: knobs::fig10,
+        },
+        Experiment {
+            id: "rp",
+            what: "§5.3.3 — remote-penalty sensitivity",
+            run: sensitivity::remote_penalty,
+        },
+        Experiment {
+            id: "eps",
+            what: "§5.3.3 — alignment-vs-SRTF weighting sensitivity",
+            run: sensitivity::epsilon,
+        },
+        Experiment {
+            id: "fig11",
+            what: "Figure 11 — gains vs cluster load",
+            run: load::fig11,
+        },
+        Experiment {
+            id: "ext-est",
+            what: "Extension — robustness to demand-estimation error (§4.1)",
+            run: extensions::estimation,
+        },
+        Experiment {
+            id: "ext-starve",
+            what: "Extension — starvation prevention by reservation (§3.5)",
+            run: extensions::starvation,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_unique_and_nonempty() {
+        let reg = registry();
+        assert_eq!(reg.len(), 20);
+        let mut ids: Vec<_> = reg.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 20);
+    }
+}

@@ -1,0 +1,28 @@
+//! # tetris-expts
+//!
+//! The experiment harness: one module per table/figure of the paper's
+//! evaluation, each regenerating the corresponding rows/series from the
+//! simulator. Run via the `reproduce` binary:
+//!
+//! ```sh
+//! cargo run -p tetris-expts --release --bin reproduce -- all
+//! cargo run -p tetris-expts --release --bin reproduce -- fig4 fig8
+//! cargo run -p tetris-expts --release --bin reproduce -- --full fig7
+//! ```
+//!
+//! The default scale runs every experiment on a 20-machine cluster with
+//! task counts scaled to keep per-machine load comparable to the paper's
+//! 250-machine deployment (`--full` uses the paper-scale cluster and
+//! workload — minutes, not seconds). Absolute numbers are not expected to
+//! match the paper (our substrate is a simulator, and the supplied paper
+//! text lost its digits); the *shape* — who wins, by roughly what factor,
+//! where the knees fall — is the reproduction target. EXPERIMENTS.md
+//! records both.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod setup;
+
+pub use setup::{Scale, SchedName};

@@ -1,0 +1,247 @@
+//! Shared experiment setup: clusters, workloads, scheduler construction.
+
+use tetris_baselines::{
+    CapacityScheduler, DrfScheduler, FairScheduler, RandomScheduler, SrtfScheduler,
+};
+use tetris_core::{TetrisConfig, TetrisScheduler};
+use tetris_resources::MachineSpec;
+use tetris_sim::{ClusterConfig, SchedulerPolicy, SimConfig, SimOutcome, Simulation};
+use tetris_workload::{FacebookTraceConfig, Workload, WorkloadSuiteConfig};
+
+/// Default master seed shared by all experiments (workload generation
+/// offsets it per use so experiments are independent but reproducible).
+pub const DEFAULT_SEED: u64 = 42;
+
+/// The master seed: `DEFAULT_SEED` unless overridden via the `TETRIS_SEED`
+/// environment variable (set by `reproduce --seed N`) — rerunning the
+/// battery under a few seeds is the cheapest robustness check.
+pub fn seed() -> u64 {
+    std::env::var("TETRIS_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_SEED)
+}
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Laptop scale: 20 machines, task counts scaled to preserve
+    /// per-machine load. Every experiment finishes in seconds.
+    Laptop,
+    /// Paper scale: 250 machines, full §5.1 workload. Minutes per run.
+    Full,
+}
+
+impl Scale {
+    /// The deployment cluster for this scale.
+    pub fn cluster(self) -> ClusterConfig {
+        match self {
+            Scale::Laptop => ClusterConfig::uniform(20, MachineSpec::paper_large()),
+            Scale::Full => ClusterConfig::paper_large(),
+        }
+    }
+
+    /// Cluster with a load multiplier (for the Fig-11 load sweep: the
+    /// paper varies load by shrinking the cluster).
+    pub fn cluster_with_load(self, load: f64) -> ClusterConfig {
+        let base = self.cluster().len() as f64;
+        let n = ((base / load).round() as usize).max(2);
+        ClusterConfig::uniform(n, MachineSpec::paper_large())
+    }
+
+    /// The §5.1 deployment workload suite at this scale.
+    pub fn suite(self) -> Workload {
+        self.suite_seeded(seed())
+    }
+
+    /// The suite with an explicit seed (multi-seed sweeps).
+    pub fn suite_seeded(self, seed: u64) -> Workload {
+        match self {
+            Scale::Laptop => WorkloadSuiteConfig::scaled(50, 0.08).generate(seed),
+            Scale::Full => WorkloadSuiteConfig::paper().generate(seed),
+        }
+    }
+
+    /// The Facebook-like trace at this scale (simulation experiments).
+    pub fn facebook(self) -> Workload {
+        self.facebook_seeded(seed() + 1)
+    }
+
+    /// The trace with an explicit seed (multi-seed sweeps).
+    pub fn facebook_seeded(self, seed: u64) -> Workload {
+        let cfg = match self {
+            Scale::Laptop => FacebookTraceConfig {
+                n_jobs: 120,
+                scale: 0.06,
+                mean_interarrival: 12.0,
+                ..FacebookTraceConfig::default()
+            },
+            Scale::Full => FacebookTraceConfig {
+                n_jobs: 350,
+                scale: 0.8,
+                mean_interarrival: 6.0,
+                ..FacebookTraceConfig::default()
+            },
+        };
+        cfg.generate(seed)
+    }
+
+    /// Seeds used by multi-seed sweep experiments (tail-dominated metrics
+    /// like zero-arrival makespan are noisy on a single workload draw).
+    pub fn sweep_seeds(self) -> Vec<u64> {
+        vec![seed() + 1, seed() + 11, seed() + 21]
+    }
+
+    /// Default simulator configuration for experiments.
+    pub fn sim_config(self) -> SimConfig {
+        let mut cfg = SimConfig::default();
+        cfg.seed = seed();
+        if self == Scale::Full {
+            // Keep memory bounded on quarter-million-task runs.
+            cfg.record_machine_samples = false;
+            cfg.sample_period = Some(20.0);
+        }
+        cfg
+    }
+}
+
+/// The schedulers experiments compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedName {
+    /// Tetris at the paper's operating point.
+    Tetris,
+    /// Slot-based Fair scheduler.
+    Fair,
+    /// Slot-based Capacity scheduler.
+    Capacity,
+    /// Shipped DRF (cpu + memory).
+    Drf,
+    /// Multi-resource SRTF without packing.
+    Srtf,
+    /// Pure packing (no SRTF, no fairness, no barrier hints).
+    PackingOnly,
+    /// Tetris masked to cpu+mem (over-allocation ablation).
+    TetrisCpuMemOnly,
+    /// Seeded random placement.
+    Random,
+}
+
+impl SchedName {
+    /// Construct the policy.
+    pub fn build(self) -> Box<dyn SchedulerPolicy> {
+        match self {
+            SchedName::Tetris => Box::new(TetrisScheduler::new(TetrisConfig::default())),
+            SchedName::Fair => Box::new(FairScheduler::new()),
+            SchedName::Capacity => Box::new(CapacityScheduler::new()),
+            SchedName::Drf => Box::new(DrfScheduler::new()),
+            SchedName::Srtf => Box::new(SrtfScheduler::new()),
+            SchedName::PackingOnly => {
+                Box::new(TetrisScheduler::new(TetrisConfig::packing_only()))
+            }
+            SchedName::TetrisCpuMemOnly => {
+                let mut cfg = TetrisConfig::default();
+                cfg.consider_io_dims = false;
+                Box::new(TetrisScheduler::new(cfg))
+            }
+            SchedName::Random => Box::new(RandomScheduler::seeded(seed())),
+        }
+    }
+
+    /// Short label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedName::Tetris => "tetris",
+            SchedName::Fair => "fair",
+            SchedName::Capacity => "capacity",
+            SchedName::Drf => "drf",
+            SchedName::Srtf => "srtf",
+            SchedName::PackingOnly => "packing-only",
+            SchedName::TetrisCpuMemOnly => "tetris-cpumem",
+            SchedName::Random => "random",
+        }
+    }
+}
+
+/// Run one `(cluster, workload, scheduler)` combination.
+pub fn run(
+    cluster: &ClusterConfig,
+    workload: &Workload,
+    sched: SchedName,
+    cfg: &SimConfig,
+) -> SimOutcome {
+    Simulation::build(cluster.clone(), workload.clone())
+        .scheduler_boxed(sched.build())
+        .config(cfg.clone())
+        .run()
+}
+
+/// Run a custom Tetris configuration.
+pub fn run_tetris(
+    cluster: &ClusterConfig,
+    workload: &Workload,
+    tetris: TetrisConfig,
+    cfg: &SimConfig,
+) -> SimOutcome {
+    Simulation::build(cluster.clone(), workload.clone())
+        .scheduler(TetrisScheduler::new(tetris))
+        .config(cfg.clone())
+        .run()
+}
+
+/// Zero all arrivals (the paper's makespan measurements assume "all jobs
+/// arrived at the beginning of the trace", §5.3.1).
+pub fn with_zero_arrivals(mut w: Workload) -> Workload {
+    for j in &mut w.jobs {
+        j.arrival = 0.0;
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn laptop_setup_is_consistent() {
+        let s = Scale::Laptop;
+        assert_eq!(s.cluster().len(), 20);
+        let w = s.suite();
+        assert!(w.validate().is_ok());
+        assert_eq!(w.jobs.len(), 50);
+        let fb = s.facebook();
+        assert!(fb.validate().is_ok());
+    }
+
+    #[test]
+    fn load_multiplier_shrinks_cluster() {
+        let base = Scale::Laptop.cluster_with_load(1.0).len();
+        let double = Scale::Laptop.cluster_with_load(2.0).len();
+        assert_eq!(base, 20);
+        assert_eq!(double, 10);
+        assert!(Scale::Laptop.cluster_with_load(100.0).len() >= 2);
+    }
+
+    #[test]
+    fn all_schedulers_build() {
+        for s in [
+            SchedName::Tetris,
+            SchedName::Fair,
+            SchedName::Capacity,
+            SchedName::Drf,
+            SchedName::Srtf,
+            SchedName::PackingOnly,
+            SchedName::TetrisCpuMemOnly,
+            SchedName::Random,
+        ] {
+            let p = s.build();
+            assert!(!p.name().is_empty());
+            assert!(!s.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn zero_arrivals() {
+        let w = with_zero_arrivals(Scale::Laptop.suite());
+        assert!(w.jobs.iter().all(|j| j.arrival == 0.0));
+    }
+}

@@ -1,0 +1,161 @@
+//! Per-job completion-time improvement between two runs of the *same*
+//! workload (the paper's Figs. 4 and 7: "CDF of change in job completion
+//! time", computed as `100 × (baseline − ours) / baseline` per job).
+
+use tetris_sim::SimOutcome;
+use tetris_workload::stats::Ecdf;
+
+use crate::pct_improvement;
+
+/// Distribution of per-job JCT improvements of one run over a baseline.
+#[derive(Debug, Clone)]
+pub struct ImprovementSummary {
+    /// Name of the improved scheduler.
+    pub ours: String,
+    /// Name of the baseline scheduler.
+    pub baseline: String,
+    /// Per-job improvement (%), indexed like the workload's jobs (only
+    /// jobs finished in both runs).
+    pub per_job: Vec<f64>,
+    /// Makespan improvement (%).
+    pub makespan: f64,
+    /// Average-JCT improvement (%) — note: improvement *of the averages*,
+    /// as the paper reports, not the average of per-job improvements.
+    pub avg_jct: f64,
+}
+
+impl ImprovementSummary {
+    /// Compare two outcomes of the same workload.
+    ///
+    /// # Panics
+    /// If the runs have different job counts (different workloads).
+    pub fn compare(ours: &SimOutcome, baseline: &SimOutcome) -> Self {
+        assert_eq!(
+            ours.jobs.len(),
+            baseline.jobs.len(),
+            "comparing runs of different workloads"
+        );
+        let per_job = ours
+            .jobs
+            .iter()
+            .zip(&baseline.jobs)
+            .filter_map(|(o, b)| match (o.jct(), b.jct()) {
+                (Some(x), Some(y)) => Some(pct_improvement(y, x)),
+                _ => None,
+            })
+            .collect();
+        ImprovementSummary {
+            ours: ours.scheduler.clone(),
+            baseline: baseline.scheduler.clone(),
+            per_job,
+            makespan: pct_improvement(baseline.makespan(), ours.makespan()),
+            avg_jct: pct_improvement(baseline.avg_jct(), ours.avg_jct()),
+        }
+    }
+
+    /// Empirical CDF of per-job improvements.
+    pub fn ecdf(&self) -> Ecdf {
+        Ecdf::new(self.per_job.clone())
+    }
+
+    /// Median per-job improvement (%).
+    pub fn median(&self) -> f64 {
+        tetris_workload::stats::median(&self.per_job)
+    }
+
+    /// Improvement at the `q`-th percentile of jobs (%), e.g. `0.9` for
+    /// "the top decile of jobs improve by ...".
+    pub fn percentile(&self, q: f64) -> f64 {
+        tetris_workload::stats::percentile(&self.per_job, q)
+    }
+
+    /// Fraction of jobs that *slowed down* (negative improvement).
+    pub fn frac_slowed(&self) -> f64 {
+        self.ecdf().frac_below(0.0)
+    }
+
+    /// Render the CDF as `(improvement %, cumulative fraction)` rows at
+    /// `n` quantiles — the series the figure harness prints.
+    pub fn render_cdf(&self, n: usize) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# per-job JCT improvement of {} over {} (%, CDF)\n",
+            self.ours, self.baseline
+        ));
+        out.push_str(&format!("{:>12} {:>8}\n", "improv_%", "cdf"));
+        for (x, q) in self.ecdf().series(n) {
+            out.push_str(&format!("{x:>12.1} {q:>8.2}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tetris_sim::{EngineStats, JobRecord};
+    use tetris_workload::JobId;
+
+    fn outcome(name: &str, jcts: &[f64]) -> SimOutcome {
+        SimOutcome {
+            scheduler: name.into(),
+            completed: true,
+            final_time: 0.0,
+            jobs: jcts
+                .iter()
+                .enumerate()
+                .map(|(i, &jct)| JobRecord {
+                    id: JobId(i),
+                    name: format!("j{i}"),
+                    family: None,
+                    arrival: 0.0,
+                    first_start: Some(0.0),
+                    finish: Some(jct),
+                    num_tasks: 1,
+                })
+                .collect(),
+            tasks: vec![],
+            samples: vec![],
+            stats: EngineStats::default(),
+        }
+    }
+
+    #[test]
+    fn per_job_improvements() {
+        let ours = outcome("tetris", &[50.0, 100.0, 120.0]);
+        let base = outcome("fair", &[100.0, 100.0, 100.0]);
+        let imp = ImprovementSummary::compare(&ours, &base);
+        assert_eq!(imp.per_job, vec![50.0, 0.0, -20.0]);
+        assert!((imp.frac_slowed() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(imp.median(), 0.0);
+        // makespan: 120 vs 100 → -20 %.
+        assert_eq!(imp.makespan, -20.0);
+    }
+
+    #[test]
+    fn skips_unfinished_jobs() {
+        let mut ours = outcome("a", &[10.0, 20.0]);
+        ours.jobs[1].finish = None;
+        let base = outcome("b", &[20.0, 20.0]);
+        let imp = ImprovementSummary::compare(&ours, &base);
+        assert_eq!(imp.per_job.len(), 1);
+    }
+
+    #[test]
+    fn render_contains_names() {
+        let imp = ImprovementSummary::compare(
+            &outcome("tetris", &[50.0]),
+            &outcome("drf", &[100.0]),
+        );
+        let s = imp.render_cdf(4);
+        assert!(s.contains("tetris"));
+        assert!(s.contains("drf"));
+        assert!(s.lines().count() >= 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "different workloads")]
+    fn mismatched_runs_panic() {
+        let _ = ImprovementSummary::compare(&outcome("a", &[1.0]), &outcome("b", &[1.0, 2.0]));
+    }
+}

@@ -1,0 +1,223 @@
+//! Unfairness metrics: job slowdown versus a fair baseline (Fig. 9) and
+//! relative integral unfairness (§5.3.2).
+
+use tetris_resources::Resource;
+use tetris_sim::SimOutcome;
+use tetris_workload::JobId;
+
+/// How jobs fared against a fair baseline run of the same workload
+/// (the paper's Fig. 9: "% jobs slowing down" and "avg (max) slowdown").
+#[derive(Debug, Clone)]
+pub struct SlowdownSummary {
+    /// Fraction of jobs with a longer JCT than under the baseline.
+    pub frac_slowed: f64,
+    /// Average slowdown (%) among slowed jobs only.
+    pub avg_slowdown_pct: f64,
+    /// Worst slowdown (%).
+    pub max_slowdown_pct: f64,
+}
+
+impl SlowdownSummary {
+    /// Compare a run against a fair-scheduler baseline on the same
+    /// workload.
+    pub fn compare(ours: &SimOutcome, fair_baseline: &SimOutcome) -> Self {
+        assert_eq!(ours.jobs.len(), fair_baseline.jobs.len());
+        let mut slowed = Vec::new();
+        let mut n = 0usize;
+        for (o, b) in ours.jobs.iter().zip(&fair_baseline.jobs) {
+            if let (Some(x), Some(y)) = (o.jct(), b.jct()) {
+                n += 1;
+                if x > y {
+                    slowed.push(100.0 * (x - y) / y);
+                }
+            }
+        }
+        let frac_slowed = if n == 0 {
+            0.0
+        } else {
+            slowed.len() as f64 / n as f64
+        };
+        SlowdownSummary {
+            frac_slowed,
+            avg_slowdown_pct: tetris_workload::stats::mean(&slowed),
+            max_slowdown_pct: slowed.iter().copied().fold(0.0, f64::max),
+        }
+    }
+}
+
+/// Relative integral unfairness of one job (§5.3.2):
+/// `∫ (a(t) − f(t)) / f(t) dt` over the job's lifetime, where `a(t)` is the
+/// dominant share the job actually held and `f(t)` its purported fair
+/// share (`1 / #active jobs` at `t`). Values below zero mean the job
+/// received worse service than a fair scheme would have given it.
+///
+/// Requires the run to have been recorded with `record_job_samples`.
+/// The integral is evaluated by the rectangle rule over the sample grid
+/// and normalized by the job's lifetime so jobs of different lengths are
+/// comparable.
+pub fn relative_integral_unfairness(outcome: &SimOutcome, job: JobId) -> Option<f64> {
+    let rec = &outcome.jobs[job.index()];
+    let finish = rec.finish?;
+    let arrival = rec.arrival;
+    if finish <= arrival {
+        return Some(0.0);
+    }
+
+    // Dominant share uses the cluster total; reconstruct it from the first
+    // sample's machine capacities is not possible, so use allocation
+    // relative to the maximum concurrent cluster allocation as reference.
+    // Simpler and faithful: dominant share over the aggregate allocation
+    // vector is not available here — instead use the job's share of
+    // *total allocated* resources, dimension-maximized.
+    let mut integral = 0.0;
+    let mut covered = 0.0;
+    let mut prev_t: Option<f64> = None;
+    for s in &outcome.samples {
+        if s.t < arrival || s.t > finish {
+            prev_t = Some(s.t);
+            continue;
+        }
+        let dt = match prev_t {
+            Some(p) => (s.t - p.max(arrival)).max(0.0),
+            None => 0.0,
+        };
+        prev_t = Some(s.t);
+        if dt == 0.0 {
+            continue;
+        }
+        let per_job = s.per_job_alloc.as_ref()?;
+        // Active jobs at this instant (arrived, unfinished).
+        let active = outcome
+            .jobs
+            .iter()
+            .filter(|j| j.arrival <= s.t && j.finish.is_none_or(|f| f >= s.t))
+            .count()
+            .max(1);
+        let fair = 1.0 / active as f64;
+        // The job's dominant share of the cluster-wide allocation.
+        let total = s.cluster_allocated;
+        let mut share: f64 = 0.0;
+        for r in Resource::ALL {
+            let t = total.get(r);
+            if t > 0.0 {
+                share = share.max(per_job[job.index()].get(r) / t);
+            }
+        }
+        integral += dt * (share - fair) / fair;
+        covered += dt;
+    }
+    if covered == 0.0 {
+        return Some(0.0);
+    }
+    Some(integral / (finish - arrival))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tetris_resources::ResourceVec;
+    use tetris_sim::{EngineStats, JobRecord, Sample};
+
+    fn job(id: usize, arrival: f64, finish: Option<f64>) -> JobRecord {
+        JobRecord {
+            id: JobId(id),
+            name: format!("j{id}"),
+            family: None,
+            arrival,
+            first_start: Some(arrival),
+            finish,
+            num_tasks: 1,
+        }
+    }
+
+    fn outcome(jobs: Vec<JobRecord>, samples: Vec<Sample>) -> SimOutcome {
+        SimOutcome {
+            scheduler: "t".into(),
+            completed: true,
+            final_time: 100.0,
+            jobs,
+            tasks: vec![],
+            samples,
+            stats: EngineStats::default(),
+        }
+    }
+
+    #[test]
+    fn slowdown_summary_counts_only_slowed() {
+        let ours = outcome(
+            vec![job(0, 0.0, Some(110.0)), job(1, 0.0, Some(80.0))],
+            vec![],
+        );
+        let base = outcome(
+            vec![job(0, 0.0, Some(100.0)), job(1, 0.0, Some(100.0))],
+            vec![],
+        );
+        let s = SlowdownSummary::compare(&ours, &base);
+        assert_eq!(s.frac_slowed, 0.5);
+        assert!((s.avg_slowdown_pct - 10.0).abs() < 1e-9);
+        assert!((s.max_slowdown_pct - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_slowdowns_is_zero() {
+        let ours = outcome(vec![job(0, 0.0, Some(50.0))], vec![]);
+        let base = outcome(vec![job(0, 0.0, Some(100.0))], vec![]);
+        let s = SlowdownSummary::compare(&ours, &base);
+        assert_eq!(s.frac_slowed, 0.0);
+        assert_eq!(s.max_slowdown_pct, 0.0);
+    }
+
+    fn sample(t: f64, shares: &[f64]) -> Sample {
+        let per_job: Vec<ResourceVec> = shares
+            .iter()
+            .map(|&s| ResourceVec::zero().with(Resource::Cpu, s))
+            .collect();
+        let total: f64 = shares.iter().sum();
+        Sample {
+            t,
+            running_tasks: shares.len(),
+            cluster_allocated: ResourceVec::zero().with(Resource::Cpu, total),
+            cluster_usage: ResourceVec::zero(),
+            machines: None,
+            per_job_alloc: Some(per_job),
+        }
+    }
+
+    #[test]
+    fn riu_zero_for_equal_shares() {
+        // Two jobs, always 50/50 → fair share 0.5, actual 0.5 → RIU 0.
+        let o = outcome(
+            vec![job(0, 0.0, Some(100.0)), job(1, 0.0, Some(100.0))],
+            (0..=10).map(|i| sample(i as f64 * 10.0, &[1.0, 1.0])).collect(),
+        );
+        let riu = relative_integral_unfairness(&o, JobId(0)).unwrap();
+        assert!(riu.abs() < 1e-9, "riu={riu}");
+    }
+
+    #[test]
+    fn riu_negative_for_underserved_job() {
+        // Job 0 holds 25 % while fair is 50 %.
+        let o = outcome(
+            vec![job(0, 0.0, Some(100.0)), job(1, 0.0, Some(100.0))],
+            (0..=10).map(|i| sample(i as f64 * 10.0, &[1.0, 3.0])).collect(),
+        );
+        let riu = relative_integral_unfairness(&o, JobId(0)).unwrap();
+        assert!(riu < -0.4, "riu={riu}");
+        let riu1 = relative_integral_unfairness(&o, JobId(1)).unwrap();
+        assert!(riu1 > 0.4, "riu1={riu1}");
+    }
+
+    #[test]
+    fn riu_none_without_job_samples() {
+        let mut s = sample(10.0, &[1.0]);
+        s.per_job_alloc = None;
+        let o = outcome(vec![job(0, 0.0, Some(100.0))], vec![sample(0.0, &[1.0]), s]);
+        assert_eq!(relative_integral_unfairness(&o, JobId(0)), None);
+    }
+
+    #[test]
+    fn riu_unfinished_job_is_none() {
+        let o = outcome(vec![job(0, 0.0, None)], vec![]);
+        assert_eq!(relative_integral_unfairness(&o, JobId(0)), None);
+    }
+}

@@ -1,0 +1,157 @@
+//! Resource tightness probabilities.
+//!
+//! * Table 3: P(a resource is used above {50, 80, 99} % of capacity),
+//!   measured cluster-wide over time — "multiple resources become tight,
+//!   albeit at different machines and times".
+//! * Table 6: P(a machine uses a resource above {80, 90, 100} %), measured
+//!   per machine per sample under each scheduler; the >100 row can only be
+//!   hit through over-allocation (demand ledger above capacity), which
+//!   Tetris never does.
+
+use tetris_resources::{Resource, ResourceVec};
+use tetris_sim::SimOutcome;
+
+/// The six per-dimension rows of a tightness table.
+#[derive(Debug, Clone)]
+pub struct TightnessTable {
+    /// Thresholds as fractions of capacity (e.g. 0.5, 0.8, 0.99).
+    pub thresholds: Vec<f64>,
+    /// `rows[r][k]` = P(dimension `r` above threshold `k`).
+    pub rows: [Vec<f64>; 6],
+}
+
+impl TightnessTable {
+    /// Cluster-level tightness (Table 3) from aggregate usage samples.
+    pub fn cluster(outcome: &SimOutcome, total_capacity: &ResourceVec, thresholds: &[f64]) -> Self {
+        let mut counts = [0usize; 6].map(|_| vec![0usize; thresholds.len()]);
+        let n = outcome.samples.len().max(1);
+        for s in &outcome.samples {
+            for r in Resource::ALL {
+                let cap = total_capacity.get(r);
+                if cap <= 0.0 {
+                    continue;
+                }
+                let frac = s.cluster_usage.get(r) / cap;
+                for (k, &th) in thresholds.iter().enumerate() {
+                    // Small epsilon so FP accumulation in the ledgers cannot
+                    // register exact-capacity commitment as over-allocation.
+                    if frac > th + 1e-9 {
+                        counts[r.index()][k] += 1;
+                    }
+                }
+            }
+        }
+        TightnessTable {
+            thresholds: thresholds.to_vec(),
+            rows: counts.map(|c| c.into_iter().map(|x| x as f64 / n as f64).collect()),
+        }
+    }
+
+    /// Machine-level tightness (Table 6) from the per-machine *allocation*
+    /// ledger: values above 1.0 capture over-allocation. Requires
+    /// per-machine samples.
+    pub fn machines(
+        outcome: &SimOutcome,
+        machine_capacity: &ResourceVec,
+        thresholds: &[f64],
+    ) -> Option<Self> {
+        let mut counts = [0usize; 6].map(|_| vec![0usize; thresholds.len()]);
+        let mut n = 0usize;
+        for s in &outcome.samples {
+            let machines = s.machines.as_ref()?;
+            for ms in machines {
+                n += 1;
+                for r in Resource::ALL {
+                    let cap = machine_capacity.get(r);
+                    if cap <= 0.0 {
+                        continue;
+                    }
+                    let frac = ms.allocated.get(r) / cap;
+                    for (k, &th) in thresholds.iter().enumerate() {
+                        if frac > th + 1e-9 {
+                            counts[r.index()][k] += 1;
+                        }
+                    }
+                }
+            }
+        }
+        let n = n.max(1);
+        Some(TightnessTable {
+            thresholds: thresholds.to_vec(),
+            rows: counts.map(|c| c.into_iter().map(|x| x as f64 / n as f64).collect()),
+        })
+    }
+
+    /// Probability for one dimension and threshold index.
+    pub fn get(&self, r: Resource, k: usize) -> f64 {
+        self.rows[r.index()][k]
+    }
+
+    /// Render in the paper's layout (one row per resource).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{:>10}", "resource"));
+        for th in &self.thresholds {
+            out.push_str(&format!(" {:>9}", format!(">{:.0}% used", th * 100.0)));
+        }
+        out.push('\n');
+        for r in Resource::ALL {
+            out.push_str(&format!("{:>10}", r.label()));
+            for k in 0..self.thresholds.len() {
+                out.push_str(&format!(" {:>9.3}", self.get(r, k)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tetris_resources::MachineSpec;
+    use tetris_sim::{ClusterConfig, GreedyFifo, Simulation};
+    use tetris_workload::WorkloadSuiteConfig;
+
+    fn run() -> (SimOutcome, ResourceVec) {
+        let cluster = ClusterConfig::uniform(3, MachineSpec::paper_large());
+        let total = cluster.total_capacity();
+        let o = Simulation::build(cluster, WorkloadSuiteConfig::small().generate(5))
+            .scheduler(GreedyFifo::new())
+            .seed(5)
+            .run();
+        (o, total)
+    }
+
+    #[test]
+    fn probabilities_are_monotone_in_threshold() {
+        let (o, total) = run();
+        let t = TightnessTable::cluster(&o, &total, &[0.5, 0.8, 0.99]);
+        for r in Resource::ALL {
+            assert!(t.get(r, 0) >= t.get(r, 1));
+            assert!(t.get(r, 1) >= t.get(r, 2));
+            assert!(t.get(r, 0) <= 1.0);
+        }
+    }
+
+    #[test]
+    fn machine_table_exists_with_samples() {
+        let (o, _) = run();
+        let cap = MachineSpec::paper_large().capacity();
+        let t = TightnessTable::machines(&o, &cap, &[0.8, 0.9, 1.0]).expect("samples");
+        // Feasibility-respecting GreedyFifo never over-allocates: the
+        // >100 % column must be all zeros.
+        for r in Resource::ALL {
+            assert_eq!(t.get(r, 2), 0.0, "{r} over-allocated");
+        }
+    }
+
+    #[test]
+    fn render_has_all_rows() {
+        let (o, total) = run();
+        let t = TightnessTable::cluster(&o, &total, &[0.5, 0.8]);
+        let s = t.render();
+        assert_eq!(s.lines().count(), 7);
+        assert!(s.contains("net_in"));
+    }
+}

@@ -1,0 +1,163 @@
+//! Time-series views of a run: running tasks and per-resource utilization
+//! (the paper's Figs. 5 and 6).
+
+use tetris_resources::{Resource, ResourceVec};
+use tetris_sim::{MachineId, SimOutcome};
+
+/// One point of the cluster timeline.
+#[derive(Debug, Clone, Copy)]
+pub struct TimelinePoint {
+    /// Time (seconds).
+    pub t: f64,
+    /// Running tasks.
+    pub running: usize,
+    /// Percent of aggregate capacity *allocated* per reporting dim
+    /// (cpu, mem, disk, net) — may exceed 100 under over-allocating
+    /// schedulers, which is exactly what Fig. 5c/5d show.
+    pub allocated_pct: [f64; 4],
+    /// Percent of aggregate capacity actually *used* (never exceeds 100
+    /// on rate dims).
+    pub used_pct: [f64; 4],
+}
+
+fn report4(v: &ResourceVec, cap: &ResourceVec) -> [f64; 4] {
+    let pct = |num: f64, den: f64| if den > 0.0 { 100.0 * num / den } else { 0.0 };
+    [
+        pct(v.get(Resource::Cpu), cap.get(Resource::Cpu)),
+        pct(v.get(Resource::Mem), cap.get(Resource::Mem)),
+        pct(
+            v.get(Resource::DiskRead) + v.get(Resource::DiskWrite),
+            cap.get(Resource::DiskRead) + cap.get(Resource::DiskWrite),
+        ),
+        pct(
+            v.get(Resource::NetIn) + v.get(Resource::NetOut),
+            cap.get(Resource::NetIn) + cap.get(Resource::NetOut),
+        ),
+    ]
+}
+
+/// Cluster-wide timeline (Fig. 5) from a run's samples.
+pub fn cluster_timeline(outcome: &SimOutcome, total_capacity: &ResourceVec) -> Vec<TimelinePoint> {
+    outcome
+        .samples
+        .iter()
+        .map(|s| TimelinePoint {
+            t: s.t,
+            running: s.running_tasks,
+            allocated_pct: report4(&s.cluster_allocated, total_capacity),
+            used_pct: report4(&s.cluster_usage, total_capacity),
+        })
+        .collect()
+}
+
+/// Timeline of one machine (Fig. 6: the ingestion micro-benchmark watches
+/// a single loaded machine). Requires per-machine samples.
+pub fn machine_timeline(
+    outcome: &SimOutcome,
+    machine: MachineId,
+    capacity: &ResourceVec,
+) -> Option<Vec<TimelinePoint>> {
+    outcome
+        .samples
+        .iter()
+        .map(|s| {
+            let ms = s.machines.as_ref()?.get(machine.index())?;
+            Some(TimelinePoint {
+                t: s.t,
+                running: ms.running,
+                allocated_pct: report4(&ms.allocated, capacity),
+                used_pct: report4(&ms.usage, capacity),
+            })
+        })
+        .collect()
+}
+
+/// Render a timeline as fixed-width text (one row per point).
+pub fn render(points: &[TimelinePoint]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>9} {:>8} | {:>6} {:>6} {:>6} {:>6} | {:>6} {:>6} {:>6} {:>6}\n",
+        "t_s", "tasks", "cpuA%", "memA%", "dskA%", "netA%", "cpuU%", "memU%", "dskU%", "netU%"
+    ));
+    for p in points {
+        out.push_str(&format!(
+            "{:>9.0} {:>8} | {:>6.0} {:>6.0} {:>6.0} {:>6.0} | {:>6.0} {:>6.0} {:>6.0} {:>6.0}\n",
+            p.t,
+            p.running,
+            p.allocated_pct[0],
+            p.allocated_pct[1],
+            p.allocated_pct[2],
+            p.allocated_pct[3],
+            p.used_pct[0],
+            p.used_pct[1],
+            p.used_pct[2],
+            p.used_pct[3],
+        ));
+    }
+    out
+}
+
+/// Down-sample a timeline to at most `n` evenly spaced points (keeps first
+/// and last) so printed figures stay readable.
+pub fn decimate(points: &[TimelinePoint], n: usize) -> Vec<TimelinePoint> {
+    if points.len() <= n || n < 2 {
+        return points.to_vec();
+    }
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let idx = i * (points.len() - 1) / (n - 1);
+        out.push(points[idx]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tetris_resources::MachineSpec;
+    use tetris_sim::{ClusterConfig, GreedyFifo, Simulation};
+    use tetris_workload::WorkloadSuiteConfig;
+
+    fn run() -> (SimOutcome, ResourceVec) {
+        let cluster = ClusterConfig::uniform(4, MachineSpec::paper_large());
+        let total = cluster.total_capacity();
+        let o = Simulation::build(cluster, WorkloadSuiteConfig::small().generate(3))
+            .scheduler(GreedyFifo::new())
+            .seed(3)
+            .run();
+        (o, total)
+    }
+
+    #[test]
+    fn timeline_has_activity() {
+        let (o, total) = run();
+        let tl = cluster_timeline(&o, &total);
+        assert!(!tl.is_empty());
+        assert!(tl.iter().any(|p| p.running > 0));
+        assert!(tl.iter().any(|p| p.used_pct[0] > 0.0));
+        // Usage never exceeds 100 % on CPU.
+        for p in &tl {
+            assert!(p.used_pct[0] <= 100.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn machine_timeline_matches_cluster_count() {
+        let (o, _) = run();
+        let cap = MachineSpec::paper_large().capacity();
+        let tl = machine_timeline(&o, MachineId(0), &cap).expect("machine samples");
+        assert_eq!(tl.len(), o.samples.len());
+    }
+
+    #[test]
+    fn render_and_decimate() {
+        let (o, total) = run();
+        let tl = cluster_timeline(&o, &total);
+        let dec = decimate(&tl, 5);
+        assert!(dec.len() <= 5);
+        assert_eq!(dec.first().unwrap().t, tl.first().unwrap().t);
+        assert_eq!(dec.last().unwrap().t, tl.last().unwrap().t);
+        let text = render(&dec);
+        assert_eq!(text.lines().count(), dec.len() + 1);
+    }
+}

@@ -1,0 +1,162 @@
+//! Builder for machine capacity vectors from hardware-style descriptions.
+
+use crate::{Resource, ResourceVec};
+
+/// Hardware description of one machine class, convertible into a capacity
+/// [`ResourceVec`].
+///
+/// The disk dimensions model the *aggregate* bandwidth of the machine's
+/// drives (the paper's simulator uses "4 disks operating at 50 MBps each
+/// for read/write"); the NIC is full duplex, so the same figure feeds both
+/// `NetIn` and `NetOut` (§4.1 considers only the last-hop link).
+///
+/// ```
+/// use tetris_resources::{MachineSpec, Resource, units};
+/// let cap = MachineSpec::new()
+///     .cores(16.0)
+///     .memory(32.0 * units::GB)
+///     .disks(4, 50.0 * units::MB)
+///     .nic(units::gbps(1.0))
+///     .capacity();
+/// assert_eq!(cap.get(Resource::DiskRead), 200.0 * units::MB);
+/// assert_eq!(cap.get(Resource::NetIn), 125.0 * units::MB);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct MachineSpec {
+    /// Number of CPU cores.
+    pub cores: f64,
+    /// Memory in bytes.
+    pub memory: f64,
+    /// Aggregate disk read bandwidth, bytes/s.
+    pub disk_read: f64,
+    /// Aggregate disk write bandwidth, bytes/s.
+    pub disk_write: f64,
+    /// NIC ingress bandwidth, bytes/s.
+    pub net_in: f64,
+    /// NIC egress bandwidth, bytes/s.
+    pub net_out: f64,
+}
+
+impl Default for MachineSpec {
+    fn default() -> Self {
+        MachineSpec {
+            cores: 0.0,
+            memory: 0.0,
+            disk_read: 0.0,
+            disk_write: 0.0,
+            net_in: 0.0,
+            net_out: 0.0,
+        }
+    }
+}
+
+impl MachineSpec {
+    /// Empty spec; chain builder methods to fill it in.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set core count.
+    #[must_use]
+    pub fn cores(mut self, c: f64) -> Self {
+        self.cores = c;
+        self
+    }
+
+    /// Set memory in bytes.
+    #[must_use]
+    pub fn memory(mut self, bytes: f64) -> Self {
+        self.memory = bytes;
+        self
+    }
+
+    /// Set disk bandwidth from `count` drives of `per_drive` bytes/s each
+    /// (applied to both read and write).
+    #[must_use]
+    pub fn disks(mut self, count: u32, per_drive: f64) -> Self {
+        let agg = count as f64 * per_drive;
+        self.disk_read = agg;
+        self.disk_write = agg;
+        self
+    }
+
+    /// Set a full-duplex NIC bandwidth in bytes/s (both directions).
+    #[must_use]
+    pub fn nic(mut self, bytes_per_sec: f64) -> Self {
+        self.net_in = bytes_per_sec;
+        self.net_out = bytes_per_sec;
+        self
+    }
+
+    /// Materialize the capacity vector.
+    pub fn capacity(&self) -> ResourceVec {
+        ResourceVec::zero()
+            .with(Resource::Cpu, self.cores)
+            .with(Resource::Mem, self.memory)
+            .with(Resource::DiskRead, self.disk_read)
+            .with(Resource::DiskWrite, self.disk_write)
+            .with(Resource::NetIn, self.net_in)
+            .with(Resource::NetOut, self.net_out)
+    }
+
+    /// The large-cluster machine profile used throughout the evaluation
+    /// (paper §5.1): 16 cores, 32 GB RAM, 4 disks × 50 MB/s, 1 Gbps NIC.
+    pub fn paper_large() -> Self {
+        use crate::units::{gbps, GB, MB};
+        MachineSpec::new()
+            .cores(16.0)
+            .memory(32.0 * GB)
+            .disks(4, 50.0 * MB)
+            .nic(gbps(1.0))
+    }
+
+    /// The small-cluster machine profile (paper §5.1): 4 cores, 16 GB RAM,
+    /// 2 disks × 50 MB/s, 1 Gbps NIC.
+    pub fn paper_small() -> Self {
+        use crate::units::{gbps, GB, MB};
+        MachineSpec::new()
+            .cores(4.0)
+            .memory(16.0 * GB)
+            .disks(2, 50.0 * MB)
+            .nic(gbps(1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{GB, MB};
+
+    #[test]
+    fn builder_fills_all_dims() {
+        let cap = MachineSpec::paper_large().capacity();
+        assert_eq!(cap.get(Resource::Cpu), 16.0);
+        assert_eq!(cap.get(Resource::Mem), 32.0 * GB);
+        assert_eq!(cap.get(Resource::DiskRead), 200.0 * MB);
+        assert_eq!(cap.get(Resource::DiskWrite), 200.0 * MB);
+        assert_eq!(cap.get(Resource::NetIn), 125.0 * MB);
+        assert_eq!(cap.get(Resource::NetOut), 125.0 * MB);
+    }
+
+    #[test]
+    fn small_profile_is_smaller() {
+        let big = MachineSpec::paper_large().capacity();
+        let small = MachineSpec::paper_small().capacity();
+        assert!(small.fits_within(&big));
+        assert!(!big.fits_within(&small));
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert!(MachineSpec::new().capacity().is_zero());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let spec = MachineSpec::paper_large();
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: MachineSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+}

@@ -1,0 +1,283 @@
+//! Simulation configuration.
+
+use tetris_resources::{Resource, ResourceVec};
+
+use crate::cluster::MachineId;
+use crate::time::SimTime;
+
+/// Interference model: when the demand on a disk or network link exceeds
+/// its capacity by a factor ρ > 1, the link's *effective* delivered
+/// bandwidth drops to `capacity / (1 + α·(ρ − 1))`.
+///
+/// This models the paper's central observation about over-allocation:
+/// "When tasks contend for a resource, the total effective throughput is
+/// lowered due to systemic reasons such as buffer overflows on switches
+/// (incast), disk seek overheads, and processor cache misses" (§2.1).
+/// CPU time-sharing is treated as efficient (α = 0 there); memory
+/// over-commit is modelled separately via thrashing.
+#[derive(Debug, Clone, Copy)]
+pub struct Interference {
+    /// Seek-overhead coefficient for DiskRead/DiskWrite links.
+    pub disk_alpha: f64,
+    /// Incast coefficient for NetIn/NetOut links.
+    pub net_alpha: f64,
+    /// Lower bound on delivered/nominal bandwidth: however badly a link is
+    /// over-subscribed, it still delivers at least this fraction (seeks and
+    /// incast degrade throughput, they don't zero it).
+    pub floor: f64,
+}
+
+impl Default for Interference {
+    fn default() -> Self {
+        // Calibrated so that heavy over-subscription costs real
+        // throughput (ρ = 2 delivers half the bandwidth, ρ = 4 a quarter)
+        // without being cliff-like; see DESIGN.md.
+        Interference {
+            disk_alpha: 1.0,
+            net_alpha: 1.0,
+            floor: 0.25,
+        }
+    }
+}
+
+impl Interference {
+    /// No interference loss (pure proportional sharing).
+    pub fn none() -> Self {
+        Interference {
+            disk_alpha: 0.0,
+            net_alpha: 0.0,
+            floor: 1.0,
+        }
+    }
+
+    /// The α for one resource dimension.
+    pub fn alpha(&self, r: Resource) -> f64 {
+        match r {
+            Resource::DiskRead | Resource::DiskWrite => self.disk_alpha,
+            Resource::NetIn | Resource::NetOut => self.net_alpha,
+            Resource::Cpu | Resource::Mem => 0.0,
+        }
+    }
+
+    /// Effective capacity of a link of capacity `cap` under total demand
+    /// `demand` (≥ cap).
+    pub fn effective_capacity(&self, r: Resource, cap: f64, demand: f64) -> f64 {
+        if demand <= cap {
+            return cap;
+        }
+        let rho = demand / cap;
+        cap * (1.0 / (1.0 + self.alpha(r) * (rho - 1.0))).max(self.floor)
+    }
+}
+
+/// A period of external (non-task) resource usage on one machine: data
+/// ingestion, evacuation/re-replication, or a misbehaving process
+/// (paper §4.3). The resource tracker observes it and reports it to the
+/// scheduler; schedulers that ignore the tracker (slot-based baselines)
+/// keep placing tasks onto the loaded machine — the Figure-6 experiment.
+#[derive(Debug, Clone)]
+pub struct ExternalLoad {
+    /// The loaded machine.
+    pub machine: MachineId,
+    /// Start time (seconds).
+    pub start: f64,
+    /// Duration (seconds).
+    pub duration: f64,
+    /// Resource usage rates while active (e.g. `DiskWrite` for ingestion,
+    /// `DiskRead`+`NetOut` for evacuation).
+    pub load: ResourceVec,
+}
+
+/// Engine knobs. All defaults follow the paper where it states a value and
+/// are documented in DESIGN.md where it does not.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Seed for simulator-internal randomness (block placement, failures).
+    /// Workload randomness is seeded separately at generation time.
+    pub seed: u64,
+    /// HDFS-style replication factor for stored blocks.
+    pub replication: usize,
+    /// Resource-tracker report period in seconds (§4.1: machines report
+    /// usage periodically; this staleness is also what batches freed
+    /// resources and avoids large-task starvation, §3.5).
+    pub tracker_period: f64,
+    /// Utilization sampling period in seconds (None disables timelines).
+    pub sample_period: Option<f64>,
+    /// Record per-machine samples (Figure 5/6, Table 6). Disable for very
+    /// large sweeps to save memory.
+    pub record_machine_samples: bool,
+    /// Record per-job allocation samples (relative integral unfairness).
+    pub record_job_samples: bool,
+    /// Hard stop: simulated seconds after which the run aborts (guards
+    /// against a policy that never schedules some task).
+    pub max_time: f64,
+    /// Probability that a finishing task instead fails and re-runs.
+    pub task_failure_prob: f64,
+    /// Maximum attempts per task before it is abandoned (job never
+    /// completes); mirrors YARN's retry limit.
+    pub max_task_attempts: u32,
+    /// Model memory over-commit thrashing: when hosted memory demand
+    /// exceeds capacity, every hosted task's progress is scaled by
+    /// `capacity / demand` (paper §3.1: run time can be "arbitrarily worse"
+    /// if memory is under-provisioned; slot-based schedulers can
+    /// over-commit memory because slots are counted, not sized).
+    pub thrashing: bool,
+    /// Maximum distinct source machines per shuffle read. Real shuffles
+    /// fetch in bounded parallel waves; bounding fan-in keeps the flow
+    /// graph tractable. Sources are aggregated to the largest `fanin`
+    /// contributors, preserving total bytes.
+    pub shuffle_fanin: usize,
+    /// External (non-task) load periods.
+    pub external_loads: Vec<ExternalLoad>,
+    /// Interference (throughput-loss) model for over-subscribed disk and
+    /// network links.
+    pub interference: Interference,
+    /// Usage-based idle reclamation for tracker-aware schedulers
+    /// (paper §4.1): availability is derived from tracker-reported *usage*
+    /// plus a decaying ramp-up allowance for recently placed tasks, so
+    /// resources an over-estimate (or a finished CPU phase) leaves idle
+    /// are re-offered. Disable to make tracker-aware availability purely
+    /// demand-ledger based (strictly no over-allocation, but idle peaks
+    /// are never reclaimed).
+    pub reclaim_idle: bool,
+    /// Ramp-up allowance horizon in seconds (paper: 10 s).
+    pub ramp_up_horizon: f64,
+    /// Thrashing exponent: a machine whose memory is over-committed by
+    /// ratio ρ > 1 runs every hosted task at `max((1/ρ)^thrash_exponent,
+    /// thrash_floor)`. Exponent 1 would be work-conserving time-sharing;
+    /// real paging wastes disk bandwidth and CPU, so the default is
+    /// superlinear (paper §3.1: runtime can be "arbitrarily worse" under
+    /// memory pressure).
+    pub thrash_exponent: f64,
+    /// Lower bound on the thrashing factor (real systems bound the
+    /// meltdown with OOM kills and swap ceilings).
+    pub thrash_floor: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0,
+            replication: 3,
+            tracker_period: 1.0,
+            sample_period: Some(5.0),
+            record_machine_samples: true,
+            record_job_samples: true,
+            max_time: 30.0 * 24.0 * 3600.0,
+            task_failure_prob: 0.0,
+            max_task_attempts: 4,
+            thrashing: true,
+            shuffle_fanin: 12,
+            external_loads: Vec::new(),
+            interference: Interference::default(),
+            reclaim_idle: true,
+            ramp_up_horizon: 10.0,
+            thrash_exponent: 1.35,
+            thrash_floor: 0.25,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Validate configuration values; called by the engine at build time.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.replication == 0 {
+            return Err("replication must be ≥ 1".into());
+        }
+        if !(self.tracker_period > 0.0) {
+            return Err("tracker_period must be positive".into());
+        }
+        if let Some(p) = self.sample_period {
+            if !(p > 0.0) {
+                return Err("sample_period must be positive".into());
+            }
+        }
+        if !(self.max_time > 0.0) {
+            return Err("max_time must be positive".into());
+        }
+        if !(0.0..1.0).contains(&self.task_failure_prob) {
+            return Err("task_failure_prob must be in [0,1)".into());
+        }
+        if self.max_task_attempts == 0 {
+            return Err("max_task_attempts must be ≥ 1".into());
+        }
+        if self.shuffle_fanin == 0 {
+            return Err("shuffle_fanin must be ≥ 1".into());
+        }
+        if !(self.interference.disk_alpha >= 0.0) || !(self.interference.net_alpha >= 0.0) {
+            return Err("interference coefficients must be ≥ 0".into());
+        }
+        if !(0.0..=1.0).contains(&self.interference.floor) {
+            return Err("interference floor must be in [0,1]".into());
+        }
+        if !(self.ramp_up_horizon > 0.0) {
+            return Err("ramp_up_horizon must be positive".into());
+        }
+        if !(self.thrash_exponent >= 1.0) {
+            return Err("thrash_exponent must be ≥ 1".into());
+        }
+        if !(0.0..=1.0).contains(&self.thrash_floor) {
+            return Err("thrash_floor must be in [0,1]".into());
+        }
+        for (i, e) in self.external_loads.iter().enumerate() {
+            if !(e.start >= 0.0) || !(e.duration > 0.0) {
+                return Err(format!("external load {i} has invalid timing"));
+            }
+            if e.load.min_component() < 0.0 || e.load.has_nan() {
+                return Err(format!("external load {i} has invalid load vector"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Hard-stop time as [`SimTime`].
+    pub(crate) fn max_sim_time(&self) -> SimTime {
+        SimTime::from_secs(self.max_time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tetris_resources::Resource;
+
+    #[test]
+    fn default_is_valid() {
+        assert_eq!(SimConfig::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        let mut c = SimConfig::default();
+        c.replication = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::default();
+        c.tracker_period = 0.0;
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::default();
+        c.sample_period = Some(-1.0);
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::default();
+        c.task_failure_prob = 1.0;
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::default();
+        c.shuffle_fanin = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_bad_external_load() {
+        let mut c = SimConfig::default();
+        c.external_loads.push(ExternalLoad {
+            machine: MachineId(0),
+            start: 0.0,
+            duration: 0.0,
+            load: ResourceVec::zero().with(Resource::DiskWrite, 1.0),
+        });
+        assert!(c.validate().is_err());
+    }
+}

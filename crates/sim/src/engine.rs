@@ -1,0 +1,384 @@
+//! The simulation engine: builder + event loop.
+
+use tetris_resources::ResourceVec;
+use tetris_workload::Workload;
+
+use crate::cluster::ClusterConfig;
+use crate::config::SimConfig;
+use crate::events::{EventKind, EventQueue};
+use crate::outcome::{
+    EngineStats, JobRecord, MachineSample, Sample, SimOutcome, TaskRecord,
+};
+use crate::state::{DirtySet, SimState};
+use crate::time::SimTime;
+use crate::view::{ClusterView, SchedulerPolicy};
+
+/// Cap on re-invocations of the policy within one scheduling round; guards
+/// against a policy that keeps returning assignments the engine rejects.
+const MAX_SCHEDULE_ROUNDS: usize = 16;
+
+/// Builder for one simulation run.
+///
+/// ```
+/// use tetris_sim::{ClusterConfig, Simulation, GreedyFifo};
+/// use tetris_resources::MachineSpec;
+/// use tetris_workload::WorkloadSuiteConfig;
+///
+/// let cluster = ClusterConfig::uniform(4, MachineSpec::paper_large());
+/// let jobs = WorkloadSuiteConfig::small().generate(7);
+/// let outcome = Simulation::build(cluster, jobs)
+///     .scheduler(GreedyFifo::new())
+///     .seed(7)
+///     .run();
+/// assert!(outcome.all_jobs_completed());
+/// ```
+pub struct Simulation {
+    cluster: ClusterConfig,
+    workload: Workload,
+    cfg: SimConfig,
+    policy: Option<Box<dyn SchedulerPolicy>>,
+}
+
+impl Simulation {
+    /// Start configuring a run of `workload` on `cluster`.
+    pub fn build(cluster: ClusterConfig, workload: Workload) -> Self {
+        Simulation {
+            cluster,
+            workload,
+            cfg: SimConfig::default(),
+            policy: None,
+        }
+    }
+
+    /// Set the scheduling policy (required).
+    #[must_use]
+    pub fn scheduler(mut self, p: impl SchedulerPolicy + 'static) -> Self {
+        self.policy = Some(Box::new(p));
+        self
+    }
+
+    /// Set the scheduling policy from a box (for heterogeneous sweeps).
+    #[must_use]
+    pub fn scheduler_boxed(mut self, p: Box<dyn SchedulerPolicy>) -> Self {
+        self.policy = Some(p);
+        self
+    }
+
+    /// Replace the whole config.
+    #[must_use]
+    pub fn config(mut self, cfg: SimConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Shorthand: set the simulator seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Run to completion (or the hard stop) and return the outcome.
+    ///
+    /// # Panics
+    /// On invalid configuration or workload — these are programming errors
+    /// in experiment setup, not runtime conditions to recover from.
+    pub fn run(self) -> SimOutcome {
+        let mut policy = self.policy.expect("Simulation requires a scheduler");
+        self.cfg.validate().expect("invalid SimConfig");
+        self.workload.validate().expect("invalid workload");
+        assert!(!self.cluster.is_empty());
+
+        let tracker_aware = policy.uses_tracker();
+        let mut state = SimState::new(self.cluster, self.workload, self.cfg);
+        let mut queue = EventQueue::new();
+        let mut stats = EngineStats::default();
+        let mut samples: Vec<Sample> = Vec::new();
+        let mut dirty = DirtySet::default();
+
+        // Seed the queue.
+        for job in &state.workload.jobs {
+            queue.push(SimTime::from_secs(job.arrival), EventKind::JobArrival(job.id));
+        }
+        for (i, e) in state.cfg.external_loads.iter().enumerate() {
+            queue.push(SimTime::from_secs(e.start), EventKind::ExternalStart(i));
+            queue.push(
+                SimTime::from_secs(e.start + e.duration),
+                EventKind::ExternalEnd(i),
+            );
+        }
+        if state.cfg.sample_period.is_some() {
+            queue.push(SimTime::ZERO, EventKind::Sample);
+        }
+        queue.push(
+            SimTime::from_secs(state.cfg.tracker_period),
+            EventKind::TrackerReport,
+        );
+
+        let max_t = state.cfg.max_sim_time();
+        let mut timed_out = false;
+
+        while let Some(ev) = queue.pop() {
+            if ev.time > max_t {
+                state.now = max_t;
+                timed_out = state.jobs_remaining > 0;
+                break;
+            }
+            state.now = ev.time;
+
+            // Drain all events at this instant into one batch.
+            let mut batch = vec![ev];
+            while queue.peek_time() == Some(state.now) {
+                batch.push(queue.pop().expect("peeked event"));
+            }
+
+            let mut want_schedule = false;
+            let mut want_sample = false;
+            for ev in batch {
+                stats.events += 1;
+                match ev.kind {
+                    EventKind::JobArrival(j) => {
+                        state.job_arrives(j);
+                        want_schedule = true;
+                    }
+                    EventKind::FlowDone { flow, gen } => {
+                        if let Some(task) = state.flow_done(flow, gen, &mut dirty, &mut queue) {
+                            state.task_complete(task, &mut dirty);
+                            want_schedule = true;
+                        }
+                    }
+                    EventKind::TaskDone { task, gen } => {
+                        // Zero-flow tasks: gen is the attempt number at
+                        // placement; ignore stale retries.
+                        let current =
+                            matches!(&state.tasks[task.index()].phase, crate::state::Phase::Running(info) if info.gen == gen);
+                        if current {
+                            state.task_complete(task, &mut dirty);
+                            want_schedule = true;
+                        }
+                    }
+                    EventKind::TrackerReport => {
+                        state.tracker_report();
+                        if state.jobs_remaining > 0 {
+                            let next = state.now.after_secs(state.cfg.tracker_period);
+                            queue.push(next, EventKind::TrackerReport);
+                        }
+                        want_schedule = true;
+                    }
+                    EventKind::Sample => {
+                        // Taken after the scheduling phase below, so wave
+                        // boundaries don't under-count running tasks.
+                        want_sample = true;
+                        if let Some(p) = state.cfg.sample_period {
+                            if state.jobs_remaining > 0 {
+                                queue.push(state.now.after_secs(p), EventKind::Sample);
+                            }
+                        }
+                    }
+                    EventKind::ExternalStart(i) => {
+                        state.set_external(i, true, &mut dirty);
+                        want_schedule = true;
+                    }
+                    EventKind::ExternalEnd(i) => {
+                        state.set_external(i, false, &mut dirty);
+                        want_schedule = true;
+                    }
+                }
+            }
+
+            state.recompute_dirty(&mut dirty, &mut queue);
+
+            if want_schedule && state.jobs_remaining > 0 {
+                for _round in 0..MAX_SCHEDULE_ROUNDS {
+                    let assignments = {
+                        let view = ClusterView::new(&state, tracker_aware);
+                        stats.schedule_calls += 1;
+                        policy.schedule(&view)
+                    };
+                    if assignments.is_empty() {
+                        break;
+                    }
+                    let mut placed = false;
+                    for a in assignments {
+                        if state.assignment_valid(a.task, a.machine) {
+                            state.apply_assignment(a.task, a.machine, &mut dirty, &mut queue);
+                            stats.placements += 1;
+                            placed = true;
+                        } else {
+                            stats.rejected_assignments += 1;
+                        }
+                    }
+                    state.recompute_dirty(&mut dirty, &mut queue);
+                    if !placed {
+                        break;
+                    }
+                }
+                // Hints are consumed by the whole scheduling loop, not per
+                // round, so a policy can keep focusing on freed machines
+                // across its re-invocations.
+                state.freed_hint.clear();
+            }
+
+            if want_sample {
+                samples.push(take_sample(&state));
+            }
+
+            if state.jobs_remaining == 0 {
+                break;
+            }
+        }
+
+        if state.jobs_remaining > 0 {
+            timed_out = true;
+        }
+
+        finalize(state, policy.name(), samples, stats, timed_out)
+    }
+}
+
+fn take_sample(state: &SimState) -> Sample {
+    let mut cluster_allocated = ResourceVec::zero();
+    let mut cluster_usage = ResourceVec::zero();
+    let mut running = 0usize;
+    let mut machines = state
+        .cfg
+        .record_machine_samples
+        .then(|| Vec::with_capacity(state.machines.len()));
+    for ms in &state.machines {
+        let usage = ms.usage(&state.flows);
+        cluster_allocated += ms.allocated;
+        cluster_usage += usage;
+        running += ms.running;
+        if let Some(v) = machines.as_mut() {
+            v.push(MachineSample {
+                allocated: ms.allocated,
+                usage,
+                running: ms.running,
+            });
+        }
+    }
+    let per_job_alloc = state
+        .cfg
+        .record_job_samples
+        .then(|| state.jobs.iter().map(|j| j.allocated).collect());
+    Sample {
+        t: state.now.as_secs(),
+        running_tasks: running,
+        cluster_allocated,
+        cluster_usage,
+        machines,
+        per_job_alloc,
+    }
+}
+
+fn finalize(
+    state: SimState,
+    scheduler: String,
+    samples: Vec<Sample>,
+    stats: EngineStats,
+    timed_out: bool,
+) -> SimOutcome {
+    let jobs: Vec<JobRecord> = state
+        .workload
+        .jobs
+        .iter()
+        .enumerate()
+        .map(|(ji, spec)| {
+            let js = &state.jobs[ji];
+            JobRecord {
+                id: spec.id,
+                name: spec.name.clone(),
+                family: spec.family.clone(),
+                arrival: spec.arrival,
+                first_start: js.first_start.map(SimTime::as_secs),
+                finish: js.finish.map(SimTime::as_secs),
+                num_tasks: spec.num_tasks(),
+            }
+        })
+        .collect();
+
+    let mut stats = stats;
+    stats.task_failures = state
+        .tasks
+        .iter()
+        .map(|t| (t.attempts.saturating_sub(1)) as u64)
+        .sum();
+
+    let tasks: Vec<TaskRecord> = state
+        .workload
+        .tasks()
+        .map(|spec| {
+            let ts = &state.tasks[spec.uid.index()];
+            TaskRecord {
+                uid: spec.uid,
+                job: spec.job,
+                machine: ts.machine,
+                start: ts.start.map(SimTime::as_secs),
+                finish: ts.finish.map(SimTime::as_secs),
+                ideal_duration: spec.ideal_duration(),
+                planned_duration: ts.planned,
+                attempts: ts.attempts,
+            }
+        })
+        .collect();
+
+    SimOutcome {
+        scheduler,
+        completed: !timed_out,
+        final_time: state.now.as_secs(),
+        jobs,
+        tasks,
+        samples,
+        stats,
+    }
+}
+
+/// A deliberately naive reference policy: first-fit in task-uid order over
+/// machines in id order, honouring full six-dimension feasibility. Useful
+/// as a sanity baseline and for engine tests; not one of the paper's
+/// comparators.
+#[derive(Debug, Default, Clone)]
+pub struct GreedyFifo {
+    _private: (),
+}
+
+impl GreedyFifo {
+    /// New instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SchedulerPolicy for GreedyFifo {
+    fn name(&self) -> String {
+        "greedy-fifo".into()
+    }
+
+    fn schedule(&mut self, view: &ClusterView<'_>) -> Vec<crate::view::Assignment> {
+        let mut avail: Vec<ResourceVec> = view.machines().map(|m| view.available(m)).collect();
+        let mut out = Vec::new();
+        for j in view.active_jobs() {
+            for t in view.job_pending(j) {
+                for m in view.machines() {
+                    let plan = view.plan(t, m);
+                    // Full feasibility: local demand at the host and
+                    // disk/net-out demand at every remote input source.
+                    let fits = plan.local.fits_within(&avail[m.index()])
+                        && plan
+                            .remote
+                            .iter()
+                            .all(|(src, dem)| dem.fits_within(&avail[src.index()]));
+                    if fits {
+                        avail[m.index()] -= plan.local;
+                        for (src, dem) in &plan.remote {
+                            avail[src.index()] -= *dem;
+                        }
+                        out.push(crate::view::Assignment { task: t, machine: m });
+                        break;
+                    }
+                }
+            }
+        }
+        out
+    }
+}

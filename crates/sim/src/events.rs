@@ -1,0 +1,143 @@
+//! The discrete-event queue.
+//!
+//! A binary heap ordered by `(time, sequence)`; the sequence number breaks
+//! ties deterministically in insertion order, which (together with the
+//! absence of hash-ordered iteration anywhere in the engine) makes runs
+//! bit-reproducible. Stale completion events are invalidated lazily via
+//! per-flow/task generation counters rather than removed from the heap.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use tetris_workload::{JobId, TaskUid};
+
+use crate::time::SimTime;
+
+/// Index of a flow in the engine's flow table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub(crate) struct FlowId(pub usize);
+
+/// What happens at an event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum EventKind {
+    /// A job's arrival time has been reached.
+    JobArrival(JobId),
+    /// A flow predicts completion (validated against `gen`).
+    FlowDone { flow: FlowId, gen: u64 },
+    /// A flowless (zero-work) task completes (validated against `gen`).
+    TaskDone { task: TaskUid, gen: u64 },
+    /// Periodic resource-tracker report.
+    TrackerReport,
+    /// Periodic utilization sample.
+    Sample,
+    /// External load period begins (index into `SimConfig::external_loads`).
+    ExternalStart(usize),
+    /// External load period ends.
+    ExternalEnd(usize),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Event {
+    pub time: SimTime,
+    pub seq: u64,
+    pub kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: reverse so earliest (time, seq) pops
+        // first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Deterministic event queue.
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `kind` at `time`.
+    pub fn push(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    /// Pop the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Time of the earliest event without popping.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of queued events (including stale ones).
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events remain.
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(2.0), EventKind::TrackerReport);
+        q.push(SimTime::from_secs(1.0), EventKind::Sample);
+        q.push(SimTime::from_secs(3.0), EventKind::JobArrival(JobId(0)));
+        assert_eq!(q.pop().unwrap().kind, EventKind::Sample);
+        assert_eq!(q.pop().unwrap().kind, EventKind::TrackerReport);
+        assert_eq!(q.pop().unwrap().kind, EventKind::JobArrival(JobId(0)));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1.0);
+        for i in 0..10 {
+            q.push(t, EventKind::JobArrival(JobId(i)));
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop().unwrap().kind, EventKind::JobArrival(JobId(i)));
+        }
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        assert!(q.peek_time().is_none());
+        q.push(SimTime::from_secs(5.0), EventKind::Sample);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(5.0)));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

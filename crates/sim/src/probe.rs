@@ -1,0 +1,77 @@
+//! Benchmark probes: measure one scheduling decision in isolation.
+//!
+//! The paper's Table 8 reports the resource manager's time to process a
+//! node-manager heartbeat — i.e. one "resources freed → pick tasks" pass —
+//! with 10 k/50 k tasks pending. [`ScheduleProbe`] reconstructs exactly
+//! that moment: every job arrived, nothing placed yet, and the policy is
+//! invoked once per `measure()` call on a fresh clone of the state.
+
+use tetris_workload::Workload;
+
+use crate::cluster::ClusterConfig;
+use crate::config::SimConfig;
+use crate::state::SimState;
+use crate::view::{ClusterView, SchedulerPolicy};
+
+/// A reusable snapshot of "all jobs pending" state.
+pub struct ScheduleProbe {
+    state: SimState,
+}
+
+impl ScheduleProbe {
+    /// Build the snapshot: bind the workload to the cluster and mark every
+    /// job arrived (all tasks of root stages pending).
+    pub fn new(cluster: ClusterConfig, workload: Workload, cfg: SimConfig) -> Self {
+        workload.validate().expect("invalid workload");
+        let mut state = SimState::new(cluster, workload, cfg);
+        let jobs: Vec<_> = state.workload.jobs.iter().map(|j| j.id).collect();
+        for j in jobs {
+            state.job_arrives(j);
+        }
+        ScheduleProbe { state }
+    }
+
+    /// Number of pending runnable tasks in the snapshot.
+    pub fn pending(&self) -> usize {
+        self.state
+            .jobs
+            .iter()
+            .flat_map(|j| j.stages.iter())
+            .map(|s| s.pending.len())
+            .sum()
+    }
+
+    /// Invoke the policy once against the snapshot and return how many
+    /// assignments it proposed. The state is not mutated, so repeated
+    /// calls measure the same decision.
+    pub fn measure(&self, policy: &mut dyn SchedulerPolicy) -> usize {
+        let view = ClusterView::new(&self.state, policy.uses_tracker());
+        policy.schedule(&view).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::GreedyFifo;
+    use tetris_resources::MachineSpec;
+    use tetris_workload::WorkloadSuiteConfig;
+
+    #[test]
+    fn probe_counts_pending_and_measures() {
+        let w = WorkloadSuiteConfig::small().generate(3);
+        // Map tasks of every job are pending (reduces are locked).
+        let expected: usize = w.jobs.iter().map(|j| j.stages[0].len()).sum();
+        let probe = ScheduleProbe::new(
+            ClusterConfig::uniform(4, MachineSpec::paper_large()),
+            w,
+            SimConfig::default(),
+        );
+        assert_eq!(probe.pending(), expected);
+        let mut policy = GreedyFifo::new();
+        let n1 = probe.measure(&mut policy);
+        let n2 = probe.measure(&mut policy);
+        assert!(n1 > 0);
+        assert_eq!(n1, n2, "probe must be repeatable");
+    }
+}

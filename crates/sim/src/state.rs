@@ -1,0 +1,1448 @@
+//! Runtime state of a simulation: machines, jobs, tasks, flows, and the
+//! rate-sharing model that makes task durations placement- and
+//! contention-dependent (paper eqn. 5).
+//!
+//! ## The flow model
+//!
+//! Every running task is decomposed into *flows*: a CPU flow, a local
+//! disk-write flow, a local disk-read flow, and one flow per remote input
+//! source traversing `(src DiskRead) → (src NetOut) → (host NetIn)`. Each
+//! flow has a rate cap derived from the task's peak demands and a remaining
+//! amount of work; the task completes when all its flows complete.
+//!
+//! Each `(machine, resource)` pair is a *link*. When the sum of flow caps
+//! on a link exceeds its capacity, every flow on it is scaled by
+//! `capacity / Σcaps`; a flow's rate is its cap times the minimum scale
+//! factor across its links (times a thrashing factor when the host's
+//! memory is over-committed). This one-pass proportional-share model is a
+//! deliberate simplification of full max–min fairness: it never
+//! over-assigns a link, it reproduces the contention behaviour the paper
+//! relies on ("two tasks that can both use all of the available network
+//! bandwidth ... will take twice as long to finish"), and it requires no
+//! iteration, so rates can be recomputed incrementally as tasks come and
+//! go. The difference from exact max–min (unclaimed headroom is not
+//! redistributed to unconstrained flows) only makes the simulator slightly
+//! pessimistic for *all* schedulers equally.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tetris_resources::{Resource, ResourceVec, NUM_RESOURCES};
+use tetris_workload::{InputSource, JobId, TaskSpec, TaskUid, Workload};
+
+use crate::cluster::{ClusterConfig, MachineId};
+use crate::config::SimConfig;
+use crate::events::{EventKind, EventQueue, FlowId};
+use crate::time::SimTime;
+
+/// Relative tolerance under which a flow's remaining work counts as done.
+const WORK_EPS_REL: f64 = 1e-9;
+/// Absolute tolerance (bytes / core-seconds).
+const WORK_EPS_ABS: f64 = 1e-6;
+
+/// One unit of schedulable work in flight.
+#[derive(Debug, Clone)]
+pub(crate) struct Flow {
+    pub task: TaskUid,
+    pub host: MachineId,
+    pub cap: f64,
+    pub links: Vec<(MachineId, Resource)>,
+    pub remaining: f64,
+    pub init_work: f64,
+    pub rate: f64,
+    pub last_update: SimTime,
+    pub gen: u64,
+    pub done: bool,
+}
+
+impl Flow {
+    fn is_complete(&self) -> bool {
+        self.remaining <= (self.init_work * WORK_EPS_REL).max(WORK_EPS_ABS)
+    }
+}
+
+/// Runtime state of one machine.
+#[derive(Debug, Clone)]
+pub(crate) struct MachineState {
+    pub capacity: ResourceVec,
+    /// Demand ledger: sum of peak demands of everything placed here
+    /// (local + remote reservations). Baselines that ignore disk/network
+    /// can drive components above capacity — that *is* over-allocation.
+    pub allocated: ResourceVec,
+    /// Σ flow caps per resource dimension (+ external load).
+    pub link_demand: [f64; NUM_RESOURCES],
+    /// Which flows use each dimension.
+    pub link_flows: [Vec<FlowId>; NUM_RESOURCES],
+    /// Current external (non-task) load rates.
+    pub external: ResourceVec,
+    /// External load as of the last tracker report (what tracker-aware
+    /// schedulers see — stale by up to one report period).
+    pub external_reported: ResourceVec,
+    /// Total usage (flow rates + external) as of the last tracker report.
+    pub usage_reported: ResourceVec,
+    /// Recently placed demands (placement time, demand) for the ramp-up
+    /// allowance; pruned at tracker reports.
+    pub recent: Vec<(SimTime, ResourceVec)>,
+    /// Hosted running tasks.
+    pub running: usize,
+    /// Uids of the hosted running tasks (slot accounting for slot-based
+    /// policies; order is placement order).
+    pub running_tasks: Vec<TaskUid>,
+}
+
+impl MachineState {
+    fn new(capacity: ResourceVec) -> Self {
+        MachineState {
+            capacity,
+            allocated: ResourceVec::zero(),
+            link_demand: [0.0; NUM_RESOURCES],
+            link_flows: Default::default(),
+            external: ResourceVec::zero(),
+            external_reported: ResourceVec::zero(),
+            usage_reported: ResourceVec::zero(),
+            recent: Vec::new(),
+            running: 0,
+            running_tasks: Vec::new(),
+        }
+    }
+
+    /// Scale factor of a link: 1 when demand fits, else
+    /// effective-capacity/demand, where effective capacity shrinks with
+    /// over-subscription per the interference model (disk seeks, incast).
+    #[inline]
+    fn factor(&self, r: Resource, interference: &crate::config::Interference) -> f64 {
+        let cap = self.capacity.get(r);
+        let demand = self.link_demand[r.index()];
+        if demand <= cap || demand <= 0.0 {
+            1.0
+        } else {
+            interference.effective_capacity(r, cap, demand) / demand
+        }
+    }
+
+    /// Thrashing factor from memory over-commit:
+    /// `max((cap/alloc)^exponent, floor)`.
+    #[inline]
+    fn thrash_factor(&self, enabled: bool, exponent: f64, floor: f64) -> f64 {
+        if !enabled {
+            return 1.0;
+        }
+        let cap = self.capacity.get(Resource::Mem);
+        let alloc = self.allocated.get(Resource::Mem);
+        if alloc <= cap || alloc <= 0.0 {
+            1.0
+        } else {
+            (cap / alloc).powf(exponent).max(floor)
+        }
+    }
+
+    /// Actual usage rates on this machine right now (Σ flow rates per dim
+    /// plus external load). Unlike `allocated`, this never exceeds
+    /// capacity on rate dimensions.
+    pub fn usage(&self, flows: &[Flow]) -> ResourceVec {
+        let mut u = self.external;
+        for r in Resource::ALL {
+            if r == Resource::Mem {
+                continue;
+            }
+            // A flow's rate applies fully on each link it traverses.
+            let mut sum = u.get(r);
+            for &fid in &self.link_flows[r.index()] {
+                sum += flows[fid.0].rate;
+            }
+            u.set(r, sum);
+        }
+        // Memory usage = allocated memory (space resource).
+        u.set(Resource::Mem, self.allocated.get(Resource::Mem));
+        u
+    }
+}
+
+/// Lifecycle of a task.
+#[derive(Debug, Clone)]
+pub(crate) enum Phase {
+    /// Waiting on upstream stages.
+    Blocked,
+    /// Schedulable.
+    Runnable,
+    /// Placed and running.
+    Running(RunInfo),
+    /// Done.
+    Finished,
+}
+
+/// Bookkeeping for a running task.
+#[derive(Debug, Clone)]
+pub(crate) struct RunInfo {
+    pub machine: MachineId,
+    /// Flow ids of this attempt (kept for debugging/invariant checks).
+    #[allow(dead_code)]
+    pub flows: Vec<FlowId>,
+    pub flows_left: usize,
+    pub local_alloc: ResourceVec,
+    pub remote_alloc: Vec<(MachineId, ResourceVec)>,
+    pub gen: u64,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct TaskState {
+    pub phase: Phase,
+    pub attempts: u32,
+    pub start: Option<SimTime>,
+    pub first_start: Option<SimTime>,
+    pub finish: Option<SimTime>,
+    pub machine: Option<MachineId>,
+    /// When the task last became runnable (stage unlock or retry) — the
+    /// basis for starvation detection (paper §3.5).
+    pub runnable_since: Option<SimTime>,
+    /// Placement-plan duration estimate of the latest attempt (true lower
+    /// bound on the attempt's simulated duration).
+    pub planned: Option<f64>,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct StageState {
+    pub unlocked: bool,
+    pub pending: Vec<TaskUid>,
+    pub running: usize,
+    pub finished: usize,
+    pub total: usize,
+    /// True if some later stage of the job depends on this one — i.e. this
+    /// stage precedes a barrier (§3.5).
+    pub feeds_downstream: bool,
+    /// Bytes of stage output per machine (filled as tasks finish; consumed
+    /// by downstream shuffle readers).
+    pub out_by_machine: BTreeMap<MachineId, f64>,
+    pub total_out: f64,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct JobState {
+    pub arrived: bool,
+    pub finish: Option<SimTime>,
+    pub first_start: Option<SimTime>,
+    pub allocated: ResourceVec,
+    pub running: usize,
+    pub finished_tasks: usize,
+    pub total_tasks: usize,
+    pub stages: Vec<StageState>,
+}
+
+impl JobState {
+    pub fn is_active(&self) -> bool {
+        self.arrived && self.finish.is_none()
+    }
+}
+
+/// Resolved placement of a task on a candidate machine: what it would
+/// demand locally and at each remote input source, and how long it would
+/// take at peak allocation (paper eqn. 5 with peak rates).
+#[derive(Debug, Clone)]
+pub struct PlacementPlan {
+    /// Peak demand at the host, adjusted for placement (NetIn only when
+    /// some input is remote; DiskRead only when some input is local).
+    pub local: ResourceVec,
+    /// Peak demand at each remote source (DiskRead + NetOut there).
+    pub remote: Vec<(MachineId, ResourceVec)>,
+    /// Bytes read from the host's disks.
+    pub local_read_bytes: f64,
+    /// Bytes read from each remote source.
+    pub remote_reads: Vec<(MachineId, f64)>,
+    /// Estimated duration at peak allocation, seconds.
+    pub est_duration: f64,
+}
+
+impl PlacementPlan {
+    /// True if any input comes from a remote machine.
+    pub fn is_remote(&self) -> bool {
+        !self.remote.is_empty()
+    }
+
+    /// Fraction of input bytes that are remote.
+    pub fn remote_fraction(&self) -> f64 {
+        let remote: f64 = self.remote_reads.iter().map(|(_, b)| b).sum();
+        let total = remote + self.local_read_bytes;
+        if total <= 0.0 {
+            0.0
+        } else {
+            remote / total
+        }
+    }
+}
+
+/// Dirty-set accumulated while mutating state; drives incremental rate
+/// recomputation.
+#[derive(Debug, Default)]
+pub(crate) struct DirtySet {
+    /// (machine, dim) links whose demand changed.
+    pub links: BTreeSet<(usize, usize)>,
+    /// Machines whose memory allocation changed (thrash factor).
+    pub mem: BTreeSet<usize>,
+}
+
+impl DirtySet {
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty() && self.mem.is_empty()
+    }
+}
+
+/// Mutable simulation state. The engine (`engine.rs`) drives it; the
+/// cluster view (`view.rs`) reads it.
+pub(crate) struct SimState {
+    /// Static cluster description (rack lookups for future extensions).
+    #[allow(dead_code)]
+    pub cluster: ClusterConfig,
+    pub workload: Workload,
+    pub cfg: SimConfig,
+    pub now: SimTime,
+    pub machines: Vec<MachineState>,
+    pub tasks: Vec<TaskState>,
+    /// uid → (job index, stage index, task index) for O(1) spec lookup.
+    pub task_loc: Vec<(usize, usize, usize)>,
+    pub jobs: Vec<JobState>,
+    /// Block id → replica machines.
+    pub blocks: Vec<Vec<MachineId>>,
+    pub flows: Vec<Flow>,
+    pub jobs_remaining: usize,
+    pub total_capacity: ResourceVec,
+    pub rng: StdRng,
+    /// Machines whose availability changed since the last scheduling round
+    /// (a hint for policies; cleared by the engine).
+    pub freed_hint: Vec<MachineId>,
+    /// Completions this run (diagnostics).
+    pub completions: usize,
+}
+
+impl SimState {
+    pub fn new(cluster: ClusterConfig, workload: Workload, cfg: SimConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let n_machines = cluster.len();
+        let machines = (0..n_machines)
+            .map(|i| MachineState::new(cluster.capacity(MachineId(i))))
+            .collect();
+
+        // Bind stored blocks to replica machines.
+        let replication = cfg.replication.min(n_machines);
+        let blocks = (0..workload.num_blocks)
+            .map(|_| {
+                let mut reps = BTreeSet::new();
+                while reps.len() < replication {
+                    reps.insert(MachineId(rng.gen_range(0..n_machines)));
+                }
+                reps.into_iter().collect::<Vec<_>>()
+            })
+            .collect();
+
+        // Index tasks and initialize job/stage state.
+        let n_tasks = workload.num_tasks();
+        let mut task_loc = vec![(0, 0, 0); n_tasks];
+        let mut jobs = Vec::with_capacity(workload.jobs.len());
+        for (ji, job) in workload.jobs.iter().enumerate() {
+            let mut stages = Vec::with_capacity(job.stages.len());
+            for (si, stage) in job.stages.iter().enumerate() {
+                for (ti, t) in stage.tasks.iter().enumerate() {
+                    task_loc[t.uid.index()] = (ji, si, ti);
+                }
+                let feeds_downstream = job
+                    .stages
+                    .iter()
+                    .any(|s2| s2.deps.contains(&si));
+                stages.push(StageState {
+                    unlocked: false,
+                    pending: Vec::new(),
+                    running: 0,
+                    finished: 0,
+                    total: stage.tasks.len(),
+                    feeds_downstream,
+                    out_by_machine: BTreeMap::new(),
+                    total_out: 0.0,
+                });
+            }
+            jobs.push(JobState {
+                arrived: false,
+                finish: None,
+                first_start: None,
+                allocated: ResourceVec::zero(),
+                running: 0,
+                finished_tasks: 0,
+                total_tasks: job.num_tasks(),
+                stages,
+            });
+        }
+
+        let tasks = vec![
+            TaskState {
+                phase: Phase::Blocked,
+                attempts: 0,
+                start: None,
+                first_start: None,
+                finish: None,
+                machine: None,
+                planned: None,
+                runnable_since: None,
+            };
+            n_tasks
+        ];
+
+        let total_capacity = cluster.total_capacity();
+        let jobs_remaining = workload.jobs.len();
+        SimState {
+            cluster,
+            workload,
+            cfg,
+            now: SimTime::ZERO,
+            machines,
+            tasks,
+            task_loc,
+            jobs,
+            blocks,
+            flows: Vec::new(),
+            jobs_remaining,
+            total_capacity,
+            rng,
+            freed_hint: Vec::new(),
+            completions: 0,
+        }
+    }
+
+    /// Task spec by uid.
+    #[inline]
+    pub fn spec(&self, uid: TaskUid) -> &TaskSpec {
+        let (j, s, t) = self.task_loc[uid.index()];
+        &self.workload.jobs[j].stages[s].tasks[t]
+    }
+
+    // ------------------------------------------------------------------
+    // Job / stage lifecycle
+    // ------------------------------------------------------------------
+
+    /// Mark a job arrived and unlock its root stages.
+    pub fn job_arrives(&mut self, job: JobId) {
+        let ji = job.index();
+        self.jobs[ji].arrived = true;
+        let root_stages: Vec<usize> = self.workload.jobs[ji]
+            .stages
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.deps.is_empty())
+            .map(|(i, _)| i)
+            .collect();
+        for si in root_stages {
+            self.unlock_stage(ji, si);
+        }
+    }
+
+    fn unlock_stage(&mut self, ji: usize, si: usize) {
+        let stage = &mut self.jobs[ji].stages[si];
+        if stage.unlocked {
+            return;
+        }
+        stage.unlocked = true;
+        let uids: Vec<TaskUid> = self.workload.jobs[ji].stages[si]
+            .tasks
+            .iter()
+            .map(|t| t.uid)
+            .collect();
+        let now = self.now;
+        for &uid in &uids {
+            let t = &mut self.tasks[uid.index()];
+            t.phase = Phase::Runnable;
+            t.runnable_since = Some(now);
+        }
+        self.jobs[ji].stages[si].pending = uids;
+    }
+
+    // ------------------------------------------------------------------
+    // Placement
+    // ------------------------------------------------------------------
+
+    /// Check an assignment is applicable: the task is pending/runnable and
+    /// the machine exists. Feasibility against capacity is deliberately
+    /// *not* checked here — whether to over-allocate is the policy's
+    /// decision, and letting baselines over-allocate is the point of the
+    /// reproduction.
+    pub fn assignment_valid(&self, task: TaskUid, machine: MachineId) -> bool {
+        machine.index() < self.machines.len()
+            && task.index() < self.tasks.len()
+            && matches!(self.tasks[task.index()].phase, Phase::Runnable)
+    }
+
+    /// Resolve where a task's input bytes would come from if placed on
+    /// `machine`, and what it would demand locally/remotely.
+    pub fn placement_plan(&self, uid: TaskUid, machine: MachineId) -> PlacementPlan {
+        let spec = self.spec(uid);
+        let (ji, _, _) = self.task_loc[uid.index()];
+        let mut local_bytes = 0.0f64;
+        let mut remote: BTreeMap<MachineId, f64> = BTreeMap::new();
+
+        for input in &spec.inputs {
+            match input.source {
+                InputSource::Stored(b) => {
+                    let replicas = &self.blocks[b.index()];
+                    if replicas.contains(&machine) {
+                        local_bytes += input.bytes;
+                    } else {
+                        // Deterministic replica choice, spread by uid.
+                        let src = replicas[uid.index() % replicas.len()];
+                        *remote.entry(src).or_default() += input.bytes;
+                    }
+                }
+                InputSource::Shuffle { stage } => {
+                    let st = &self.jobs[ji].stages[stage];
+                    if st.total_out <= 0.0 {
+                        // Upstream produced no bytes; nothing to read.
+                        continue;
+                    }
+                    let frac = input.bytes / st.total_out;
+                    for (&m, &bytes) in &st.out_by_machine {
+                        let share = bytes * frac;
+                        if share <= 0.0 {
+                            continue;
+                        }
+                        if m == machine {
+                            local_bytes += share;
+                        } else {
+                            *remote.entry(m).or_default() += share;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Bound shuffle fan-in: keep the largest contributors, fold the
+        // tail's bytes into them proportionally (bytes conserved).
+        let mut remote: Vec<(MachineId, f64)> = remote.into_iter().collect();
+        if remote.len() > self.cfg.shuffle_fanin {
+            remote.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .unwrap()
+                    .then_with(|| a.0.cmp(&b.0))
+            });
+            let kept: f64 = remote[..self.cfg.shuffle_fanin].iter().map(|(_, b)| b).sum();
+            let tail: f64 = remote[self.cfg.shuffle_fanin..].iter().map(|(_, b)| b).sum();
+            remote.truncate(self.cfg.shuffle_fanin);
+            if kept > 0.0 {
+                let scale = (kept + tail) / kept;
+                for (_, b) in &mut remote {
+                    *b *= scale;
+                }
+            }
+            remote.sort_by_key(|(m, _)| *m);
+        }
+
+        let remote_total: f64 = remote.iter().map(|(_, b)| b).sum();
+        let d = spec.demand;
+        let d_dr = d.get(Resource::DiskRead);
+        let d_ni = d.get(Resource::NetIn);
+        // Effective peak remote-read rate: fall back to the disk-read rate
+        // when the spec declares no NetIn demand (e.g. a map task expected
+        // to be local but placed remotely — an estimation miss the paper's
+        // tracker would catch).
+        let d_ni_eff = if d_ni > 0.0 { d_ni } else { d_dr };
+
+        let mut local = d;
+        local.set(
+            Resource::DiskRead,
+            if local_bytes > 0.0 { d_dr } else { 0.0 },
+        );
+        local.set(
+            Resource::NetIn,
+            if remote_total > 0.0 { d_ni_eff } else { 0.0 },
+        );
+        local.set(Resource::NetOut, 0.0);
+
+        // Per-source transfer caps: the reader's share of its NetIn
+        // demand, additionally bounded by what the source's disk and NIC
+        // can physically serve (otherwise a demand no machine can satisfy
+        // would make the task permanently unplaceable).
+        let remote_demands: Vec<(MachineId, ResourceVec)> = remote
+            .iter()
+            .map(|&(m, bytes)| {
+                let src_cap = self.machines[m.index()].capacity;
+                let share = (d_ni_eff * bytes / remote_total)
+                    .min(src_cap.get(Resource::DiskRead))
+                    .min(src_cap.get(Resource::NetOut))
+                    .max(1e-3); // keep caps positive so flows always drain
+                (
+                    m,
+                    ResourceVec::zero()
+                        .with(Resource::DiskRead, share)
+                        .with(Resource::NetOut, share),
+                )
+            })
+            .collect();
+
+        // Eqn. 5 at peak allocation.
+        let mut est: f64 = 0.0;
+        if spec.cpu_work > 0.0 {
+            est = est.max(spec.cpu_work / d.get(Resource::Cpu));
+        }
+        if spec.output_bytes > 0.0 {
+            est = est.max(spec.output_bytes / d.get(Resource::DiskWrite));
+        }
+        if local_bytes > 0.0 {
+            est = est.max(local_bytes / d_dr);
+        }
+        for (&(_, bytes), (_, dem)) in remote.iter().zip(&remote_demands) {
+            est = est.max(bytes / dem.get(Resource::DiskRead));
+        }
+
+        PlacementPlan {
+            local,
+            remote: remote_demands,
+            local_read_bytes: local_bytes,
+            remote_reads: remote,
+            est_duration: est,
+        }
+    }
+
+    /// Place a runnable task on a machine: build flows, charge ledgers,
+    /// schedule completion events.
+    pub fn apply_assignment(
+        &mut self,
+        uid: TaskUid,
+        machine: MachineId,
+        dirty: &mut DirtySet,
+        queue: &mut EventQueue,
+    ) {
+        debug_assert!(self.assignment_valid(uid, machine));
+        let plan = self.placement_plan(uid, machine);
+        let (ji, si, _) = self.task_loc[uid.index()];
+        let spec = self.spec(uid);
+        let d = spec.demand;
+        let cpu_work = spec.cpu_work;
+        let output_bytes = spec.output_bytes;
+        let d_dr = d.get(Resource::DiskRead);
+
+        // Build flows.
+        let mut flow_ids = Vec::new();
+        if cpu_work > 0.0 {
+            flow_ids.push(self.add_flow(
+                uid,
+                machine,
+                d.get(Resource::Cpu),
+                vec![(machine, Resource::Cpu)],
+                cpu_work,
+                dirty,
+            ));
+        }
+        if output_bytes > 0.0 {
+            flow_ids.push(self.add_flow(
+                uid,
+                machine,
+                d.get(Resource::DiskWrite),
+                vec![(machine, Resource::DiskWrite)],
+                output_bytes,
+                dirty,
+            ));
+        }
+        if plan.local_read_bytes > 0.0 {
+            flow_ids.push(self.add_flow(
+                uid,
+                machine,
+                d_dr,
+                vec![(machine, Resource::DiskRead)],
+                plan.local_read_bytes,
+                dirty,
+            ));
+        }
+        for (&(src, bytes), &(src2, dem)) in plan.remote_reads.iter().zip(&plan.remote) {
+            debug_assert_eq!(src, src2);
+            let cap = dem.get(Resource::DiskRead);
+            flow_ids.push(self.add_flow(
+                uid,
+                machine,
+                cap,
+                vec![
+                    (src, Resource::DiskRead),
+                    (src, Resource::NetOut),
+                    (machine, Resource::NetIn),
+                ],
+                bytes,
+                dirty,
+            ));
+        }
+
+        // Charge demand ledgers.
+        let now = self.now;
+        {
+            let ms = &mut self.machines[machine.index()];
+            ms.allocated += plan.local;
+            ms.recent.push((now, plan.local));
+            ms.running += 1;
+            ms.running_tasks.push(uid);
+        }
+        if plan.local.get(Resource::Mem) > 0.0 && self.cfg.thrashing {
+            dirty.mem.insert(machine.index());
+        }
+        for &(m, dem) in &plan.remote {
+            let ms = &mut self.machines[m.index()];
+            ms.allocated += dem;
+            ms.recent.push((now, dem));
+        }
+
+        // Job/stage bookkeeping.
+        let job = &mut self.jobs[ji];
+        job.allocated += plan.local;
+        job.running += 1;
+        job.first_start = Some(job.first_start.unwrap_or(self.now));
+        let stage = &mut job.stages[si];
+        stage.running += 1;
+        let pos = stage
+            .pending
+            .iter()
+            .position(|&t| t == uid)
+            .expect("pending task not in its stage's pending list");
+        stage.pending.swap_remove(pos);
+
+        // Task bookkeeping.
+        let t = &mut self.tasks[uid.index()];
+        t.attempts += 1;
+        t.start = Some(self.now);
+        t.first_start = Some(t.first_start.unwrap_or(self.now));
+        t.machine = Some(machine);
+        t.planned = Some(plan.est_duration);
+        let flows_left = flow_ids.len();
+        let gen = t.attempts as u64;
+        t.phase = Phase::Running(RunInfo {
+            machine,
+            flows: flow_ids.clone(),
+            flows_left,
+            local_alloc: plan.local,
+            remote_alloc: plan.remote.clone(),
+            gen,
+        });
+
+        if flows_left == 0 {
+            // Zero-work task: completes immediately.
+            queue.push(self.now, EventKind::TaskDone { task: uid, gen });
+        }
+    }
+
+    fn add_flow(
+        &mut self,
+        task: TaskUid,
+        host: MachineId,
+        cap: f64,
+        links: Vec<(MachineId, Resource)>,
+        work: f64,
+        dirty: &mut DirtySet,
+    ) -> FlowId {
+        debug_assert!(work > 0.0, "flow must carry work");
+        debug_assert!(cap > 0.0, "flow must have positive cap (validated demand)");
+        let fid = FlowId(self.flows.len());
+        for &(m, r) in &links {
+            let ms = &mut self.machines[m.index()];
+            ms.link_demand[r.index()] += cap;
+            ms.link_flows[r.index()].push(fid);
+            dirty.links.insert((m.index(), r.index()));
+        }
+        self.flows.push(Flow {
+            task,
+            host,
+            cap,
+            links,
+            remaining: work,
+            init_work: work,
+            rate: 0.0,
+            last_update: self.now,
+            gen: 0,
+            done: false,
+        });
+        fid
+    }
+
+    // ------------------------------------------------------------------
+    // Rate recomputation
+    // ------------------------------------------------------------------
+
+    /// Current rate of a flow under the one-pass proportional model.
+    pub(crate) fn flow_rate(&self, f: &Flow) -> f64 {
+        let mut factor: f64 = 1.0;
+        for &(m, r) in &f.links {
+            factor = factor.min(self.machines[m.index()].factor(r, &self.cfg.interference));
+        }
+        factor = factor.min(self.machines[f.host.index()].thrash_factor(
+            self.cfg.thrashing,
+            self.cfg.thrash_exponent,
+            self.cfg.thrash_floor,
+        ));
+        f.cap * factor
+    }
+
+    /// Advance a flow's remaining work to `self.now`.
+    fn advance_flow(&mut self, fid: FlowId) {
+        let now = self.now;
+        let f = &mut self.flows[fid.0];
+        if f.done {
+            return;
+        }
+        let dt = now.secs_since(f.last_update);
+        if dt > 0.0 {
+            f.remaining = (f.remaining - f.rate * dt).max(0.0);
+        }
+        f.last_update = now;
+    }
+
+    /// Recompute rates of all flows affected by the dirty set; bump their
+    /// generation and reschedule completion events when the rate changed.
+    pub fn recompute_dirty(&mut self, dirty: &mut DirtySet, queue: &mut EventQueue) {
+        if dirty.is_empty() {
+            return;
+        }
+        let mut affected: BTreeSet<FlowId> = BTreeSet::new();
+        for &(mi, ri) in &dirty.links {
+            for &fid in &self.machines[mi].link_flows[ri] {
+                affected.insert(fid);
+            }
+        }
+        for &mi in &dirty.mem {
+            for ri in 0..NUM_RESOURCES {
+                for &fid in &self.machines[mi].link_flows[ri] {
+                    if self.flows[fid.0].host.index() == mi {
+                        affected.insert(fid);
+                    }
+                }
+            }
+        }
+        dirty.links.clear();
+        dirty.mem.clear();
+
+        for fid in affected {
+            if self.flows[fid.0].done {
+                continue;
+            }
+            self.advance_flow(fid);
+            let new_rate = self.flow_rate(&self.flows[fid.0]);
+            let f = &mut self.flows[fid.0];
+            let changed = (new_rate - f.rate).abs() > 1e-12 * f.cap.max(1e-12);
+            if changed {
+                f.rate = new_rate;
+                f.gen += 1;
+                if new_rate > 0.0 {
+                    let eta = self.now.after_secs(f.remaining / new_rate);
+                    let gen = f.gen;
+                    if eta < SimTime::MAX {
+                        queue.push(eta, EventKind::FlowDone { flow: fid, gen });
+                    }
+                }
+                // rate == 0: no event; a later link change will revisit.
+            }
+        }
+    }
+
+    /// Handle a `FlowDone` event. Returns the task to complete, if this was
+    /// its last flow.
+    pub fn flow_done(
+        &mut self,
+        fid: FlowId,
+        gen: u64,
+        dirty: &mut DirtySet,
+        queue: &mut EventQueue,
+    ) -> Option<TaskUid> {
+        if self.flows[fid.0].done || self.flows[fid.0].gen != gen {
+            return None; // stale event
+        }
+        self.advance_flow(fid);
+        if !self.flows[fid.0].is_complete() {
+            // Numerical residue: reschedule the tail.
+            let f = &self.flows[fid.0];
+            if f.rate > 0.0 {
+                let eta = self.now.after_secs(f.remaining / f.rate);
+                let gen = f.gen;
+                queue.push(eta, EventKind::FlowDone { flow: fid, gen });
+            }
+            return None;
+        }
+        // Complete: remove from links.
+        let f = &mut self.flows[fid.0];
+        f.done = true;
+        f.remaining = 0.0;
+        f.rate = 0.0;
+        let links = f.links.clone();
+        let cap = f.cap;
+        let task = f.task;
+        for (m, r) in links {
+            let ms = &mut self.machines[m.index()];
+            ms.link_demand[r.index()] = (ms.link_demand[r.index()] - cap).max(0.0);
+            ms.link_flows[r.index()].retain(|&x| x != fid);
+            dirty.links.insert((m.index(), r.index()));
+        }
+
+        let t = &mut self.tasks[task.index()];
+        if let Phase::Running(ref mut info) = t.phase {
+            info.flows_left -= 1;
+            if info.flows_left == 0 {
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    /// Complete (or fail-and-retry) a task whose work is all done.
+    /// Returns true if a job finished as a result.
+    pub fn task_complete(&mut self, uid: TaskUid, dirty: &mut DirtySet) -> bool {
+        let (ji, si, _) = self.task_loc[uid.index()];
+        let info = match std::mem::replace(&mut self.tasks[uid.index()].phase, Phase::Finished) {
+            Phase::Running(info) => info,
+            other => {
+                self.tasks[uid.index()].phase = other;
+                return false;
+            }
+        };
+
+        // Release ledgers.
+        let host = info.machine;
+        {
+            let ms = &mut self.machines[host.index()];
+            ms.allocated = (ms.allocated - info.local_alloc).clamp_non_negative();
+            ms.running -= 1;
+            ms.running_tasks.retain(|&t| t != uid);
+        }
+        if info.local_alloc.get(Resource::Mem) > 0.0 && self.cfg.thrashing {
+            dirty.mem.insert(host.index());
+        }
+        self.freed_hint.push(host);
+        for &(m, dem) in &info.remote_alloc {
+            self.machines[m.index()].allocated =
+                (self.machines[m.index()].allocated - dem).clamp_non_negative();
+            self.freed_hint.push(m);
+        }
+        let job = &mut self.jobs[ji];
+        job.allocated = (job.allocated - info.local_alloc).clamp_non_negative();
+        job.running -= 1;
+        job.stages[si].running -= 1;
+
+        // Failure roll: rerun the task from scratch.
+        let attempts = self.tasks[uid.index()].attempts;
+        if self.cfg.task_failure_prob > 0.0
+            && attempts < self.cfg.max_task_attempts
+            && self.rng.gen::<f64>() < self.cfg.task_failure_prob
+        {
+            let now = self.now;
+            let t = &mut self.tasks[uid.index()];
+            t.phase = Phase::Runnable;
+            t.machine = None;
+            t.runnable_since = Some(now);
+            self.jobs[ji].stages[si].pending.push(uid);
+            return false;
+        }
+
+        // Genuine completion.
+        self.completions += 1;
+        self.tasks[uid.index()].finish = Some(self.now);
+        let out = self.spec(uid).output_bytes;
+        let job = &mut self.jobs[ji];
+        job.finished_tasks += 1;
+        let stage = &mut job.stages[si];
+        stage.finished += 1;
+        if out > 0.0 {
+            *stage.out_by_machine.entry(host).or_default() += out;
+            stage.total_out += out;
+        }
+        let stage_done = stage.finished == stage.total;
+
+        if stage_done {
+            // Unlock downstream stages whose deps are all complete.
+            let to_unlock: Vec<usize> = self.workload.jobs[ji]
+                .stages
+                .iter()
+                .enumerate()
+                .filter(|(di, ds)| {
+                    !self.jobs[ji].stages[*di].unlocked
+                        && ds.deps.contains(&si)
+                        && ds.deps.iter().all(|&dep| {
+                            self.jobs[ji].stages[dep].finished == self.jobs[ji].stages[dep].total
+                        })
+                })
+                .map(|(di, _)| di)
+                .collect();
+            for di in to_unlock {
+                self.unlock_stage(ji, di);
+            }
+        }
+
+        let job = &mut self.jobs[ji];
+        if job.finished_tasks == job.total_tasks {
+            job.finish = Some(self.now);
+            self.jobs_remaining -= 1;
+            return true;
+        }
+        false
+    }
+
+    /// Apply/remove external load on a machine's links.
+    pub fn set_external(&mut self, idx: usize, active: bool, dirty: &mut DirtySet) {
+        let e = self.cfg.external_loads[idx].clone();
+        let mi = e.machine.index();
+        let sign = if active { 1.0 } else { -1.0 };
+        for (r, v) in e.load.iter() {
+            if v == 0.0 {
+                continue;
+            }
+            let ms = &mut self.machines[mi];
+            ms.link_demand[r.index()] = (ms.link_demand[r.index()] + sign * v).max(0.0);
+            dirty.links.insert((mi, r.index()));
+        }
+        let ms = &mut self.machines[mi];
+        if active {
+            ms.external += e.load;
+        } else {
+            ms.external = (ms.external - e.load).clamp_non_negative();
+        }
+        self.freed_hint.push(e.machine);
+    }
+
+    /// Tracker tick: machines report their current usage (task flows plus
+    /// external activity) and prune expired ramp-up entries.
+    pub fn tracker_report(&mut self) {
+        let horizon = self.cfg.ramp_up_horizon;
+        let now = self.now;
+        for mi in 0..self.machines.len() {
+            let usage = self.machines[mi].usage(&self.flows);
+            let ms = &mut self.machines[mi];
+            ms.external_reported = ms.external;
+            ms.usage_reported = usage;
+            ms.recent
+                .retain(|(t, _)| now.secs_since(*t) < horizon);
+        }
+    }
+
+    /// Availability as seen by the scheduler.
+    ///
+    /// Tracker-unaware policies (the slot baselines) see the demand ledger
+    /// only: `capacity − Σ committed peak demands`, which can go negative
+    /// when they over-allocate.
+    ///
+    /// Tracker-aware policies (Tetris, SRTF) see usage-based availability
+    /// with idle reclamation (§4.1): `capacity − (reported usage + ramp-up
+    /// allowance for recently placed tasks)`, floored by the memory ledger
+    /// (memory is held, never reclaimed). With `reclaim_idle` off they see
+    /// the demand ledger minus tracker-reported external usage.
+    pub fn availability(&self, m: MachineId, tracker_aware: bool) -> ResourceVec {
+        let ms = &self.machines[m.index()];
+        if !tracker_aware {
+            return ms.capacity - ms.allocated;
+        }
+        if !self.cfg.reclaim_idle {
+            return ms.capacity - ms.allocated - ms.external_reported;
+        }
+        // Usage + allowance, component-wise maxed with the memory ledger.
+        let horizon = self.cfg.ramp_up_horizon;
+        let mut committed = ms.usage_reported;
+        for (t, demand) in &ms.recent {
+            let age = self.now.secs_since(*t);
+            if age < horizon {
+                committed += *demand * (1.0 - age / horizon);
+            }
+        }
+        // Memory is a space resource: the ledger is authoritative.
+        committed.set(Resource::Mem, ms.allocated.get(Resource::Mem));
+        ms.capacity - committed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tetris_resources::units::{GB, MB};
+    use tetris_resources::MachineSpec;
+    use tetris_workload::gen::{TaskParams, WorkloadBuilder};
+
+    fn one_task_workload(cores: f64, dur: f64) -> Workload {
+        let mut b = WorkloadBuilder::new();
+        let j = b.begin_job("j", None, 0.0);
+        b.add_stage(j, "s", vec![], 1, |_| TaskParams {
+            cores,
+            mem: GB,
+            duration: dur,
+            cpu_frac: 1.0,
+            io_burst: 1.0,
+            inputs: vec![],
+            output_bytes: 0.0,
+            remote_frac: 1.0,
+        });
+        b.finish()
+    }
+
+    fn mk_state(w: Workload) -> SimState {
+        let cluster = ClusterConfig::uniform(2, MachineSpec::paper_small());
+        SimState::new(cluster, w, SimConfig::default())
+    }
+
+    #[test]
+    fn arrival_unlocks_root_stage() {
+        let mut st = mk_state(one_task_workload(1.0, 10.0));
+        assert!(matches!(st.tasks[0].phase, Phase::Blocked));
+        st.job_arrives(JobId(0));
+        assert!(matches!(st.tasks[0].phase, Phase::Runnable));
+        assert_eq!(st.jobs[0].stages[0].pending, vec![TaskUid(0)]);
+    }
+
+    #[test]
+    fn placement_creates_cpu_flow_and_event() {
+        let mut st = mk_state(one_task_workload(2.0, 10.0));
+        st.job_arrives(JobId(0));
+        let mut dirty = DirtySet::default();
+        let mut q = EventQueue::new();
+        st.apply_assignment(TaskUid(0), MachineId(0), &mut dirty, &mut q);
+        st.recompute_dirty(&mut dirty, &mut q);
+        assert_eq!(st.flows.len(), 1);
+        assert_eq!(st.flows[0].rate, 2.0); // uncontended: full cap
+        let ev = q.pop().unwrap();
+        assert_eq!(ev.time, SimTime::from_secs(10.0));
+    }
+
+    #[test]
+    fn contention_halves_rate() {
+        // Two 3-core tasks on a 4-core machine: Σcap 6 > 4 → factor 2/3.
+        let mut b = WorkloadBuilder::new();
+        let j = b.begin_job("j", None, 0.0);
+        b.add_stage(j, "s", vec![], 2, |_| TaskParams {
+            cores: 3.0,
+            mem: GB,
+            duration: 10.0,
+            cpu_frac: 1.0,
+            io_burst: 1.0,
+            inputs: vec![],
+            output_bytes: 0.0,
+            remote_frac: 1.0,
+        });
+        let mut st = mk_state(b.finish());
+        st.job_arrives(JobId(0));
+        let mut dirty = DirtySet::default();
+        let mut q = EventQueue::new();
+        st.apply_assignment(TaskUid(0), MachineId(0), &mut dirty, &mut q);
+        st.apply_assignment(TaskUid(1), MachineId(0), &mut dirty, &mut q);
+        st.recompute_dirty(&mut dirty, &mut q);
+        let expect = 3.0 * (4.0 / 6.0);
+        assert!((st.flows[0].rate - expect).abs() < 1e-9);
+        assert!((st.flows[1].rate - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flow_done_completes_task() {
+        let mut st = mk_state(one_task_workload(1.0, 5.0));
+        st.job_arrives(JobId(0));
+        let mut dirty = DirtySet::default();
+        let mut q = EventQueue::new();
+        st.apply_assignment(TaskUid(0), MachineId(0), &mut dirty, &mut q);
+        st.recompute_dirty(&mut dirty, &mut q);
+        let ev = q.pop().unwrap();
+        st.now = ev.time;
+        let done = match ev.kind {
+            EventKind::FlowDone { flow, gen } => st.flow_done(flow, gen, &mut dirty, &mut q),
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(done, Some(TaskUid(0)));
+        let job_done = st.task_complete(TaskUid(0), &mut dirty);
+        assert!(job_done);
+        assert_eq!(st.jobs_remaining, 0);
+        assert_eq!(st.jobs[0].finish, Some(SimTime::from_secs(5.0)));
+        // Ledger fully released.
+        assert!(st.machines[0].allocated.is_zero());
+    }
+
+    #[test]
+    fn stale_flow_events_ignored() {
+        let mut st = mk_state(one_task_workload(1.0, 5.0));
+        st.job_arrives(JobId(0));
+        let mut dirty = DirtySet::default();
+        let mut q = EventQueue::new();
+        st.apply_assignment(TaskUid(0), MachineId(0), &mut dirty, &mut q);
+        st.recompute_dirty(&mut dirty, &mut q);
+        // Wrong generation → ignored.
+        assert_eq!(st.flow_done(FlowId(0), 999, &mut dirty, &mut q), None);
+    }
+
+    #[test]
+    fn availability_reflects_allocation_and_tracker() {
+        let mut st = mk_state(one_task_workload(2.0, 10.0));
+        st.job_arrives(JobId(0));
+        let mut dirty = DirtySet::default();
+        let mut q = EventQueue::new();
+        st.apply_assignment(TaskUid(0), MachineId(0), &mut dirty, &mut q);
+        let avail = st.availability(MachineId(0), false);
+        assert_eq!(avail.get(Resource::Cpu), 2.0); // 4 - 2
+        assert_eq!(avail.get(Resource::Mem), 15.0 * GB); // 16 - 1
+
+        // External load visible only after a tracker report, and only to
+        // tracker-aware policies.
+        st.cfg.external_loads.push(crate::config::ExternalLoad {
+            machine: MachineId(0),
+            start: 0.0,
+            duration: 10.0,
+            load: ResourceVec::zero().with(Resource::DiskWrite, 50.0 * MB),
+        });
+        st.set_external(0, true, &mut dirty);
+        assert_eq!(
+            st.availability(MachineId(0), true).get(Resource::DiskWrite),
+            st.machines[0].capacity.get(Resource::DiskWrite)
+        );
+        st.tracker_report();
+        let dw_avail = st.availability(MachineId(0), true).get(Resource::DiskWrite);
+        assert_eq!(
+            dw_avail,
+            st.machines[0].capacity.get(Resource::DiskWrite) - 50.0 * MB
+        );
+        // Tracker-unaware view unchanged.
+        assert_eq!(
+            st.availability(MachineId(0), false).get(Resource::DiskWrite),
+            st.machines[0].capacity.get(Resource::DiskWrite)
+        );
+    }
+
+    #[test]
+    fn thrashing_slows_overcommitted_machine() {
+        // Two tasks each demanding 12 GB on a 16 GB machine → 24/16 = 1.5×
+        // over-commit → thrash factor 2/3.
+        let mut b = WorkloadBuilder::new();
+        let j = b.begin_job("j", None, 0.0);
+        b.add_stage(j, "s", vec![], 2, |_| TaskParams {
+            cores: 1.0,
+            mem: 12.0 * GB,
+            duration: 10.0,
+            cpu_frac: 1.0,
+            io_burst: 1.0,
+            inputs: vec![],
+            output_bytes: 0.0,
+            remote_frac: 1.0,
+        });
+        let mut st = mk_state(b.finish());
+        st.job_arrives(JobId(0));
+        let mut dirty = DirtySet::default();
+        let mut q = EventQueue::new();
+        st.apply_assignment(TaskUid(0), MachineId(0), &mut dirty, &mut q);
+        st.apply_assignment(TaskUid(1), MachineId(0), &mut dirty, &mut q);
+        st.recompute_dirty(&mut dirty, &mut q);
+        // CPU link uncontended (2 ≤ 4) but memory 24 GB > 16 GB:
+        // thrash factor (16/24)^1.35 with the default exponent.
+        let expect = 1.0 * (16.0f64 / 24.0).powf(1.35);
+        assert!((st.flows[0].rate - expect).abs() < 1e-9, "{}", st.flows[0].rate);
+    }
+
+    #[test]
+    fn remote_read_creates_three_link_flow() {
+        // Task reads a stored block not replicated on its host.
+        let mut b = WorkloadBuilder::new();
+        let j = b.begin_job("j", None, 0.0);
+        let input = b.stored_input(100.0 * MB);
+        b.add_stage(j, "s", vec![], 1, |_| TaskParams {
+            cores: 1.0,
+            mem: GB,
+            duration: 10.0,
+            cpu_frac: 1.0,
+            io_burst: 1.0,
+            inputs: vec![input],
+            output_bytes: 0.0,
+            remote_frac: 1.0,
+        });
+        let w = b.finish();
+        let cluster = ClusterConfig::uniform(4, MachineSpec::paper_small());
+        let mut cfg = SimConfig::default();
+        cfg.replication = 1;
+        let mut st = SimState::new(cluster, w, cfg);
+        st.job_arrives(JobId(0));
+        let replica = st.blocks[0][0];
+        // Place on a different machine.
+        let host = MachineId((replica.index() + 1) % 4);
+        let plan = st.placement_plan(TaskUid(0), host);
+        assert!(plan.is_remote());
+        assert_eq!(plan.remote_reads, vec![(replica, 100.0 * MB)]);
+        assert_eq!(plan.local_read_bytes, 0.0);
+        assert!(plan.local.get(Resource::NetIn) > 0.0);
+        assert_eq!(plan.local.get(Resource::DiskRead), 0.0);
+
+        let mut dirty = DirtySet::default();
+        let mut q = EventQueue::new();
+        st.apply_assignment(TaskUid(0), host, &mut dirty, &mut q);
+        st.recompute_dirty(&mut dirty, &mut q);
+        // cpu flow + remote read flow.
+        assert_eq!(st.flows.len(), 2);
+        let remote_flow = &st.flows[1];
+        assert_eq!(remote_flow.links.len(), 3);
+        // Remote source charged for DiskRead + NetOut.
+        assert!(st.machines[replica.index()].allocated.get(Resource::NetOut) > 0.0);
+    }
+
+    #[test]
+    fn local_placement_has_no_remote_demand() {
+        let mut b = WorkloadBuilder::new();
+        let j = b.begin_job("j", None, 0.0);
+        let input = b.stored_input(100.0 * MB);
+        b.add_stage(j, "s", vec![], 1, |_| TaskParams {
+            cores: 1.0,
+            mem: GB,
+            duration: 10.0,
+            cpu_frac: 1.0,
+            io_burst: 1.0,
+            inputs: vec![input],
+            output_bytes: 0.0,
+            remote_frac: 1.0,
+        });
+        let w = b.finish();
+        let cluster = ClusterConfig::uniform(4, MachineSpec::paper_small());
+        let mut cfg = SimConfig::default();
+        cfg.replication = 2;
+        let mut st = SimState::new(cluster, w, cfg);
+        st.job_arrives(JobId(0));
+        let replica = st.blocks[0][0];
+        let plan = st.placement_plan(TaskUid(0), replica);
+        assert!(!plan.is_remote());
+        assert_eq!(plan.local_read_bytes, 100.0 * MB);
+        assert_eq!(plan.local.get(Resource::NetIn), 0.0);
+        assert!(plan.local.get(Resource::DiskRead) > 0.0);
+        assert_eq!(plan.remote_fraction(), 0.0);
+    }
+
+    #[test]
+    fn task_failure_requeues() {
+        let w = one_task_workload(1.0, 5.0);
+        let cluster = ClusterConfig::uniform(2, MachineSpec::paper_small());
+        let mut cfg = SimConfig::default();
+        cfg.task_failure_prob = 0.999_999;
+        cfg.max_task_attempts = 2;
+        let mut st = SimState::new(cluster, w, cfg);
+        st.job_arrives(JobId(0));
+        let mut dirty = DirtySet::default();
+        let mut q = EventQueue::new();
+        st.apply_assignment(TaskUid(0), MachineId(0), &mut dirty, &mut q);
+        st.recompute_dirty(&mut dirty, &mut q);
+        st.now = SimTime::from_secs(5.0);
+        // First completion fails (attempts=1 < max 2) → requeued.
+        let job_done = st.task_complete(TaskUid(0), &mut dirty);
+        assert!(!job_done);
+        assert!(matches!(st.tasks[0].phase, Phase::Runnable));
+        assert_eq!(st.jobs[0].stages[0].pending, vec![TaskUid(0)]);
+        // Second attempt hits the attempt cap and must complete.
+        st.apply_assignment(TaskUid(0), MachineId(0), &mut dirty, &mut q);
+        let job_done = st.task_complete(TaskUid(0), &mut dirty);
+        assert!(job_done);
+    }
+
+    #[test]
+    fn shuffle_distribution_feeds_downstream_plan() {
+        // map (2 tasks) → reduce (1 task); maps write output, reduce reads
+        // it from wherever maps ran.
+        let mut b = WorkloadBuilder::new();
+        let j = b.begin_job("j", None, 0.0);
+        let in0 = b.stored_input(10.0 * MB);
+        let in1 = b.stored_input(10.0 * MB);
+        b.add_stage(j, "map", vec![], 2, |i| TaskParams {
+            cores: 1.0,
+            mem: GB,
+            duration: 5.0,
+            cpu_frac: 1.0,
+            io_burst: 1.0,
+            inputs: vec![if i == 0 { in0 } else { in1 }],
+            output_bytes: 50.0 * MB,
+            remote_frac: 1.0,
+        });
+        b.add_stage(j, "reduce", vec![0], 1, |_| TaskParams {
+            cores: 1.0,
+            mem: GB,
+            duration: 5.0,
+            cpu_frac: 1.0,
+            io_burst: 1.0,
+            inputs: vec![tetris_workload::InputSpec {
+                source: InputSource::Shuffle { stage: 0 },
+                bytes: 100.0 * MB,
+            }],
+            output_bytes: 10.0 * MB,
+            remote_frac: 1.0,
+        });
+        let w = b.finish();
+        let cluster = ClusterConfig::uniform(3, MachineSpec::paper_small());
+        let mut st = SimState::new(cluster, w, SimConfig::default());
+        st.job_arrives(JobId(0));
+        let mut dirty = DirtySet::default();
+        let mut q = EventQueue::new();
+        st.apply_assignment(TaskUid(0), MachineId(0), &mut dirty, &mut q);
+        st.apply_assignment(TaskUid(1), MachineId(1), &mut dirty, &mut q);
+        st.recompute_dirty(&mut dirty, &mut q);
+        // Finish both maps.
+        st.now = SimTime::from_secs(5.1);
+        for fid in 0..st.flows.len() {
+            let gen = st.flows[fid].gen;
+            if let Some(t) = st.flow_done(FlowId(fid), gen, &mut dirty, &mut q) {
+                st.task_complete(t, &mut dirty);
+            }
+        }
+        // Reduce unlocked; its plan on machine 0 reads 50 MB locally,
+        // 50 MB from machine 1.
+        assert!(matches!(st.tasks[2].phase, Phase::Runnable));
+        let plan = st.placement_plan(TaskUid(2), MachineId(0));
+        assert!((plan.local_read_bytes - 50.0 * MB).abs() < 1.0);
+        assert_eq!(plan.remote_reads.len(), 1);
+        assert_eq!(plan.remote_reads[0].0, MachineId(1));
+        assert!((plan.remote_reads[0].1 - 50.0 * MB).abs() < 1.0);
+        assert!((plan.remote_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fanin_cap_preserves_bytes() {
+        // Remote map from many sources with a tight fan-in.
+        let mut b = WorkloadBuilder::new();
+        let j = b.begin_job("j", None, 0.0);
+        let inputs: Vec<_> = (0..8).map(|_| b.stored_input(10.0 * MB)).collect();
+        b.add_stage(j, "s", vec![], 1, |_| TaskParams {
+            cores: 1.0,
+            mem: GB,
+            duration: 10.0,
+            cpu_frac: 1.0,
+            io_burst: 1.0,
+            inputs: inputs.clone(),
+            output_bytes: 0.0,
+            remote_frac: 1.0,
+        });
+        let w = b.finish();
+        let cluster = ClusterConfig::uniform(16, MachineSpec::paper_small());
+        let mut cfg = SimConfig::default();
+        cfg.replication = 1;
+        cfg.shuffle_fanin = 3;
+        cfg.seed = 7;
+        let mut st = SimState::new(cluster, w, cfg);
+        st.job_arrives(JobId(0));
+        // Find a host with no replicas.
+        let host = (0..16)
+            .map(MachineId)
+            .find(|m| !st.blocks.iter().any(|r| r.contains(m)))
+            .expect("some machine without replicas");
+        let plan = st.placement_plan(TaskUid(0), host);
+        assert!(plan.remote_reads.len() <= 3);
+        let total: f64 = plan.remote_reads.iter().map(|(_, b)| b).sum::<f64>()
+            + plan.local_read_bytes;
+        assert!((total - 80.0 * MB).abs() < 1.0, "bytes not conserved: {total}");
+    }
+
+    #[test]
+    fn usage_never_exceeds_rate_capacity() {
+        // Over-allocate CPU heavily; usage must stay at capacity.
+        let mut b = WorkloadBuilder::new();
+        let j = b.begin_job("j", None, 0.0);
+        b.add_stage(j, "s", vec![], 6, |_| TaskParams {
+            cores: 2.0,
+            mem: 0.5 * GB,
+            duration: 10.0,
+            cpu_frac: 1.0,
+            io_burst: 1.0,
+            inputs: vec![],
+            output_bytes: 0.0,
+            remote_frac: 1.0,
+        });
+        let mut st = mk_state(b.finish());
+        st.job_arrives(JobId(0));
+        let mut dirty = DirtySet::default();
+        let mut q = EventQueue::new();
+        for i in 0..6 {
+            st.apply_assignment(TaskUid(i), MachineId(0), &mut dirty, &mut q);
+        }
+        st.recompute_dirty(&mut dirty, &mut q);
+        let usage = st.machines[0].usage(&st.flows);
+        assert!(usage.get(Resource::Cpu) <= 4.0 + 1e-9);
+        // Allocation ledger, by contrast, records the over-allocation.
+        assert_eq!(st.machines[0].allocated.get(Resource::Cpu), 12.0);
+        assert!(st.availability(MachineId(0), false).get(Resource::Cpu) < 0.0);
+    }
+}

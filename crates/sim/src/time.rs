@@ -1,0 +1,127 @@
+//! Simulated time: integer microseconds.
+//!
+//! Integer time makes event ordering exact and runs bit-reproducible;
+//! conversions to/from `f64` seconds happen only at the API boundary.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time (microseconds since simulation start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+#[derive(serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// t = 0.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The far future (used as an "unscheduled" sentinel).
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// From seconds, rounding *up* to the next microsecond (rounding up
+    /// keeps completion events at-or-after the true completion instant, so
+    /// work is never left unfinished at its event).
+    pub fn from_secs(s: f64) -> SimTime {
+        assert!(s >= 0.0 && s.is_finite(), "invalid time {s}");
+        SimTime((s * 1e6).ceil() as u64)
+    }
+
+    /// To fractional seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Raw microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Add a duration in seconds (rounded up), saturating at [`SimTime::MAX`].
+    pub fn after_secs(self, s: f64) -> SimTime {
+        if !s.is_finite() {
+            return SimTime::MAX;
+        }
+        assert!(s >= 0.0, "negative duration {s}");
+        SimTime(self.0.saturating_add((s * 1e6).ceil() as u64))
+    }
+
+    /// Elapsed seconds since `earlier` (0 if `earlier` is later).
+    pub fn secs_since(self, earlier: SimTime) -> f64 {
+        self.0.saturating_sub(earlier.0) as f64 / 1e6
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+    fn add(self, micros: u64) -> SimTime {
+        SimTime(self.0.saturating_add(micros))
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    fn add_assign(&mut self, micros: u64) {
+        self.0 = self.0.saturating_add(micros);
+    }
+}
+
+impl Sub for SimTime {
+    type Output = u64;
+    fn sub(self, rhs: SimTime) -> u64 {
+        self.0.saturating_sub(rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_secs() {
+        let t = SimTime::from_secs(12.5);
+        assert_eq!(t.0, 12_500_000);
+        assert_eq!(t.as_secs(), 12.5);
+    }
+
+    #[test]
+    fn from_secs_rounds_up() {
+        // 1 ns rounds up to 1 µs.
+        assert_eq!(SimTime::from_secs(1e-9).0, 1);
+        assert_eq!(SimTime::from_secs(0.0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn after_secs_and_since() {
+        let t = SimTime::from_secs(10.0).after_secs(2.5);
+        assert_eq!(t.as_secs(), 12.5);
+        assert_eq!(t.secs_since(SimTime::from_secs(10.0)), 2.5);
+        assert_eq!(SimTime::ZERO.secs_since(t), 0.0);
+    }
+
+    #[test]
+    fn infinite_duration_saturates() {
+        assert_eq!(SimTime::ZERO.after_secs(f64::INFINITY), SimTime::MAX);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_secs(1.0) < SimTime::from_secs(2.0));
+        assert!(SimTime::MAX > SimTime::from_secs(1e12));
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn negative_duration_panics() {
+        let _ = SimTime::ZERO.after_secs(-1.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime::from_secs(1.5).to_string(), "1.500s");
+    }
+}

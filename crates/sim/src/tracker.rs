@@ -1,0 +1,101 @@
+//! Resource-tracker helpers (paper §4.1).
+//!
+//! The tracker process on every node reports aggregate usage to the
+//! cluster-wide resource manager. The engine models the report cycle
+//! directly (`SimState::tracker_report`); this module provides the
+//! *ramp-up allowance* the paper describes for usage-based reports:
+//!
+//! > "In its reports, the tracker provides allowance for newly assigned
+//! > tasks to 'ramp up' their usages. It does so by increasing the
+//! > observed usage by a small amount per task; the amount decreases over
+//! > the task's lifetime and goes to zero after a threshold (we use 10s)."
+//!
+//! Without the allowance, a scheduler that trusts *usage* reports would
+//! over-schedule during the window between assigning a task and the task
+//! reaching its steady-state usage.
+
+use tetris_resources::ResourceVec;
+
+/// Ramp-up horizon in seconds (paper: 10 s).
+pub const RAMP_UP_HORIZON_SECS: f64 = 10.0;
+
+/// Allowance added to observed usage for one task that started `age`
+/// seconds ago with peak demand `demand`: linearly decaying from the full
+/// demand at age 0 to zero at the horizon.
+pub fn ramp_up_allowance(demand: &ResourceVec, age: f64, horizon: f64) -> ResourceVec {
+    assert!(horizon > 0.0);
+    if age >= horizon {
+        return ResourceVec::zero();
+    }
+    let frac = 1.0 - (age.max(0.0) / horizon);
+    *demand * frac
+}
+
+/// A usage report: observed usage plus ramp-up allowances for young tasks.
+///
+/// `young_tasks` holds `(demand, age_seconds)` pairs for tasks assigned to
+/// the machine within the horizon.
+pub fn adjusted_usage(
+    observed: &ResourceVec,
+    young_tasks: &[(ResourceVec, f64)],
+    horizon: f64,
+) -> ResourceVec {
+    let mut total = *observed;
+    for (demand, age) in young_tasks {
+        total += ramp_up_allowance(demand, *age, horizon);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tetris_resources::Resource;
+
+    fn d(cpu: f64) -> ResourceVec {
+        ResourceVec::zero().with(Resource::Cpu, cpu)
+    }
+
+    #[test]
+    fn allowance_full_at_zero_age() {
+        let a = ramp_up_allowance(&d(2.0), 0.0, 10.0);
+        assert_eq!(a.get(Resource::Cpu), 2.0);
+    }
+
+    #[test]
+    fn allowance_decays_linearly() {
+        let a = ramp_up_allowance(&d(2.0), 5.0, 10.0);
+        assert_eq!(a.get(Resource::Cpu), 1.0);
+    }
+
+    #[test]
+    fn allowance_zero_after_horizon() {
+        assert!(ramp_up_allowance(&d(2.0), 10.0, 10.0).is_zero());
+        assert!(ramp_up_allowance(&d(2.0), 100.0, 10.0).is_zero());
+    }
+
+    #[test]
+    fn negative_age_clamps_to_full() {
+        let a = ramp_up_allowance(&d(2.0), -1.0, 10.0);
+        assert_eq!(a.get(Resource::Cpu), 2.0);
+    }
+
+    #[test]
+    fn adjusted_usage_sums_allowances() {
+        let observed = d(1.0);
+        let young = vec![(d(2.0), 0.0), (d(4.0), 5.0)];
+        let adj = adjusted_usage(&observed, &young, 10.0);
+        // 1 + 2 + 2 = 5.
+        assert_eq!(adj.get(Resource::Cpu), 5.0);
+    }
+
+    #[test]
+    fn adjusted_usage_converges_to_observed() {
+        let observed = d(3.0);
+        let young = vec![(d(2.0), 20.0)];
+        assert_eq!(
+            adjusted_usage(&observed, &young, RAMP_UP_HORIZON_SECS),
+            observed
+        );
+    }
+}

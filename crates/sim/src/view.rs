@@ -1,0 +1,320 @@
+//! The scheduler-facing API: [`SchedulerPolicy`], [`Assignment`] and
+//! [`ClusterView`].
+//!
+//! The engine invokes the policy whenever scheduling-relevant state changes
+//! (job arrival, task completion, tracker report, external-load change).
+//! The policy inspects the view and returns a batch of assignments; the
+//! engine applies them and re-invokes until the policy returns nothing.
+//!
+//! The view exposes *reported* information — peak demands, machine
+//! availability ledgers, tracker reports — never simulation ground truth
+//! like actual flow rates, mirroring what a real cluster scheduler can
+//! observe.
+
+use tetris_resources::ResourceVec;
+use tetris_workload::{JobId, TaskSpec, TaskUid};
+
+use crate::cluster::MachineId;
+use crate::state::{Phase, PlacementPlan, SimState};
+
+/// A scheduling decision: run `task` on `machine`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Assignment {
+    /// The task to place (must currently be runnable).
+    pub task: TaskUid,
+    /// The machine to place it on.
+    pub machine: MachineId,
+}
+
+/// A cluster scheduling policy.
+///
+/// Implementations must be deterministic functions of the views they see
+/// (plus their own seeded state): the whole simulator is bit-reproducible
+/// and the test suite relies on it.
+pub trait SchedulerPolicy {
+    /// Short name for reports ("tetris", "drf", "fair", ...).
+    fn name(&self) -> String;
+
+    /// Pick assignments for the current state. Called repeatedly within a
+    /// scheduling round until it returns an empty batch; implementations
+    /// should therefore return *all* assignments they can justify now,
+    /// maintaining their own working copy of availability while choosing.
+    fn schedule(&mut self, view: &ClusterView<'_>) -> Vec<Assignment>;
+
+    /// Whether this policy subtracts tracker-reported external usage
+    /// (ingestion, evacuation, misbehaving processes) from machine
+    /// availability. Tetris does (§4.3); slot-based baselines do not.
+    fn uses_tracker(&self) -> bool {
+        false
+    }
+}
+
+/// Per-stage progress visible to policies (for the barrier knob, §3.5).
+#[derive(Debug, Clone, Copy)]
+pub struct StageProgress {
+    /// Total tasks in the stage.
+    pub total: usize,
+    /// Finished tasks.
+    pub finished: usize,
+    /// Currently running tasks.
+    pub running: usize,
+    /// Pending (runnable, unplaced) tasks.
+    pub pending: usize,
+    /// True if a later stage depends on this one (it precedes a barrier).
+    /// The end of the job also acts as a barrier (§3.5), so policies treat
+    /// the final stage as barrier-feeding too.
+    pub feeds_barrier: bool,
+    /// True once upstream dependencies completed and tasks became runnable.
+    pub unlocked: bool,
+}
+
+/// Read-only snapshot interface over the simulation state.
+pub struct ClusterView<'a> {
+    state: &'a SimState,
+    tracker_aware: bool,
+}
+
+impl<'a> ClusterView<'a> {
+    pub(crate) fn new(state: &'a SimState, tracker_aware: bool) -> Self {
+        ClusterView {
+            state,
+            tracker_aware,
+        }
+    }
+
+    /// Current simulated time in seconds.
+    pub fn now(&self) -> f64 {
+        self.state.now.as_secs()
+    }
+
+    /// Number of machines.
+    pub fn num_machines(&self) -> usize {
+        self.state.machines.len()
+    }
+
+    /// All machine ids.
+    pub fn machines(&self) -> impl Iterator<Item = MachineId> {
+        (0..self.state.machines.len()).map(MachineId)
+    }
+
+    /// Capacity of a machine.
+    pub fn capacity(&self, m: MachineId) -> ResourceVec {
+        self.state.machines[m.index()].capacity
+    }
+
+    /// Scheduler-visible availability of a machine: capacity minus the
+    /// demand ledger (minus tracker-reported external usage for
+    /// tracker-aware policies). Negative components mean someone
+    /// over-allocated.
+    pub fn available(&self, m: MachineId) -> ResourceVec {
+        self.state.availability(m, self.tracker_aware)
+    }
+
+    /// Aggregate cluster capacity.
+    pub fn total_capacity(&self) -> ResourceVec {
+        self.state.total_capacity
+    }
+
+    /// Number of tasks currently running on a machine (slot occupancy for
+    /// slot-based policies).
+    pub fn machine_running(&self, m: MachineId) -> usize {
+        self.state.machines[m.index()].running
+    }
+
+    /// Uids of the tasks currently running on a machine, in placement
+    /// order (for slot accounting by slot-based policies).
+    pub fn machine_tasks(&self, m: MachineId) -> &[TaskUid] {
+        &self.state.machines[m.index()].running_tasks
+    }
+
+    /// Machines whose availability changed since the last scheduling round
+    /// (a hint; may contain duplicates).
+    pub fn freed_machines(&self) -> &[MachineId] {
+        &self.state.freed_hint
+    }
+
+    /// Jobs that have arrived and not finished, in id order.
+    pub fn active_jobs(&self) -> Vec<JobId> {
+        self.state
+            .jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| j.is_active())
+            .map(|(i, _)| JobId(i))
+            .collect()
+    }
+
+    /// Job arrival time (seconds).
+    pub fn job_arrival(&self, j: JobId) -> f64 {
+        self.state.workload.jobs[j.index()].arrival
+    }
+
+    /// Recurring-job family of a job, if any (for demand estimation from
+    /// prior runs, §4.1).
+    pub fn job_family(&self, j: JobId) -> Option<String> {
+        self.state.workload.jobs[j.index()].family.clone()
+    }
+
+    /// Sum of local peak demands of the job's currently running tasks —
+    /// the job's current allocation, used for fair-share deficits.
+    pub fn job_allocated(&self, j: JobId) -> ResourceVec {
+        self.state.jobs[j.index()].allocated
+    }
+
+    /// Number of running tasks of the job (slot-based fairness counts
+    /// these).
+    pub fn job_running(&self, j: JobId) -> usize {
+        self.state.jobs[j.index()].running
+    }
+
+    /// Runnable, unplaced tasks of the job, in stage order.
+    ///
+    /// Allocates; hot paths should prefer [`ClusterView::job_pending_stages`].
+    pub fn job_pending(&self, j: JobId) -> Vec<TaskUid> {
+        let js = &self.state.jobs[j.index()];
+        let mut out = Vec::new();
+        for s in &js.stages {
+            out.extend_from_slice(&s.pending);
+        }
+        out
+    }
+
+    /// Zero-copy view of the job's pending tasks, one slice per stage with
+    /// pending work, in stage order. Slices are stable for the duration of
+    /// one `schedule()` invocation (the engine applies assignments only
+    /// after the policy returns).
+    pub fn job_pending_stages(&self, j: JobId) -> Vec<(usize, &[TaskUid])> {
+        self.state.jobs[j.index()]
+            .stages
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.pending.is_empty())
+            .map(|(si, s)| (si, s.pending.as_slice()))
+            .collect()
+    }
+
+    /// The pending slice of one stage (empty slice if none).
+    pub fn stage_pending_slice(&self, j: JobId, si: usize) -> &[TaskUid] {
+        &self.state.jobs[j.index()].stages[si].pending
+    }
+
+    /// A representative unscheduled task of a stage: the first pending one
+    /// for unlocked stages, the stage's first task for locked ones, `None`
+    /// if the stage has no unscheduled work. Tasks of a stage are
+    /// statistically similar (§4.1), so one representative suffices for
+    /// remaining-work scoring without walking the whole stage.
+    pub fn stage_representative(&self, j: JobId, si: usize) -> Option<&TaskSpec> {
+        let stage = &self.state.jobs[j.index()].stages[si];
+        if stage.unlocked {
+            stage.pending.first().map(|&uid| self.task(uid))
+        } else {
+            self.state.workload.jobs[j.index()].stages[si]
+                .tasks
+                .first()
+                .map(|t| {
+                    let uid = t.uid;
+                    self.task(uid)
+                })
+        }
+    }
+
+    /// All unfinished, unplaced tasks of the job *including* tasks of
+    /// still-locked stages — the "remaining work" of the multi-resource
+    /// SRTF score (§3.3.1).
+    pub fn job_remaining_tasks(&self, j: JobId) -> Vec<TaskUid> {
+        let ji = j.index();
+        let js = &self.state.jobs[ji];
+        let mut out = Vec::new();
+        for (si, s) in js.stages.iter().enumerate() {
+            if s.unlocked {
+                out.extend_from_slice(&s.pending);
+            } else {
+                out.extend(
+                    self.state.workload.jobs[ji].stages[si]
+                        .tasks
+                        .iter()
+                        .map(|t| t.uid),
+                );
+            }
+        }
+        out
+    }
+
+    /// Per-stage progress of a job.
+    pub fn stage_progress(&self, j: JobId) -> Vec<StageProgress> {
+        let js = &self.state.jobs[j.index()];
+        let n = js.stages.len();
+        js.stages
+            .iter()
+            .enumerate()
+            .map(|(si, s)| StageProgress {
+                total: s.total,
+                finished: s.finished,
+                running: s.running,
+                pending: s.pending.len(),
+                // The end of the job is a barrier too (§3.5).
+                feeds_barrier: s.feeds_downstream || si == n - 1,
+                unlocked: s.unlocked,
+            })
+            .collect()
+    }
+
+    /// Static spec of a task (peak demands, work, inputs).
+    pub fn task(&self, uid: TaskUid) -> &TaskSpec {
+        self.state.spec(uid)
+    }
+
+    /// Owning job and stage of a task.
+    pub fn task_stage(&self, uid: TaskUid) -> (JobId, usize) {
+        let (j, s, _) = self.state.task_loc[uid.index()];
+        (JobId(j), s)
+    }
+
+    /// Whether the task is currently runnable (pending placement).
+    pub fn is_runnable(&self, uid: TaskUid) -> bool {
+        matches!(self.state.tasks[uid.index()].phase, Phase::Runnable)
+    }
+
+    /// Seconds the task has been runnable without being placed (0 if it is
+    /// not currently pending). Basis for starvation detection (§3.5).
+    pub fn task_pending_age(&self, uid: TaskUid) -> f64 {
+        let t = &self.state.tasks[uid.index()];
+        match (&t.phase, t.runnable_since) {
+            (Phase::Runnable, Some(since)) => self.state.now.secs_since(since),
+            _ => 0.0,
+        }
+    }
+
+    /// Resolve the placement-adjusted demands and estimated duration of
+    /// running `task` on `machine` (paper §3.2 "Incorporating task
+    /// placement").
+    pub fn plan(&self, task: TaskUid, machine: MachineId) -> PlacementPlan {
+        self.state.placement_plan(task, machine)
+    }
+
+    /// Machines holding a replica of at least one of the task's stored
+    /// input blocks (locality preferences for baseline schedulers).
+    pub fn preferred_machines(&self, task: TaskUid) -> Vec<MachineId> {
+        let spec = self.state.spec(task);
+        let mut out = Vec::new();
+        for input in &spec.inputs {
+            if let tetris_workload::InputSource::Stored(b) = input.source {
+                out.extend_from_slice(&self.state.blocks[b.index()]);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Total number of pending runnable tasks across active jobs.
+    pub fn num_pending(&self) -> usize {
+        self.state
+            .jobs
+            .iter()
+            .filter(|j| j.is_active())
+            .flat_map(|j| j.stages.iter())
+            .map(|s| s.pending.len())
+            .sum()
+    }
+}

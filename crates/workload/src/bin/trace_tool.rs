@@ -1,0 +1,111 @@
+//! `trace-tool` — generate, inspect and analyze workload traces.
+//!
+//! ```sh
+//! trace-tool generate suite    --jobs 50  --scale 0.08 --seed 42 -o suite.json
+//! trace-tool generate facebook --jobs 120 --scale 0.06 --seed 43 -o fb.json
+//! trace-tool info    fb.json
+//! trace-tool analyze fb.json       # Table-2 correlations + Fig-2 diversity
+//! ```
+
+use std::process::exit;
+
+use tetris_workload::analysis::{CorrelationMatrix, DemandDiversity, Heatmap};
+use tetris_workload::{trace, FacebookTraceConfig, Workload, WorkloadSuiteConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("generate") => generate(&args[1..]),
+        Some("info") => info(&args[1..]),
+        Some("analyze") => analyze(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage:\n  trace-tool generate <suite|facebook> [--jobs N] [--scale F] \
+                 [--seed N] -o FILE\n  trace-tool info FILE\n  trace-tool analyze FILE"
+            );
+            exit(2);
+        }
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn generate(args: &[String]) {
+    let kind = args.first().cloned().unwrap_or_default();
+    let jobs: usize = flag(args, "--jobs").map_or(50, |v| v.parse().expect("--jobs"));
+    let scale: f64 = flag(args, "--scale").map_or(0.08, |v| v.parse().expect("--scale"));
+    let seed: u64 = flag(args, "--seed").map_or(42, |v| v.parse().expect("--seed"));
+    let out = flag(args, "-o").unwrap_or_else(|| {
+        eprintln!("generate requires -o FILE");
+        exit(2);
+    });
+    let (w, provenance) = match kind.as_str() {
+        "suite" => (
+            WorkloadSuiteConfig::scaled(jobs, scale).generate(seed),
+            format!("suite jobs={jobs} scale={scale} seed={seed}"),
+        ),
+        "facebook" => (
+            FacebookTraceConfig {
+                n_jobs: jobs,
+                scale,
+                ..FacebookTraceConfig::default()
+            }
+            .generate(seed),
+            format!("facebook jobs={jobs} scale={scale} seed={seed}"),
+        ),
+        other => {
+            eprintln!("unknown generator '{other}' (suite|facebook)");
+            exit(2);
+        }
+    };
+    trace::save(&out, &w, &provenance).expect("write trace");
+    println!(
+        "wrote {out}: {} jobs, {} tasks ({provenance})",
+        w.jobs.len(),
+        w.num_tasks()
+    );
+}
+
+fn load(args: &[String]) -> (String, Workload, String) {
+    let path = args.first().cloned().unwrap_or_else(|| {
+        eprintln!("missing FILE argument");
+        exit(2);
+    });
+    match trace::load(&path) {
+        Ok(tf) => (path, tf.workload, tf.provenance),
+        Err(e) => {
+            eprintln!("failed to load trace: {e}");
+            exit(1);
+        }
+    }
+}
+
+fn info(args: &[String]) {
+    let (path, w, provenance) = load(args);
+    println!("{path}: {provenance}");
+    println!("  jobs: {}", w.jobs.len());
+    println!("  tasks: {}", w.num_tasks());
+    println!("  stored blocks: {}", w.num_blocks);
+    let stages: usize = w.jobs.iter().map(|j| j.stages.len()).sum();
+    println!("  stages: {stages}");
+    let recurring = w.jobs.iter().filter(|j| j.family.is_some()).count();
+    println!("  recurring jobs: {recurring}");
+    let horizon = w.jobs.iter().map(|j| j.arrival).fold(0.0f64, f64::max);
+    println!("  arrival horizon: {horizon:.0}s");
+}
+
+fn analyze(args: &[String]) {
+    let (_, w, _) = load(args);
+    println!("== demand correlation (Table 2) ==");
+    let m = CorrelationMatrix::compute(&w);
+    println!("{}", m.render());
+    println!("== demand diversity (Figure 2) ==");
+    println!("{}", DemandDiversity::compute(&w).render());
+    println!("== cores vs memory heat-map ==");
+    println!("{}", Heatmap::compute(&w, 1, 20).render());
+}

@@ -1,0 +1,78 @@
+//! Typed identifiers for workload entities.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        #[derive(serde::Serialize, serde::Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(pub usize);
+
+        impl $name {
+            /// Raw index value.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(v: usize) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a job within a [`crate::Workload`] (dense, 0-based).
+    JobId,
+    "j"
+);
+
+id_type!(
+    /// Globally unique identifier of a task within a [`crate::Workload`]
+    /// (dense across all jobs and stages).
+    TaskUid,
+    "t"
+);
+
+id_type!(
+    /// Identifier of a stored data block (HDFS-style); block → machine
+    /// replica placement is decided when a workload is bound to a cluster.
+    BlockId,
+    "b"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(JobId(3).to_string(), "j3");
+        assert_eq!(TaskUid(42).to_string(), "t42");
+        assert_eq!(BlockId(0).to_string(), "b0");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(JobId(1) < JobId(2));
+        assert_eq!(TaskUid::from(5).index(), 5);
+    }
+
+    #[test]
+    fn ids_hash_distinctly() {
+        use std::collections::HashSet;
+        let set: HashSet<TaskUid> = (0..100).map(TaskUid).collect();
+        assert_eq!(set.len(), 100);
+    }
+}

@@ -1,0 +1,523 @@
+//! Machine-independent workload descriptions: tasks, stages, jobs, DAGs.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use tetris_resources::{Resource, ResourceVec};
+
+use crate::ids::{BlockId, JobId, TaskUid};
+
+/// Where a task's input bytes come from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum InputSource {
+    /// A stored (HDFS-style) data block. Replica → machine placement is
+    /// decided when the workload is bound to a concrete cluster, so the
+    /// workload itself stays machine-independent.
+    Stored(BlockId),
+    /// Shuffle: read the outputs of an upstream stage (by stage index within
+    /// the same job). The set of source machines is known only at runtime —
+    /// wherever the upstream tasks actually ran — which is exactly why the
+    /// paper's disk/network demands are placement-dependent (§3.1).
+    Shuffle {
+        /// Index of the upstream stage whose outputs are read.
+        stage: usize,
+    },
+}
+
+/// One input chunk of a task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct InputSpec {
+    /// Where the bytes live.
+    pub source: InputSource,
+    /// How many bytes this task reads from that source.
+    pub bytes: f64,
+}
+
+/// Static description of one task: peak demands (`d` of paper Table 4) and
+/// total work (`f` terms of eqn. 5).
+///
+/// The *demand* vector holds peak rates (cores, bytes/s) plus peak memory
+/// bytes; the *work* quantities ([`TaskSpec::cpu_work`],
+/// [`TaskSpec::output_bytes`], input bytes) are what must be processed.
+/// A task's runtime is therefore `work / allocated rate`, maximized over
+/// dimensions — allocate less than peak and the task stretches, which is how
+/// over-allocation by baseline schedulers manifests.
+#[derive(Debug, Clone, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct TaskSpec {
+    /// Workload-unique task id.
+    pub uid: TaskUid,
+    /// Owning job.
+    pub job: JobId,
+    /// Stage index within the job.
+    pub stage: usize,
+    /// Index within the stage.
+    pub index: usize,
+    /// True peak resource demands.
+    pub demand: ResourceVec,
+    /// Total CPU work in core-seconds (`f^cpu`).
+    pub cpu_work: f64,
+    /// Bytes written to the local disk (`f^diskW`); also the bytes exposed
+    /// to downstream shuffle readers.
+    pub output_bytes: f64,
+    /// Input chunks to read before/while computing.
+    pub inputs: Vec<InputSpec>,
+}
+
+impl TaskSpec {
+    /// Total input bytes across all chunks.
+    pub fn input_bytes(&self) -> f64 {
+        self.inputs.iter().map(|i| i.bytes).sum()
+    }
+
+    /// Lower bound on the task's duration: peak allocation, all inputs
+    /// local. This is the `duration` the schedulers *estimate* with
+    /// (paper §3.3.1 estimates durations from work and peak demands).
+    pub fn ideal_duration(&self) -> f64 {
+        let mut d: f64 = 0.0;
+        let cpu = self.demand.get(Resource::Cpu);
+        if self.cpu_work > 0.0 {
+            d = d.max(self.cpu_work / cpu);
+        }
+        let dw = self.demand.get(Resource::DiskWrite);
+        if self.output_bytes > 0.0 {
+            d = d.max(self.output_bytes / dw);
+        }
+        let dr = self.demand.get(Resource::DiskRead);
+        let inb = self.input_bytes();
+        if inb > 0.0 {
+            d = d.max(inb / dr);
+        }
+        d
+    }
+
+    /// The local-view work vector (`f` terms): cpu core-seconds, bytes read
+    /// (assuming local input), bytes written.
+    pub fn work_vector(&self) -> ResourceVec {
+        ResourceVec::zero()
+            .with(Resource::Cpu, self.cpu_work)
+            .with(Resource::DiskRead, self.input_bytes())
+            .with(Resource::DiskWrite, self.output_bytes)
+    }
+
+    /// True if any input is a shuffle read.
+    pub fn reads_shuffle(&self) -> bool {
+        self.inputs
+            .iter()
+            .any(|i| matches!(i.source, InputSource::Shuffle { .. }))
+    }
+}
+
+/// A stage: a set of tasks doing the same computation over different data
+/// partitions, separated from upstream stages by a barrier.
+#[derive(Debug, Clone, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct StageSpec {
+    /// Human-readable name ("map", "reduce", "join-2", ...).
+    pub name: String,
+    /// Upstream stage indices. All upstream tasks must finish before any
+    /// task of this stage starts (strict barrier, paper §2.1/§3.5).
+    pub deps: Vec<usize>,
+    /// The stage's tasks.
+    pub tasks: Vec<TaskSpec>,
+}
+
+impl StageSpec {
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True if the stage has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+}
+
+/// A job: a DAG of stages plus an arrival time.
+#[derive(Debug, Clone, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct JobSpec {
+    /// Dense job id within the workload.
+    pub id: JobId,
+    /// Human-readable name.
+    pub name: String,
+    /// Recurring-job family. Analytics jobs repeat hourly/daily on new data
+    /// (paper §4.1); jobs in the same family share demand statistics, which
+    /// is what the demand estimator exploits.
+    pub family: Option<String>,
+    /// Arrival time in seconds from the start of the trace.
+    pub arrival: f64,
+    /// Stages in topological order (deps always point backwards).
+    pub stages: Vec<StageSpec>,
+}
+
+/// Convenience alias: a `Job` is its static spec.
+pub type Job = JobSpec;
+
+impl JobSpec {
+    /// Total number of tasks across stages.
+    pub fn num_tasks(&self) -> usize {
+        self.stages.iter().map(|s| s.tasks.len()).sum()
+    }
+
+    /// Iterate over all tasks of the job.
+    pub fn tasks(&self) -> impl Iterator<Item = &TaskSpec> {
+        self.stages.iter().flat_map(|s| s.tasks.iter())
+    }
+
+    /// Sum of ideal task durations — a crude job-length scale used by
+    /// tests and reporting (not the SRTF score, which lives in
+    /// `tetris-core`).
+    pub fn total_ideal_work_seconds(&self) -> f64 {
+        self.tasks().map(|t| t.ideal_duration()).sum()
+    }
+}
+
+/// A complete workload: jobs plus the universe of stored data blocks their
+/// map tasks read.
+#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct Workload {
+    /// Jobs, indexed by [`JobId`].
+    pub jobs: Vec<JobSpec>,
+    /// Number of distinct stored blocks referenced by `Stored` inputs.
+    /// Block → machine replica placement happens at simulation bind time.
+    pub num_blocks: usize,
+}
+
+/// Error from [`Workload::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValidationError {
+    /// `jobs[i].id != i`.
+    NonDenseJobId(usize),
+    /// Task uid appears twice or task back-references the wrong job/stage.
+    BadTaskIdentity(TaskUid),
+    /// Stage dep points at itself or forward (stages must be topo-ordered).
+    BadStageDep {
+        /// Offending job.
+        job: JobId,
+        /// Offending stage index.
+        stage: usize,
+        /// The invalid dependency value.
+        dep: usize,
+    },
+    /// Shuffle input references a stage that is not a declared dependency.
+    ShuffleNotADep {
+        /// Offending task.
+        task: TaskUid,
+        /// The referenced stage index.
+        stage: usize,
+    },
+    /// Stored input references a block id `>= num_blocks`.
+    UnknownBlock(BlockId),
+    /// A demand component is negative or NaN.
+    BadDemand(TaskUid),
+    /// Task has work along a dimension but zero peak demand for it, so its
+    /// duration would be infinite.
+    WorkWithoutDemand {
+        /// Offending task.
+        task: TaskUid,
+        /// Dimension with work but no demand.
+        resource: Resource,
+    },
+    /// Negative arrival time.
+    BadArrival(JobId),
+    /// A job has no stages or a stage has no tasks.
+    Empty(JobId),
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::NonDenseJobId(i) => write!(f, "job at position {i} has wrong id"),
+            ValidationError::BadTaskIdentity(t) => write!(f, "task {t} has bad identity"),
+            ValidationError::BadStageDep { job, stage, dep } => {
+                write!(f, "{job} stage {stage} has invalid dep {dep}")
+            }
+            ValidationError::ShuffleNotADep { task, stage } => {
+                write!(f, "task {task} shuffles from non-dependency stage {stage}")
+            }
+            ValidationError::UnknownBlock(b) => write!(f, "unknown block {b}"),
+            ValidationError::BadDemand(t) => write!(f, "task {t} has negative/NaN demand"),
+            ValidationError::WorkWithoutDemand { task, resource } => {
+                write!(f, "task {task} has {resource} work but zero demand")
+            }
+            ValidationError::BadArrival(j) => write!(f, "{j} has negative arrival"),
+            ValidationError::Empty(j) => write!(f, "{j} has an empty stage list or stage"),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+impl Workload {
+    /// Total number of tasks across all jobs.
+    pub fn num_tasks(&self) -> usize {
+        self.jobs.iter().map(|j| j.num_tasks()).sum()
+    }
+
+    /// Look up a task by uid (O(#jobs + #stage tasks); build an index if you
+    /// need this hot — the simulator does).
+    pub fn task(&self, uid: TaskUid) -> Option<&TaskSpec> {
+        self.jobs.iter().flat_map(|j| j.tasks()).find(|t| t.uid == uid)
+    }
+
+    /// Iterate over all tasks.
+    pub fn tasks(&self) -> impl Iterator<Item = &TaskSpec> {
+        self.jobs.iter().flat_map(|j| j.tasks())
+    }
+
+    /// Check every structural invariant the simulator relies on.
+    pub fn validate(&self) -> Result<(), ValidationError> {
+        let mut seen_uids = HashSet::new();
+        for (ji, job) in self.jobs.iter().enumerate() {
+            if job.id.index() != ji {
+                return Err(ValidationError::NonDenseJobId(ji));
+            }
+            if !(job.arrival >= 0.0) {
+                return Err(ValidationError::BadArrival(job.id));
+            }
+            if job.stages.is_empty() || job.stages.iter().any(|s| s.is_empty()) {
+                return Err(ValidationError::Empty(job.id));
+            }
+            for (si, stage) in job.stages.iter().enumerate() {
+                for &dep in &stage.deps {
+                    if dep >= si {
+                        return Err(ValidationError::BadStageDep {
+                            job: job.id,
+                            stage: si,
+                            dep,
+                        });
+                    }
+                }
+                for (ti, task) in stage.tasks.iter().enumerate() {
+                    if task.job != job.id || task.stage != si || task.index != ti {
+                        return Err(ValidationError::BadTaskIdentity(task.uid));
+                    }
+                    if !seen_uids.insert(task.uid) {
+                        return Err(ValidationError::BadTaskIdentity(task.uid));
+                    }
+                    if task.demand.has_nan() || task.demand.min_component() < 0.0 {
+                        return Err(ValidationError::BadDemand(task.uid));
+                    }
+                    for input in &task.inputs {
+                        match input.source {
+                            InputSource::Stored(b) => {
+                                if b.index() >= self.num_blocks {
+                                    return Err(ValidationError::UnknownBlock(b));
+                                }
+                            }
+                            InputSource::Shuffle { stage: up } => {
+                                if !stage.deps.contains(&up) {
+                                    return Err(ValidationError::ShuffleNotADep {
+                                        task: task.uid,
+                                        stage: up,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                    // Work along a dimension requires non-zero peak demand.
+                    let checks = [
+                        (task.cpu_work, Resource::Cpu),
+                        (task.output_bytes, Resource::DiskWrite),
+                        (task.input_bytes(), Resource::DiskRead),
+                    ];
+                    for (work, r) in checks {
+                        if work > 0.0 && task.demand.get(r) <= 0.0 {
+                            return Err(ValidationError::WorkWithoutDemand {
+                                task: task.uid,
+                                resource: r,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tetris_resources::units::{GB, MB};
+
+    fn simple_task(uid: usize, job: usize, stage: usize, index: usize) -> TaskSpec {
+        TaskSpec {
+            uid: TaskUid(uid),
+            job: JobId(job),
+            stage,
+            index,
+            demand: ResourceVec::zero()
+                .with(Resource::Cpu, 1.0)
+                .with(Resource::Mem, 2.0 * GB)
+                .with(Resource::DiskRead, 50.0 * MB)
+                .with(Resource::DiskWrite, 50.0 * MB),
+            cpu_work: 30.0,
+            output_bytes: 100.0 * MB,
+            inputs: vec![InputSpec {
+                source: InputSource::Stored(BlockId(0)),
+                bytes: 200.0 * MB,
+            }],
+        }
+    }
+
+    fn simple_workload() -> Workload {
+        let map = StageSpec {
+            name: "map".into(),
+            deps: vec![],
+            tasks: vec![simple_task(0, 0, 0, 0), simple_task(1, 0, 0, 1)],
+        };
+        let mut rt = simple_task(2, 0, 1, 0);
+        rt.inputs = vec![InputSpec {
+            source: InputSource::Shuffle { stage: 0 },
+            bytes: 150.0 * MB,
+        }];
+        let reduce = StageSpec {
+            name: "reduce".into(),
+            deps: vec![0],
+            tasks: vec![rt],
+        };
+        Workload {
+            jobs: vec![JobSpec {
+                id: JobId(0),
+                name: "job0".into(),
+                family: None,
+                arrival: 0.0,
+                stages: vec![map, reduce],
+            }],
+            num_blocks: 1,
+        }
+    }
+
+    #[test]
+    fn valid_workload_passes() {
+        assert_eq!(simple_workload().validate(), Ok(()));
+    }
+
+    #[test]
+    fn ideal_duration_is_bottleneck() {
+        let t = simple_task(0, 0, 0, 0);
+        // cpu: 30s; read: 200MB/50MBps = 4s; write: 100/50 = 2s → 30s.
+        assert!((t.ideal_duration() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ideal_duration_io_bound() {
+        let mut t = simple_task(0, 0, 0, 0);
+        t.cpu_work = 1.0;
+        assert!((t.ideal_duration() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counts() {
+        let w = simple_workload();
+        assert_eq!(w.num_tasks(), 3);
+        assert_eq!(w.jobs[0].num_tasks(), 3);
+        assert!(w.task(TaskUid(2)).unwrap().reads_shuffle());
+        assert!(!w.task(TaskUid(0)).unwrap().reads_shuffle());
+    }
+
+    #[test]
+    fn detects_duplicate_uid() {
+        let mut w = simple_workload();
+        w.jobs[0].stages[0].tasks[1].uid = TaskUid(0);
+        assert!(matches!(
+            w.validate(),
+            Err(ValidationError::BadTaskIdentity(_))
+        ));
+    }
+
+    #[test]
+    fn detects_forward_dep() {
+        let mut w = simple_workload();
+        w.jobs[0].stages[1].deps = vec![1];
+        assert!(matches!(w.validate(), Err(ValidationError::BadStageDep { .. })));
+    }
+
+    #[test]
+    fn detects_shuffle_from_non_dep() {
+        let mut w = simple_workload();
+        w.jobs[0].stages[1].deps = vec![];
+        assert!(matches!(
+            w.validate(),
+            Err(ValidationError::ShuffleNotADep { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_unknown_block() {
+        let mut w = simple_workload();
+        w.num_blocks = 0;
+        assert!(matches!(w.validate(), Err(ValidationError::UnknownBlock(_))));
+    }
+
+    #[test]
+    fn detects_work_without_demand() {
+        let mut w = simple_workload();
+        w.jobs[0].stages[0].tasks[0]
+            .demand
+            .set(Resource::DiskWrite, 0.0);
+        assert!(matches!(
+            w.validate(),
+            Err(ValidationError::WorkWithoutDemand {
+                resource: Resource::DiskWrite,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn detects_negative_demand() {
+        let mut w = simple_workload();
+        w.jobs[0].stages[0].tasks[0].demand.set(Resource::Cpu, -1.0);
+        assert!(matches!(w.validate(), Err(ValidationError::BadDemand(_))));
+    }
+
+    #[test]
+    fn detects_empty_stage() {
+        let mut w = simple_workload();
+        w.jobs[0].stages[0].tasks.clear();
+        assert!(matches!(w.validate(), Err(ValidationError::Empty(_))));
+    }
+
+    #[test]
+    fn detects_bad_arrival() {
+        let mut w = simple_workload();
+        w.jobs[0].arrival = -1.0;
+        assert!(matches!(w.validate(), Err(ValidationError::BadArrival(_))));
+    }
+
+    #[test]
+    fn validation_errors_display() {
+        // Every variant renders without panicking.
+        let errs: Vec<ValidationError> = vec![
+            ValidationError::NonDenseJobId(1),
+            ValidationError::BadTaskIdentity(TaskUid(1)),
+            ValidationError::BadStageDep {
+                job: JobId(0),
+                stage: 1,
+                dep: 2,
+            },
+            ValidationError::ShuffleNotADep {
+                task: TaskUid(1),
+                stage: 0,
+            },
+            ValidationError::UnknownBlock(BlockId(9)),
+            ValidationError::BadDemand(TaskUid(1)),
+            ValidationError::WorkWithoutDemand {
+                task: TaskUid(1),
+                resource: Resource::Cpu,
+            },
+            ValidationError::BadArrival(JobId(0)),
+            ValidationError::Empty(JobId(0)),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

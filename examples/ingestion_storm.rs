@@ -1,0 +1,59 @@
+//! The resource tracker reacting to external cluster activity (paper
+//! §4.3 and Figure 6).
+//!
+//! At t = 150 s, data ingestion starts writing at one machine's full disk
+//! bandwidth for 300 s. Tetris's tracker reports the usage and the
+//! scheduler stops placing tasks there; the slot-based Capacity scheduler
+//! has no idea, keeps placing, and the contention stretches its tasks and
+//! slows the ingestion stream itself.
+//!
+//! ```sh
+//! cargo run --release --example ingestion_storm
+//! ```
+
+use tetris::metrics::timeline;
+use tetris::prelude::*;
+use tetris::resources::units::MB;
+use tetris::sim::{ExternalLoad, MachineId, SimConfig};
+
+fn main() {
+    let cluster = ClusterConfig::paper_small();
+    let loaded = MachineId(0);
+    let workload = WorkloadSuiteConfig {
+        n_jobs: 40,
+        scale: 0.02,
+        arrival_horizon: 600.0,
+        machine_profile: MachineSpec::paper_small(),
+        ..WorkloadSuiteConfig::default()
+    }
+    .generate(99);
+
+    let mut cfg = SimConfig::default();
+    cfg.seed = 99;
+    cfg.external_loads.push(ExternalLoad {
+        machine: loaded,
+        start: 150.0,
+        duration: 300.0,
+        load: ResourceVec::zero().with(Resource::DiskWrite, 100.0 * MB),
+    });
+
+    let cap = MachineSpec::paper_small().capacity();
+    for (name, sched) in [
+        (
+            "tetris (tracker-aware)",
+            Box::new(TetrisScheduler::new(TetrisConfig::default())) as Box<dyn SchedulerPolicy>,
+        ),
+        ("capacity (tracker-blind)", Box::new(CapacityScheduler::new())),
+    ] {
+        let o = Simulation::build(cluster.clone(), workload.clone())
+            .scheduler_boxed(sched)
+            .config(cfg.clone())
+            .run();
+        let tl = timeline::machine_timeline(&o, loaded, &cap).expect("machine samples");
+        println!(
+            "== {name}: machine {loaded} timeline (ingestion t=150..450s); mean task stretch {:.2} ==",
+            o.mean_task_stretch()
+        );
+        println!("{}", timeline::render(&timeline::decimate(&tl, 14)));
+    }
+}

@@ -1,0 +1,50 @@
+//! Quickstart: run one workload under Tetris and the paper's baselines and
+//! compare makespan / average job completion time.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use tetris::prelude::*;
+
+fn main() {
+    // A 20-machine cluster with the paper's machine profile and a scaled
+    // version of the paper's §5.1 workload suite (50 jobs, task counts
+    // scaled to keep per-machine load comparable to the 250-machine
+    // deployment).
+    let cluster = ClusterConfig::uniform(20, MachineSpec::paper_large());
+    let workload = WorkloadSuiteConfig::scaled(50, 0.08).generate(42);
+    println!(
+        "workload: {} jobs, {} tasks on {} machines\n",
+        workload.jobs.len(),
+        workload.num_tasks(),
+        cluster.len()
+    );
+
+    let run = |name: &str, sched: Box<dyn SchedulerPolicy>| {
+        let outcome = Simulation::build(cluster.clone(), workload.clone())
+            .scheduler_boxed(sched)
+            .seed(42)
+            .run();
+        println!("{:<12} {}", name, RunMetrics::of(&outcome).row());
+        outcome
+    };
+
+    println!("{:<12} {}", "", RunMetrics::header());
+    let tetris = run("tetris", Box::new(TetrisScheduler::new(TetrisConfig::default())));
+    let fair = run("fair", Box::new(FairScheduler::new()));
+    let _cap = run("capacity", Box::new(CapacityScheduler::new()));
+    let drf = run("drf", Box::new(DrfScheduler::new()));
+
+    println!();
+    for base in [&fair, &drf] {
+        let imp = ImprovementSummary::compare(&tetris, base);
+        println!(
+            "tetris vs {:<10}  avg JCT: {:+.1}%   median job: {:+.1}%   makespan: {:+.1}%",
+            base.scheduler,
+            imp.avg_jct,
+            imp.median(),
+            imp.makespan
+        );
+    }
+}

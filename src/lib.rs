@@ -1,0 +1,62 @@
+//! # tetris
+//!
+//! Umbrella crate for the Tetris workspace — a production-quality Rust
+//! reproduction of **"Multi-Resource Packing for Cluster Schedulers"**
+//! (Grandl et al., SIGCOMM 2014).
+//!
+//! This crate re-exports the public API of every member crate so that
+//! examples, integration tests and downstream users can depend on a single
+//! package:
+//!
+//! * [`resources`] — the six-dimensional resource model;
+//! * [`workload`] — jobs, tasks, DAGs, trace generation and analysis;
+//! * [`sim`] — the discrete-event cluster simulator;
+//! * [`scheduler`] — the Tetris scheduler itself (packing + SRTF + fairness);
+//! * [`baselines`] — Fair/Capacity/DRF/SRTF/upper-bound comparators;
+//! * [`metrics`] — makespan/JCT/fairness evaluation metrics.
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs` for a complete runnable walk-through; the
+//! one-paragraph version:
+//!
+//! ```
+//! use tetris::prelude::*;
+//!
+//! // A 4-machine cluster with the paper's machine profile.
+//! let cluster = ClusterConfig::uniform(4, MachineSpec::paper_large());
+//! // A small seeded synthetic workload.
+//! let jobs = WorkloadSuiteConfig::small().generate(7);
+//! // Run it under the Tetris scheduler.
+//! let outcome = Simulation::build(cluster, jobs)
+//!     .scheduler(TetrisScheduler::new(TetrisConfig::default()))
+//!     .seed(7)
+//!     .run();
+//! assert!(outcome.all_jobs_completed());
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use tetris_baselines as baselines;
+pub use tetris_core as scheduler;
+pub use tetris_metrics as metrics;
+pub use tetris_resources as resources;
+pub use tetris_sim as sim;
+pub use tetris_workload as workload;
+
+/// Convenience prelude bringing the most common types into scope.
+pub mod prelude {
+    pub use tetris_baselines::{
+        CapacityScheduler, DrfScheduler, FairScheduler, RandomScheduler, SrtfScheduler,
+        UpperBoundScheduler,
+    };
+    pub use tetris_core::{AlignmentKind, EstimationMode, StarvationConfig, TetrisConfig, TetrisScheduler};
+    pub use tetris_metrics::{ImprovementSummary, RunMetrics};
+    pub use tetris_resources::{units, MachineSpec, Resource, ResourceVec};
+    pub use tetris_sim::{
+        Assignment, ClusterConfig, ClusterView, SchedulerPolicy, SimOutcome, SimTime, Simulation,
+    };
+    pub use tetris_workload::{
+        FacebookTraceConfig, Job, JobSpec, StageSpec, TaskSpec, Workload, WorkloadSuiteConfig,
+    };
+}
