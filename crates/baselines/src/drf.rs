@@ -85,8 +85,7 @@ impl SchedulerPolicy for DrfScheduler {
     fn schedule(&mut self, view: &ClusterView<'_>) -> Vec<Assignment> {
         let total = view.total_capacity();
         // Working availability on the dimensions DRF examines.
-        let mut avail: Vec<ResourceVec> =
-            view.machines().map(|m| view.available(m)).collect();
+        let mut avail: Vec<ResourceVec> = view.machines().map(|m| view.available(m)).collect();
 
         let mut jobs: Vec<JobQueue<'_>> = view
             .active_jobs()
@@ -113,9 +112,7 @@ impl SchedulerPolicy for DrfScheduler {
                 let share = j.alloc.dominant_share(&total, &self.dims);
                 let better = match pick {
                     None => true,
-                    Some((bi, bs)) => {
-                        share < bs || (share == bs && j.id < jobs[bi].id)
-                    }
+                    Some((bi, bs)) => share < bs || (share == bs && j.id < jobs[bi].id),
                 };
                 if better {
                     pick = Some((i, share));
@@ -142,9 +139,7 @@ impl SchedulerPolicy for DrfScheduler {
                         .max_by(|a, b| {
                             let fa = avail[a.index()].get(Resource::Mem);
                             let fb = avail[b.index()].get(Resource::Mem);
-                            fa.partial_cmp(&fb)
-                                .unwrap()
-                                .then(b.index().cmp(&a.index()))
+                            fa.partial_cmp(&fb).unwrap().then(b.index().cmp(&a.index()))
                         })
                 });
             match target {
@@ -152,7 +147,7 @@ impl SchedulerPolicy for DrfScheduler {
                     avail[m.index()] -= demand;
                     jobs[ji].alloc += demand;
                     jobs[ji].advance();
-                    out.push(Assignment { task, machine: m });
+                    out.push(Assignment::new(task, m));
                 }
                 None => {
                     jobs[ji].stuck = true;
@@ -337,5 +332,3 @@ mod tests {
         assert_eq!(DrfScheduler::new().name(), "drf");
     }
 }
-
-

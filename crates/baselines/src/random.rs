@@ -42,8 +42,7 @@ impl SchedulerPolicy for RandomScheduler {
             let k = self.rng.gen_range(0..=i);
             tasks.swap(i, k);
         }
-        let mut avail: Vec<ResourceVec> =
-            view.machines().map(|m| view.available(m)).collect();
+        let mut avail: Vec<ResourceVec> = view.machines().map(|m| view.available(m)).collect();
         let n = view.num_machines();
         let mut out = Vec::new();
         for t in tasks {
@@ -62,7 +61,7 @@ impl SchedulerPolicy for RandomScheduler {
                     for (s, d) in &plan.remote {
                         avail[s.index()] -= *d;
                     }
-                    out.push(Assignment { task: t, machine: m });
+                    out.push(Assignment::new(t, m));
                     break;
                 }
             }

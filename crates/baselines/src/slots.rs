@@ -159,7 +159,7 @@ impl SlotScheduler {
                     free[m.index()] -= need;
                     jobs[ji].running += 1;
                     jobs[ji].advance();
-                    out.push(Assignment { task, machine: m });
+                    out.push(Assignment::new(task, m));
                 }
                 None => break, // no machine has enough free slots
             }
@@ -313,8 +313,8 @@ mod tests {
     fn overallocates_unexamined_resources() {
         // Slot schedulers ignore disk/network → demand ledger exceeds
         // capacity on IO-heavy workloads.
-        use tetris_workload::gen::{TaskParams, WorkloadBuilder};
         use tetris_resources::units::MB;
+        use tetris_workload::gen::{TaskParams, WorkloadBuilder};
         let mut b = WorkloadBuilder::new();
         let j = b.begin_job("writers", None, 0.0);
         b.add_stage(j, "w", vec![], 8, |_| TaskParams {

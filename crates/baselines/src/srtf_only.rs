@@ -38,12 +38,16 @@ impl SchedulerPolicy for SrtfScheduler {
         let mut jobs: Vec<_> = view
             .active_jobs()
             .into_iter()
-            .map(|j| (j, tetris_core::srtf::job_remaining_work(view, j, &reference)))
+            .map(|j| {
+                (
+                    j,
+                    tetris_core::srtf::job_remaining_work(view, j, &reference),
+                )
+            })
             .collect();
         jobs.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
 
-        let mut avail: Vec<ResourceVec> =
-            view.machines().map(|m| view.available(m)).collect();
+        let mut avail: Vec<ResourceVec> = view.machines().map(|m| view.available(m)).collect();
         let mut out = Vec::new();
         for (j, _) in jobs {
             for t in view
@@ -67,7 +71,7 @@ impl SchedulerPolicy for SrtfScheduler {
                         for (s, d) in &plan.remote {
                             avail[s.index()] -= *d;
                         }
-                        out.push(Assignment { task: t, machine: m });
+                        out.push(Assignment::new(t, m));
                         break;
                     }
                 }

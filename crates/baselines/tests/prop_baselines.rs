@@ -16,8 +16,7 @@ fn arb_workload() -> impl Strategy<Value = Workload> {
         0.0f64..=30.0, // arrival
     );
     proptest::collection::vec(job, 1..=4).prop_map(|jobs| {
-        let mut b =
-            WorkloadBuilder::new().with_demand_cap(MachineSpec::paper_small().capacity());
+        let mut b = WorkloadBuilder::new().with_demand_cap(MachineSpec::paper_small().capacity());
         for (ji, (n, cores, mem_gb, dur, arrival)) in jobs.into_iter().enumerate() {
             let j = b.begin_job(format!("j{ji}"), None, arrival);
             let inputs: Vec<_> = (0..n).map(|_| b.stored_input(16.0 * MB)).collect();

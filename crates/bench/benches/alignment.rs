@@ -21,11 +21,7 @@ fn bench_alignment(c: &mut Criterion) {
     for kind in AlignmentKind::ALL {
         group.bench_function(kind.label(), |b| {
             b.iter(|| {
-                black_box(kind.score(
-                    black_box(&demand),
-                    black_box(&avail),
-                    black_box(&capacity),
-                ))
+                black_box(kind.score(black_box(&demand), black_box(&avail), black_box(&capacity)))
             })
         });
     }

@@ -59,7 +59,12 @@ impl AlignmentKind {
     /// Callers must have already established feasibility (demand ≤
     /// available); scores do not encode it. Higher is better for every
     /// variant.
-    pub fn score(self, demand: &ResourceVec, available: &ResourceVec, capacity: &ResourceVec) -> f64 {
+    pub fn score(
+        self,
+        demand: &ResourceVec,
+        available: &ResourceVec,
+        capacity: &ResourceVec,
+    ) -> f64 {
         let d = demand.normalized_by(capacity);
         // Available can be transiently negative on dims someone else
         // over-allocated; clamp for scoring.

@@ -48,8 +48,6 @@ pub enum EstimationMode {
     },
 }
 
-
-
 /// Stateful demand estimator used by the Tetris scheduler.
 #[derive(Debug, Clone, Default)]
 pub struct DemandEstimator {
@@ -256,7 +254,10 @@ mod noisy_tests {
     #[test]
     fn zero_sigma_is_exact() {
         let e = DemandEstimator::new(EstimationMode::Noisy { sigma: 0.0 });
-        assert_eq!(e.estimate(&spec_with(1), JobId(0), None, 0), spec_with(1).demand);
+        assert_eq!(
+            e.estimate(&spec_with(1), JobId(0), None, 0),
+            spec_with(1).demand
+        );
     }
 
     #[test]

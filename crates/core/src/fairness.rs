@@ -31,9 +31,7 @@ pub fn job_share(
     total_slots: usize,
 ) -> f64 {
     match measure {
-        FairnessMeasure::DominantShare => {
-            allocated.dominant_share(total_capacity, &Resource::ALL)
-        }
+        FairnessMeasure::DominantShare => allocated.dominant_share(total_capacity, &Resource::ALL),
         FairnessMeasure::Slots => {
             if total_slots == 0 {
                 0.0

@@ -5,7 +5,7 @@
 use std::collections::BTreeSet;
 
 use tetris_resources::{Resource, ResourceVec};
-use tetris_sim::{Assignment, ClusterView, MachineId, SchedulerPolicy};
+use tetris_sim::{Assignment, ClusterView, DecisionScores, MachineId, SchedulerPolicy};
 use tetris_workload::{JobId, TaskUid};
 
 use crate::align::AlignmentKind;
@@ -261,8 +261,8 @@ impl SchedulerPolicy for TetrisScheduler {
         let reference = total_capacity / n_machines as f64;
 
         // Fairness knob: restrict to the jobs furthest from fair share.
-        let total_slots: usize = jobs.iter().map(|&j| view.job_running(j)).sum::<usize>()
-            + view.num_pending();
+        let total_slots: usize =
+            jobs.iter().map(|&j| view.job_running(j)).sum::<usize>() + view.num_pending();
         let shares: Vec<(JobId, f64)> = jobs
             .iter()
             .map(|&j| {
@@ -292,12 +292,9 @@ impl SchedulerPolicy for TetrisScheduler {
             for (stage, pending) in view.job_pending_stages(j) {
                 let head = pending[0];
                 let spec = view.task(head);
-                let demand = self.estimator.estimate(
-                    spec,
-                    j,
-                    family.as_deref(),
-                    progress[stage].finished,
-                );
+                let demand =
+                    self.estimator
+                        .estimate(spec, j, family.as_deref(), progress[stage].finished);
                 cands.push(Candidate {
                     job: j,
                     stage,
@@ -350,7 +347,10 @@ impl SchedulerPolicy for TetrisScheduler {
             .filter(|&ci| {
                 let d = self.visible(&cands[ci].demand.min(&cap_env));
                 // Local placements shed NetIn, so exclude it from pruning.
-                let d = d.with(Resource::NetIn, d.get(Resource::NetIn).min(avail_env.get(Resource::NetIn)));
+                let d = d.with(
+                    Resource::NetIn,
+                    d.get(Resource::NetIn).min(avail_env.get(Resource::NetIn)),
+                );
                 d.fits_within(&avail_env)
             })
             .collect();
@@ -423,10 +423,9 @@ impl SchedulerPolicy for TetrisScheduler {
                         for (src, dem) in &plan.remote {
                             avail[src.index()] -= *dem;
                         }
-                        out.push(Assignment {
-                            task: starved,
-                            machine: m,
-                        });
+                        // Reservation redemptions are placed by right, not
+                        // by score — no DecisionScores to attach.
+                        out.push(Assignment::new(starved, m));
                         // Consume the matching candidate head if present so
                         // the task is not double-placed this round.
                         for c in &mut cands {
@@ -457,7 +456,8 @@ impl SchedulerPolicy for TetrisScheduler {
                 let avail_norm = machine_avail.clamp_non_negative().normalized_by(&capacity);
                 // Select the best candidate by (promoted, score).
                 let ban_check = !banned.is_empty();
-                let mut best: Option<(usize, bool, f64)> = None;
+                // (candidate, promoted, combined score, alignment term).
+                let mut best: Option<(usize, bool, f64, f64)> = None;
                 for &ci in &live {
                     let c = &cands[ci];
                     if !c.alive || (ban_check && banned.contains(&(ci, m.index()))) {
@@ -473,9 +473,11 @@ impl SchedulerPolicy for TetrisScheduler {
                     if !demand_norm.fits_within(&avail_norm) {
                         continue;
                     }
-                    let mut a = self.cfg.alignment.score_normalized(demand_norm, &avail_norm);
-                    let is_remote =
-                        c.shuffle || (!c.preferred.is_empty() && !local);
+                    let mut a = self
+                        .cfg
+                        .alignment
+                        .score_normalized(demand_norm, &avail_norm);
+                    let is_remote = c.shuffle || (!c.preferred.is_empty() && !local);
                     if is_remote {
                         a *= 1.0 - self.cfg.remote_penalty;
                     }
@@ -488,13 +490,15 @@ impl SchedulerPolicy for TetrisScheduler {
                     };
                     let better = match best {
                         None => true,
-                        Some((_, bp, bs)) => (c.promoted, score) > (bp, bs),
+                        Some((_, bp, bs, _)) => (c.promoted, score) > (bp, bs),
                     };
                     if better {
-                        best = Some((ci, c.promoted, score));
+                        best = Some((ci, c.promoted, score, a));
                     }
                 }
-                let Some((ci, _, _)) = best else { break };
+                let Some((ci, _, combined, alignment)) = best else {
+                    break;
+                };
 
                 // Authoritative feasibility via the full placement plan
                 // (checks disk/net-out at every remote input source).
@@ -517,12 +521,17 @@ impl SchedulerPolicy for TetrisScheduler {
                 for (src, dem) in &plan.remote {
                     avail[src.index()] -= *dem;
                 }
-                let a_placed = self
-                    .cfg
-                    .alignment
-                    .score(&local, &self.visible(&avail[m.index()]), &capacity);
+                let a_placed =
+                    self.cfg
+                        .alignment
+                        .score(&local, &self.visible(&avail[m.index()]), &capacity);
                 self.scorer.observe_alignment(a_placed.max(0.0));
-                out.push(Assignment { task: uid, machine: m });
+                out.push(Assignment::new(uid, m).with_scores(DecisionScores {
+                    alignment,
+                    srtf: cands[ci].p,
+                    combined,
+                    considered_machines: machines.len() as u32,
+                }));
                 cands[ci].next += 1;
                 cands[ci].alive = cands[ci].head(view).is_some();
             }

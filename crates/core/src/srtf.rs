@@ -52,8 +52,8 @@ pub fn job_remaining_work_with(
         // One representative task per stage (first pending, or the stage's
         // first task while locked) — O(1) instead of walking the stage.
         if let Some(t) = view.stage_representative(job, si) {
-            total += unscheduled as f64
-                * task_cost(&t.demand, reference_capacity, t.ideal_duration());
+            total +=
+                unscheduled as f64 * task_cost(&t.demand, reference_capacity, t.ideal_duration());
         }
     }
     total

@@ -19,8 +19,7 @@ fn arb_workload() -> impl Strategy<Value = Workload> {
         0.0f64..=40.0,  // arrival
     );
     proptest::collection::vec(job, 1..=4).prop_map(|jobs| {
-        let mut b =
-            WorkloadBuilder::new().with_demand_cap(MachineSpec::paper_small().capacity());
+        let mut b = WorkloadBuilder::new().with_demand_cap(MachineSpec::paper_small().capacity());
         for (ji, (n, cores, mem_gb, dur, out_mb, arrival)) in jobs.into_iter().enumerate() {
             let j = b.begin_job(format!("j{ji}"), None, arrival);
             let inputs: Vec<_> = (0..n).map(|_| b.stored_input(32.0 * MB)).collect();

@@ -5,11 +5,15 @@
 //! reproduce fig4 table7    # selected experiments
 //! reproduce --full fig7    # paper-scale cluster & workload (slow)
 //! reproduce --list         # what exists
+//! reproduce --trace run.jsonl --metrics run.json
+//!                          # instrumented reference run: JSONL decision
+//!                          # trace + metrics snapshot + summary table
 //! ```
 
 use std::time::Instant;
 
 use tetris_expts::experiments::registry;
+use tetris_expts::instrument;
 use tetris_expts::Scale;
 
 fn main() {
@@ -18,6 +22,10 @@ fn main() {
     let mut ids: Vec<String> = Vec::new();
     let mut list = false;
     let mut take_seed = false;
+    let mut trace_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
+    let mut take_trace = false;
+    let mut take_metrics = false;
     for a in &args {
         if take_seed {
             take_seed = false;
@@ -30,10 +38,22 @@ fn main() {
             }
             continue;
         }
+        if take_trace {
+            take_trace = false;
+            trace_path = Some(a.clone());
+            continue;
+        }
+        if take_metrics {
+            take_metrics = false;
+            metrics_path = Some(a.clone());
+            continue;
+        }
         match a.as_str() {
             "--full" => scale = Scale::Full,
             "--laptop" => scale = Scale::Laptop,
             "--seed" => take_seed = true,
+            "--trace" => take_trace = true,
+            "--metrics" => take_metrics = true,
             "--list" => list = true,
             "-h" | "--help" => {
                 print_help();
@@ -41,6 +61,30 @@ fn main() {
             }
             other => ids.push(other.to_string()),
         }
+    }
+    if take_trace || take_metrics {
+        eprintln!("--trace/--metrics expect a file path");
+        std::process::exit(2);
+    }
+
+    let instrumenting = trace_path.is_some() || metrics_path.is_some();
+    if instrumenting && !ids.is_empty() {
+        eprintln!(
+            "--trace/--metrics run the instrumented reference run and cannot \
+             be combined with experiment ids (got: {})",
+            ids.join(" ")
+        );
+        std::process::exit(2);
+    }
+    if instrumenting {
+        match instrument::instrumented_run(scale, trace_path.as_deref(), metrics_path.as_deref()) {
+            Ok(report) => println!("{report}"),
+            Err(e) => {
+                eprintln!("instrumented run failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
     }
 
     let reg = registry();
@@ -79,17 +123,26 @@ fn main() {
         println!("{}", "=".repeat(74));
         let report = (e.run)(scale);
         println!("{report}");
-        println!("({} finished in {:.1}s)\n", e.id, start.elapsed().as_secs_f64());
+        println!(
+            "({} finished in {:.1}s)\n",
+            e.id,
+            start.elapsed().as_secs_f64()
+        );
     }
 }
 
 fn print_help() {
     println!(
         "reproduce — regenerate the Tetris paper's tables and figures\n\n\
-         usage: reproduce [--full|--laptop] [--seed N] [--list] <experiment>... | all\n\n\
+         usage: reproduce [--full|--laptop] [--seed N] [--list] <experiment>... | all\n\
+         \x20      reproduce [--trace FILE.jsonl] [--metrics FILE.json]\n\n\
          --laptop  20-machine cluster, scaled workloads (default; seconds\n\
                    per experiment)\n\
          --full    250-machine cluster, paper-scale workloads (roughly ten\n\
-                   minutes per simulation run — pick experiments singly)"
+                   minutes per simulation run — pick experiments singly)\n\
+         --trace   instrumented reference run; stream every scheduling\n\
+                   decision to FILE.jsonl as JSON Lines\n\
+         --metrics instrumented reference run; write the metrics snapshot\n\
+                   (counters + latency histograms) to FILE.json"
     );
 }

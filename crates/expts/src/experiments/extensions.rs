@@ -101,12 +101,7 @@ pub fn starvation(_scale: Scale) -> String {
             .run()
     };
 
-    let mut t = TextTable::new(vec![
-        "config",
-        "large-task JCT",
-        "churn JCT",
-        "makespan",
-    ]);
+    let mut t = TextTable::new(vec!["config", "large-task JCT", "churn JCT", "makespan"]);
     for (name, starve) in [
         ("no reservations (paper §3.5)", None),
         (

@@ -36,9 +36,7 @@ pub fn fig1(_scale: Scale) -> String {
     // (three co-located reduces stream at exactly 1/3 Gbps each).
     cfg.interference = Interference::none();
 
-    let mut table = TextTable::new(vec![
-        "scheduler", "A", "B", "C", "avg JCT", "makespan",
-    ]);
+    let mut table = TextTable::new(vec!["scheduler", "A", "B", "C", "avg JCT", "makespan"]);
     for sched in [SchedName::Tetris, SchedName::Drf] {
         let o = Simulation::build(cluster.clone(), ex.workload.clone())
             .scheduler_boxed(sched.build())
@@ -83,9 +81,7 @@ mod tests {
             .run();
         assert!(o.all_jobs_completed());
         // Completion times are {2t, 3t, 4t} in some order.
-        let mut jcts: Vec<f64> = (0..3)
-            .map(|i| o.jct(JobId(i)).unwrap() / ex.t)
-            .collect();
+        let mut jcts: Vec<f64> = (0..3).map(|i| o.jct(JobId(i)).unwrap() / ex.t).collect();
         jcts.sort_by(|a, b| a.partial_cmp(b).unwrap());
         for (got, want) in jcts.iter().zip([2.0, 3.0, 4.0]) {
             assert!(

@@ -103,11 +103,7 @@ pub fn table7(scale: Scale) -> String {
     let fair = run(&cluster, &w, SchedName::Fair, &cfg);
     let fair0 = run(&cluster, &w0, SchedName::Fair, &cfg);
 
-    let mut t = TextTable::new(vec![
-        "alignment",
-        "avg JCT gain",
-        "makespan gain",
-    ]);
+    let mut t = TextTable::new(vec!["alignment", "avg JCT gain", "makespan gain"]);
     for kind in AlignmentKind::ALL {
         let mut tc = TetrisConfig::default();
         tc.alignment = kind;
@@ -116,10 +112,7 @@ pub fn table7(scale: Scale) -> String {
         t.row(vec![
             kind.label().to_string(),
             format!("{:+.1}%", pct_improvement(fair.avg_jct(), o.avg_jct())),
-            format!(
-                "{:+.1}%",
-                pct_improvement(fair0.makespan(), o0.makespan())
-            ),
+            format!("{:+.1}%", pct_improvement(fair0.makespan(), o0.makespan())),
         ]);
     }
     format!(

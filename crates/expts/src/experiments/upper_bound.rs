@@ -7,8 +7,8 @@
 //! SRTF-flavoured order).
 
 use tetris_baselines::UpperBoundScheduler;
-use tetris_metrics::table::TextTable;
 use tetris_metrics::pct_improvement;
+use tetris_metrics::table::TextTable;
 
 use crate::setup::{run, with_zero_arrivals, SchedName};
 use crate::Scale;
@@ -75,7 +75,10 @@ mod tests {
     fn upper_bound_beats_both_baselines() {
         let s = ub(Scale::Laptop);
         // Every gain row must be positive (the bound dominates).
-        for line in s.lines().filter(|l| l.starts_with("fair") || l.starts_with("drf")) {
+        for line in s
+            .lines()
+            .filter(|l| l.starts_with("fair") || l.starts_with("drf"))
+        {
             let plus = line.matches('+').count();
             assert!(plus >= 2, "non-positive upper-bound gain: {line}");
         }

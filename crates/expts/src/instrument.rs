@@ -1,0 +1,142 @@
+//! The `--trace` / `--metrics` instrumented reference run.
+//!
+//! `reproduce --trace run.jsonl --metrics run.json` executes the §5.1
+//! deployment suite under Tetris with a [`tetris_obs::Obs`] context
+//! attached: every scheduling decision streams to the JSONL trace, the
+//! metrics registry accumulates counters and latency histograms (the
+//! continuous version of the paper's Table-8 heartbeat measurement), and
+//! an end-of-run table summarises both. A second, unobserved run of the
+//! same configuration cross-checks that attaching observability did not
+//! perturb the simulation.
+
+use tetris_metrics::table::TextTable;
+use tetris_obs::{names, Histogram, JsonlRecorder, NoopRecorder, Obs, Recorder};
+use tetris_sim::Simulation;
+
+use crate::setup::{self, Scale, SchedName};
+
+/// Run the reference configuration (suite workload, Tetris scheduler)
+/// with observability attached, writing the JSONL trace and/or metrics
+/// snapshot to the given paths. Returns the rendered summary report.
+pub fn instrumented_run(
+    scale: Scale,
+    trace: Option<&str>,
+    metrics: Option<&str>,
+) -> Result<String, String> {
+    let cluster = scale.cluster();
+    let workload = scale.suite();
+    let cfg = scale.sim_config();
+    let sched = SchedName::Tetris;
+
+    let recorder: Box<dyn Recorder> = match trace {
+        Some(path) => {
+            Box::new(JsonlRecorder::create(path).map_err(|e| format!("cannot create {path}: {e}"))?)
+        }
+        None => Box::new(NoopRecorder),
+    };
+    let mut obs = Obs::with_recorder(recorder);
+
+    let traced = Simulation::build(cluster.clone(), workload.clone())
+        .scheduler_boxed(sched.build())
+        .config(cfg.clone())
+        .observe(&mut obs)
+        .run();
+
+    // The no-recorder control run: observability must be a pure read.
+    let plain = setup::run(&cluster, &workload, sched, &cfg);
+    let identical = serde_json::to_string(&plain).map_err(|e| e.to_string())?
+        == serde_json::to_string(&traced).map_err(|e| e.to_string())?;
+
+    if let Some(path) = metrics {
+        let json =
+            serde_json::to_string_pretty(&obs.metrics.snapshot()).map_err(|e| e.to_string())?;
+        std::fs::write(path, json + "\n").map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+
+    let mut t = TextTable::new(vec!["metric", "value"]);
+    t.row(vec!["scheduler".into(), sched.label().to_string()]);
+    t.row(vec!["machines".into(), cluster.len().to_string()]);
+    t.row(vec!["jobs".into(), workload.jobs.len().to_string()]);
+    t.row(vec![
+        "makespan (s)".into(),
+        format!("{:.1}", traced.makespan()),
+    ]);
+    t.row(vec![
+        "avg JCT (s)".into(),
+        format!("{:.1}", traced.avg_jct()),
+    ]);
+    for name in [
+        names::ENGINE_EVENTS,
+        names::PLACEMENTS,
+        names::REJECTED_ASSIGNMENTS,
+        names::TASK_RETRIES,
+        names::TRACKER_REPORTS,
+    ] {
+        t.row(vec![name.into(), obs.metrics.counter(name).to_string()]);
+    }
+    for name in [names::HEARTBEAT_NS, names::SCHEDULE_NS] {
+        if let Some(h) = obs.metrics.histogram(name) {
+            t.row(vec![format!("{name} (us)"), hist_us(h)]);
+        }
+    }
+    t.row(vec![
+        "noop run identical".to_string(),
+        String::from(if identical { "yes" } else { "NO (BUG)" }),
+    ]);
+
+    let mut out = String::new();
+    if let Some(path) = trace {
+        out.push_str(&format!("trace   -> {path}\n"));
+    }
+    if let Some(path) = metrics {
+        out.push_str(&format!("metrics -> {path}\n"));
+    }
+    out.push('\n');
+    out.push_str(&t.render());
+    if !identical {
+        return Err(format!(
+            "observed run diverged from unobserved control run\n{out}"
+        ));
+    }
+    Ok(out)
+}
+
+fn hist_us(h: &Histogram) -> String {
+    tetris_obs::summary::histogram_line(h, 1e3, "")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instrumented_run_writes_parseable_outputs() {
+        let dir = std::env::temp_dir();
+        let trace = dir.join(format!("tetris-instr-{}.jsonl", std::process::id()));
+        let metrics = dir.join(format!("tetris-instr-{}.json", std::process::id()));
+        let report = instrumented_run(
+            Scale::Laptop,
+            Some(trace.to_str().unwrap()),
+            Some(metrics.to_str().unwrap()),
+        )
+        .unwrap();
+        assert!(report.contains("noop run identical"), "{report}");
+        assert!(report.contains("yes"), "{report}");
+
+        let text = std::fs::read_to_string(&trace).unwrap();
+        assert!(!text.is_empty());
+        for line in text.lines() {
+            let _: tetris_obs::event::TraceRecord = serde_json::from_str(line).unwrap();
+        }
+
+        let snap: tetris_obs::MetricsSnapshot =
+            serde_json::from_str(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+        assert!(snap.counters["placements"] > 0);
+        let hb = &snap.histograms["heartbeat_ns"];
+        assert!(hb.count > 0);
+        assert!(hb.p50.unwrap() > 0 && hb.p99.unwrap() > 0);
+
+        std::fs::remove_file(&trace).ok();
+        std::fs::remove_file(&metrics).ok();
+    }
+}

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod instrument;
 pub mod setup;
 
 pub use setup::{Scale, SchedName};

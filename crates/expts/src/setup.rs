@@ -135,9 +135,7 @@ impl SchedName {
             SchedName::Capacity => Box::new(CapacityScheduler::new()),
             SchedName::Drf => Box::new(DrfScheduler::new()),
             SchedName::Srtf => Box::new(SrtfScheduler::new()),
-            SchedName::PackingOnly => {
-                Box::new(TetrisScheduler::new(TetrisConfig::packing_only()))
-            }
+            SchedName::PackingOnly => Box::new(TetrisScheduler::new(TetrisConfig::packing_only())),
             SchedName::TetrisCpuMemOnly => {
                 let mut cfg = TetrisConfig::default();
                 cfg.consider_io_dims = false;

@@ -143,10 +143,8 @@ mod tests {
 
     #[test]
     fn render_contains_names() {
-        let imp = ImprovementSummary::compare(
-            &outcome("tetris", &[50.0]),
-            &outcome("drf", &[100.0]),
-        );
+        let imp =
+            ImprovementSummary::compare(&outcome("tetris", &[50.0]), &outcome("drf", &[100.0]));
         let s = imp.render_cdf(4);
         assert!(s.contains("tetris"));
         assert!(s.contains("drf"));

@@ -188,7 +188,9 @@ mod tests {
         // Two jobs, always 50/50 → fair share 0.5, actual 0.5 → RIU 0.
         let o = outcome(
             vec![job(0, 0.0, Some(100.0)), job(1, 0.0, Some(100.0))],
-            (0..=10).map(|i| sample(i as f64 * 10.0, &[1.0, 1.0])).collect(),
+            (0..=10)
+                .map(|i| sample(i as f64 * 10.0, &[1.0, 1.0]))
+                .collect(),
         );
         let riu = relative_integral_unfairness(&o, JobId(0)).unwrap();
         assert!(riu.abs() < 1e-9, "riu={riu}");
@@ -199,7 +201,9 @@ mod tests {
         // Job 0 holds 25 % while fair is 50 %.
         let o = outcome(
             vec![job(0, 0.0, Some(100.0)), job(1, 0.0, Some(100.0))],
-            (0..=10).map(|i| sample(i as f64 * 10.0, &[1.0, 3.0])).collect(),
+            (0..=10)
+                .map(|i| sample(i as f64 * 10.0, &[1.0, 3.0]))
+                .collect(),
         );
         let riu = relative_integral_unfairness(&o, JobId(0)).unwrap();
         assert!(riu < -0.4, "riu={riu}");

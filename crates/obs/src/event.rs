@@ -1,0 +1,187 @@
+//! Typed scheduling events.
+//!
+//! Events are serialized one-per-line (JSON Lines) by
+//! [`crate::JsonlRecorder`] as `{"t": <seconds>, "event": {"<Kind>":
+//! {...}}}` — the externally-tagged enum encoding, chosen because it is
+//! trivially filterable with jq (`select(.event.TaskPlaced)`).
+//!
+//! Ids are plain `usize` indices (job id, task uid, machine id) rather
+//! than the simulator's newtypes: `tetris-obs` sits below `tetris-sim`
+//! in the dependency graph, and raw indices keep the trace format
+//! self-describing without pulling scheduler types into every consumer.
+
+/// Per-decision score breakdown attached to a placement by scoring
+/// schedulers (Tetris fills it; slot baselines leave it `None`).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DecisionScores {
+    /// Alignment (packing) score of the chosen ⟨task, machine⟩ pair,
+    /// after any remote-placement penalty (paper §3.2).
+    pub alignment: f64,
+    /// The task's multi-resource SRTF rank — the job's remaining-work
+    /// score it inherited (paper §3.3.1).
+    pub srtf: f64,
+    /// Combined score actually maximized: `alignment + ε·srtf_bonus`
+    /// (paper §3.3.2, eqn. around "combined score").
+    pub combined: f64,
+    /// How many machines the scheduler considered in this pass (the
+    /// freed-hint set or the whole cluster).
+    pub considered_machines: u32,
+}
+
+/// One observable scheduling occurrence.
+///
+/// Variants mirror the lifecycle the paper's evaluation reasons about:
+/// arrivals, placements (with score breakdowns), retries, heartbeat
+/// passes (Table 8), tracker reports (§4.1) and token-bucket throttling
+/// (§4.2).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Event {
+    /// A job arrived and its root stages became runnable.
+    JobArrived {
+        /// Job id.
+        job: usize,
+        /// Job name from the workload.
+        name: String,
+        /// Total tasks across all stages.
+        tasks: usize,
+    },
+    /// The engine applied a placement.
+    TaskPlaced {
+        /// Owning job id.
+        job: usize,
+        /// Task uid.
+        task: usize,
+        /// Host machine id.
+        machine: usize,
+        /// Alignment score, if the policy reported one.
+        alignment_score: Option<f64>,
+        /// SRTF rank, if reported.
+        srtf_score: Option<f64>,
+        /// Combined score, if reported.
+        combined_score: Option<f64>,
+        /// Machines considered in the pass, if reported.
+        considered_machines: Option<u32>,
+    },
+    /// A task finished for good.
+    TaskCompleted {
+        /// Owning job id.
+        job: usize,
+        /// Task uid.
+        task: usize,
+        /// Host machine id of the final attempt.
+        machine: usize,
+        /// Attempts used (>1 ⇒ earlier failures).
+        attempts: u32,
+    },
+    /// A running task lost its slot and went back to the pending queue
+    /// (in the current engine: the failure model re-queued the attempt).
+    TaskPreempted {
+        /// Owning job id.
+        job: usize,
+        /// Task uid.
+        task: usize,
+        /// Machine the attempt was running on.
+        machine: usize,
+        /// Why the slot was lost (`"failure_retry"` today).
+        reason: String,
+    },
+    /// One full "resources freed → pick tasks" pass completed — the
+    /// continuous version of the paper's Table-8 heartbeat measurement.
+    HeartbeatProcessed {
+        /// Pending runnable tasks when the pass began.
+        pending_tasks: usize,
+        /// Placements applied during the pass.
+        placements: u64,
+        /// Wall-clock time of the pass in nanoseconds.
+        wall_ns: u64,
+    },
+    /// A token bucket queued a call instead of admitting it (§4.2).
+    TokenBucketThrottled {
+        /// Tokens (≙ bytes) the call requested.
+        requested: f64,
+        /// Simulated seconds the call must wait for tokens.
+        wait_secs: f64,
+    },
+    /// The resource tracker delivered a usage report round (§4.1).
+    TrackerReport {
+        /// Machines that reported.
+        machines: usize,
+    },
+}
+
+impl Event {
+    /// Short kind tag (the enum variant name as it appears on the wire).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::JobArrived { .. } => "JobArrived",
+            Event::TaskPlaced { .. } => "TaskPlaced",
+            Event::TaskCompleted { .. } => "TaskCompleted",
+            Event::TaskPreempted { .. } => "TaskPreempted",
+            Event::HeartbeatProcessed { .. } => "HeartbeatProcessed",
+            Event::TokenBucketThrottled { .. } => "TokenBucketThrottled",
+            Event::TrackerReport { .. } => "TrackerReport",
+        }
+    }
+}
+
+/// One trace line: simulated timestamp plus event. This is the JSONL
+/// wire format; [`crate::JsonlRecorder`] writes one per line and tests
+/// parse lines back into it.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TraceRecord {
+    /// Simulated time in seconds.
+    pub t: f64,
+    /// The event.
+    pub event: Event,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_roundtrips_through_json() {
+        let e = Event::TaskPlaced {
+            job: 3,
+            task: 17,
+            machine: 2,
+            alignment_score: Some(0.75),
+            srtf_score: Some(1.25),
+            combined_score: Some(0.875),
+            considered_machines: Some(20),
+        };
+        let line = serde_json::to_string(&TraceRecord {
+            t: 12.5,
+            event: e.clone(),
+        })
+        .unwrap();
+        assert!(line.contains("\"TaskPlaced\""), "{line}");
+        let back: TraceRecord = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.event, e);
+        assert_eq!(back.t, 12.5);
+    }
+
+    #[test]
+    fn baseline_placement_has_null_scores() {
+        let e = Event::TaskPlaced {
+            job: 0,
+            task: 0,
+            machine: 0,
+            alignment_score: None,
+            srtf_score: None,
+            combined_score: None,
+            considered_machines: None,
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        assert!(json.contains("\"alignment_score\":null"), "{json}");
+        let back: Event = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn kind_tags_match_wire_tags() {
+        let e = Event::TrackerReport { machines: 5 };
+        let json = serde_json::to_string(&e).unwrap();
+        assert!(json.starts_with(&format!("{{\"{}\"", e.kind())), "{json}");
+    }
+}

@@ -1,0 +1,262 @@
+//! Fixed-bucket latency histograms.
+//!
+//! Buckets are powers of two: bucket 0 holds the value 0, bucket `i`
+//! (1 ≤ i ≤ 40) holds values in `[2^(i−1), 2^i)`, and one saturating
+//! overflow bucket holds everything ≥ 2^40 (~18 minutes in nanoseconds —
+//! far beyond any sane heartbeat). Recording is O(1) with no allocation;
+//! quantiles are read by walking the cumulative counts.
+//!
+//! Exact `min`/`max`/`sum` are tracked alongside the buckets, so
+//! single-sample and extreme quantiles report exact values rather than
+//! bucket edges.
+
+/// Number of power-of-two buckets before the overflow bucket.
+pub const NUM_BUCKETS: usize = 41;
+
+/// Largest value representable without falling into the overflow bucket.
+pub const MAX_TRACKED: u64 = (1 << (NUM_BUCKETS - 1)) - 1;
+
+/// A fixed-bucket histogram of `u64` samples (typically nanoseconds).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: [u64; NUM_BUCKETS + 1],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: [0; NUM_BUCKETS + 1],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Bucket index for a value.
+    #[inline]
+    fn bucket(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            // floor(log2(v)) + 1, capped at the overflow bucket.
+            let b = 64 - v.leading_zeros() as usize;
+            b.min(NUM_BUCKETS)
+        }
+    }
+
+    /// Inclusive upper edge of a bucket (used as the quantile
+    /// representative for interior buckets).
+    #[inline]
+    fn upper_edge(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= NUM_BUCKETS {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::bucket(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest sample, if any.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, if any.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Arithmetic mean, if any samples.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Quantile `q` in `[0, 1]`: the representative value below which at
+    /// least `q` of the samples fall. Interior buckets report their upper
+    /// edge clamped to the observed `[min, max]`, so a single-sample
+    /// histogram reports the sample exactly and the overflow bucket
+    /// reports the observed maximum. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the sample we want, 1-based.
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                return Some(Self::upper_edge(i).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Snapshot for serialization.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            min: self.min(),
+            max: self.max(),
+            mean: self.mean(),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            buckets: self
+                .counts
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| (Self::upper_edge(i), c))
+                .collect(),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// Serializable summary of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Smallest sample.
+    pub min: Option<u64>,
+    /// Largest sample.
+    pub max: Option<u64>,
+    /// Arithmetic mean.
+    pub mean: Option<f64>,
+    /// Median.
+    pub p50: Option<u64>,
+    /// 90th percentile.
+    pub p90: Option<u64>,
+    /// 99th percentile.
+    pub p99: Option<u64>,
+    /// Non-empty buckets as `(inclusive upper edge, count)`; the edge
+    /// `u64::MAX` marks the saturating overflow bucket.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_math() {
+        assert_eq!(Histogram::bucket(0), 0);
+        assert_eq!(Histogram::bucket(1), 1);
+        assert_eq!(Histogram::bucket(2), 2);
+        assert_eq!(Histogram::bucket(3), 2);
+        assert_eq!(Histogram::bucket(4), 3);
+        assert_eq!(Histogram::bucket(1023), 10);
+        assert_eq!(Histogram::bucket(1024), 11);
+        assert_eq!(Histogram::bucket(MAX_TRACKED), NUM_BUCKETS - 1);
+        assert_eq!(Histogram::bucket(MAX_TRACKED + 1), NUM_BUCKETS);
+        assert_eq!(Histogram::bucket(u64::MAX), NUM_BUCKETS);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_stats() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert!(s.buckets.is_empty());
+    }
+
+    #[test]
+    fn single_sample_is_exact_at_every_quantile() {
+        let mut h = Histogram::new();
+        h.record(777);
+        for q in [0.0, 0.01, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(777), "q={q}");
+        }
+        assert_eq!(h.min(), Some(777));
+        assert_eq!(h.max(), Some(777));
+        assert_eq!(h.mean(), Some(777.0));
+    }
+
+    #[test]
+    fn overflow_bucket_saturates_to_observed_max() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 5);
+        h.record(MAX_TRACKED + 1);
+        assert_eq!(h.quantile(0.99), Some(u64::MAX));
+        assert_eq!(h.quantile(0.01), Some(u64::MAX)); // all in overflow
+        let s = h.snapshot();
+        assert_eq!(s.buckets, vec![(u64::MAX, 3)]);
+        // Sum tracked in u128: no wrap even with several u64::MAX samples.
+        assert!(h.mean().unwrap() > (u64::MAX / 2) as f64);
+    }
+
+    #[test]
+    fn quantiles_walk_cumulative_counts() {
+        let mut h = Histogram::new();
+        // 90 fast samples (~100ns bucket), 10 slow (~1e6ns bucket).
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p50 < 256, "p50 {p50} should sit in the fast bucket");
+        assert!(p99 >= 524_288, "p99 {p99} should sit in the slow bucket");
+        assert_eq!(h.quantile(1.0), Some(1_000_000));
+        // q=0 reports the first bucket's upper edge (100 lives in [64,128)).
+        assert_eq!(h.quantile(0.0), Some(127));
+    }
+
+    #[test]
+    fn quantile_representative_clamps_to_observed_range() {
+        let mut h = Histogram::new();
+        h.record(5); // bucket [4, 8) → upper edge 7, clamped to 5
+        h.record(5);
+        assert_eq!(h.quantile(0.5), Some(5));
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 5, 1000, 12345] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: HistogramSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

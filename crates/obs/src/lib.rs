@@ -1,0 +1,169 @@
+//! # tetris-obs
+//!
+//! Runtime observability for the Tetris reproduction — the layer that
+//! turns scheduler behaviour from anecdotes into data:
+//!
+//! * [`event`] — typed scheduling events ([`Event`]) with serde support,
+//!   written as JSON Lines by a [`Recorder`];
+//! * [`recorder`] — the [`Recorder`] trait plus sinks: [`NoopRecorder`]
+//!   (compiles to a dead branch on the hot path), [`JsonlRecorder`]
+//!   (buffered file sink), [`VecRecorder`] (in-memory, for tests);
+//! * [`registry`] — [`MetricsRegistry`]: counters, gauges, and
+//!   fixed-bucket latency [`Histogram`]s keyed by static names,
+//!   snapshotable to JSON;
+//! * [`histogram`] — power-of-two-bucket histograms with p50/p90/p99/max;
+//! * [`summary`] — small plain-text key/value rendering for CLI summaries.
+//!
+//! The paper's evaluation leans on exactly this kind of instrumentation:
+//! Table 8 (heartbeat processing latency), Figures 5/6 (utilization
+//! timelines) and §5.3 ("who got slowed and why") all require seeing
+//! *individual decisions*, not just final outcomes.
+//!
+//! Everything funnels through an [`Obs`] context owned by the caller and
+//! passed into the simulator by mutable reference. Observability must
+//! never perturb the simulation: events carry no entropy back into the
+//! engine, and `SimOutcome`s are byte-identical with or without a
+//! recorder attached (enforced by an integration test in `tetris-sim`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod histogram;
+pub mod recorder;
+pub mod registry;
+pub mod summary;
+
+pub use event::{DecisionScores, Event};
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use recorder::{JsonlRecorder, NoopRecorder, Recorder, VecRecorder};
+pub use registry::{MetricsRegistry, MetricsSnapshot};
+
+/// Well-known metric names, shared across crates so snapshots stay
+/// consistent and greppable.
+pub mod names {
+    /// Wall time of one full "resources freed → pick tasks" scheduling
+    /// pass in the engine (histogram, nanoseconds). The continuous,
+    /// per-run version of the paper's Table-8 heartbeat measurement.
+    pub const HEARTBEAT_NS: &str = "heartbeat_ns";
+    /// Wall time of a single `SchedulerPolicy::schedule` invocation
+    /// (histogram, nanoseconds); a heartbeat may invoke several.
+    pub const SCHEDULE_NS: &str = "schedule_ns";
+    /// Tasks placed (counter).
+    pub const PLACEMENTS: &str = "placements";
+    /// Assignments the engine rejected as invalid (counter).
+    pub const REJECTED_ASSIGNMENTS: &str = "rejected_assignments";
+    /// Simulation events processed (counter).
+    pub const ENGINE_EVENTS: &str = "engine_events";
+    /// Task attempts re-queued by the failure model (counter).
+    pub const TASK_RETRIES: &str = "task_retries";
+    /// Tracker report rounds processed (counter).
+    pub const TRACKER_REPORTS: &str = "tracker_reports";
+    /// Pending runnable tasks observed at each heartbeat (gauge: latest).
+    pub const PENDING_TASKS: &str = "pending_tasks";
+    /// Cluster-wide tracker-reported usage fraction, worst dimension
+    /// (gauge: latest).
+    pub const TRACKER_USAGE_FRAC: &str = "tracker_usage_frac";
+    /// Calls queued by a token bucket (counter).
+    pub const TOKEN_THROTTLED: &str = "token_bucket_throttled";
+    /// Queueing delay imposed by token buckets (histogram, simulated
+    /// microseconds).
+    pub const TOKEN_WAIT_US: &str = "token_wait_us";
+}
+
+/// The observability context: one recorder plus one metrics registry,
+/// owned by the caller and threaded through a run by `&mut`.
+pub struct Obs {
+    recorder: Box<dyn Recorder>,
+    /// Counters, gauges and histograms accumulated during the run.
+    pub metrics: MetricsRegistry,
+}
+
+impl Obs {
+    /// Context with no event sink. Metrics still accumulate; event
+    /// construction is skipped entirely (the [`Obs::emit`] closure is
+    /// never called).
+    pub fn noop() -> Self {
+        Obs {
+            recorder: Box::new(NoopRecorder),
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    /// Context recording events into `recorder`.
+    pub fn with_recorder(recorder: Box<dyn Recorder>) -> Self {
+        Obs {
+            recorder,
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    /// Whether the attached recorder wants events. Hot paths check this
+    /// (or rely on [`Obs::emit`]'s internal check) so event construction
+    /// costs nothing when tracing is off.
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.recorder.enabled()
+    }
+
+    /// Record an event at simulated time `t` (seconds). `build` runs only
+    /// if the recorder is enabled.
+    #[inline]
+    pub fn emit(&mut self, t: f64, build: impl FnOnce() -> Event) {
+        if self.recorder.enabled() {
+            self.recorder.record(t, &build());
+        }
+    }
+
+    /// Flush the recorder (e.g. at end of run).
+    pub fn flush(&mut self) {
+        self.recorder.flush();
+    }
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Obs::noop()
+    }
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("tracing", &self.tracing())
+            .field("metrics", &self.metrics)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_emit_never_builds_event() {
+        let mut obs = Obs::noop();
+        let mut built = false;
+        obs.emit(0.0, || {
+            built = true;
+            Event::TrackerReport { machines: 0 }
+        });
+        assert!(!built, "noop recorder must not construct events");
+    }
+
+    #[test]
+    fn vec_recorder_collects_events() {
+        let rec = VecRecorder::shared();
+        let mut obs = Obs::with_recorder(Box::new(rec.clone()));
+        obs.emit(1.5, || Event::TrackerReport { machines: 4 });
+        obs.emit(2.0, || Event::JobArrived {
+            job: 0,
+            name: "j0".into(),
+            tasks: 3,
+        });
+        let events = rec.take();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].0, 1.5);
+        assert!(matches!(events[0].1, Event::TrackerReport { machines: 4 }));
+    }
+}

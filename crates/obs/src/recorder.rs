@@ -1,0 +1,182 @@
+//! Event sinks.
+//!
+//! A [`Recorder`] receives `(simulated time, event)` pairs. The engine
+//! only constructs events when [`Recorder::enabled`] returns true, so
+//! the [`NoopRecorder`] costs one predictable branch per decision and
+//! nothing else.
+
+use std::cell::RefCell;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::rc::Rc;
+
+use crate::event::{Event, TraceRecord};
+
+/// An event sink.
+pub trait Recorder {
+    /// Whether this recorder wants events at all. Callers skip event
+    /// construction when this is `false`.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Record one event at simulated time `t` (seconds).
+    fn record(&mut self, t: f64, event: &Event);
+
+    /// Flush buffered output (end of run).
+    fn flush(&mut self) {}
+}
+
+/// Discards everything; [`Recorder::enabled`] is `false`, so events are
+/// never even built.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline]
+    fn record(&mut self, _t: f64, _event: &Event) {}
+}
+
+/// Buffered JSON Lines sink: one `{"t": ..., "event": {...}}` object per
+/// line, in event order.
+pub struct JsonlRecorder<W: Write> {
+    out: BufWriter<W>,
+    lines: u64,
+}
+
+impl JsonlRecorder<std::fs::File> {
+    /// Create (truncate) `path` and record into it.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(Self::new(std::fs::File::create(path)?))
+    }
+}
+
+impl<W: Write> JsonlRecorder<W> {
+    /// Record into any writer.
+    pub fn new(out: W) -> Self {
+        JsonlRecorder {
+            out: BufWriter::new(out),
+            lines: 0,
+        }
+    }
+
+    /// Lines written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+}
+
+impl<W: Write> Recorder for JsonlRecorder<W> {
+    fn record(&mut self, t: f64, event: &Event) {
+        // A trace with a broken pipe under it is useless; fail loudly
+        // rather than silently producing a truncated file.
+        serde_json::to_writer(
+            &mut self.out,
+            &TraceRecord {
+                t,
+                event: event.clone(),
+            },
+        )
+        .expect("trace write failed");
+        self.out.write_all(b"\n").expect("trace write failed");
+        self.lines += 1;
+    }
+
+    fn flush(&mut self) {
+        self.out.flush().expect("trace flush failed");
+    }
+}
+
+impl<W: Write> std::fmt::Debug for JsonlRecorder<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlRecorder")
+            .field("lines", &self.lines)
+            .finish()
+    }
+}
+
+/// In-memory sink for tests. Cloning shares the underlying buffer, so a
+/// test can keep one handle while handing the other to an [`crate::Obs`].
+#[derive(Debug, Clone, Default)]
+pub struct VecRecorder {
+    events: Rc<RefCell<Vec<(f64, Event)>>>,
+}
+
+impl VecRecorder {
+    /// New shared recorder; clone one handle into the `Obs` and keep the
+    /// other to inspect what was recorded.
+    pub fn shared() -> Self {
+        VecRecorder::default()
+    }
+
+    /// Drain and return everything recorded so far.
+    pub fn take(&self) -> Vec<(f64, Event)> {
+        std::mem::take(&mut self.events.borrow_mut())
+    }
+
+    /// Events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.borrow().len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Recorder for VecRecorder {
+    fn record(&mut self, t: f64, event: &Event) {
+        self.events.borrow_mut().push((t, event.clone()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_recorder_writes_one_parseable_line_per_event() {
+        let mut rec = JsonlRecorder::new(Vec::new());
+        rec.record(0.5, &Event::TrackerReport { machines: 2 });
+        rec.record(
+            1.0,
+            &Event::HeartbeatProcessed {
+                pending_tasks: 7,
+                placements: 3,
+                wall_ns: 1234,
+            },
+        );
+        rec.flush();
+        assert_eq!(rec.lines(), 2);
+        let bytes = rec.out.into_inner().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let rec: TraceRecord = serde_json::from_str(line).unwrap();
+            assert!(rec.t >= 0.0);
+        }
+    }
+
+    #[test]
+    fn vec_recorder_handles_share_a_buffer() {
+        let rec = VecRecorder::shared();
+        let mut writer = rec.clone();
+        writer.record(3.0, &Event::TrackerReport { machines: 1 });
+        assert_eq!(rec.len(), 1);
+        let events = rec.take();
+        assert_eq!(events[0].0, 3.0);
+        assert!(rec.is_empty());
+    }
+
+    #[test]
+    fn noop_recorder_is_disabled() {
+        assert!(!NoopRecorder.enabled());
+    }
+}

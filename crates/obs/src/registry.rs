@@ -1,0 +1,135 @@
+//! Metrics registry: counters, gauges and histograms keyed by static
+//! names.
+//!
+//! Keys are `&'static str` (see [`crate::names`]) so lookup never
+//! allocates and typos surface as obviously-dead snapshot entries. The
+//! registry is deliberately not thread-safe: the simulator is
+//! single-threaded and an `Obs` is threaded by `&mut`.
+
+use std::collections::BTreeMap;
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+
+/// Counters, gauges and latency histograms for one run.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Add `delta` to counter `name` (creating it at 0).
+    #[inline]
+    pub fn counter_add(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Increment counter `name` by one.
+    #[inline]
+    pub fn counter_inc(&mut self, name: &'static str) {
+        self.counter_add(name, 1);
+    }
+
+    /// Current value of counter `name` (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Set gauge `name` to `value` (last write wins).
+    #[inline]
+    pub fn gauge_set(&mut self, name: &'static str, value: f64) {
+        self.gauges.insert(name, value);
+    }
+
+    /// Current value of gauge `name`, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Record `value` into histogram `name` (creating it empty).
+    #[inline]
+    pub fn observe(&mut self, name: &'static str, value: u64) {
+        self.histograms.entry(name).or_default().record(value);
+    }
+
+    /// The histogram `name`, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Serializable snapshot of everything recorded so far.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), v))
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), v))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(&k, h)| (k.to_string(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`MetricsRegistry`], serializable to JSON.
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins gauges.
+    pub gauges: BTreeMap<String, f64>,
+    /// Latency histograms.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let mut m = MetricsRegistry::new();
+        assert_eq!(m.counter("never"), 0);
+        m.counter_inc("hits");
+        m.counter_add("hits", 4);
+        assert_eq!(m.counter("hits"), 5);
+    }
+
+    #[test]
+    fn gauges_are_last_write_wins() {
+        let mut m = MetricsRegistry::new();
+        assert_eq!(m.gauge("g"), None);
+        m.gauge_set("g", 1.0);
+        m.gauge_set("g", 0.25);
+        assert_eq!(m.gauge("g"), Some(0.25));
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("placements", 42);
+        m.gauge_set("pending_tasks", 7.0);
+        m.observe("heartbeat_ns", 1000);
+        m.observe("heartbeat_ns", 2000);
+        let snap = m.snapshot();
+        let json = serde_json::to_string_pretty(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.counters["placements"], 42);
+        assert_eq!(back.histograms["heartbeat_ns"].count, 2);
+    }
+}

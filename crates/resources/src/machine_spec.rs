@@ -21,8 +21,7 @@ use crate::{Resource, ResourceVec};
 /// assert_eq!(cap.get(Resource::DiskRead), 200.0 * units::MB);
 /// assert_eq!(cap.get(Resource::NetIn), 125.0 * units::MB);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct MachineSpec {
     /// Number of CPU cores.
     pub cores: f64,

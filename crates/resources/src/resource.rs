@@ -10,8 +10,9 @@ pub const NUM_RESOURCES: usize = 6;
 /// CPU and memory are allocated only at the machine a task runs on; disk and
 /// network bandwidth may additionally be consumed at *remote* machines that
 /// hold the task's input (paper §3.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum Resource {
     /// CPU, measured in cores (fractional cores allowed).
     Cpu,

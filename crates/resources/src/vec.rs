@@ -18,8 +18,7 @@ use crate::resource::{Resource, NUM_RESOURCES};
 /// arise transiently from subtraction) but most call sites clamp via
 /// [`ResourceVec::clamp_non_negative`]; the simulator's invariant tests
 /// check availability never goes negative under Tetris.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
 pub struct ResourceVec(pub [f64; NUM_RESOURCES]);
 
 impl ResourceVec {

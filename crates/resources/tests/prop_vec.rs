@@ -9,11 +9,7 @@ use tetris_resources::{Resource, ResourceVec, NUM_RESOURCES};
 
 fn arb_component() -> impl Strategy<Value = f64> {
     // Realistic magnitudes: cores (units), bytes (up to ~1e12), rates.
-    prop_oneof![
-        0.0..=64.0,
-        0.0..=1e12,
-        Just(0.0),
-    ]
+    prop_oneof![0.0..=64.0, 0.0..=1e12, Just(0.0),]
 }
 
 fn arb_vec() -> impl Strategy<Value = ResourceVec> {

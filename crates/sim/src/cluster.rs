@@ -3,8 +3,9 @@
 use tetris_resources::{MachineSpec, ResourceVec};
 
 /// Identifier of a machine in the cluster (dense, 0-based).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 #[serde(transparent)]
 pub struct MachineId(pub usize);
 
@@ -23,8 +24,7 @@ impl std::fmt::Display for MachineId {
 }
 
 /// Static cluster configuration.
-#[derive(Debug, Clone)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct ClusterConfig {
     /// Per-machine hardware specs.
     pub machines: Vec<MachineSpec>,

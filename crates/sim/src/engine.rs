@@ -1,15 +1,16 @@
 //! The simulation engine: builder + event loop.
 
+use std::time::Instant;
+
+use tetris_obs::{names, Event, Obs};
 use tetris_resources::ResourceVec;
-use tetris_workload::Workload;
+use tetris_workload::{TaskUid, Workload};
 
 use crate::cluster::ClusterConfig;
 use crate::config::SimConfig;
 use crate::events::{EventKind, EventQueue};
-use crate::outcome::{
-    EngineStats, JobRecord, MachineSample, Sample, SimOutcome, TaskRecord,
-};
-use crate::state::{DirtySet, SimState};
+use crate::outcome::{EngineStats, JobRecord, MachineSample, Sample, SimOutcome, TaskRecord};
+use crate::state::{DirtySet, SimState, TaskCompletion};
 use crate::time::SimTime;
 use crate::view::{ClusterView, SchedulerPolicy};
 
@@ -32,14 +33,15 @@ const MAX_SCHEDULE_ROUNDS: usize = 16;
 ///     .run();
 /// assert!(outcome.all_jobs_completed());
 /// ```
-pub struct Simulation {
+pub struct Simulation<'o> {
     cluster: ClusterConfig,
     workload: Workload,
     cfg: SimConfig,
     policy: Option<Box<dyn SchedulerPolicy>>,
+    obs: Option<&'o mut Obs>,
 }
 
-impl Simulation {
+impl Simulation<'static> {
     /// Start configuring a run of `workload` on `cluster`.
     pub fn build(cluster: ClusterConfig, workload: Workload) -> Self {
         Simulation {
@@ -47,9 +49,12 @@ impl Simulation {
             workload,
             cfg: SimConfig::default(),
             policy: None,
+            obs: None,
         }
     }
+}
 
+impl<'o> Simulation<'o> {
     /// Set the scheduling policy (required).
     #[must_use]
     pub fn scheduler(mut self, p: impl SchedulerPolicy + 'static) -> Self {
@@ -78,6 +83,21 @@ impl Simulation {
         self
     }
 
+    /// Attach an observability context: decision events go to its
+    /// recorder, heartbeat timings and counters to its metrics registry.
+    /// Observability never perturbs the run — the outcome is identical
+    /// with or without it (enforced by an integration test).
+    #[must_use]
+    pub fn observe<'b>(self, obs: &'b mut Obs) -> Simulation<'b> {
+        Simulation {
+            cluster: self.cluster,
+            workload: self.workload,
+            cfg: self.cfg,
+            policy: self.policy,
+            obs: Some(obs),
+        }
+    }
+
     /// Run to completion (or the hard stop) and return the outcome.
     ///
     /// # Panics
@@ -89,6 +109,21 @@ impl Simulation {
         self.workload.validate().expect("invalid workload");
         assert!(!self.cluster.is_empty());
 
+        // Without an attached context the engine observes into a local
+        // noop one (discarded at the end), so the loop below never
+        // branches on "is observability on". `observing` gates only the
+        // extra state walks (pending-task counts) that would otherwise
+        // cost time for nobody.
+        let observing = self.obs.is_some();
+        let mut local_obs;
+        let obs: &mut Obs = match self.obs {
+            Some(o) => o,
+            None => {
+                local_obs = Obs::noop();
+                &mut local_obs
+            }
+        };
+
         let tracker_aware = policy.uses_tracker();
         let mut state = SimState::new(self.cluster, self.workload, self.cfg);
         let mut queue = EventQueue::new();
@@ -98,7 +133,10 @@ impl Simulation {
 
         // Seed the queue.
         for job in &state.workload.jobs {
-            queue.push(SimTime::from_secs(job.arrival), EventKind::JobArrival(job.id));
+            queue.push(
+                SimTime::from_secs(job.arrival),
+                EventKind::JobArrival(job.id),
+            );
         }
         for (i, e) in state.cfg.external_loads.iter().enumerate() {
             queue.push(SimTime::from_secs(e.start), EventKind::ExternalStart(i));
@@ -136,29 +174,49 @@ impl Simulation {
             let mut want_sample = false;
             for ev in batch {
                 stats.events += 1;
+                obs.metrics.counter_inc(names::ENGINE_EVENTS);
                 match ev.kind {
                     EventKind::JobArrival(j) => {
                         state.job_arrives(j);
+                        obs.emit(state.now.as_secs(), || {
+                            let spec = &state.workload.jobs[j.index()];
+                            Event::JobArrived {
+                                job: j.index(),
+                                name: spec.name.clone(),
+                                tasks: spec.num_tasks(),
+                            }
+                        });
                         want_schedule = true;
                     }
                     EventKind::FlowDone { flow, gen } => {
                         if let Some(task) = state.flow_done(flow, gen, &mut dirty, &mut queue) {
-                            state.task_complete(task, &mut dirty);
+                            let done = state.task_complete(task, &mut dirty);
+                            observe_completion(obs, &state, task, done);
                             want_schedule = true;
                         }
                     }
                     EventKind::TaskDone { task, gen } => {
                         // Zero-flow tasks: gen is the attempt number at
                         // placement; ignore stale retries.
-                        let current =
-                            matches!(&state.tasks[task.index()].phase, crate::state::Phase::Running(info) if info.gen == gen);
+                        let current = matches!(&state.tasks[task.index()].phase, crate::state::Phase::Running(info) if info.gen == gen);
                         if current {
-                            state.task_complete(task, &mut dirty);
+                            let done = state.task_complete(task, &mut dirty);
+                            observe_completion(obs, &state, task, done);
                             want_schedule = true;
                         }
                     }
                     EventKind::TrackerReport => {
                         state.tracker_report();
+                        obs.metrics.counter_inc(names::TRACKER_REPORTS);
+                        if observing {
+                            obs.metrics.gauge_set(
+                                names::TRACKER_USAGE_FRAC,
+                                state.tracker_usage_fraction(),
+                            );
+                        }
+                        obs.emit(state.now.as_secs(), || Event::TrackerReport {
+                            machines: state.machines.len(),
+                        });
                         if state.jobs_remaining > 0 {
                             let next = state.now.after_secs(state.cfg.tracker_period);
                             queue.push(next, EventKind::TrackerReport);
@@ -189,12 +247,24 @@ impl Simulation {
             state.recompute_dirty(&mut dirty, &mut queue);
 
             if want_schedule && state.jobs_remaining > 0 {
+                // One "resources freed → pick tasks" pass: the heartbeat
+                // of a real cluster scheduler. Timed end-to-end into the
+                // continuous version of the paper's Table-8 measurement.
+                let pending_before =
+                    observing.then(|| ClusterView::new(&state, tracker_aware).num_pending());
+                let placed_before = stats.placements;
+                let heartbeat_start = Instant::now();
                 for _round in 0..MAX_SCHEDULE_ROUNDS {
+                    let schedule_start = Instant::now();
                     let assignments = {
                         let view = ClusterView::new(&state, tracker_aware);
                         stats.schedule_calls += 1;
                         policy.schedule(&view)
                     };
+                    obs.metrics.observe(
+                        names::SCHEDULE_NS,
+                        schedule_start.elapsed().as_nanos() as u64,
+                    );
                     if assignments.is_empty() {
                         break;
                     }
@@ -203,15 +273,39 @@ impl Simulation {
                         if state.assignment_valid(a.task, a.machine) {
                             state.apply_assignment(a.task, a.machine, &mut dirty, &mut queue);
                             stats.placements += 1;
+                            obs.metrics.counter_inc(names::PLACEMENTS);
                             placed = true;
+                            obs.emit(state.now.as_secs(), || {
+                                let job = state.workload.task(a.task).expect("task").job;
+                                Event::TaskPlaced {
+                                    job: job.index(),
+                                    task: a.task.index(),
+                                    machine: a.machine.index(),
+                                    alignment_score: a.scores.map(|s| s.alignment),
+                                    srtf_score: a.scores.map(|s| s.srtf),
+                                    combined_score: a.scores.map(|s| s.combined),
+                                    considered_machines: a.scores.map(|s| s.considered_machines),
+                                }
+                            });
                         } else {
                             stats.rejected_assignments += 1;
+                            obs.metrics.counter_inc(names::REJECTED_ASSIGNMENTS);
                         }
                     }
                     state.recompute_dirty(&mut dirty, &mut queue);
                     if !placed {
                         break;
                     }
+                }
+                let wall_ns = heartbeat_start.elapsed().as_nanos() as u64;
+                obs.metrics.observe(names::HEARTBEAT_NS, wall_ns);
+                if let Some(pending) = pending_before {
+                    obs.metrics.gauge_set(names::PENDING_TASKS, pending as f64);
+                    obs.emit(state.now.as_secs(), || Event::HeartbeatProcessed {
+                        pending_tasks: pending,
+                        placements: stats.placements - placed_before,
+                        wall_ns,
+                    });
                 }
                 // Hints are consumed by the whole scheduling loop, not per
                 // round, so a policy can keep focusing on freed machines
@@ -232,7 +326,35 @@ impl Simulation {
             timed_out = true;
         }
 
+        obs.flush();
         finalize(state, policy.name(), samples, stats, timed_out)
+    }
+}
+
+/// Emit the trace event and counters matching a [`TaskCompletion`].
+fn observe_completion(obs: &mut Obs, state: &SimState, task: TaskUid, done: TaskCompletion) {
+    let t = state.now.as_secs();
+    match done {
+        TaskCompletion::Stale => {}
+        TaskCompletion::Requeued { machine } => {
+            obs.metrics.counter_inc(names::TASK_RETRIES);
+            obs.emit(t, || Event::TaskPreempted {
+                job: state.workload.task(task).expect("task").job.index(),
+                task: task.index(),
+                machine: machine.index(),
+                reason: "failure_retry".into(),
+            });
+        }
+        TaskCompletion::Finished {
+            machine, attempts, ..
+        } => {
+            obs.emit(t, || Event::TaskCompleted {
+                job: state.workload.task(task).expect("task").job.index(),
+                task: task.index(),
+                machine: machine.index(),
+                attempts,
+            });
+        }
     }
 }
 
@@ -373,7 +495,7 @@ impl SchedulerPolicy for GreedyFifo {
                         for (src, dem) in &plan.remote {
                             avail[src.index()] -= *dem;
                         }
-                        out.push(crate::view::Assignment { task: t, machine: m });
+                        out.push(crate::view::Assignment::new(t, m));
                         break;
                     }
                 }

@@ -7,8 +7,7 @@ use tetris_workload::{JobId, TaskUid};
 use crate::cluster::MachineId;
 
 /// Final record of one job.
-#[derive(Debug, Clone)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct JobRecord {
     /// Job id.
     pub id: JobId,
@@ -34,8 +33,7 @@ impl JobRecord {
 }
 
 /// Final record of one task.
-#[derive(Debug, Clone)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct TaskRecord {
     /// Task uid.
     pub uid: TaskUid,
@@ -80,8 +78,7 @@ impl TaskRecord {
 }
 
 /// Per-machine utilization snapshot.
-#[derive(Debug, Clone)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct MachineSample {
     /// Demand ledger (may exceed capacity — over-allocation).
     pub allocated: ResourceVec,
@@ -93,8 +90,7 @@ pub struct MachineSample {
 }
 
 /// Cluster-wide utilization snapshot.
-#[derive(Debug, Clone)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct Sample {
     /// Sample time (seconds).
     pub t: f64,
@@ -111,8 +107,7 @@ pub struct Sample {
 }
 
 /// Engine counters (diagnostics and the overhead table).
-#[derive(Debug, Clone, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
 pub struct EngineStats {
     /// Events processed.
     pub events: u64,
@@ -127,8 +122,7 @@ pub struct EngineStats {
 }
 
 /// Everything a run produced.
-#[derive(Debug, Clone)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct SimOutcome {
     /// Name of the scheduler that ran.
     pub scheduler: String,

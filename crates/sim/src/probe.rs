@@ -6,6 +6,9 @@
 //! that moment: every job arrived, nothing placed yet, and the policy is
 //! invoked once per `measure()` call on a fresh clone of the state.
 
+use std::time::Instant;
+
+use tetris_obs::{names, Event, Obs};
 use tetris_workload::Workload;
 
 use crate::cluster::ClusterConfig;
@@ -48,6 +51,26 @@ impl ScheduleProbe {
         let view = ClusterView::new(&self.state, policy.uses_tracker());
         policy.schedule(&view).len()
     }
+
+    /// [`ScheduleProbe::measure`], additionally timing the pass into
+    /// `obs`'s `heartbeat_ns`/`schedule_ns` histograms and emitting a
+    /// [`tetris_obs::Event::HeartbeatProcessed`] — so one-off Table-8
+    /// probes and continuous engine runs land in the same metrics.
+    pub fn measure_observed(&self, policy: &mut dyn SchedulerPolicy, obs: &mut Obs) -> usize {
+        let pending = self.pending();
+        let start = Instant::now();
+        let n = self.measure(policy);
+        let wall_ns = start.elapsed().as_nanos() as u64;
+        obs.metrics.observe(names::HEARTBEAT_NS, wall_ns);
+        obs.metrics.observe(names::SCHEDULE_NS, wall_ns);
+        obs.metrics.gauge_set(names::PENDING_TASKS, pending as f64);
+        obs.emit(self.state.now.as_secs(), || Event::HeartbeatProcessed {
+            pending_tasks: pending,
+            placements: n as u64,
+            wall_ns,
+        });
+        n
+    }
 }
 
 #[cfg(test)]
@@ -73,5 +96,26 @@ mod tests {
         let n2 = probe.measure(&mut policy);
         assert!(n1 > 0);
         assert_eq!(n1, n2, "probe must be repeatable");
+    }
+
+    #[test]
+    fn observed_probe_feeds_heartbeat_histogram() {
+        let w = WorkloadSuiteConfig::small().generate(3);
+        let probe = ScheduleProbe::new(
+            ClusterConfig::uniform(4, MachineSpec::paper_large()),
+            w,
+            SimConfig::default(),
+        );
+        let mut policy = GreedyFifo::new();
+        let mut obs = Obs::noop();
+        let n = probe.measure_observed(&mut policy, &mut obs);
+        assert_eq!(n, probe.measure(&mut policy));
+        let h = obs.metrics.histogram(names::HEARTBEAT_NS).unwrap();
+        assert_eq!(h.count(), 1);
+        assert!(h.max().unwrap() > 0);
+        assert_eq!(
+            obs.metrics.gauge(names::PENDING_TASKS),
+            Some(probe.pending() as f64)
+        );
     }
 }

@@ -235,6 +235,42 @@ impl JobState {
     }
 }
 
+/// What [`SimState::task_complete`] did, so the engine can emit the
+/// matching trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskCompletion {
+    /// The task was not actually running (stale event); nothing changed.
+    Stale,
+    /// The failure model re-queued the attempt: the task lost its slot on
+    /// `machine` and went back to pending.
+    Requeued {
+        /// Machine the failed attempt was running on.
+        machine: MachineId,
+    },
+    /// The task finished for good.
+    Finished {
+        /// Machine the final attempt ran on.
+        machine: MachineId,
+        /// Attempts used.
+        attempts: u32,
+        /// True if this completion finished the whole job.
+        job_finished: bool,
+    },
+}
+
+impl TaskCompletion {
+    /// True if a job finished as a result.
+    pub fn job_finished(&self) -> bool {
+        matches!(
+            self,
+            TaskCompletion::Finished {
+                job_finished: true,
+                ..
+            }
+        )
+    }
+}
+
 /// Resolved placement of a task on a candidate machine: what it would
 /// demand locally and at each remote input source, and how long it would
 /// take at peak allocation (paper eqn. 5 with peak rates).
@@ -344,10 +380,7 @@ impl SimState {
                 for (ti, t) in stage.tasks.iter().enumerate() {
                     task_loc[t.uid.index()] = (ji, si, ti);
                 }
-                let feeds_downstream = job
-                    .stages
-                    .iter()
-                    .any(|s2| s2.deps.contains(&si));
+                let feeds_downstream = job.stages.iter().any(|s2| s2.deps.contains(&si));
                 stages.push(StageState {
                     unlocked: false,
                     pending: Vec::new(),
@@ -514,13 +547,15 @@ impl SimState {
         // tail's bytes into them proportionally (bytes conserved).
         let mut remote: Vec<(MachineId, f64)> = remote.into_iter().collect();
         if remote.len() > self.cfg.shuffle_fanin {
-            remote.sort_by(|a, b| {
-                b.1.partial_cmp(&a.1)
-                    .unwrap()
-                    .then_with(|| a.0.cmp(&b.0))
-            });
-            let kept: f64 = remote[..self.cfg.shuffle_fanin].iter().map(|(_, b)| b).sum();
-            let tail: f64 = remote[self.cfg.shuffle_fanin..].iter().map(|(_, b)| b).sum();
+            remote.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+            let kept: f64 = remote[..self.cfg.shuffle_fanin]
+                .iter()
+                .map(|(_, b)| b)
+                .sum();
+            let tail: f64 = remote[self.cfg.shuffle_fanin..]
+                .iter()
+                .map(|(_, b)| b)
+                .sum();
             remote.truncate(self.cfg.shuffle_fanin);
             if kept > 0.0 {
                 let scale = (kept + tail) / kept;
@@ -881,14 +916,14 @@ impl SimState {
     }
 
     /// Complete (or fail-and-retry) a task whose work is all done.
-    /// Returns true if a job finished as a result.
-    pub fn task_complete(&mut self, uid: TaskUid, dirty: &mut DirtySet) -> bool {
+    /// Reports what happened so the engine can trace it.
+    pub fn task_complete(&mut self, uid: TaskUid, dirty: &mut DirtySet) -> TaskCompletion {
         let (ji, si, _) = self.task_loc[uid.index()];
         let info = match std::mem::replace(&mut self.tasks[uid.index()].phase, Phase::Finished) {
             Phase::Running(info) => info,
             other => {
                 self.tasks[uid.index()].phase = other;
-                return false;
+                return TaskCompletion::Stale;
             }
         };
 
@@ -926,7 +961,7 @@ impl SimState {
             t.machine = None;
             t.runnable_since = Some(now);
             self.jobs[ji].stages[si].pending.push(uid);
-            return false;
+            return TaskCompletion::Requeued { machine: host };
         }
 
         // Genuine completion.
@@ -964,12 +999,16 @@ impl SimState {
         }
 
         let job = &mut self.jobs[ji];
-        if job.finished_tasks == job.total_tasks {
+        let job_finished = job.finished_tasks == job.total_tasks;
+        if job_finished {
             job.finish = Some(self.now);
             self.jobs_remaining -= 1;
-            return true;
         }
-        false
+        TaskCompletion::Finished {
+            machine: host,
+            attempts,
+            job_finished,
+        }
     }
 
     /// Apply/remove external load on a machine's links.
@@ -1004,9 +1043,31 @@ impl SimState {
             let ms = &mut self.machines[mi];
             ms.external_reported = ms.external;
             ms.usage_reported = usage;
-            ms.recent
-                .retain(|(t, _)| now.secs_since(*t) < horizon);
+            ms.recent.retain(|(t, _)| now.secs_since(*t) < horizon);
         }
+    }
+
+    /// Cluster-wide tracker-reported usage as a fraction of capacity, in
+    /// the most-loaded resource dimension. Observability only — policies
+    /// see per-machine availability, never this aggregate.
+    pub fn tracker_usage_fraction(&self) -> f64 {
+        let mut usage = ResourceVec::zero();
+        let mut cap = ResourceVec::zero();
+        for ms in &self.machines {
+            usage += ms.usage_reported + ms.external_reported;
+            cap += ms.capacity;
+        }
+        usage
+            .iter()
+            .map(|(r, u)| {
+                let c = cap.get(r);
+                if c > 0.0 {
+                    u / c
+                } else {
+                    0.0
+                }
+            })
+            .fold(0.0f64, f64::max)
     }
 
     /// Availability as seen by the scheduler.
@@ -1136,8 +1197,8 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         };
         assert_eq!(done, Some(TaskUid(0)));
-        let job_done = st.task_complete(TaskUid(0), &mut dirty);
-        assert!(job_done);
+        let done = st.task_complete(TaskUid(0), &mut dirty);
+        assert!(done.job_finished());
         assert_eq!(st.jobs_remaining, 0);
         assert_eq!(st.jobs[0].finish, Some(SimTime::from_secs(5.0)));
         // Ledger fully released.
@@ -1188,7 +1249,8 @@ mod tests {
         );
         // Tracker-unaware view unchanged.
         assert_eq!(
-            st.availability(MachineId(0), false).get(Resource::DiskWrite),
+            st.availability(MachineId(0), false)
+                .get(Resource::DiskWrite),
             st.machines[0].capacity.get(Resource::DiskWrite)
         );
     }
@@ -1219,7 +1281,11 @@ mod tests {
         // CPU link uncontended (2 ≤ 4) but memory 24 GB > 16 GB:
         // thrash factor (16/24)^1.35 with the default exponent.
         let expect = 1.0 * (16.0f64 / 24.0).powf(1.35);
-        assert!((st.flows[0].rate - expect).abs() < 1e-9, "{}", st.flows[0].rate);
+        assert!(
+            (st.flows[0].rate - expect).abs() < 1e-9,
+            "{}",
+            st.flows[0].rate
+        );
     }
 
     #[test]
@@ -1311,14 +1377,19 @@ mod tests {
         st.recompute_dirty(&mut dirty, &mut q);
         st.now = SimTime::from_secs(5.0);
         // First completion fails (attempts=1 < max 2) → requeued.
-        let job_done = st.task_complete(TaskUid(0), &mut dirty);
-        assert!(!job_done);
+        let done = st.task_complete(TaskUid(0), &mut dirty);
+        assert_eq!(
+            done,
+            TaskCompletion::Requeued {
+                machine: MachineId(0)
+            }
+        );
         assert!(matches!(st.tasks[0].phase, Phase::Runnable));
         assert_eq!(st.jobs[0].stages[0].pending, vec![TaskUid(0)]);
         // Second attempt hits the attempt cap and must complete.
         st.apply_assignment(TaskUid(0), MachineId(0), &mut dirty, &mut q);
-        let job_done = st.task_complete(TaskUid(0), &mut dirty);
-        assert!(job_done);
+        let done = st.task_complete(TaskUid(0), &mut dirty);
+        assert!(done.job_finished());
     }
 
     #[test]
@@ -1411,9 +1482,12 @@ mod tests {
             .expect("some machine without replicas");
         let plan = st.placement_plan(TaskUid(0), host);
         assert!(plan.remote_reads.len() <= 3);
-        let total: f64 = plan.remote_reads.iter().map(|(_, b)| b).sum::<f64>()
-            + plan.local_read_bytes;
-        assert!((total - 80.0 * MB).abs() < 1.0, "bytes not conserved: {total}");
+        let total: f64 =
+            plan.remote_reads.iter().map(|(_, b)| b).sum::<f64>() + plan.local_read_bytes;
+        assert!(
+            (total - 80.0 * MB).abs() < 1.0,
+            "bytes not conserved: {total}"
+        );
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //! `enforced_rate` helper is also used by tests to cross-check that
 //! simulated flow throughput equals what the bucket would admit.
 
+use tetris_obs::{names, Event, Obs};
+
 use crate::time::SimTime;
 
 /// A token bucket enforcing an average `rate` (tokens/second ≙ bytes/s)
@@ -90,6 +92,31 @@ impl TokenBucket {
         }
         let wait = (amount - self.tokens) / self.rate;
         now.after_secs(wait)
+    }
+
+    /// [`TokenBucket::admit_at`] with observability: when the call must
+    /// queue, bumps the throttled counter, records the queueing delay
+    /// (simulated microseconds) into the wait histogram, and emits a
+    /// [`Event::TokenBucketThrottled`] trace event.
+    pub fn admit_observed(&mut self, amount: f64, now: SimTime, obs: &mut Obs) -> SimTime {
+        let when = self.admit_at(amount, now);
+        if when > now {
+            let wait = if when == SimTime::MAX {
+                f64::INFINITY
+            } else {
+                when.secs_since(now)
+            };
+            obs.metrics.counter_inc(names::TOKEN_THROTTLED);
+            // `as u64` saturates, so an unbounded wait lands in the
+            // histogram's overflow bucket.
+            obs.metrics
+                .observe(names::TOKEN_WAIT_US, (wait * 1e6) as u64);
+            obs.emit(now.as_secs(), || Event::TokenBucketThrottled {
+                requested: amount,
+                wait_secs: wait,
+            });
+        }
+        when
     }
 }
 
@@ -194,5 +221,28 @@ mod tests {
     #[test]
     fn oversized_calls_starve() {
         assert_eq!(enforced_rate(100.0, 10.0, 20.0), 0.0);
+    }
+
+    #[test]
+    fn observed_admission_records_throttling() {
+        use tetris_obs::{names, Event, VecRecorder};
+        let rec = VecRecorder::shared();
+        let mut obs = Obs::with_recorder(Box::new(rec.clone()));
+        let mut b = TokenBucket::new(100.0, 500.0, t(0.0));
+        // Admitted immediately: nothing recorded.
+        assert_eq!(b.admit_observed(500.0, t(0.0), &mut obs), t(0.0));
+        assert!(b.try_consume(500.0, t(0.0)));
+        assert_eq!(obs.metrics.counter(names::TOKEN_THROTTLED), 0);
+        // Must queue 3 s for 300 tokens.
+        assert_eq!(b.admit_observed(300.0, t(0.0), &mut obs), t(3.0));
+        assert_eq!(obs.metrics.counter(names::TOKEN_THROTTLED), 1);
+        let h = obs.metrics.histogram(names::TOKEN_WAIT_US).unwrap();
+        assert_eq!(h.count(), 1);
+        assert!(h.max().unwrap() >= 2_000_000, "{:?}", h.max());
+        let events = rec.take();
+        assert!(matches!(
+            events.as_slice(),
+            [(_, Event::TokenBucketThrottled { .. })]
+        ));
     }
 }

@@ -11,6 +11,7 @@
 //! like actual flow rates, mirroring what a real cluster scheduler can
 //! observe.
 
+use tetris_obs::DecisionScores;
 use tetris_resources::ResourceVec;
 use tetris_workload::{JobId, TaskSpec, TaskUid};
 
@@ -18,12 +19,36 @@ use crate::cluster::MachineId;
 use crate::state::{Phase, PlacementPlan, SimState};
 
 /// A scheduling decision: run `task` on `machine`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Scoring policies (Tetris) attach a [`DecisionScores`] breakdown so the
+/// trace can explain *why* each placement won; slot baselines leave it
+/// `None`. Scores are observability payload only — the engine ignores
+/// them when applying the assignment.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Assignment {
     /// The task to place (must currently be runnable).
     pub task: TaskUid,
     /// The machine to place it on.
     pub machine: MachineId,
+    /// Optional score breakdown for decision tracing.
+    pub scores: Option<DecisionScores>,
+}
+
+impl Assignment {
+    /// Assignment without score annotations (baselines).
+    pub fn new(task: TaskUid, machine: MachineId) -> Self {
+        Assignment {
+            task,
+            machine,
+            scores: None,
+        }
+    }
+
+    /// Attach a score breakdown (scoring policies).
+    pub fn with_scores(mut self, scores: DecisionScores) -> Self {
+        self.scores = Some(scores);
+        self
+    }
 }
 
 /// A cluster scheduling policy.

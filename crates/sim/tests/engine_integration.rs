@@ -97,9 +97,8 @@ fn suite_completes_and_is_deterministic() {
     );
     // Different sim seed → different block placement → some task runs
     // differently.
-    let finishes = |o: &tetris_sim::SimOutcome| {
-        o.tasks.iter().map(|t| t.finish).collect::<Vec<_>>()
-    };
+    let finishes =
+        |o: &tetris_sim::SimOutcome| o.tasks.iter().map(|t| t.finish).collect::<Vec<_>>();
     assert_ne!(
         finishes(&a),
         finishes(&c),
@@ -160,10 +159,7 @@ fn contention_stretches_tasks() {
             let mut out = Vec::new();
             for j in view.active_jobs() {
                 for t in view.job_pending(j) {
-                    out.push(Assignment {
-                        task: t,
-                        machine: MachineId(0),
-                    });
+                    out.push(Assignment::new(t, MachineId(0)));
                 }
             }
             out
@@ -208,10 +204,7 @@ fn contention_without_interference_is_work_conserving() {
             let mut out = Vec::new();
             for j in view.active_jobs() {
                 for t in view.job_pending(j) {
-                    out.push(Assignment {
-                        task: t,
-                        machine: MachineId(0),
-                    });
+                    out.push(Assignment::new(t, MachineId(0)));
                 }
             }
             out
@@ -425,10 +418,7 @@ fn evacuation_slows_remote_reads_from_the_evacuating_machine() {
             view.active_jobs()
                 .into_iter()
                 .flat_map(|j| view.job_pending(j))
-                .map(|t| Assignment {
-                    task: t,
-                    machine: self.0,
-                })
+                .map(|t| Assignment::new(t, self.0))
                 .collect()
         }
     }
@@ -499,8 +489,7 @@ fn flow_throughput_matches_token_bucket_enforcement() {
         .run();
     let d = outcome.tasks[0].duration().unwrap();
     let simulated_rate = 800.0 * MB / d;
-    let bucket_rate =
-        tetris_sim::token_bucket::enforced_rate(40.0 * MB, 4.0 * MB, 64.0 * 1024.0);
+    let bucket_rate = tetris_sim::token_bucket::enforced_rate(40.0 * MB, 4.0 * MB, 64.0 * 1024.0);
     assert!(
         (simulated_rate - bucket_rate).abs() / bucket_rate < 0.01,
         "simulated {simulated_rate} vs enforced {bucket_rate}"

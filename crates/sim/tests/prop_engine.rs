@@ -23,8 +23,7 @@ fn arb_workload() -> impl Strategy<Value = Workload> {
         proptest::bool::ANY, // io heavy?
     );
     proptest::collection::vec(job, 1..=4).prop_map(|jobs| {
-        let mut b = WorkloadBuilder::new()
-            .with_demand_cap(MachineSpec::paper_small().capacity());
+        let mut b = WorkloadBuilder::new().with_demand_cap(MachineSpec::paper_small().capacity());
         for (ji, (stages, n, cores, mem_gb, dur, out_mb, arrival, io_heavy)) in
             jobs.into_iter().enumerate()
         {
@@ -65,13 +64,10 @@ fn run(w: Workload, seed: u64) -> tetris_sim::SimOutcome {
     let mut cfg = SimConfig::default();
     cfg.seed = seed;
     cfg.max_time = 100_000.0;
-    Simulation::build(
-        ClusterConfig::uniform(3, MachineSpec::paper_small()),
-        w,
-    )
-    .scheduler(GreedyFifo::new())
-    .config(cfg)
-    .run()
+    Simulation::build(ClusterConfig::uniform(3, MachineSpec::paper_small()), w)
+        .scheduler(GreedyFifo::new())
+        .config(cfg)
+        .run()
 }
 
 proptest! {

@@ -52,7 +52,7 @@ impl SchedulerPolicy for Capture {
                         let plan = view.plan(t, m);
                         if plan.local.fits_within(&avail[m.index()]) {
                             avail[m.index()] -= plan.local;
-                            out.push(Assignment { task: t, machine: m });
+                            out.push(Assignment::new(t, m));
                             break;
                         }
                     }

@@ -9,6 +9,7 @@
 
 use std::process::exit;
 
+use tetris_obs::summary::Summary;
 use tetris_workload::analysis::{CorrelationMatrix, DemandDiversity, Heatmap};
 use tetris_workload::{trace, FacebookTraceConfig, Workload, WorkloadSuiteConfig};
 
@@ -64,11 +65,11 @@ fn generate(args: &[String]) {
         }
     };
     trace::save(&out, &w, &provenance).expect("write trace");
-    println!(
-        "wrote {out}: {} jobs, {} tasks ({provenance})",
-        w.jobs.len(),
-        w.num_tasks()
-    );
+    let mut s = Summary::new(format!("wrote {out}"));
+    s.row("jobs", w.jobs.len())
+        .row("tasks", w.num_tasks())
+        .row("provenance", provenance);
+    print!("{s}");
 }
 
 fn load(args: &[String]) -> (String, Workload, String) {
@@ -87,16 +88,17 @@ fn load(args: &[String]) -> (String, Workload, String) {
 
 fn info(args: &[String]) {
     let (path, w, provenance) = load(args);
-    println!("{path}: {provenance}");
-    println!("  jobs: {}", w.jobs.len());
-    println!("  tasks: {}", w.num_tasks());
-    println!("  stored blocks: {}", w.num_blocks);
     let stages: usize = w.jobs.iter().map(|j| j.stages.len()).sum();
-    println!("  stages: {stages}");
     let recurring = w.jobs.iter().filter(|j| j.family.is_some()).count();
-    println!("  recurring jobs: {recurring}");
     let horizon = w.jobs.iter().map(|j| j.arrival).fold(0.0f64, f64::max);
-    println!("  arrival horizon: {horizon:.0}s");
+    let mut s = Summary::new(format!("{path} ({provenance})"));
+    s.row("jobs", w.jobs.len())
+        .row("tasks", w.num_tasks())
+        .row("stored blocks", w.num_blocks)
+        .row("stages", stages)
+        .row("recurring jobs", recurring)
+        .row("arrival horizon", format!("{horizon:.0}s"));
+    print!("{s}");
 }
 
 fn analyze(args: &[String]) {

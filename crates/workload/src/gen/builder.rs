@@ -43,7 +43,14 @@ impl TaskParams {
     /// Derive the task's peak-demand vector.
     pub fn demand(&self) -> ResourceVec {
         let mut d = ResourceVec::zero()
-            .with(Resource::Cpu, if self.cpu_work() > 0.0 { self.cores } else { 0.0 })
+            .with(
+                Resource::Cpu,
+                if self.cpu_work() > 0.0 {
+                    self.cores
+                } else {
+                    0.0
+                },
+            )
             .with(Resource::Mem, self.mem);
         let io_time = (self.duration / self.io_burst).max(1e-6);
         let in_bytes: f64 = self.inputs.iter().map(|i| i.bytes).sum();

@@ -122,7 +122,6 @@ pub fn two_job_packing_example(n_big: usize, n_small: usize, t: f64) -> Workload
     b.finish()
 }
 
-
 /// A diamond DAG: `extract → {transform-a, transform-b} → join`, where the
 /// join stage depends on **both** middle stages. Exercises multi-dependency
 /// barriers (every other generator produces chains).
@@ -145,7 +144,9 @@ pub fn diamond_dag(n: usize, t: f64) -> Workload {
         remote_frac: 1.0,
     };
     // Stage 0: extract.
-    b.add_stage(j, "extract", vec![], n, |i| base(vec![inputs[i]], 64.0 * MB));
+    b.add_stage(j, "extract", vec![], n, |i| {
+        base(vec![inputs[i]], 64.0 * MB)
+    });
     let per_task = 64.0 * MB * n as f64 / n as f64;
     // Stages 1, 2: two independent transforms of the extract output.
     for name in ["transform-a", "transform-b"] {

@@ -113,7 +113,7 @@ impl StageTemplate {
         // Independent draws per dimension → near-zero cross-resource
         // correlation (Table 2). Wide log-normals → high CoV (Fig. 2).
         let cores: f64 = *[0.25, 0.5, 1.0, 1.0, 2.0, 4.0]
-            .get(rng.gen_range(0..6))
+            .get(rng.gen_range(0..6usize))
             .unwrap();
         // Memory scales mildly with core count (the paper's Table 2 finds
         // cores↔memory is the one moderately correlated pair).
@@ -127,7 +127,9 @@ impl StageTemplate {
         let input_per_task = LogNormal::from_median(420.0 * MB, 1.0)
             .sample(rng)
             .clamp(8.0 * MB, 4.0 * GB);
-        let selectivity = LogNormal::from_median(0.6, 0.8).sample(rng).clamp(0.02, 4.0);
+        let selectivity = LogNormal::from_median(0.6, 0.8)
+            .sample(rng)
+            .clamp(0.02, 4.0);
         // Network-in demand: map stages read stored blocks and are usually
         // placed data-local (zero expected network-in); shuffle stages pull
         // input remotely at a fetch rate bounded by fetch parallelism, not
@@ -159,7 +161,11 @@ impl StageTemplate {
         // input streaming rate (TaskParams derives NetIn = rate × frac).
         let in_bytes: f64 = inputs.iter().map(|i| i.bytes).sum();
         let io_time = (self.duration * dj / self.io_burst).max(1e-6);
-        let read_rate = if in_bytes > 0.0 { in_bytes / io_time } else { 0.0 };
+        let read_rate = if in_bytes > 0.0 {
+            in_bytes / io_time
+        } else {
+            0.0
+        };
         let remote_frac = if read_rate > 0.0 {
             (self.net_rate / read_rate).clamp(0.0, 1.0)
         } else {
@@ -203,14 +209,13 @@ impl FacebookTraceConfig {
             let u: f64 = rng.gen_range(f64::EPSILON..1.0);
             arrival += -self.mean_interarrival * u.ln();
 
-            let (template, family) = if rng.gen_bool(self.recurring_fraction)
-                && !families.is_empty()
-            {
-                let fi = rng.gen_range(0..families.len());
-                (families[fi].clone(), Some(format!("family-{fi}")))
-            } else {
-                (self.draw_job_template(&mut rng), None)
-            };
+            let (template, family) =
+                if rng.gen_bool(self.recurring_fraction) && !families.is_empty() {
+                    let fi = rng.gen_range(0..families.len());
+                    (families[fi].clone(), Some(format!("family-{fi}")))
+                } else {
+                    (self.draw_job_template(&mut rng), None)
+                };
             self.add_job(&mut b, &mut rng, jn, &template, family, arrival);
         }
         b.finish()
@@ -264,16 +269,12 @@ impl FacebookTraceConfig {
         });
 
         let mut upstream_out = map_out * t.n_maps as f64;
-        for (si, tmpl) in [&t.reduce, &t.reduce2]
-            .into_iter()
-            .flatten()
-            .enumerate()
-        {
+        for (si, tmpl) in [&t.reduce, &t.reduce2].into_iter().flatten().enumerate() {
             // Chain: reduce1 depends on stage 0 (map), reduce2 on stage 1.
             let up = si;
             // Reduce count sized so each task gets ~its template input.
-            let n = ((upstream_out / tmpl.input_per_task).round() as usize)
-                .clamp(1, (t.n_maps).max(1));
+            let n =
+                ((upstream_out / tmpl.input_per_task).round() as usize).clamp(1, (t.n_maps).max(1));
             let per_task_in = upstream_out / n as f64;
             let out = per_task_in * tmpl.selectivity;
             let jitters: Vec<(f64, f64)> = (0..n)
@@ -353,8 +354,12 @@ mod tests {
             assert_eq!(a.stages.len(), b.stages.len());
             // Same template → same per-stage core demand.
             assert_eq!(
-                a.stages[0].tasks[0].demand.get(tetris_resources::Resource::Cpu),
-                b.stages[0].tasks[0].demand.get(tetris_resources::Resource::Cpu),
+                a.stages[0].tasks[0]
+                    .demand
+                    .get(tetris_resources::Resource::Cpu),
+                b.stages[0].tasks[0]
+                    .demand
+                    .get(tetris_resources::Resource::Cpu),
             );
         }
     }

@@ -165,20 +165,24 @@ impl WorkloadSuiteConfig {
         let sel = class.selectivity();
         let map_out = self.map_input_bytes * sel;
         let total_shuffle = map_out * n_maps as f64;
-        let n_reduces = ((total_shuffle / self.reduce_input_target).round() as usize)
-            .clamp(1, n_maps.max(1));
+        let n_reduces =
+            ((total_shuffle / self.reduce_input_target).round() as usize).clamp(1, n_maps.max(1));
         let reduce_in = total_shuffle / n_reduces as f64;
 
-        let job = b.begin_job(
-            format!("{}-{}", class.label(), ordinal),
-            None,
-            arrival,
-        );
+        let job = b.begin_job(format!("{}-{}", class.label(), ordinal), None, arrival);
 
         // Per-stage choices (paper: per-stage high/low mem and cpu).
-        let map_mem = if rng.gen_bool(0.5) { self.mem_high } else { self.mem_low };
+        let map_mem = if rng.gen_bool(0.5) {
+            self.mem_high
+        } else {
+            self.mem_low
+        };
         let map_cpu_heavy = rng.gen_bool(0.5);
-        let red_mem = if rng.gen_bool(0.5) { self.mem_high } else { self.mem_low };
+        let red_mem = if rng.gen_bool(0.5) {
+            self.mem_high
+        } else {
+            self.mem_low
+        };
         let red_cpu_heavy = rng.gen_bool(0.5);
 
         let map_base_dur = if map_cpu_heavy {
@@ -334,18 +338,8 @@ mod tests {
         };
         let w = cfg.generate(7);
         // Large class should have ~200 maps, small ~10.
-        let max_stage = w
-            .jobs
-            .iter()
-            .map(|j| j.stages[0].len())
-            .max()
-            .unwrap();
-        let min_stage = w
-            .jobs
-            .iter()
-            .map(|j| j.stages[0].len())
-            .min()
-            .unwrap();
+        let max_stage = w.jobs.iter().map(|j| j.stages[0].len()).max().unwrap();
+        let min_stage = w.jobs.iter().map(|j| j.stages[0].len()).min().unwrap();
         assert!(max_stage >= 150, "max {max_stage}");
         assert!(min_stage <= 20, "min {min_stage}");
     }

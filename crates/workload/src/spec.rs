@@ -8,8 +8,7 @@ use tetris_resources::{Resource, ResourceVec};
 use crate::ids::{BlockId, JobId, TaskUid};
 
 /// Where a task's input bytes come from.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum InputSource {
     /// A stored (HDFS-style) data block. Replica → machine placement is
     /// decided when the workload is bound to a concrete cluster, so the
@@ -26,8 +25,7 @@ pub enum InputSource {
 }
 
 /// One input chunk of a task.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct InputSpec {
     /// Where the bytes live.
     pub source: InputSource,
@@ -44,8 +42,7 @@ pub struct InputSpec {
 /// A task's runtime is therefore `work / allocated rate`, maximized over
 /// dimensions — allocate less than peak and the task stretches, which is how
 /// over-allocation by baseline schedulers manifests.
-#[derive(Debug, Clone, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct TaskSpec {
     /// Workload-unique task id.
     pub uid: TaskUid,
@@ -112,8 +109,7 @@ impl TaskSpec {
 
 /// A stage: a set of tasks doing the same computation over different data
 /// partitions, separated from upstream stages by a barrier.
-#[derive(Debug, Clone, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct StageSpec {
     /// Human-readable name ("map", "reduce", "join-2", ...).
     pub name: String,
@@ -137,8 +133,7 @@ impl StageSpec {
 }
 
 /// A job: a DAG of stages plus an arrival time.
-#[derive(Debug, Clone, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct JobSpec {
     /// Dense job id within the workload.
     pub id: JobId,
@@ -178,8 +173,7 @@ impl JobSpec {
 
 /// A complete workload: jobs plus the universe of stored data blocks their
 /// map tasks read.
-#[derive(Debug, Clone, PartialEq, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
 pub struct Workload {
     /// Jobs, indexed by [`JobId`].
     pub jobs: Vec<JobSpec>,
@@ -262,7 +256,10 @@ impl Workload {
     /// Look up a task by uid (O(#jobs + #stage tasks); build an index if you
     /// need this hot — the simulator does).
     pub fn task(&self, uid: TaskUid) -> Option<&TaskSpec> {
-        self.jobs.iter().flat_map(|j| j.tasks()).find(|t| t.uid == uid)
+        self.jobs
+            .iter()
+            .flat_map(|j| j.tasks())
+            .find(|t| t.uid == uid)
     }
 
     /// Iterate over all tasks.
@@ -436,7 +433,10 @@ mod tests {
     fn detects_forward_dep() {
         let mut w = simple_workload();
         w.jobs[0].stages[1].deps = vec![1];
-        assert!(matches!(w.validate(), Err(ValidationError::BadStageDep { .. })));
+        assert!(matches!(
+            w.validate(),
+            Err(ValidationError::BadStageDep { .. })
+        ));
     }
 
     #[test]
@@ -453,7 +453,10 @@ mod tests {
     fn detects_unknown_block() {
         let mut w = simple_workload();
         w.num_blocks = 0;
-        assert!(matches!(w.validate(), Err(ValidationError::UnknownBlock(_))));
+        assert!(matches!(
+            w.validate(),
+            Err(ValidationError::UnknownBlock(_))
+        ));
     }
 
     #[test]

@@ -205,7 +205,9 @@ mod tests {
         // Deterministic pseudo-random pairs via a simple LCG.
         let mut state = 12345u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as f64 / (1u64 << 31) as f64
         };
         let xs: Vec<f64> = (0..5000).map(|_| next()).collect();

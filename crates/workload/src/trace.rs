@@ -89,7 +89,11 @@ pub fn from_json(s: &str) -> Result<TraceFile, TraceError> {
 }
 
 /// Write a workload to a file.
-pub fn save(path: impl AsRef<Path>, workload: &Workload, provenance: &str) -> Result<(), TraceError> {
+pub fn save(
+    path: impl AsRef<Path>,
+    workload: &Workload,
+    provenance: &str,
+) -> Result<(), TraceError> {
     let tf = TraceFile {
         version: TRACE_VERSION,
         provenance: provenance.to_string(),
@@ -137,7 +141,9 @@ mod tests {
     #[test]
     fn rejects_wrong_version() {
         let w = WorkloadSuiteConfig::small().generate(5);
-        let s = to_json(&w, "x").unwrap().replacen("\"version\":1", "\"version\":999", 1);
+        let s = to_json(&w, "x")
+            .unwrap()
+            .replacen("\"version\":1", "\"version\":999", 1);
         assert!(matches!(
             from_json(&s),
             Err(TraceError::Version { found: 999 })

@@ -61,7 +61,7 @@ impl SchedulerPolicy for WidestFirst {
                 for (s, d) in &plan.remote {
                     avail[s.index()] -= *d;
                 }
-                out.push(Assignment { task: t, machine: m });
+                out.push(Assignment::new(t, m));
             }
         }
         out

@@ -43,7 +43,10 @@ fn main() {
             "tetris (tracker-aware)",
             Box::new(TetrisScheduler::new(TetrisConfig::default())) as Box<dyn SchedulerPolicy>,
         ),
-        ("capacity (tracker-blind)", Box::new(CapacityScheduler::new())),
+        (
+            "capacity (tracker-blind)",
+            Box::new(CapacityScheduler::new()),
+        ),
     ] {
         let o = Simulation::build(cluster.clone(), workload.clone())
             .scheduler_boxed(sched)

@@ -54,8 +54,14 @@ fn main() {
             .config(cfg.clone())
             .run();
         if name == "tetris" {
-            println!("-- tetris schedule (A/B/C per machine, {}s buckets) --", ex.t / 2.0);
-            println!("{}", Gantt::new(&o, 3, (o.makespan() / (ex.t / 2.0)).ceil() as usize).render());
+            println!(
+                "-- tetris schedule (A/B/C per machine, {}s buckets) --",
+                ex.t / 2.0
+            );
+            println!(
+                "{}",
+                Gantt::new(&o, 3, (o.makespan() / (ex.t / 2.0)).ceil() as usize).render()
+            );
         }
         let f = |x: f64| format!("{:.1}t", x / ex.t);
         println!(

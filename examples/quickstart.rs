@@ -31,7 +31,10 @@ fn main() {
     };
 
     println!("{:<12} {}", "", RunMetrics::header());
-    let tetris = run("tetris", Box::new(TetrisScheduler::new(TetrisConfig::default())));
+    let tetris = run(
+        "tetris",
+        Box::new(TetrisScheduler::new(TetrisConfig::default())),
+    );
     let fair = run("fair", Box::new(FairScheduler::new()));
     let _cap = run("capacity", Box::new(CapacityScheduler::new()));
     let drf = run("drf", Box::new(DrfScheduler::new()));

@@ -50,7 +50,9 @@ pub mod prelude {
         CapacityScheduler, DrfScheduler, FairScheduler, RandomScheduler, SrtfScheduler,
         UpperBoundScheduler,
     };
-    pub use tetris_core::{AlignmentKind, EstimationMode, StarvationConfig, TetrisConfig, TetrisScheduler};
+    pub use tetris_core::{
+        AlignmentKind, EstimationMode, StarvationConfig, TetrisConfig, TetrisScheduler,
+    };
     pub use tetris_metrics::{ImprovementSummary, RunMetrics};
     pub use tetris_resources::{units, MachineSpec, Resource, ResourceVec};
     pub use tetris_sim::{

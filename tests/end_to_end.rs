@@ -26,7 +26,11 @@ fn headline_tetris_beats_slot_and_drf_schedulers() {
     // The validated experiment configuration (20 machines, 50 jobs,
     // seed 42 — the same point EXPERIMENTS.md reports).
     let w = suite(42);
-    let tetris = run(&w, Box::new(TetrisScheduler::new(TetrisConfig::default())), 42);
+    let tetris = run(
+        &w,
+        Box::new(TetrisScheduler::new(TetrisConfig::default())),
+        42,
+    );
     let fair = run(&w, Box::new(FairScheduler::new()), 42);
     let cap = run(&w, Box::new(CapacityScheduler::new()), 42);
     let drf = run(&w, Box::new(DrfScheduler::new()), 42);
@@ -51,13 +55,17 @@ fn headline_tetris_beats_slot_and_drf_schedulers() {
 
 #[test]
 fn makespan_gains_with_all_jobs_at_time_zero() {
-    let mut w = suite(2);
+    let mut w = suite(3);
     for j in &mut w.jobs {
         j.arrival = 0.0;
     }
-    let tetris = run(&w, Box::new(TetrisScheduler::new(TetrisConfig::default())), 2);
-    let drf = run(&w, Box::new(DrfScheduler::new()), 2);
-    let cap = run(&w, Box::new(CapacityScheduler::new()), 2);
+    let tetris = run(
+        &w,
+        Box::new(TetrisScheduler::new(TetrisConfig::default())),
+        3,
+    );
+    let drf = run(&w, Box::new(DrfScheduler::new()), 3);
+    let cap = run(&w, Box::new(CapacityScheduler::new()), 3);
     assert!(
         tetris.makespan() < drf.makespan(),
         "tetris {:.0} vs drf {:.0}",
@@ -75,12 +83,20 @@ fn makespan_gains_with_all_jobs_at_time_zero() {
 #[test]
 fn tetris_tasks_run_unstretched_baselines_contend() {
     let w = suite(3);
-    let tetris = run(&w, Box::new(TetrisScheduler::new(TetrisConfig::default())), 3);
+    let tetris = run(
+        &w,
+        Box::new(TetrisScheduler::new(TetrisConfig::default())),
+        3,
+    );
     let cap = run(&w, Box::new(CapacityScheduler::new()), 3);
     // Tetris allocates peak demands and never over-allocates → its tasks
     // run at their planned rates. The slot scheduler over-allocates and
     // its tasks contend.
-    assert!(tetris.mean_task_stretch() < 1.10, "{}", tetris.mean_task_stretch());
+    assert!(
+        tetris.mean_task_stretch() < 1.10,
+        "{}",
+        tetris.mean_task_stretch()
+    );
     assert!(cap.mean_task_stretch() > 1.3, "{}", cap.mean_task_stretch());
 }
 
@@ -132,8 +148,16 @@ fn trace_roundtrip_preserves_simulation_results() {
     let w = suite(6);
     let json = tetris::workload::trace::to_json(&w, "integration test").unwrap();
     let back = tetris::workload::trace::from_json(&json).unwrap().workload;
-    let a = run(&w, Box::new(TetrisScheduler::new(TetrisConfig::default())), 6);
-    let b = run(&back, Box::new(TetrisScheduler::new(TetrisConfig::default())), 6);
+    let a = run(
+        &w,
+        Box::new(TetrisScheduler::new(TetrisConfig::default())),
+        6,
+    );
+    let b = run(
+        &back,
+        Box::new(TetrisScheduler::new(TetrisConfig::default())),
+        6,
+    );
     assert_eq!(a.makespan(), b.makespan());
     assert_eq!(
         a.tasks.iter().map(|t| t.finish).collect::<Vec<_>>(),
@@ -159,7 +183,10 @@ fn facebook_trace_runs_under_all_schedulers() {
     ] {
         let name = sched.name();
         let o = run(&w, sched, 7);
-        assert!(o.all_jobs_completed(), "{name} failed to complete the trace");
+        assert!(
+            o.all_jobs_completed(),
+            "{name} failed to complete the trace"
+        );
     }
 }
 
@@ -172,7 +199,11 @@ fn estimation_mode_still_completes_and_stays_close_to_oracle() {
         ..FacebookTraceConfig::default()
     }
     .generate(8);
-    let oracle = run(&w, Box::new(TetrisScheduler::new(TetrisConfig::default())), 8);
+    let oracle = run(
+        &w,
+        Box::new(TetrisScheduler::new(TetrisConfig::default())),
+        8,
+    );
     let mut cfg = TetrisConfig::default();
     cfg.estimation = EstimationMode::Learned {
         overestimate: 1.5,

@@ -1,0 +1,456 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors the subset of the proptest API its test suites use: the
+//! [`strategy::Strategy`] trait (ranges, tuples, [`strategy::Just`],
+//! `prop_oneof!`, `prop_map`, collections, `array::uniform6`,
+//! `sample::select`, `bool::ANY`) and the [`proptest!`] macro.
+//!
+//! Differences from upstream: no shrinking (a failing case panics with
+//! the sampled inputs' assertion message as-is) and a fixed
+//! deterministic seed derived from the test name, so runs are fully
+//! reproducible without a filesystem regression store.
+
+#![forbid(unsafe_code)]
+
+/// Per-test configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic randomness for property execution.
+
+    use rand::{Rng, RngCore, SeedableRng};
+
+    /// The generator handed to strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(rand::rngs::StdRng);
+
+    impl TestRng {
+        /// Seeded from the test name: every run of a given test sees the
+        /// same case sequence.
+        pub fn deterministic(test_name: &str) -> Self {
+            // FNV-1a over the name.
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in test_name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            TestRng(rand::rngs::StdRng::seed_from_u64(h))
+        }
+
+        /// Next raw 64 bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            self.0.gen()
+        }
+
+        /// Uniform index in `[0, n)`; `n` must be positive.
+        pub fn index(&mut self, n: usize) -> usize {
+            self.0.gen_range(0..n)
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use super::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn sample(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// One arm of a [`Union`]: a boxed sampler.
+    type Arm<V> = Box<dyn Fn(&mut TestRng) -> V>;
+
+    /// Uniform choice among heterogeneous strategies with a common value
+    /// type (built by `prop_oneof!`).
+    pub struct Union<V> {
+        arms: Vec<Arm<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// Empty union; `prop_oneof!` pushes at least one arm.
+        #[allow(clippy::new_without_default)]
+        pub fn new() -> Self {
+            Union { arms: Vec::new() }
+        }
+
+        /// Add an arm.
+        pub fn push<S>(&mut self, s: S)
+        where
+            S: Strategy<Value = V> + 'static,
+        {
+            self.arms.push(Box::new(move |rng| s.sample(rng)));
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut TestRng) -> V {
+            assert!(!self.arms.is_empty(), "prop_oneof! needs at least one arm");
+            let i = rng.index(self.arms.len());
+            (self.arms[i])(rng)
+        }
+    }
+
+    macro_rules! int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u128).wrapping_sub(self.start as u128);
+                    let off = (rng.next_u64() as u128 * span) >> 64;
+                    self.start.wrapping_add(off as $t)
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as u128).wrapping_sub(lo as u128).wrapping_add(1);
+                    if span == 0 {
+                        return rng.next_u64() as $t;
+                    }
+                    let off = (rng.next_u64() as u128 * span) >> 64;
+                    lo.wrapping_add(off as $t)
+                }
+            }
+        )*};
+    }
+    int_strategy!(usize, u8, u16, u32, u64, i8, i16, i32, i64, isize);
+
+    macro_rules! float_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let f = rng.unit_f64() as $t;
+                    self.start + f * (self.end - self.start)
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let f = rng.unit_f64() as $t;
+                    lo + f * (hi - lo)
+                }
+            }
+        )*};
+    }
+    float_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Length specifications accepted by [`vec`].
+    pub trait SizeRange {
+        /// Draw a length.
+        fn sample_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn sample_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for core::ops::Range<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty length range");
+            self.start + rng.index(self.end - self.start)
+        }
+    }
+
+    impl SizeRange for core::ops::RangeInclusive<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty length range");
+            lo + rng.index(hi - lo + 1)
+        }
+    }
+
+    /// Strategy for `Vec<T>` with length drawn from `len`.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    /// Result of [`vec`].
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.len.sample_len(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod array {
+    //! Fixed-size array strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Strategy for `[T; N]`, each slot drawn from `element`.
+    pub struct UniformArray<S, const N: usize> {
+        element: S,
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+        type Value = [S::Value; N];
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            std::array::from_fn(|_| self.element.sample(rng))
+        }
+    }
+
+    /// Six values from the same strategy (resource-vector shaped).
+    pub fn uniform6<S: Strategy>(element: S) -> UniformArray<S, 6> {
+        UniformArray { element }
+    }
+}
+
+pub mod sample {
+    //! Sampling from explicit alternatives.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Uniform choice from a non-empty vector.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select needs at least one option");
+        Select { options }
+    }
+
+    /// Result of [`select`].
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.options[rng.index(self.options.len())].clone()
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Fair coin.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Fair coin strategy (`proptest::bool::ANY`).
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Uniform choice among strategies sharing a value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {{
+        let mut union = $crate::strategy::Union::new();
+        $(union.push($arm);)+
+        union
+    }};
+}
+
+/// Assert inside a property (panics with the message on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...)` runs its
+/// body over `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (@impl ($cfg:expr) $($(#[$attr:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for _case in 0..cfg.cases {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `proptest::prelude::*` usage.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_oneof_sample_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::deterministic("t1");
+        let s = prop_oneof![0.0..=1.0, Just(5.0)];
+        for _ in 0..200 {
+            let v = s.sample(&mut rng);
+            assert!((0.0..=1.0).contains(&v) || v == 5.0);
+        }
+    }
+
+    #[test]
+    fn vec_lengths_respect_range() {
+        let mut rng = crate::test_runner::TestRng::deterministic("t2");
+        let s = crate::collection::vec(0u64..10, 1..=4);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!((1..=4).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn uniform6_and_select() {
+        let mut rng = crate::test_runner::TestRng::deterministic("t3");
+        let arr = crate::array::uniform6(1.0f64..2.0).sample(&mut rng);
+        assert!(arr.iter().all(|x| (1.0..2.0).contains(x)));
+        let pick = crate::sample::select(vec!['a', 'b']).sample(&mut rng);
+        assert!(pick == 'a' || pick == 'b');
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_form_works(x in 0u64..100, flip in crate::bool::ANY) {
+            prop_assert!(x < 100);
+            let _ = flip;
+        }
+    }
+}

@@ -1,0 +1,441 @@
+//! Derive macros for the vendored serde stand-in.
+//!
+//! Parses the `DeriveInput` token stream by hand (the offline build has
+//! no syn/quote) and emits `impl serde::Serialize` / `impl
+//! serde::Deserialize` blocks over the JSON-direct `Value` model.
+//!
+//! Supported input shapes — exactly what the workspace derives on:
+//! non-generic named-field structs, tuple structs, unit structs, and
+//! enums with unit / tuple / named-field variants. `#[serde(transparent)]`
+//! on single-field structs delegates to the field (the default newtype
+//! behaviour already matches real serde's wire format).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    kind: Kind,
+    transparent: bool,
+}
+
+#[derive(Debug)]
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_serialize(&input)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_deserialize(&input)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ------------------------------------------------------------------ parsing
+
+fn parse_input(ts: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    let mut transparent = false;
+    skip_attrs(&tokens, &mut i, &mut transparent);
+    skip_visibility(&tokens, &mut i);
+
+    let keyword = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stub derive: generic type `{name}` is not supported");
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => panic!("serde stub derive: unexpected token after struct name: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde stub derive: unexpected token after enum name: {other:?}"),
+        },
+        other => panic!("serde stub derive: unsupported item kind `{other}`"),
+    };
+
+    Input {
+        name,
+        kind,
+        transparent,
+    }
+}
+
+/// Advance past attributes, noting `#[serde(transparent)]`.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize, transparent: &mut bool) {
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde") {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    for t in args.stream() {
+                        if let TokenTree::Ident(id) = t {
+                            if id.to_string() == "transparent" {
+                                *transparent = true;
+                            }
+                        }
+                    }
+                }
+            }
+            *i += 1;
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde stub derive: expected identifier, got {other:?}"),
+    }
+}
+
+/// Parse `a: T, b: U, ...` field names from a brace group's stream.
+fn parse_named_fields(ts: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = ts.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut ignored = false;
+        skip_attrs(&tokens, &mut i, &mut ignored);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        let name = expect_ident(&tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde stub derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        fields.push(name);
+        skip_type_until_comma(&tokens, &mut i);
+    }
+    fields
+}
+
+/// Consume type tokens up to (and including) the next top-level comma,
+/// tracking `<...>` nesting so generic-argument commas don't split fields.
+fn skip_type_until_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(t) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Count fields of a tuple struct / tuple variant from its paren group.
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = ts.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        count += 1;
+        skip_type_until_comma(&tokens, &mut i);
+    }
+    count
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = ts.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut ignored = false;
+        skip_attrs(&tokens, &mut i, &mut ignored);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("serde stub derive: explicit discriminants are not supported");
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ------------------------------------------------------------------ codegen
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            if input.transparent && fields.len() == 1 {
+                format!("serde::Serialize::to_value(&self.{})", fields[0])
+            } else {
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f}))")
+                    })
+                    .collect();
+                format!("serde::Value::Obj(vec![{}])", entries.join(", "))
+            }
+        }
+        Kind::TupleStruct(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("serde::Value::Arr(vec![{}])", items.join(", "))
+        }
+        Kind::UnitStruct => "serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => {
+                            format!("{name}::{vn} => serde::Value::Str(\"{vn}\".to_string()),")
+                        }
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(x0) => serde::Value::Obj(vec![(\"{vn}\".to_string(), \
+                             serde::Serialize::to_value(x0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("x{k}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|k| format!("serde::Serialize::to_value(x{k})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => serde::Value::Obj(vec![(\"{vn}\".to_string(), \
+                                 serde::Value::Arr(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => serde::Value::Obj(vec![(\
+                                 \"{vn}\".to_string(), serde::Value::Obj(vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            if input.transparent && fields.len() == 1 {
+                format!(
+                    "Ok({name} {{ {}: serde::Deserialize::from_value(v)? }})",
+                    fields[0]
+                )
+            } else {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: serde::Deserialize::from_value(serde::Value::field(obj, \
+                             \"{f}\")).map_err(|e| e.in_field(\"{name}.{f}\"))?,"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "let obj = v.as_obj().ok_or_else(|| serde::Error::custom(\
+                     \"expected object for {name}\"))?;\n\
+                     Ok({name} {{ {} }})",
+                    inits.join("\n")
+                )
+            }
+        }
+        Kind::TupleStruct(1) => format!("Ok({name}(serde::Deserialize::from_value(v)?))"),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("serde::Deserialize::from_value(&arr[{k}])?,"))
+                .collect();
+            format!(
+                "let arr = v.as_arr().ok_or_else(|| serde::Error::custom(\
+                 \"expected array for {name}\"))?;\n\
+                 if arr.len() != {n} {{ return Err(serde::Error::custom(\
+                 \"expected {n} elements for {name}\")); }}\n\
+                 Ok({name}({}))",
+                items.join(" ")
+            )
+        }
+        Kind::UnitStruct => format!("Ok({name})"),
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{vn}\" => Ok({name}::{vn}),", vn = v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vn}\" => Ok({name}::{vn}(serde::Deserialize::from_value(inner)\
+                             .map_err(|e| e.in_field(\"{name}::{vn}\"))?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|k| format!("serde::Deserialize::from_value(&arr[{k}])?,"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                 let arr = inner.as_arr().ok_or_else(|| serde::Error::custom(\
+                                 \"expected array for {name}::{vn}\"))?;\n\
+                                 if arr.len() != {n} {{ return Err(serde::Error::custom(\
+                                 \"expected {n} elements for {name}::{vn}\")); }}\n\
+                                 Ok({name}::{vn}({}))\n}}",
+                                items.join(" ")
+                            ))
+                        }
+                        VariantKind::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: serde::Deserialize::from_value(serde::Value::field(\
+                                         obj, \"{f}\")).map_err(|e| \
+                                         e.in_field(\"{name}::{vn}.{f}\"))?,"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                 let obj = inner.as_obj().ok_or_else(|| serde::Error::custom(\
+                                 \"expected object for {name}::{vn}\"))?;\n\
+                                 Ok({name}::{vn} {{ {} }})\n}}",
+                                inits.join("\n")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                 serde::Value::Str(s) => match s.as_str() {{\n\
+                 {}\n\
+                 other => Err(serde::Error::custom(format!(\
+                 \"unknown {name} variant {{other:?}}\"))),\n\
+                 }},\n\
+                 _ => {{\n\
+                 let obj = v.as_obj().ok_or_else(|| serde::Error::custom(\
+                 \"expected string or object for {name}\"))?;\n\
+                 if obj.len() != 1 {{ return Err(serde::Error::custom(\
+                 \"expected single-key object for {name}\")); }}\n\
+                 let (tag, inner) = &obj[0];\n\
+                 let _ = inner;\n\
+                 match tag.as_str() {{\n\
+                 {}\n\
+                 other => Err(serde::Error::custom(format!(\
+                 \"unknown {name} variant {{other:?}}\"))),\n\
+                 }}\n\
+                 }}\n\
+                 }}",
+                unit_arms.join("\n"),
+                tagged_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+         fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}
