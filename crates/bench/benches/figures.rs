@@ -4,20 +4,20 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use tetris_expts::experiments::{motivating, workload_tables};
-use tetris_expts::Scale;
+use tetris_expts::RunCtx;
 
 fn bench_figures(c: &mut Criterion) {
     let mut group = c.benchmark_group("reproduce");
     group.sample_size(10);
 
     group.bench_function("fig1_motivating", |b| {
-        b.iter(|| motivating::fig1(Scale::Laptop))
+        b.iter(|| motivating::fig1(&RunCtx::default()))
     });
     group.bench_function("table2_correlation", |b| {
-        b.iter(|| workload_tables::table2(Scale::Laptop))
+        b.iter(|| workload_tables::table2(&RunCtx::default()))
     });
     group.bench_function("fig2_heatmaps", |b| {
-        b.iter(|| workload_tables::fig2(Scale::Laptop))
+        b.iter(|| workload_tables::fig2(&RunCtx::default()))
     });
     group.finish();
 }

@@ -2,8 +2,13 @@
 //!
 //! ```sh
 //! reproduce all            # every experiment, laptop scale
+//! reproduce all --jobs 4   # same output, on 4 worker threads
 //! reproduce fig4 table7    # selected experiments
 //! reproduce --full fig7    # paper-scale cluster & workload (slow)
+//! reproduce sweep fig4 --seeds 1..8
+//!                          # one experiment across seeds; median/p10/p90
+//! reproduce all --jobs 4 --bench BENCH_reproduce.json
+//!                          # machine-readable timing + heartbeat record
 //! reproduce --list         # what exists
 //! reproduce --trace run.jsonl --metrics run.json
 //!                          # instrumented reference run: JSONL decision
@@ -12,137 +17,130 @@
 
 use std::time::Instant;
 
-use tetris_expts::experiments::registry;
-use tetris_expts::instrument;
-use tetris_expts::Scale;
+use tetris_expts::cli::{self, Cmd};
+use tetris_expts::experiments::{self, registry};
+use tetris_expts::{instrument, runner};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut scale = Scale::Laptop;
-    let mut ids: Vec<String> = Vec::new();
-    let mut list = false;
-    let mut take_seed = false;
-    let mut trace_path: Option<String> = None;
-    let mut metrics_path: Option<String> = None;
-    let mut take_trace = false;
-    let mut take_metrics = false;
-    for a in &args {
-        if take_seed {
-            take_seed = false;
-            match a.parse::<u64>() {
-                Ok(_) => std::env::set_var("TETRIS_SEED", a),
-                Err(_) => {
-                    eprintln!("--seed expects an integer");
-                    std::process::exit(2);
-                }
-            }
-            continue;
+    let default_jobs = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let p = match cli::parse(&args, default_jobs) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
         }
-        if take_trace {
-            take_trace = false;
-            trace_path = Some(a.clone());
-            continue;
-        }
-        if take_metrics {
-            take_metrics = false;
-            metrics_path = Some(a.clone());
-            continue;
-        }
-        match a.as_str() {
-            "--full" => scale = Scale::Full,
-            "--laptop" => scale = Scale::Laptop,
-            "--seed" => take_seed = true,
-            "--trace" => take_trace = true,
-            "--metrics" => take_metrics = true,
-            "--list" => list = true,
-            "-h" | "--help" => {
-                print_help();
-                return;
-            }
-            other => ids.push(other.to_string()),
-        }
-    }
-    if take_trace || take_metrics {
-        eprintln!("--trace/--metrics expect a file path");
-        std::process::exit(2);
-    }
-
-    let instrumenting = trace_path.is_some() || metrics_path.is_some();
-    if instrumenting && !ids.is_empty() {
-        eprintln!(
-            "--trace/--metrics run the instrumented reference run and cannot \
-             be combined with experiment ids (got: {})",
-            ids.join(" ")
-        );
-        std::process::exit(2);
-    }
-    if instrumenting {
-        match instrument::instrumented_run(scale, trace_path.as_deref(), metrics_path.as_deref()) {
-            Ok(report) => println!("{report}"),
-            Err(e) => {
-                eprintln!("instrumented run failed: {e}");
-                std::process::exit(1);
-            }
-        }
-        return;
-    }
-
-    let reg = registry();
-    if list || (ids.is_empty()) {
-        print_help();
-        println!("\nexperiments:");
-        for e in &reg {
-            println!("  {:<8} {}", e.id, e.what);
-        }
-        if !list {
-            println!("\nrun `reproduce all` for the full battery.");
-        }
-        return;
-    }
-
-    let selected: Vec<&_> = if ids.iter().any(|i| i == "all") {
-        reg.iter().collect()
-    } else {
-        let mut out = Vec::new();
-        for id in &ids {
-            match reg.iter().find(|e| e.id == *id) {
-                Some(e) => out.push(e),
-                None => {
-                    eprintln!("unknown experiment '{id}' (try --list)");
-                    std::process::exit(2);
-                }
-            }
-        }
-        out
     };
 
-    for e in selected {
-        let start = Instant::now();
-        println!("{}", "=".repeat(74));
-        println!("[{}] {}", e.id, e.what);
-        println!("{}", "=".repeat(74));
-        let report = (e.run)(scale);
-        println!("{report}");
-        println!(
-            "({} finished in {:.1}s)\n",
-            e.id,
-            start.elapsed().as_secs_f64()
-        );
+    match p.cmd {
+        Cmd::Help => cli::print_help(),
+        Cmd::List => {
+            cli::print_help();
+            print_registry();
+        }
+        Cmd::Instrument { trace, metrics } => {
+            let ctx = tetris_expts::RunCtx::new(p.scale, p.seed);
+            match instrument::instrumented_run(&ctx, trace.as_deref(), metrics.as_deref()) {
+                Ok(report) => println!("{report}"),
+                Err(e) => {
+                    eprintln!("instrumented run failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Cmd::Run { ids } if ids.is_empty() => {
+            cli::print_help();
+            print_registry();
+            println!("\nrun `reproduce all` for the full battery.");
+        }
+        Cmd::Run { ids } => {
+            let selected: Vec<_> = if ids.iter().any(|i| i == "all") {
+                registry()
+            } else {
+                // Ids were validated by the parser; keep first-mention order.
+                ids.iter()
+                    .map(|id| experiments::find(id).expect("validated id"))
+                    .collect()
+            };
+
+            let baseline = p.bench_baseline.as_deref().map(|path| {
+                runner::read_bench(path).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                })
+            });
+
+            let start = Instant::now();
+            let runs = runner::run_experiments(selected, p.scale, p.seed, p.jobs, |r| {
+                println!("{}", "=".repeat(74));
+                println!("[{}] {}", r.id, r.what);
+                println!("{}", "=".repeat(74));
+                println!("{}", r.report);
+                println!("({} finished in {:.1}s)\n", r.id, r.seconds);
+            });
+            let wall = start.elapsed().as_secs_f64();
+
+            if p.bench.is_some() || baseline.is_some() {
+                let b =
+                    runner::bench_report(&runs, p.scale, p.seed, p.jobs, wall, baseline.as_ref());
+                println!(
+                    "suite: {} experiments in {:.1}s wall ({:.1}s cpu, jobs={}, \
+                     estimated speedup {:.2}x)",
+                    b.experiments.len(),
+                    b.wall_seconds,
+                    b.cpu_seconds,
+                    b.jobs,
+                    b.speedup_estimate
+                );
+                if let (Some(bw), Some(s)) = (b.baseline_wall_seconds, b.speedup_vs_baseline) {
+                    println!("measured speedup vs baseline ({bw:.1}s wall): {s:.2}x");
+                }
+                if let Some(path) = &p.bench {
+                    let json = serde_json::to_string_pretty(&b).expect("bench serializes");
+                    if let Err(e) = std::fs::write(path, json + "\n") {
+                        eprintln!("cannot write {path}: {e}");
+                        std::process::exit(1);
+                    }
+                    println!("bench -> {path}");
+                }
+            }
+        }
+        Cmd::Sweep { id, seeds } => {
+            let exp = experiments::find(&id).expect("validated id");
+            println!("{}", "=".repeat(74));
+            println!(
+                "[sweep {}] {} — seeds {}..{} ({} seeds, jobs={})",
+                exp.id,
+                exp.what,
+                seeds.first().unwrap(),
+                seeds.last().unwrap(),
+                seeds.len(),
+                p.jobs
+            );
+            println!("{}", "=".repeat(74));
+            let start = Instant::now();
+            let runs = runner::run_sweep(exp, p.scale, seeds, p.jobs, |r| {
+                println!("  seed {:<4} finished in {:.1}s", r.seed, r.seconds);
+            });
+            println!(
+                "\nper-seed headline metrics, aggregated over {} seeds:\n",
+                runs.len()
+            );
+            println!("{}", runner::aggregate_sweep(&runs));
+            println!(
+                "(sweep {} finished in {:.1}s)",
+                id,
+                start.elapsed().as_secs_f64()
+            );
+        }
     }
 }
 
-fn print_help() {
-    println!(
-        "reproduce — regenerate the Tetris paper's tables and figures\n\n\
-         usage: reproduce [--full|--laptop] [--seed N] [--list] <experiment>... | all\n\
-         \x20      reproduce [--trace FILE.jsonl] [--metrics FILE.json]\n\n\
-         --laptop  20-machine cluster, scaled workloads (default; seconds\n\
-                   per experiment)\n\
-         --full    250-machine cluster, paper-scale workloads (roughly ten\n\
-                   minutes per simulation run — pick experiments singly)\n\
-         --trace   instrumented reference run; stream every scheduling\n\
-                   decision to FILE.jsonl as JSON Lines\n\
-         --metrics instrumented reference run; write the metrics snapshot\n\
-                   (counters + latency histograms) to FILE.json"
-    );
+fn print_registry() {
+    println!("\nexperiments:");
+    for e in &registry() {
+        println!("  {:<8} {}", e.id, e.what);
+    }
 }

@@ -1,0 +1,330 @@
+//! Argument parsing for the `reproduce` binary.
+//!
+//! Strict by design: unrecognized `--flags` are rejected up front with a
+//! pointer at `--help` (the old parser swallowed them as experiment ids
+//! and failed with a misleading "unknown experiment '--trcae'"), and
+//! every flag value is validated where it is parsed. The parser is a pure
+//! function of the argument vector so the whole grammar is unit-testable
+//! without spawning the binary.
+
+use crate::experiments;
+use crate::setup::{Scale, DEFAULT_SEED};
+
+/// What the binary should do, as parsed from the command line.
+#[derive(Debug, PartialEq)]
+pub enum Cmd {
+    /// `--help` / `-h`.
+    Help,
+    /// `--list`.
+    List,
+    /// Run the named experiments (empty = print help + the registry).
+    Run {
+        /// Experiment ids, already validated against the registry
+        /// ("all" expands later).
+        ids: Vec<String>,
+    },
+    /// `sweep <id> --seeds A..B`: one experiment across seeds.
+    Sweep {
+        /// The experiment id, validated.
+        id: String,
+        /// The seeds to fan out over (inclusive range, ascending).
+        seeds: Vec<u64>,
+    },
+    /// `--trace` / `--metrics`: the instrumented reference run.
+    Instrument {
+        /// JSONL decision-trace path.
+        trace: Option<String>,
+        /// Metrics-snapshot path.
+        metrics: Option<String>,
+    },
+}
+
+/// A fully parsed command line.
+#[derive(Debug, PartialEq)]
+pub struct Parsed {
+    /// Cluster/workload scale.
+    pub scale: Scale,
+    /// Master seed.
+    pub seed: u64,
+    /// Worker-thread count (validated ≥ 1).
+    pub jobs: usize,
+    /// `--bench FILE`: write the benchmark JSON here.
+    pub bench: Option<String>,
+    /// `--bench-baseline FILE`: prior emission to measure speedup against.
+    pub bench_baseline: Option<String>,
+    /// The subcommand.
+    pub cmd: Cmd,
+}
+
+/// Seeds swept when `sweep` is given without `--seeds` (1..8 inclusive).
+const DEFAULT_SWEEP: (u64, u64) = (1, 8);
+
+/// Parse the argument vector (without argv[0]). `default_jobs` is the
+/// machine's available parallelism, injected so tests are deterministic.
+pub fn parse(args: &[String], default_jobs: usize) -> Result<Parsed, String> {
+    let mut scale = Scale::Laptop;
+    let mut seed = DEFAULT_SEED;
+    let mut jobs = default_jobs.max(1);
+    let mut bench = None;
+    let mut bench_baseline = None;
+    let mut trace = None;
+    let mut metrics = None;
+    let mut seeds_range = None;
+    let mut list = false;
+    let mut help = false;
+    let mut positional: Vec<String> = Vec::new();
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} expects a value"))
+        };
+        match a.as_str() {
+            "--full" => scale = Scale::Full,
+            "--laptop" => scale = Scale::Laptop,
+            "--list" => list = true,
+            "-h" | "--help" => help = true,
+            "--seed" => {
+                seed = value("--seed")?
+                    .parse::<u64>()
+                    .map_err(|_| "--seed expects an integer".to_string())?;
+            }
+            "--jobs" | "-j" => {
+                let v = value("--jobs")?;
+                jobs = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or(format!("--jobs expects an integer >= 1 (got '{v}')"))?;
+            }
+            "--seeds" => {
+                let v = value("--seeds")?;
+                seeds_range = Some(parse_seed_range(&v)?);
+            }
+            "--trace" => trace = Some(value("--trace")?),
+            "--metrics" => metrics = Some(value("--metrics")?),
+            "--bench" => bench = Some(value("--bench")?),
+            "--bench-baseline" => bench_baseline = Some(value("--bench-baseline")?),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag '{other}' (try --help)"));
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+
+    let cmd = if help {
+        Cmd::Help
+    } else if list {
+        Cmd::List
+    } else if trace.is_some() || metrics.is_some() {
+        if !positional.is_empty() {
+            return Err(format!(
+                "--trace/--metrics run the instrumented reference run and cannot \
+                 be combined with experiment ids (got: {})",
+                positional.join(" ")
+            ));
+        }
+        Cmd::Instrument { trace, metrics }
+    } else if positional.first().map(String::as_str) == Some("sweep") {
+        let id = match positional.len() {
+            2 => positional.pop().unwrap(),
+            _ => return Err("usage: reproduce sweep <experiment> [--seeds A..B]".to_string()),
+        };
+        if id != "all" && experiments::find(&id).is_none() {
+            return Err(format!("unknown experiment '{id}' (try --list)"));
+        }
+        if id == "all" {
+            return Err("sweep takes a single experiment id, not 'all'".to_string());
+        }
+        let (lo, hi) = seeds_range.unwrap_or(DEFAULT_SWEEP);
+        Cmd::Sweep {
+            id,
+            seeds: (lo..=hi).collect(),
+        }
+    } else {
+        for id in &positional {
+            if id != "all" && experiments::find(id).is_none() {
+                return Err(format!("unknown experiment '{id}' (try --list)"));
+            }
+        }
+        Cmd::Run { ids: positional }
+    };
+
+    if seeds_range.is_some() && !matches!(cmd, Cmd::Sweep { .. }) {
+        return Err("--seeds only applies to `reproduce sweep <id>`".to_string());
+    }
+    if (bench.is_some() || bench_baseline.is_some()) && !matches!(cmd, Cmd::Run { .. }) {
+        return Err("--bench/--bench-baseline only apply to experiment runs".to_string());
+    }
+
+    Ok(Parsed {
+        scale,
+        seed,
+        jobs,
+        bench,
+        bench_baseline,
+        cmd,
+    })
+}
+
+/// Parse `A..B` (inclusive, ascending) into a seed range.
+fn parse_seed_range(v: &str) -> Result<(u64, u64), String> {
+    let err = || format!("--seeds expects an inclusive range like 1..8 (got '{v}')");
+    let (lo, hi) = v.split_once("..").ok_or_else(err)?;
+    let lo = lo.parse::<u64>().map_err(|_| err())?;
+    let hi = hi.parse::<u64>().map_err(|_| err())?;
+    if lo > hi {
+        return Err(err());
+    }
+    Ok((lo, hi))
+}
+
+/// The `--help` text.
+pub fn print_help() {
+    println!(
+        "reproduce — regenerate the Tetris paper's tables and figures\n\n\
+         usage: reproduce [options] <experiment>... | all\n\
+         \x20      reproduce sweep <experiment> [--seeds A..B]\n\
+         \x20      reproduce [--trace FILE.jsonl] [--metrics FILE.json]\n\n\
+         --laptop  20-machine cluster, scaled workloads (default; seconds\n\
+                   per experiment)\n\
+         --full    250-machine cluster, paper-scale workloads (roughly ten\n\
+                   minutes per simulation run — pick experiments singly)\n\
+         --seed N  master seed (default 42; workloads derive from it)\n\
+         --jobs N  worker threads for running experiments/seeds in\n\
+                   parallel (default: available cores; output is\n\
+                   byte-identical to --jobs 1)\n\
+         sweep     run one experiment across a seed range and aggregate\n\
+                   its headline metrics (median/p10/p90); --seeds A..B is\n\
+                   inclusive and defaults to 1..8\n\
+         --bench FILE\n\
+                   write a machine-readable benchmark record (wall-clock,\n\
+                   per-experiment seconds, merged heartbeat histograms)\n\
+         --bench-baseline FILE\n\
+                   prior --bench emission to measure the speedup against\n\
+         --trace   instrumented reference run; stream every scheduling\n\
+                   decision to FILE.jsonl as JSON Lines\n\
+         --metrics instrumented reference run; write the metrics snapshot\n\
+                   (counters + latency histograms) to FILE.json"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(args: &[&str]) -> Result<Parsed, String> {
+        parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>(), 4)
+    }
+
+    #[test]
+    fn defaults() {
+        let got = p(&["all"]).unwrap();
+        assert_eq!(got.scale, Scale::Laptop);
+        assert_eq!(got.seed, DEFAULT_SEED);
+        assert_eq!(got.jobs, 4);
+        assert_eq!(
+            got.cmd,
+            Cmd::Run {
+                ids: vec!["all".into()]
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_up_front() {
+        let e = p(&["--trcae", "out.jsonl"]).unwrap_err();
+        assert!(e.contains("unknown flag '--trcae'"), "{e}");
+        assert!(e.contains("--help"), "{e}");
+    }
+
+    #[test]
+    fn unknown_experiment_is_rejected() {
+        let e = p(&["fig99"]).unwrap_err();
+        assert!(e.contains("unknown experiment 'fig99'"), "{e}");
+    }
+
+    #[test]
+    fn jobs_validation() {
+        assert_eq!(p(&["all", "--jobs", "2"]).unwrap().jobs, 2);
+        assert_eq!(p(&["all", "-j", "9"]).unwrap().jobs, 9);
+        assert!(p(&["all", "--jobs", "0"]).unwrap_err().contains(">= 1"));
+        assert!(p(&["all", "--jobs", "x"]).unwrap_err().contains(">= 1"));
+        assert!(p(&["all", "--jobs"]).unwrap_err().contains("value"));
+    }
+
+    #[test]
+    fn sweep_grammar() {
+        let got = p(&["sweep", "fig4", "--seeds", "3..6"]).unwrap();
+        assert_eq!(
+            got.cmd,
+            Cmd::Sweep {
+                id: "fig4".into(),
+                seeds: vec![3, 4, 5, 6],
+            }
+        );
+        // Default range.
+        match p(&["sweep", "fig4"]).unwrap().cmd {
+            Cmd::Sweep { seeds, .. } => assert_eq!(seeds, (1..=8).collect::<Vec<_>>()),
+            c => panic!("{c:?}"),
+        }
+        assert!(p(&["sweep"]).unwrap_err().contains("usage"));
+        assert!(p(&["sweep", "fig4", "fig5"]).unwrap_err().contains("usage"));
+        assert!(p(&["sweep", "nope"])
+            .unwrap_err()
+            .contains("unknown experiment"));
+        assert!(p(&["sweep", "all"])
+            .unwrap_err()
+            .contains("single experiment"));
+        assert!(p(&["sweep", "fig4", "--seeds", "6..3"])
+            .unwrap_err()
+            .contains("inclusive"));
+        assert!(p(&["fig4", "--seeds", "1..3"])
+            .unwrap_err()
+            .contains("sweep"));
+    }
+
+    #[test]
+    fn seed_and_scale_flags() {
+        let got = p(&["--full", "--seed", "7", "fig7"]).unwrap();
+        assert_eq!(got.scale, Scale::Full);
+        assert_eq!(got.seed, 7);
+        assert!(p(&["--seed", "x"]).unwrap_err().contains("integer"));
+    }
+
+    #[test]
+    fn instrument_mode() {
+        let got = p(&["--trace", "t.jsonl", "--metrics", "m.json"]).unwrap();
+        assert_eq!(
+            got.cmd,
+            Cmd::Instrument {
+                trace: Some("t.jsonl".into()),
+                metrics: Some("m.json".into()),
+            }
+        );
+        assert!(p(&["--trace", "t.jsonl", "fig4"])
+            .unwrap_err()
+            .contains("cannot"));
+        assert!(p(&["--trace"]).unwrap_err().contains("value"));
+    }
+
+    #[test]
+    fn bench_flags() {
+        let got = p(&["all", "--bench", "b.json", "--bench-baseline", "a.json"]).unwrap();
+        assert_eq!(got.bench.as_deref(), Some("b.json"));
+        assert_eq!(got.bench_baseline.as_deref(), Some("a.json"));
+        assert!(p(&["--list", "--bench", "b.json"])
+            .unwrap_err()
+            .contains("runs"));
+    }
+
+    #[test]
+    fn help_and_list() {
+        assert_eq!(p(&["--help"]).unwrap().cmd, Cmd::Help);
+        assert_eq!(p(&["-h", "all"]).unwrap().cmd, Cmd::Help);
+        assert_eq!(p(&["--list"]).unwrap().cmd, Cmd::List);
+        assert_eq!(p(&[]).unwrap().cmd, Cmd::Run { ids: vec![] });
+    }
+}

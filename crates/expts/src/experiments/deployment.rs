@@ -6,33 +6,33 @@ use tetris_metrics::table::TextTable;
 use tetris_metrics::tightness::TightnessTable;
 use tetris_metrics::timeline;
 use tetris_metrics::RunMetrics;
-use tetris_resources::MachineSpec;
+use tetris_resources::{MachineSpec, Resource};
 
 use crate::setup::{run, with_zero_arrivals, SchedName};
-use crate::Scale;
+use crate::{Report, RunCtx};
 
 /// Figure 4(a): CDF of per-job JCT change of Tetris vs CS and vs DRF;
 /// Figure 4(b): makespan reduction. Paper: median ≈ +30–40 %, top decile
 /// > 50 %, makespan ≈ +30 %; gains slightly larger vs CS than vs DRF.
-pub fn fig4(scale: Scale) -> String {
-    let cluster = scale.cluster();
-    let w = scale.suite();
-    let cfg = scale.sim_config();
+pub fn fig4(ctx: &RunCtx) -> Report {
+    let cluster = ctx.cluster();
+    let w = ctx.suite();
+    let cfg = ctx.sim_config();
 
-    let tetris = run(&cluster, &w, SchedName::Tetris, &cfg);
-    let cs = run(&cluster, &w, SchedName::Capacity, &cfg);
-    let drf = run(&cluster, &w, SchedName::Drf, &cfg);
-    let fair = run(&cluster, &w, SchedName::Fair, &cfg);
+    let tetris = run(ctx, &cluster, &w, SchedName::Tetris, &cfg);
+    let cs = run(ctx, &cluster, &w, SchedName::Capacity, &cfg);
+    let drf = run(ctx, &cluster, &w, SchedName::Drf, &cfg);
+    let fair = run(ctx, &cluster, &w, SchedName::Fair, &cfg);
 
     // Makespan convention: all jobs at t=0 (§5.3.1). The zero-arrival
     // makespan is tail-dominated (whichever job finishes last sets it), so
     // it is averaged over three workload seeds.
     let makespan_gain = |base: SchedName| {
         let mut gains = Vec::new();
-        for seed in scale.sweep_seeds() {
-            let w0 = with_zero_arrivals(scale.suite_seeded(seed));
-            let t0 = run(&cluster, &w0, SchedName::Tetris, &cfg);
-            let b0 = run(&cluster, &w0, base, &cfg);
+        for seed in ctx.sweep_seeds() {
+            let w0 = with_zero_arrivals(ctx.scale.suite_seeded(seed));
+            let t0 = run(ctx, &cluster, &w0, SchedName::Tetris, &cfg);
+            let b0 = run(ctx, &cluster, &w0, base, &cfg);
             gains.push(tetris_metrics::pct_improvement(
                 b0.makespan(),
                 t0.makespan(),
@@ -52,8 +52,10 @@ pub fn fig4(scale: Scale) -> String {
     }
     out.push('\n');
 
+    let mut report = Report::new(String::new());
     for (base, base_name) in [(&cs, SchedName::Capacity), (&drf, SchedName::Drf)] {
         let imp = ImprovementSummary::compare(&tetris, base);
+        let mk = makespan_gain(base_name);
         out.push_str(&format!(
             "vs {:<16} median {:+.1}%  p90 {:+.1}%  avg-of-JCTs {:+.1}%  \
              makespan(4b) {:+.1}%  jobs slowed {:.0}%\n",
@@ -61,14 +63,36 @@ pub fn fig4(scale: Scale) -> String {
             imp.median(),
             imp.percentile(0.9),
             imp.avg_jct,
-            makespan_gain(base_name),
+            mk,
             imp.frac_slowed() * 100.0,
         ));
         out.push('\n');
         out.push_str(&imp.render_cdf(10));
         out.push('\n');
+        let (m_med, m_p90, m_avg, m_mk, m_slow) = match base_name {
+            SchedName::Capacity => (
+                "median_jct_gain_vs_cs",
+                "p90_jct_gain_vs_cs",
+                "avg_jct_gain_vs_cs",
+                "makespan_gain_vs_cs",
+                "frac_slowed_vs_cs",
+            ),
+            _ => (
+                "median_jct_gain_vs_drf",
+                "p90_jct_gain_vs_drf",
+                "avg_jct_gain_vs_drf",
+                "makespan_gain_vs_drf",
+                "frac_slowed_vs_drf",
+            ),
+        };
+        report.push(m_med, imp.median());
+        report.push(m_p90, imp.percentile(0.9));
+        report.push(m_avg, imp.avg_jct);
+        report.push(m_mk, mk);
+        report.push(m_slow, imp.frac_slowed());
     }
-    out
+    report.text = out;
+    report
 }
 
 /// Figure 5: number of running tasks and cluster utilization over time for
@@ -76,19 +100,24 @@ pub fn fig4(scale: Scale) -> String {
 /// tasks, rotates which resource is the bottleneck, and never drives
 /// allocation above capacity; CS/DRF fragment (under-use what they
 /// schedule on) and over-allocate disk/network (allocation > 100 %).
-pub fn fig5(scale: Scale) -> String {
-    let cluster = scale.cluster();
+pub fn fig5(ctx: &RunCtx) -> Report {
+    let cluster = ctx.cluster();
     let total = cluster.total_capacity();
-    let w = with_zero_arrivals(scale.suite());
-    let cfg = scale.sim_config();
+    let w = with_zero_arrivals(ctx.suite());
+    let cfg = ctx.sim_config();
 
     let mut out = String::new();
     out.push_str(
         "Figure 5 — running tasks & utilization (A% = allocated, U% = used;\n\
          allocation above 100% is over-allocation)\n",
     );
-    for sched in [SchedName::Tetris, SchedName::Capacity, SchedName::Drf] {
-        let o = run(&cluster, &w, sched, &cfg);
+    let mut report = Report::new(String::new());
+    for (sched, metric) in [
+        (SchedName::Tetris, "tetris_makespan_s"),
+        (SchedName::Capacity, "capacity_makespan_s"),
+        (SchedName::Drf, "drf_makespan_s"),
+    ] {
+        let o = run(ctx, &cluster, &w, sched, &cfg);
         let tl = timeline::cluster_timeline(&o, &total);
         out.push_str(&format!(
             "\n== {} (makespan {:.0}s) ==\n{}",
@@ -96,18 +125,20 @@ pub fn fig5(scale: Scale) -> String {
             o.makespan(),
             timeline::render(&timeline::decimate(&tl, 12))
         ));
+        report.push(metric, o.makespan());
     }
-    out
+    report.text = out;
+    report
 }
 
 /// Table 6: probability that a machine's committed demand exceeds {80, 90,
 /// 100} % of a resource's capacity, per scheduler. Paper: Tetris drives
 /// higher utilization yet the >100 % column is empty; baselines both
 /// under-use (fragmentation) and over-allocate disk/network.
-pub fn table6(scale: Scale) -> String {
-    let cluster = scale.cluster();
-    let w = with_zero_arrivals(scale.suite());
-    let mut cfg = scale.sim_config();
+pub fn table6(ctx: &RunCtx) -> Report {
+    let cluster = ctx.cluster();
+    let w = with_zero_arrivals(ctx.suite());
+    let mut cfg = ctx.sim_config();
     cfg.record_machine_samples = true; // needed even at full scale
     let cap = MachineSpec::paper_large().capacity();
 
@@ -117,24 +148,31 @@ pub fn table6(scale: Scale) -> String {
          column is over-allocation, impossible under Tetris's feasibility checks\n\
          (up to idle-reclamation of observed-unused resources).\n",
     );
-    for sched in [SchedName::Tetris, SchedName::Capacity, SchedName::Drf] {
-        let o = run(&cluster, &w, sched, &cfg);
+    let mut report = Report::new(String::new());
+    for (sched, metric) in [
+        (SchedName::Tetris, "tetris_p_mem_over_100"),
+        (SchedName::Capacity, "capacity_p_mem_over_100"),
+        (SchedName::Drf, "drf_p_mem_over_100"),
+    ] {
+        let o = run(ctx, &cluster, &w, sched, &cfg);
         let t =
             TightnessTable::machines(&o, &cap, &[0.8, 0.9, 1.0]).expect("machine samples enabled");
         out.push_str(&format!("\n### {}\n{}", o.scheduler, t.render()));
+        report.push(metric, t.get(Resource::Mem, 2));
     }
-    out
+    report.text = out;
+    report
 }
 
 /// Shared summary row for EXPERIMENTS.md.
-pub fn headline(scale: Scale) -> TextTable {
-    let cluster = scale.cluster();
-    let w = scale.suite();
-    let cfg = scale.sim_config();
-    let tetris = run(&cluster, &w, SchedName::Tetris, &cfg);
+pub fn headline(ctx: &RunCtx) -> TextTable {
+    let cluster = ctx.cluster();
+    let w = ctx.suite();
+    let cfg = ctx.sim_config();
+    let tetris = run(ctx, &cluster, &w, SchedName::Tetris, &cfg);
     let mut t = TextTable::new(vec!["comparison", "median JCT", "avg JCT", "makespan"]);
     for base in [SchedName::Capacity, SchedName::Drf] {
-        let b = run(&cluster, &w, base, &cfg);
+        let b = run(ctx, &cluster, &w, base, &cfg);
         let imp = ImprovementSummary::compare(&tetris, &b);
         t.row(vec![
             format!("tetris vs {}", base.label()),
@@ -152,7 +190,8 @@ mod tests {
 
     #[test]
     fn fig4_tetris_wins_median_and_makespan() {
-        let s = fig4(Scale::Laptop);
+        let r = fig4(&RunCtx::default());
+        let s = &r.text;
         for line in s.lines().filter(|l| l.starts_with("vs ")) {
             // median and makespan improvements must be positive.
             let median: f64 = line
@@ -176,13 +215,17 @@ mod tests {
             assert!(median > 5.0, "median gain too small: {line}");
             assert!(makespan > 5.0, "makespan gain too small: {line}");
         }
+        // Typed metrics agree with the rendered text.
+        assert!(r.get("median_jct_gain_vs_cs").unwrap() > 5.0);
+        assert!(r.get("makespan_gain_vs_drf").unwrap() > 5.0);
     }
 
     #[test]
     fn table6_tetris_never_overcommits_memory() {
-        let s = table6(Scale::Laptop);
+        let r = table6(&RunCtx::default());
         // The Tetris block's mem row must show 0 probability above 100 %.
-        let tetris_block: String = s
+        let tetris_block: String = r
+            .text
             .split("### tetris")
             .nth(1)
             .unwrap()
@@ -196,11 +239,13 @@ mod tests {
             .unwrap();
         let last: f64 = mem_row.split_whitespace().last().unwrap().parse().unwrap();
         assert_eq!(last, 0.0, "Tetris over-committed memory: {mem_row}");
+        assert_eq!(r.get("tetris_p_mem_over_100"), Some(0.0));
     }
 
     #[test]
     fn fig5_renders_three_blocks() {
-        let s = fig5(Scale::Laptop);
-        assert_eq!(s.matches("==").count(), 6);
+        let r = fig5(&RunCtx::default());
+        assert_eq!(r.text.matches("==").count(), 6);
+        assert!(r.get("tetris_makespan_s").unwrap() > 0.0);
     }
 }

@@ -10,21 +10,31 @@ use tetris_sim::{ClusterConfig, SimConfig, Simulation};
 use tetris_workload::gen::{TaskParams, WorkloadBuilder};
 use tetris_workload::JobId;
 
-use crate::setup::{run, run_tetris, SchedName};
-use crate::Scale;
+use crate::setup::{run, run_observed, run_tetris, SchedName};
+use crate::{Report, RunCtx};
+
+/// The estimate-noise levels swept (multiplicative log-normal ln-σ).
+const SIGMAS: [f64; 3] = [0.2, 0.5, 1.0];
+/// Per-σ JCT-gain metric names, same order as `SIGMAS`.
+const SIGMA_JCT: [&str; 3] = [
+    "sigma0.2_jct_gain_vs_fair",
+    "sigma0.5_jct_gain_vs_fair",
+    "sigma1.0_jct_gain_vs_fair",
+];
 
 /// §4.1 robustness: Tetris's gains vs the fair scheduler as the demand
 /// estimates degrade (multiplicative log-normal error of ln-σ `sigma`).
 /// The paper's claim: estimation error is survivable because allocations
 /// are enforced and the tracker reclaims what over-estimates strand.
-pub fn estimation(scale: Scale) -> String {
-    let cluster = scale.cluster();
-    let w = scale.facebook();
-    let cfg = scale.sim_config();
-    let fair = run(&cluster, &w, SchedName::Fair, &cfg);
-    let oracle = run(&cluster, &w, SchedName::Tetris, &cfg);
+pub fn estimation(ctx: &RunCtx) -> Report {
+    let cluster = ctx.cluster();
+    let w = ctx.facebook();
+    let cfg = ctx.sim_config();
+    let fair = run(ctx, &cluster, &w, SchedName::Fair, &cfg);
+    let oracle = run(ctx, &cluster, &w, SchedName::Tetris, &cfg);
     let oracle_gain = pct_improvement(fair.avg_jct(), oracle.avg_jct());
 
+    let mut report = Report::new(String::new()).metric("oracle_jct_gain_vs_fair", oracle_gain);
     let mut t = TextTable::new(vec![
         "estimate error (ln-σ)",
         "avg JCT gain vs fair",
@@ -35,29 +45,32 @@ pub fn estimation(scale: Scale) -> String {
         format!("{oracle_gain:+.1}%"),
         "100%".to_string(),
     ]);
-    for sigma in [0.2, 0.5, 1.0] {
+    for (i, sigma) in SIGMAS.into_iter().enumerate() {
         let mut tc = TetrisConfig::default();
         tc.estimation = EstimationMode::Noisy { sigma };
-        let o = run_tetris(&cluster, &w, tc, &cfg);
+        let o = run_tetris(ctx, &cluster, &w, tc, &cfg);
         let gain = pct_improvement(fair.avg_jct(), o.avg_jct());
         t.row(vec![
             format!("{sigma:.1}"),
             format!("{gain:+.1}%"),
             format!("{:.0}%", 100.0 * gain / oracle_gain.max(1e-9)),
         ]);
+        report.push(SIGMA_JCT[i], gain);
     }
-    format!(
+    report.text = format!(
         "Extension — sensitivity to demand-estimation error (§4.1 robustness\n\
          claim quantified). ln-σ = 0.5 means a typical estimate is off by\n\
          ~1.6× either way.\n\n{}",
         t.render()
-    )
+    );
+    report
 }
 
 /// §3.5 future work: starvation-prevention reservations, demonstrated on
 /// the adversarial churn workload (small tasks perpetually backfill the
-/// cores a large task needs).
-pub fn starvation(_scale: Scale) -> String {
+/// cores a large task needs). The workload is hand-built and the sim seed
+/// fixed, so the demonstration is identical at every scale and seed.
+pub fn starvation(ctx: &RunCtx) -> Report {
     let spec = MachineSpec::new()
         .cores(16.0)
         .memory(32.0 * GB)
@@ -95,21 +108,31 @@ pub fn starvation(_scale: Scale) -> String {
         tc.starvation = starve;
         let mut cfg = SimConfig::default();
         cfg.seed = 1;
-        Simulation::build(ClusterConfig::uniform(1, spec), w.clone())
-            .scheduler(TetrisScheduler::new(tc))
-            .config(cfg)
-            .run()
+        run_observed(
+            ctx,
+            Simulation::build(ClusterConfig::uniform(1, spec), w.clone())
+                .scheduler(TetrisScheduler::new(tc))
+                .config(cfg),
+        )
     };
 
+    let mut report = Report::new(String::new());
     let mut t = TextTable::new(vec!["config", "large-task JCT", "churn JCT", "makespan"]);
-    for (name, starve) in [
-        ("no reservations (paper §3.5)", None),
+    for (name, starve, m_large, m_mk) in [
+        (
+            "no reservations (paper §3.5)",
+            None,
+            "large_jct_no_reservation_s",
+            "makespan_no_reservation_s",
+        ),
         (
             "reservations, patience 60s",
             Some(StarvationConfig {
                 patience: 60.0,
                 max_reservations: 1,
             }),
+            "large_jct_with_reservation_s",
+            "makespan_with_reservation_s",
         ),
     ] {
         let o = run_one(starve);
@@ -119,15 +142,18 @@ pub fn starvation(_scale: Scale) -> String {
             format!("{:.0}s", o.jct(JobId(0)).unwrap()),
             format!("{:.0}s", o.makespan()),
         ]);
+        report.push(m_large, o.jct(JobId(1)).unwrap());
+        report.push(m_mk, o.makespan());
     }
-    format!(
+    report.text = format!(
         "Extension — starvation prevention by reservation (the paper's §3.5\n\
          future-work item). One machine, a churn of 2-core tasks, and one\n\
          14-core task that plain packing starves: freed cores are re-taken\n\
          before 14 accumulate. A reservation drains the machine once the\n\
          task has waited past the patience threshold.\n\n{}",
         t.render()
-    )
+    );
+    report
 }
 
 #[cfg(test)]
@@ -136,15 +162,21 @@ mod tests {
 
     #[test]
     fn estimation_report_degrades_gracefully() {
-        let s = estimation(Scale::Laptop);
-        assert!(s.contains("oracle"));
-        assert!(s.contains("0.5"));
+        let r = estimation(&RunCtx::default());
+        assert!(r.text.contains("oracle"));
+        assert!(r.text.contains("0.5"));
+        assert!(r.get("oracle_jct_gain_vs_fair").is_some());
     }
 
     #[test]
     fn starvation_report_shows_both_rows() {
-        let s = starvation(Scale::Laptop);
-        assert!(s.contains("no reservations"));
-        assert!(s.contains("patience 60s"));
+        let r = starvation(&RunCtx::default());
+        assert!(r.text.contains("no reservations"));
+        assert!(r.text.contains("patience 60s"));
+        // Reservations must un-starve the large task.
+        assert!(
+            r.get("large_jct_with_reservation_s").unwrap()
+                < r.get("large_jct_no_reservation_s").unwrap()
+        );
     }
 }

@@ -12,8 +12,8 @@ use tetris_resources::{MachineSpec, Resource, ResourceVec};
 use tetris_sim::{ClusterConfig, ExternalLoad, MachineId, SimConfig, SimOutcome, Simulation};
 use tetris_workload::WorkloadSuiteConfig;
 
-use crate::setup::{seed, SchedName};
-use crate::Scale;
+use crate::setup::{run_observed, SchedName};
+use crate::{Report, RunCtx};
 
 /// The loaded machine.
 pub const LOADED: MachineId = MachineId(0);
@@ -22,7 +22,7 @@ pub const INGEST_START: f64 = 150.0;
 /// Ingestion duration (seconds).
 pub const INGEST_LEN: f64 = 300.0;
 
-fn setup() -> (ClusterConfig, tetris_workload::Workload, SimConfig) {
+fn setup(seed: u64) -> (ClusterConfig, tetris_workload::Workload, SimConfig) {
     // The paper's small cluster with a steady stream of small jobs.
     let cluster = ClusterConfig::paper_small();
     let w = WorkloadSuiteConfig {
@@ -32,9 +32,9 @@ fn setup() -> (ClusterConfig, tetris_workload::Workload, SimConfig) {
         machine_profile: MachineSpec::paper_small(),
         ..WorkloadSuiteConfig::default()
     }
-    .generate(seed() + 6);
+    .generate(seed + 6);
     let mut cfg = SimConfig::default();
-    cfg.seed = seed();
+    cfg.seed = seed;
     cfg.sample_period = Some(5.0);
     // Ingestion at the machine's full disk-write bandwidth.
     cfg.external_loads.push(ExternalLoad {
@@ -46,12 +46,14 @@ fn setup() -> (ClusterConfig, tetris_workload::Workload, SimConfig) {
     (cluster, w, cfg)
 }
 
-fn run_one(sched: SchedName) -> SimOutcome {
-    let (cluster, w, cfg) = setup();
-    Simulation::build(cluster, w)
-        .scheduler_boxed(sched.build())
-        .config(cfg)
-        .run()
+fn run_one(ctx: &RunCtx, sched: SchedName) -> SimOutcome {
+    let (cluster, w, cfg) = setup(ctx.seed);
+    run_observed(
+        ctx,
+        Simulation::build(cluster, w)
+            .scheduler_boxed(sched.build(cfg.seed))
+            .config(cfg),
+    )
 }
 
 /// Mean number of tasks running on the loaded machine during the
@@ -71,7 +73,7 @@ pub fn tasks_during_ingestion(o: &SimOutcome) -> f64 {
 }
 
 /// Run Figure 6 (fixed-size micro-benchmark; scale-independent).
-pub fn fig6(_scale: Scale) -> String {
+pub fn fig6(ctx: &RunCtx) -> Report {
     let cap = MachineSpec::paper_small().capacity();
     let mut out = String::new();
     out.push_str(&format!(
@@ -81,18 +83,34 @@ pub fn fig6(_scale: Scale) -> String {
          paper: Tetris stops scheduling onto the loaded machine; CS does not, and\n\
          contention lowers disk throughput for tasks and ingestion alike.\n",
     ));
-    for sched in [SchedName::Tetris, SchedName::Capacity] {
-        let o = run_one(sched);
+    let mut report = Report::new(String::new());
+    for (sched, m_tasks, m_stretch) in [
+        (
+            SchedName::Tetris,
+            "tetris_tasks_during_ingestion",
+            "tetris_mean_stretch",
+        ),
+        (
+            SchedName::Capacity,
+            "capacity_tasks_during_ingestion",
+            "capacity_mean_stretch",
+        ),
+    ] {
+        let o = run_one(ctx, sched);
         let tl = timeline::machine_timeline(&o, LOADED, &cap).expect("machine samples");
+        let tasks = tasks_during_ingestion(&o);
         out.push_str(&format!(
             "\n== {} — mean tasks on {LOADED} during ingestion: {:.1}; mean stretch {:.2} ==\n{}",
             o.scheduler,
-            tasks_during_ingestion(&o),
+            tasks,
             o.mean_task_stretch(),
             timeline::render(&timeline::decimate(&tl, 16))
         ));
+        report.push(m_tasks, tasks);
+        report.push(m_stretch, o.mean_task_stretch());
     }
-    out
+    report.text = out;
+    report
 }
 
 #[cfg(test)]
@@ -101,8 +119,9 @@ mod tests {
 
     #[test]
     fn tetris_backs_off_the_loaded_machine() {
-        let tetris = run_one(SchedName::Tetris);
-        let cs = run_one(SchedName::Capacity);
+        let ctx = RunCtx::default();
+        let tetris = run_one(&ctx, SchedName::Tetris);
+        let cs = run_one(&ctx, SchedName::Capacity);
         let t_tasks = tasks_during_ingestion(&tetris);
         let c_tasks = tasks_during_ingestion(&cs);
         assert!(
@@ -113,8 +132,9 @@ mod tests {
 
     #[test]
     fn cs_tasks_get_stretched_by_contention() {
-        let tetris = run_one(SchedName::Tetris);
-        let cs = run_one(SchedName::Capacity);
+        let ctx = RunCtx::default();
+        let tetris = run_one(&ctx, SchedName::Tetris);
+        let cs = run_one(&ctx, SchedName::Capacity);
         assert!(
             cs.mean_task_stretch() > tetris.mean_task_stretch() + 0.05,
             "CS {:.3} vs tetris {:.3}",

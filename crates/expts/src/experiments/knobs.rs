@@ -8,25 +8,54 @@ use tetris_metrics::table::TextTable;
 use tetris_workload::JobId;
 
 use crate::setup::{run, run_tetris, with_zero_arrivals, SchedName};
-use crate::Scale;
+use crate::{Report, RunCtx};
 
 /// The knob values swept (paper Figs. 8/9 use {0, 0.25, 0.5, 0.75, →1}).
 pub const FAIRNESS_KNOBS: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 0.99];
 
+/// Metric names for the per-knob vs-fair JCT gains (same order as
+/// [`FAIRNESS_KNOBS`]).
+const F_JCT_VS_FAIR: [&str; 5] = [
+    "f0.00_jct_gain_vs_fair",
+    "f0.25_jct_gain_vs_fair",
+    "f0.50_jct_gain_vs_fair",
+    "f0.75_jct_gain_vs_fair",
+    "f0.99_jct_gain_vs_fair",
+];
+
+/// Metric names for the per-knob vs-fair makespan gains.
+const F_MK_VS_FAIR: [&str; 5] = [
+    "f0.00_makespan_gain_vs_fair",
+    "f0.25_makespan_gain_vs_fair",
+    "f0.50_makespan_gain_vs_fair",
+    "f0.75_makespan_gain_vs_fair",
+    "f0.99_makespan_gain_vs_fair",
+];
+
+/// Metric names for the per-knob fraction of jobs slowed vs fair.
+const F_SLOWED_VS_FAIR: [&str; 5] = [
+    "f0.00_frac_slowed_vs_fair",
+    "f0.25_frac_slowed_vs_fair",
+    "f0.50_frac_slowed_vs_fair",
+    "f0.75_frac_slowed_vs_fair",
+    "f0.99_frac_slowed_vs_fair",
+];
+
 /// Figure 8: JCT and makespan gains vs the fairness knob. Paper: f ≈ 0.25
 /// achieves nearly the best efficiency; even f → 1 retains sizeable gains
 /// (a fair job choice still leaves many tasks to pick from).
-pub fn fig8(scale: Scale) -> String {
-    let cluster = scale.cluster();
-    let w = scale.suite();
+pub fn fig8(ctx: &RunCtx) -> Report {
+    let cluster = ctx.cluster();
+    let w = ctx.suite();
     let w0 = with_zero_arrivals(w.clone());
-    let cfg = scale.sim_config();
+    let cfg = ctx.sim_config();
 
-    let fair = run(&cluster, &w, SchedName::Fair, &cfg);
-    let drf = run(&cluster, &w, SchedName::Drf, &cfg);
-    let fair0 = run(&cluster, &w0, SchedName::Fair, &cfg);
-    let drf0 = run(&cluster, &w0, SchedName::Drf, &cfg);
+    let fair = run(ctx, &cluster, &w, SchedName::Fair, &cfg);
+    let drf = run(ctx, &cluster, &w, SchedName::Drf, &cfg);
+    let fair0 = run(ctx, &cluster, &w0, SchedName::Fair, &cfg);
+    let drf0 = run(ctx, &cluster, &w0, SchedName::Drf, &cfg);
 
+    let mut report = Report::new(String::new());
     let mut t = TextTable::new(vec![
         "f",
         "JCT gain vs fair",
@@ -34,37 +63,43 @@ pub fn fig8(scale: Scale) -> String {
         "makespan vs fair",
         "makespan vs drf",
     ]);
-    for f in FAIRNESS_KNOBS {
+    for (i, f) in FAIRNESS_KNOBS.into_iter().enumerate() {
         let mut tc = TetrisConfig::default();
         tc.fairness_knob = f;
-        let o = run_tetris(&cluster, &w, tc.clone(), &cfg);
-        let o0 = run_tetris(&cluster, &w0, tc, &cfg);
+        let o = run_tetris(ctx, &cluster, &w, tc.clone(), &cfg);
+        let o0 = run_tetris(ctx, &cluster, &w0, tc, &cfg);
+        let jct_fair = pct_improvement(fair.avg_jct(), o.avg_jct());
+        let mk_fair = pct_improvement(fair0.makespan(), o0.makespan());
         t.row(vec![
             format!("{f:.2}"),
-            format!("{:+.1}%", pct_improvement(fair.avg_jct(), o.avg_jct())),
+            format!("{jct_fair:+.1}%"),
             format!("{:+.1}%", pct_improvement(drf.avg_jct(), o.avg_jct())),
-            format!("{:+.1}%", pct_improvement(fair0.makespan(), o0.makespan())),
+            format!("{mk_fair:+.1}%"),
             format!("{:+.1}%", pct_improvement(drf0.makespan(), o0.makespan())),
         ]);
+        report.push(F_JCT_VS_FAIR[i], jct_fair);
+        report.push(F_MK_VS_FAIR[i], mk_fair);
     }
-    format!(
+    report.text = format!(
         "Figure 8 — fairness knob sweep (f = 0 most efficient, f → 1 most fair)\n\
          paper: f ≈ 0.25 gives nearly the best efficiency; even f → 1 retains\n\
          sizeable gains.\n\n{}",
         t.render()
-    )
+    );
+    report
 }
 
 /// Figure 9: the unfairness side of the sweep — fraction of jobs slowed vs
 /// the fair baselines and their average/worst slowdown. Paper: for
 /// f ∈ [0.25, 0.5] only a few percent of jobs slow down, by a few percent.
-pub fn fig9(scale: Scale) -> String {
-    let cluster = scale.cluster();
-    let w = scale.suite();
-    let cfg = scale.sim_config();
-    let fair = run(&cluster, &w, SchedName::Fair, &cfg);
-    let drf = run(&cluster, &w, SchedName::Drf, &cfg);
+pub fn fig9(ctx: &RunCtx) -> Report {
+    let cluster = ctx.cluster();
+    let w = ctx.suite();
+    let cfg = ctx.sim_config();
+    let fair = run(ctx, &cluster, &w, SchedName::Fair, &cfg);
+    let drf = run(ctx, &cluster, &w, SchedName::Drf, &cfg);
 
+    let mut report = Report::new(String::new());
     let mut t = TextTable::new(vec![
         "f",
         "slowed vs fair",
@@ -72,10 +107,10 @@ pub fn fig9(scale: Scale) -> String {
         "slowed vs drf",
         "avg (max) slowdown ",
     ]);
-    for f in FAIRNESS_KNOBS {
+    for (i, f) in FAIRNESS_KNOBS.into_iter().enumerate() {
         let mut tc = TetrisConfig::default();
         tc.fairness_knob = f;
-        let o = run_tetris(&cluster, &w, tc, &cfg);
+        let o = run_tetris(ctx, &cluster, &w, tc, &cfg);
         let sf = SlowdownSummary::compare(&o, &fair);
         let sd = SlowdownSummary::compare(&o, &drf);
         t.row(vec![
@@ -85,30 +120,34 @@ pub fn fig9(scale: Scale) -> String {
             format!("{:.0}%", sd.frac_slowed * 100.0),
             format!("{:.0}% ({:.0}%)", sd.avg_slowdown_pct, sd.max_slowdown_pct),
         ]);
+        report.push(F_SLOWED_VS_FAIR[i], sf.frac_slowed);
     }
-    format!(
+    report.text = format!(
         "Figure 9 — job slowdown vs fair baselines across the fairness knob\n\
          paper: f ∈ [0.25, 0.5] slows only a few percent of jobs, by little.\n\n{}",
         t.render()
-    )
+    );
+    report
 }
 
 /// §5.3.2 — relative integral unfairness under the default knob. Paper:
 /// only a few jobs have negative values, and the average negative value is
 /// small (violations of fair allocation are transient).
-pub fn riu(scale: Scale) -> String {
-    let cluster = scale.cluster();
-    let w = scale.suite();
-    let mut cfg = scale.sim_config();
+pub fn riu(ctx: &RunCtx) -> Report {
+    let cluster = ctx.cluster();
+    let w = ctx.suite();
+    let mut cfg = ctx.sim_config();
     cfg.record_job_samples = true;
-    let o = run(&cluster, &w, SchedName::Tetris, &cfg);
+    let o = run(ctx, &cluster, &w, SchedName::Tetris, &cfg);
 
     let values: Vec<f64> = (0..o.jobs.len())
         .filter_map(|i| relative_integral_unfairness(&o, JobId(i)))
         .collect();
     let negatives: Vec<f64> = values.iter().copied().filter(|&v| v < -0.05).collect();
     let avg_neg = tetris_workload::stats::mean(&negatives);
-    format!(
+    let frac_underserved = negatives.len() as f64 / values.len().max(1) as f64;
+    let worst = values.iter().copied().fold(0.0f64, f64::min);
+    Report::new(format!(
         "§5.3.2 — relative integral unfairness of Tetris (f = 0.25)\n\
          per-job ∫(actual − fair share)/fair dt, normalized by job lifetime;\n\
          negative ⇒ the job was underserved relative to a fair allocation.\n\
@@ -119,62 +158,96 @@ pub fn riu(scale: Scale) -> String {
          worst: {:.2}\n",
         values.len(),
         negatives.len(),
-        100.0 * negatives.len() as f64 / values.len().max(1) as f64,
+        100.0 * frac_underserved,
         avg_neg,
-        values.iter().copied().fold(0.0f64, f64::min),
-    )
+        worst,
+    ))
+    .metric("jobs_measured", values.len() as f64)
+    .metric("frac_underserved", frac_underserved)
+    .metric("avg_underservice", avg_neg)
+    .metric("worst_underservice", worst)
 }
+
+/// The barrier knob values swept in Figure 10.
+pub const BARRIER_KNOBS: [f64; 6] = [0.5, 0.75, 0.85, 0.9, 0.95, 1.0];
+
+/// Metric names for the per-knob vs-drf JCT gains (same order as
+/// [`BARRIER_KNOBS`]).
+const B_JCT_VS_DRF: [&str; 6] = [
+    "b0.50_jct_gain_vs_drf",
+    "b0.75_jct_gain_vs_drf",
+    "b0.85_jct_gain_vs_drf",
+    "b0.90_jct_gain_vs_drf",
+    "b0.95_jct_gain_vs_drf",
+    "b1.00_jct_gain_vs_drf",
+];
+
+/// Metric names for the per-knob vs-drf makespan gains.
+const B_MK_VS_DRF: [&str; 6] = [
+    "b0.50_makespan_gain_vs_drf",
+    "b0.75_makespan_gain_vs_drf",
+    "b0.85_makespan_gain_vs_drf",
+    "b0.90_makespan_gain_vs_drf",
+    "b0.95_makespan_gain_vs_drf",
+    "b1.00_makespan_gain_vs_drf",
+];
 
 /// Figure 10 — barrier knob sweep. Paper: b ≈ 0.9 is net positive on both
 /// metrics; very small b (promote too early) is worse than no promotion.
 /// Gains are averaged over three workload seeds (zero-arrival makespan is
 /// tail-dominated and noisy on a single draw).
-pub fn fig10(scale: Scale) -> String {
-    let cluster = scale.cluster();
-    let cfg = scale.sim_config();
+pub fn fig10(ctx: &RunCtx) -> Report {
+    let cluster = ctx.cluster();
+    let cfg = ctx.sim_config();
 
+    let mut report = Report::new(String::new());
     let mut t = TextTable::new(vec!["b", "JCT gain vs drf", "makespan vs drf"]);
-    for b in [0.5, 0.75, 0.85, 0.9, 0.95, 1.0] {
+    for (i, b) in BARRIER_KNOBS.into_iter().enumerate() {
         let mut jct = Vec::new();
         let mut mk = Vec::new();
-        for seed in scale.sweep_seeds() {
+        for seed in ctx.sweep_seeds() {
             // Deep DAGs make barrier handling matter: the Facebook-like
             // trace has map-only, 2- and 3-stage jobs.
-            let w = scale.facebook_seeded(seed);
+            let w = ctx.scale.facebook_seeded(seed);
             let w0 = with_zero_arrivals(w.clone());
-            let drf = run(&cluster, &w, SchedName::Drf, &cfg);
-            let drf0 = run(&cluster, &w0, SchedName::Drf, &cfg);
+            let drf = run(ctx, &cluster, &w, SchedName::Drf, &cfg);
+            let drf0 = run(ctx, &cluster, &w0, SchedName::Drf, &cfg);
             let mut tc = TetrisConfig::default();
             tc.barrier_knob = b;
-            let o = run_tetris(&cluster, &w, tc.clone(), &cfg);
-            let o0 = run_tetris(&cluster, &w0, tc, &cfg);
+            let o = run_tetris(ctx, &cluster, &w, tc.clone(), &cfg);
+            let o0 = run_tetris(ctx, &cluster, &w0, tc, &cfg);
             jct.push(pct_improvement(drf.avg_jct(), o.avg_jct()));
             mk.push(pct_improvement(drf0.makespan(), o0.makespan()));
         }
+        let jct_mean = tetris_workload::stats::mean(&jct);
+        let mk_mean = tetris_workload::stats::mean(&mk);
         t.row(vec![
             format!("{b:.2}"),
-            format!("{:+.1}%", tetris_workload::stats::mean(&jct)),
-            format!("{:+.1}%", tetris_workload::stats::mean(&mk)),
+            format!("{jct_mean:+.1}%"),
+            format!("{mk_mean:+.1}%"),
         ]);
+        report.push(B_JCT_VS_DRF[i], jct_mean);
+        report.push(B_MK_VS_DRF[i], mk_mean);
     }
-    format!(
+    report.text = format!(
         "Figure 10 — barrier knob sweep (b = 1 disables straggler promotion;\n\
          mean of 3 workload seeds)\n\
          paper: b ≈ 0.9 balances stagnation-avoidance against picking\n\
          worse-packing tasks; b below ~0.85 hurts.\n\n{}",
         t.render()
-    )
+    );
+    report
 }
 
 /// Convenience for tests: tetris-vs-fair JCT gain at one knob value.
-pub fn jct_gain_at_f(scale: Scale, f: f64) -> f64 {
-    let cluster = scale.cluster();
-    let w = scale.suite();
-    let cfg = scale.sim_config();
-    let fair = run(&cluster, &w, SchedName::Fair, &cfg);
+pub fn jct_gain_at_f(ctx: &RunCtx, f: f64) -> f64 {
+    let cluster = ctx.cluster();
+    let w = ctx.suite();
+    let cfg = ctx.sim_config();
+    let fair = run(ctx, &cluster, &w, SchedName::Fair, &cfg);
     let mut tc = TetrisConfig::default();
     tc.fairness_knob = f;
-    let o = run_tetris(&cluster, &w, tc, &cfg);
+    let o = run_tetris(ctx, &cluster, &w, tc, &cfg);
     let imp = ImprovementSummary::compare(&o, &fair);
     imp.avg_jct
 }
@@ -187,21 +260,21 @@ mod tests {
     fn fig8_all_knobs_still_beat_fair() {
         // Paper: "even with f → 1 ... Tetris offers sizable gains".
         for f in [0.0, 0.5, 0.99] {
-            let gain = jct_gain_at_f(Scale::Laptop, f);
+            let gain = jct_gain_at_f(&RunCtx::default(), f);
             assert!(gain > 10.0, "f={f}: gain {gain}");
         }
     }
 
     #[test]
     fn fig9_moderate_knob_limits_slowdowns() {
-        let scale = Scale::Laptop;
-        let cluster = scale.cluster();
-        let w = scale.suite();
-        let cfg = scale.sim_config();
-        let fair = run(&cluster, &w, SchedName::Fair, &cfg);
+        let ctx = RunCtx::default();
+        let cluster = ctx.cluster();
+        let w = ctx.suite();
+        let cfg = ctx.sim_config();
+        let fair = run(&ctx, &cluster, &w, SchedName::Fair, &cfg);
         let mut tc = TetrisConfig::default();
         tc.fairness_knob = 0.25;
-        let o = run_tetris(&cluster, &w, tc, &cfg);
+        let o = run_tetris(&ctx, &cluster, &w, tc, &cfg);
         let s = SlowdownSummary::compare(&o, &fair);
         assert!(
             s.frac_slowed < 0.25,
@@ -212,14 +285,16 @@ mod tests {
 
     #[test]
     fn riu_reports() {
-        let s = riu(Scale::Laptop);
-        assert!(s.contains("underserved"));
+        let r = riu(&RunCtx::default());
+        assert!(r.text.contains("underserved"));
+        assert!(r.get("jobs_measured").unwrap() > 0.0);
     }
 
     #[test]
     fn fig10_has_six_rows() {
-        let s = fig10(Scale::Laptop);
-        assert!(s.contains("0.90"));
-        assert!(s.contains("1.00"));
+        let r = fig10(&RunCtx::default());
+        assert!(r.text.contains("0.90"));
+        assert!(r.text.contains("1.00"));
+        assert_eq!(r.metrics.len(), 12);
     }
 }

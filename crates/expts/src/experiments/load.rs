@@ -7,7 +7,7 @@ use tetris_metrics::pct_improvement;
 use tetris_metrics::table::TextTable;
 
 use crate::setup::{run, SchedName};
-use crate::Scale;
+use crate::{Report, RunCtx};
 
 /// The load multipliers swept. The base point (1×) is a deliberately
 /// lightly-loaded 40-machine cluster; the paper's own base was "only
@@ -16,17 +16,31 @@ use crate::Scale;
 /// the interesting regime is the rise before that.
 pub const LOADS: [f64; 4] = [0.5, 1.0, 2.0, 4.0];
 
+/// Per-load metric names (vs fair, vs drf), same order as [`LOADS`].
+const LOAD_JCT_VS_FAIR: [&str; 4] = [
+    "load1x_jct_gain_vs_fair",
+    "load2x_jct_gain_vs_fair",
+    "load4x_jct_gain_vs_fair",
+    "load8x_jct_gain_vs_fair",
+];
+const LOAD_JCT_VS_DRF: [&str; 4] = [
+    "load1x_jct_gain_vs_drf",
+    "load2x_jct_gain_vs_drf",
+    "load4x_jct_gain_vs_drf",
+    "load8x_jct_gain_vs_drf",
+];
+
 /// Gains of Tetris over fair and DRF at one load multiplier.
-pub fn gains_at(scale: Scale, load: f64) -> (f64, f64) {
-    let cluster = scale.cluster_with_load(load);
-    let w = scale.facebook();
-    let mut cfg = scale.sim_config();
+pub fn gains_at(ctx: &RunCtx, load: f64) -> (f64, f64) {
+    let cluster = ctx.cluster_with_load(load);
+    let w = ctx.facebook();
+    let mut cfg = ctx.sim_config();
     // High-load runs last long in simulated time; keep sampling light.
     cfg.record_machine_samples = false;
     cfg.record_job_samples = false;
-    let tetris = run(&cluster, &w, SchedName::Tetris, &cfg);
-    let fair = run(&cluster, &w, SchedName::Fair, &cfg);
-    let drf = run(&cluster, &w, SchedName::Drf, &cfg);
+    let tetris = run(ctx, &cluster, &w, SchedName::Tetris, &cfg);
+    let fair = run(ctx, &cluster, &w, SchedName::Fair, &cfg);
+    let drf = run(ctx, &cluster, &w, SchedName::Drf, &cfg);
     (
         pct_improvement(fair.avg_jct(), tetris.avg_jct()),
         pct_improvement(drf.avg_jct(), tetris.avg_jct()),
@@ -34,27 +48,31 @@ pub fn gains_at(scale: Scale, load: f64) -> (f64, f64) {
 }
 
 /// Run the Figure-11 sweep.
-pub fn fig11(scale: Scale) -> String {
+pub fn fig11(ctx: &RunCtx) -> Report {
+    let mut report = Report::new(String::new());
     let mut t = TextTable::new(vec![
         "load multiplier",
         "machines",
         "JCT gain vs fair",
         "JCT gain vs drf",
     ]);
-    for load in LOADS {
-        let (vs_fair, vs_drf) = gains_at(scale, load);
+    for (i, load) in LOADS.into_iter().enumerate() {
+        let (vs_fair, vs_drf) = gains_at(ctx, load);
         t.row(vec![
             format!("{:.0}x", load / LOADS[0]),
-            format!("{}", scale.cluster_with_load(load).len()),
+            format!("{}", ctx.cluster_with_load(load).len()),
             format!("{vs_fair:+.1}%"),
             format!("{vs_drf:+.1}%"),
         ]);
+        report.push(LOAD_JCT_VS_FAIR[i], vs_fair);
+        report.push(LOAD_JCT_VS_DRF[i], vs_drf);
     }
-    format!(
+    report.text = format!(
         "Figure 11 — gains vs cluster load (load varied by shrinking the cluster)\n\
          paper: gains grow with load; packing matters little on an idle cluster.\n\n{}",
         t.render()
-    )
+    );
+    report
 }
 
 #[cfg(test)]
@@ -63,8 +81,9 @@ mod tests {
 
     #[test]
     fn gains_grow_with_load() {
-        let (fair_light, drf_light) = gains_at(Scale::Laptop, LOADS[0]);
-        let (fair_heavy, drf_heavy) = gains_at(Scale::Laptop, LOADS[2]);
+        let ctx = RunCtx::default();
+        let (fair_light, drf_light) = gains_at(&ctx, LOADS[0]);
+        let (fair_heavy, drf_heavy) = gains_at(&ctx, LOADS[2]);
         // At laptop scale even the base point can sit in the compressed
         // high-load regime (see the LOADS doc comment), so assert gains
         // hold up rather than strictly grow.

@@ -1,5 +1,6 @@
-//! One module per paper artifact. Every experiment returns its report as a
-//! string so the binary can print it and tests can assert on it.
+//! One module per paper artifact. Every experiment is a pure function of
+//! its [`RunCtx`] returning a [`Report`] — rendered text for the CLI plus
+//! typed headline metrics for sweep aggregation and benchmark emission.
 
 pub mod deployment;
 pub mod extensions;
@@ -12,7 +13,7 @@ pub mod simulation;
 pub mod upper_bound;
 pub mod workload_tables;
 
-use crate::Scale;
+use crate::{Report, RunCtx};
 
 /// An experiment: id, what it reproduces, runner.
 pub struct Experiment {
@@ -20,8 +21,16 @@ pub struct Experiment {
     pub id: &'static str,
     /// One-line description of the paper artifact.
     pub what: &'static str,
-    /// Runner.
-    pub run: fn(Scale) -> String,
+    /// Runner. A plain `fn` (no captured state): experiments are pure
+    /// functions of the context, which is what makes running them on a
+    /// thread pool sound.
+    pub run: fn(&RunCtx) -> Report,
+    /// Rough serial cost in seconds at laptop scale. Only the relative
+    /// magnitudes matter: the parallel runner starts the most expensive
+    /// experiments first (longest-processing-time-first), which is what
+    /// keeps the suite's critical path from being one big experiment
+    /// queued last.
+    pub cost: u32,
 }
 
 /// The full registry, in the paper's order.
@@ -31,103 +40,128 @@ pub fn registry() -> Vec<Experiment> {
             id: "fig1",
             what: "Figure 1 — motivating example: packing vs DRF on 3 jobs",
             run: motivating::fig1,
+            cost: 1,
         },
         Experiment {
             id: "table2",
             what: "Table 2 — cross-resource demand correlation matrix",
             run: workload_tables::table2,
+            cost: 1,
         },
         Experiment {
             id: "fig2",
             what: "Figure 2 — heat-map of task resource demands",
             run: workload_tables::fig2,
+            cost: 1,
         },
         Experiment {
             id: "table3",
             what: "Table 3 — resource tightness probabilities",
             run: workload_tables::table3,
+            cost: 1,
         },
         Experiment {
             id: "ub",
             what: "§2.2.3 — aggregate upper bound on packing gains",
             run: upper_bound::ub,
+            cost: 6,
         },
         Experiment {
             id: "fig4",
             what: "Figure 4 — deployment: JCT improvement CDF + makespan",
             run: deployment::fig4,
+            cost: 6,
         },
         Experiment {
             id: "fig5",
             what: "Figure 5 — running tasks and utilization timelines",
             run: deployment::fig5,
+            cost: 1,
         },
         Experiment {
             id: "table6",
             what: "Table 6 — machine high-usage probabilities per scheduler",
             run: deployment::table6,
+            cost: 1,
         },
         Experiment {
             id: "fig6",
             what: "Figure 6 — resource tracker vs data ingestion",
             run: ingestion::fig6,
+            cost: 1,
         },
         Experiment {
             id: "fig7",
             what: "Figure 7 — simulation: JCT improvement CDFs + ablations",
             run: simulation::fig7,
+            cost: 110,
         },
         Experiment {
             id: "table7",
             what: "Table 7 — alignment heuristic comparison",
             run: simulation::table7,
+            cost: 8,
         },
         Experiment {
             id: "fig8",
             what: "Figure 8 — fairness knob sweep (efficiency side)",
             run: knobs::fig8,
+            cost: 4,
         },
         Experiment {
             id: "fig9",
             what: "Figure 9 — fairness knob sweep (job slowdowns)",
             run: knobs::fig9,
+            cost: 2,
         },
         Experiment {
             id: "riu",
             what: "§5.3.2 — relative integral unfairness",
             run: knobs::riu,
+            cost: 1,
         },
         Experiment {
             id: "fig10",
             what: "Figure 10 — barrier knob sweep",
             run: knobs::fig10,
+            cost: 4,
         },
         Experiment {
             id: "rp",
             what: "§5.3.3 — remote-penalty sensitivity",
             run: sensitivity::remote_penalty,
+            cost: 25,
         },
         Experiment {
             id: "eps",
             what: "§5.3.3 — alignment-vs-SRTF weighting sensitivity",
             run: sensitivity::epsilon,
+            cost: 25,
         },
         Experiment {
             id: "fig11",
             what: "Figure 11 — gains vs cluster load",
             run: load::fig11,
+            cost: 15,
         },
         Experiment {
             id: "ext-est",
             what: "Extension — robustness to demand-estimation error (§4.1)",
             run: extensions::estimation,
+            cost: 8,
         },
         Experiment {
             id: "ext-starve",
             what: "Extension — starvation prevention by reservation (§3.5)",
             run: extensions::starvation,
+            cost: 1,
         },
     ]
+}
+
+/// Look up one experiment by id.
+pub fn find(id: &str) -> Option<Experiment> {
+    registry().into_iter().find(|e| e.id == id)
 }
 
 #[cfg(test)]
@@ -142,5 +176,11 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), 20);
+    }
+
+    #[test]
+    fn find_looks_up_by_id() {
+        assert_eq!(find("fig4").unwrap().id, "fig4");
+        assert!(find("nope").is_none());
     }
 }

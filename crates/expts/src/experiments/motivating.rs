@@ -12,8 +12,8 @@ use tetris_resources::MachineSpec;
 use tetris_sim::{ClusterConfig, Interference, SimConfig, Simulation};
 use tetris_workload::gen::motivating_example;
 
-use crate::setup::SchedName;
-use crate::Scale;
+use crate::setup::{run_observed, SchedName};
+use crate::{Report, RunCtx};
 
 /// The Fig-1 cluster: 3 machines of 6 cores / 12 GB / 1 Gbps, with disks
 /// oversized so the example stays network-bound as in the paper.
@@ -26,8 +26,9 @@ fn fig1_cluster() -> ClusterConfig {
     ClusterConfig::uniform(3, spec)
 }
 
-/// Run Figure 1 (scale-independent: the example is fixed-size).
-pub fn fig1(_scale: Scale) -> String {
+/// Run Figure 1 (seed/scale-independent: the example is fixed-size and
+/// the paper's worked arithmetic fixes the simulator seed).
+pub fn fig1(ctx: &RunCtx) -> Report {
     let ex = motivating_example(10.0);
     let cluster = fig1_cluster();
     let mut cfg = SimConfig::default();
@@ -36,12 +37,18 @@ pub fn fig1(_scale: Scale) -> String {
     // (three co-located reduces stream at exactly 1/3 Gbps each).
     cfg.interference = Interference::none();
 
+    let mut report = Report::new(String::new());
     let mut table = TextTable::new(vec!["scheduler", "A", "B", "C", "avg JCT", "makespan"]);
-    for sched in [SchedName::Tetris, SchedName::Drf] {
-        let o = Simulation::build(cluster.clone(), ex.workload.clone())
-            .scheduler_boxed(sched.build())
-            .config(cfg.clone())
-            .run();
+    for (sched, m_jct, m_mk) in [
+        (SchedName::Tetris, "tetris_avg_jct_t", "tetris_makespan_t"),
+        (SchedName::Drf, "drf_avg_jct_t", "drf_makespan_t"),
+    ] {
+        let o = run_observed(
+            ctx,
+            Simulation::build(cluster.clone(), ex.workload.clone())
+                .scheduler_boxed(sched.build(cfg.seed))
+                .config(cfg.clone()),
+        );
         assert!(o.all_jobs_completed(), "fig1 run did not complete");
         let t = |x: f64| format!("{:.1}t", x / ex.t);
         table.row(vec![
@@ -52,16 +59,19 @@ pub fn fig1(_scale: Scale) -> String {
             t(o.avg_jct()),
             t(o.makespan()),
         ]);
+        report.push(m_jct, o.avg_jct() / ex.t);
+        report.push(m_mk, o.makespan() / ex.t);
     }
 
-    format!(
+    report.text = format!(
         "Figure 1 — motivating example (task length t; 3 machines × 6 cores/12 GB/1 Gbps)\n\
          paper (idealized): packing = {{2t, 3t, 4t}} in some job order, makespan 4t;\n\
          DRF = 6t for every job (reduces contend 3-per-NIC). Our DRF lands at or\n\
          above 6t because simulated map placement skews shuffle sources — the\n\
          paper's idealized arithmetic assumes perfectly uniform map output.\n\n{}",
         table.render()
-    )
+    );
+    report
 }
 
 #[cfg(test)]
@@ -76,7 +86,7 @@ mod tests {
         cfg.seed = 1;
         cfg.interference = Interference::none();
         let o = Simulation::build(fig1_cluster(), ex.workload.clone())
-            .scheduler_boxed(SchedName::Tetris.build())
+            .scheduler_boxed(SchedName::Tetris.build(cfg.seed))
             .config(cfg)
             .run();
         assert!(o.all_jobs_completed());
@@ -99,7 +109,7 @@ mod tests {
         cfg.seed = 1;
         cfg.interference = Interference::none();
         let o = Simulation::build(fig1_cluster(), ex.workload.clone())
-            .scheduler_boxed(SchedName::Drf.build())
+            .scheduler_boxed(SchedName::Drf.build(cfg.seed))
             .config(cfg)
             .run();
         assert!(o.all_jobs_completed());
@@ -113,8 +123,10 @@ mod tests {
 
     #[test]
     fn report_renders() {
-        let s = fig1(Scale::Laptop);
-        assert!(s.contains("tetris"));
-        assert!(s.contains("drf"));
+        let r = fig1(&RunCtx::default());
+        assert!(r.text.contains("tetris"));
+        assert!(r.text.contains("drf"));
+        // Typed headline: packing beats DRF on makespan.
+        assert!(r.get("tetris_makespan_t").unwrap() < r.get("drf_makespan_t").unwrap());
     }
 }

@@ -9,25 +9,29 @@ use tetris_metrics::pct_improvement;
 use tetris_metrics::table::TextTable;
 
 use crate::setup::{run, run_tetris, with_zero_arrivals, SchedName};
-use crate::Scale;
+use crate::{Report, RunCtx};
 
 /// Figure 7 + the §5.3.1 decomposition. Paper: Tetris speeds jobs up ~40 %
 /// vs Fair and ~35 % vs DRF on average; gains ≈ 90 % of the simple upper
 /// bound; masking disk/network (over-allocation returns) forfeits about
 /// two thirds of the gains; SRTF-only and packing-only each do worse than
 /// the combination.
-pub fn fig7(scale: Scale) -> String {
-    let cluster = scale.cluster();
-    let w = scale.facebook();
-    let cfg = scale.sim_config();
+pub fn fig7(ctx: &RunCtx) -> Report {
+    let cluster = ctx.cluster();
+    let w = ctx.facebook();
+    let cfg = ctx.sim_config();
 
-    let tetris = run(&cluster, &w, SchedName::Tetris, &cfg);
-    let fair = run(&cluster, &w, SchedName::Fair, &cfg);
-    let drf = run(&cluster, &w, SchedName::Drf, &cfg);
+    let tetris = run(ctx, &cluster, &w, SchedName::Tetris, &cfg);
+    let fair = run(ctx, &cluster, &w, SchedName::Fair, &cfg);
+    let drf = run(ctx, &cluster, &w, SchedName::Drf, &cfg);
 
+    let mut report = Report::new(String::new());
     let mut out = String::new();
     out.push_str("Figure 7 — simulation on the Facebook-like trace\n\n");
-    for base in [&fair, &drf] {
+    for (base, m_med, m_avg) in [
+        (&fair, "median_jct_gain_vs_fair", "avg_jct_gain_vs_fair"),
+        (&drf, "median_jct_gain_vs_drf", "avg_jct_gain_vs_drf"),
+    ] {
         let imp = ImprovementSummary::compare(&tetris, base);
         out.push_str(&format!(
             "tetris vs {:<14} median {:+.1}%  p90 {:+.1}%  avg {:+.1}%  slowed {:.0}%\n",
@@ -39,29 +43,31 @@ pub fn fig7(scale: Scale) -> String {
         ));
         out.push_str(&imp.render_cdf(10));
         out.push('\n');
+        report.push(m_med, imp.median());
+        report.push(m_avg, imp.avg_jct);
     }
 
     // Fraction of the upper bound achieved (paper: ≈ 90 %).
     let ub = UpperBoundScheduler::new().simulate(&w, cluster.total_capacity());
     let t_gain = pct_improvement(fair.avg_jct(), tetris.avg_jct());
     let ub_gain = pct_improvement(fair.avg_jct(), ub.avg_jct());
+    let ub_frac = 100.0 * t_gain / ub_gain.max(1e-9);
     out.push_str(&format!(
         "upper-bound check: tetris gains {:.1}% vs fair; the aggregate bound gains\n\
          {:.1}% → tetris achieves {:.0}% of the bound (paper: ≈90%).\n\n",
-        t_gain,
-        ub_gain,
-        100.0 * t_gain / ub_gain.max(1e-9)
+        t_gain, ub_gain, ub_frac
     ));
+    report.push("pct_of_upper_bound", ub_frac);
 
     // Decomposition ablations (makespan measured with all-at-zero
     // arrivals, §5.3.1; slowdowns measured vs the fair baseline).
     let w0 = with_zero_arrivals(w.clone());
-    let fair0 = run(&cluster, &w0, SchedName::Fair, &cfg);
+    let fair0 = run(ctx, &cluster, &w0, SchedName::Fair, &cfg);
     let variants = [
-        SchedName::Tetris,
-        SchedName::TetrisCpuMemOnly,
-        SchedName::Srtf,
-        SchedName::PackingOnly,
+        (SchedName::Tetris, "tetris_avg_jct_gain"),
+        (SchedName::TetrisCpuMemOnly, "cpumem_avg_jct_gain"),
+        (SchedName::Srtf, "srtf_avg_jct_gain"),
+        (SchedName::PackingOnly, "packing_only_avg_jct_gain"),
     ];
     let mut t = TextTable::new(vec![
         "variant",
@@ -69,16 +75,18 @@ pub fn fig7(scale: Scale) -> String {
         "makespan vs fair",
         "jobs slowed",
     ]);
-    for name in variants {
-        let o = run(&cluster, &w, name, &cfg);
-        let o0 = run(&cluster, &w0, name, &cfg);
+    for (name, metric) in variants {
+        let o = run(ctx, &cluster, &w, name, &cfg);
+        let o0 = run(ctx, &cluster, &w0, name, &cfg);
         let slowed = ImprovementSummary::compare(&o, &fair).frac_slowed();
+        let jct_gain = pct_improvement(fair.avg_jct(), o.avg_jct());
         t.row(vec![
             o.scheduler.clone(),
-            format!("{:+.1}%", pct_improvement(fair.avg_jct(), o.avg_jct())),
+            format!("{jct_gain:+.1}%"),
             format!("{:+.1}%", pct_improvement(fair0.makespan(), o0.makespan())),
             format!("{:.0}%", slowed * 100.0),
         ]);
+        report.push(metric, jct_gain);
     }
     out.push_str(
         "gain decomposition. Paper: masking disk/network (over-allocation\n\
@@ -88,39 +96,58 @@ pub fn fig7(scale: Scale) -> String {
          and weaker on makespan; the combination is strong on every column:\n\n",
     );
     out.push_str(&t.render());
-    out
+    report.text = out;
+    report
+}
+
+/// Per-alignment-kind metric names (JCT gain, makespan gain).
+fn alignment_metric_names(kind: AlignmentKind) -> (&'static str, &'static str) {
+    match kind {
+        AlignmentKind::Cosine => ("cosine_jct_gain", "cosine_makespan_gain"),
+        AlignmentKind::L2NormDiff => ("l2_norm_diff_jct_gain", "l2_norm_diff_makespan_gain"),
+        AlignmentKind::L2NormRatio => ("l2_norm_ratio_jct_gain", "l2_norm_ratio_makespan_gain"),
+        AlignmentKind::FfdProd => ("ffd_prod_jct_gain", "ffd_prod_makespan_gain"),
+        AlignmentKind::FfdSum => ("ffd_sum_jct_gain", "ffd_sum_makespan_gain"),
+    }
 }
 
 /// Table 7 — alignment heuristics. Paper: cosine similarity best on both
 /// metrics; L2-Norm-Diff close on makespan but behind on JCT; FFD variants
 /// trail.
-pub fn table7(scale: Scale) -> String {
-    let cluster = scale.cluster();
-    let w = scale.facebook();
+pub fn table7(ctx: &RunCtx) -> Report {
+    let cluster = ctx.cluster();
+    let w = ctx.facebook();
     let w0 = with_zero_arrivals(w.clone());
-    let cfg = scale.sim_config();
+    let cfg = ctx.sim_config();
 
-    let fair = run(&cluster, &w, SchedName::Fair, &cfg);
-    let fair0 = run(&cluster, &w0, SchedName::Fair, &cfg);
+    let fair = run(ctx, &cluster, &w, SchedName::Fair, &cfg);
+    let fair0 = run(ctx, &cluster, &w0, SchedName::Fair, &cfg);
 
+    let mut report = Report::new(String::new());
     let mut t = TextTable::new(vec!["alignment", "avg JCT gain", "makespan gain"]);
     for kind in AlignmentKind::ALL {
         let mut tc = TetrisConfig::default();
         tc.alignment = kind;
-        let o = run_tetris(&cluster, &w, tc.clone(), &cfg);
-        let o0 = run_tetris(&cluster, &w0, tc, &cfg);
+        let o = run_tetris(ctx, &cluster, &w, tc.clone(), &cfg);
+        let o0 = run_tetris(ctx, &cluster, &w0, tc, &cfg);
+        let jct_gain = pct_improvement(fair.avg_jct(), o.avg_jct());
+        let mk_gain = pct_improvement(fair0.makespan(), o0.makespan());
         t.row(vec![
             kind.label().to_string(),
-            format!("{:+.1}%", pct_improvement(fair.avg_jct(), o.avg_jct())),
-            format!("{:+.1}%", pct_improvement(fair0.makespan(), o0.makespan())),
+            format!("{jct_gain:+.1}%"),
+            format!("{mk_gain:+.1}%"),
         ]);
+        let (m_jct, m_mk) = alignment_metric_names(kind);
+        report.push(m_jct, jct_gain);
+        report.push(m_mk, mk_gain);
     }
-    format!(
+    report.text = format!(
         "Table 7 — alignment heuristics vs the fair scheduler (Facebook-like trace)\n\
          paper: cosine best on both; L2-Norm-Diff does well on makespan but lags\n\
          on completion time.\n\n{}",
         t.render()
-    )
+    );
+    report
 }
 
 #[cfg(test)]
@@ -141,24 +168,25 @@ mod tests {
 
     #[test]
     fn fig7_tetris_beats_both_baselines() {
-        let s = fig7(Scale::Laptop);
-        for line in s.lines().filter(|l| l.starts_with("tetris vs")) {
+        let r = fig7(&RunCtx::default());
+        for line in r.text.lines().filter(|l| l.starts_with("tetris vs")) {
             let median = extract_pct(line, "median ");
             assert!(median > 5.0, "median gain too small: {line}");
         }
         // Ablation forfeits gains: tetris-cpumem row must be below tetris.
-        assert!(s.contains("cpu-mem-only"));
+        assert!(r.text.contains("cpu-mem-only"));
+        assert!(r.get("cpumem_avg_jct_gain").unwrap() < r.get("tetris_avg_jct_gain").unwrap());
     }
 
     #[test]
     fn fig7_ablation_forfeits_most_gains() {
-        let scale = Scale::Laptop;
-        let cluster = scale.cluster();
-        let w = scale.facebook();
-        let cfg = scale.sim_config();
-        let fair = run(&cluster, &w, SchedName::Fair, &cfg);
-        let tetris = run(&cluster, &w, SchedName::Tetris, &cfg);
-        let cpumem = run(&cluster, &w, SchedName::TetrisCpuMemOnly, &cfg);
+        let ctx = RunCtx::default();
+        let cluster = ctx.cluster();
+        let w = ctx.facebook();
+        let cfg = ctx.sim_config();
+        let fair = run(&ctx, &cluster, &w, SchedName::Fair, &cfg);
+        let tetris = run(&ctx, &cluster, &w, SchedName::Tetris, &cfg);
+        let cpumem = run(&ctx, &cluster, &w, SchedName::TetrisCpuMemOnly, &cfg);
         let full_gain = pct_improvement(fair.avg_jct(), tetris.avg_jct());
         let masked_gain = pct_improvement(fair.avg_jct(), cpumem.avg_jct());
         assert!(
@@ -169,9 +197,11 @@ mod tests {
 
     #[test]
     fn table7_has_all_five_heuristics() {
-        let s = table7(Scale::Laptop);
+        let r = table7(&RunCtx::default());
         for k in AlignmentKind::ALL {
-            assert!(s.contains(k.label()), "missing {}", k.label());
+            assert!(r.text.contains(k.label()), "missing {}", k.label());
+            let (m_jct, _) = alignment_metric_names(k);
+            assert!(r.get(m_jct).is_some(), "missing metric {m_jct}");
         }
     }
 }

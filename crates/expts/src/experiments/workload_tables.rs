@@ -1,33 +1,36 @@
 //! Tables 2 and 3 and Figure 2 — the workload-analysis artifacts (§2.2.2).
 
 use tetris_metrics::tightness::TightnessTable;
+use tetris_resources::Resource;
 use tetris_workload::analysis::{within_stage_cov, CorrelationMatrix, DemandDiversity, Heatmap};
 
 use crate::setup::{run, SchedName};
-use crate::Scale;
+use crate::{Report, RunCtx};
 
 /// Table 2: correlation matrix of per-task resource demands over the
 /// Facebook-like trace. Paper finding: little cross-resource correlation;
 /// the largest (cores↔memory) only moderate.
-pub fn table2(scale: Scale) -> String {
-    let w = scale.facebook();
+pub fn table2(ctx: &RunCtx) -> Report {
+    let w = ctx.facebook();
     let m = CorrelationMatrix::compute(&w);
-    format!(
+    Report::new(format!(
         "Table 2 — correlation of per-task demands ({} tasks)\n\
          paper: all pairs weak; max (cores↔memory) moderate.\n\n{}\n\
          max off-diagonal |r| = {:.2}\n",
         w.num_tasks(),
         m.render(),
         m.max_off_diagonal()
-    )
+    ))
+    .metric("tasks", w.num_tasks() as f64)
+    .metric("max_abs_offdiag_corr", m.max_off_diagonal())
 }
 
 /// Figure 2: demand heat-maps (cores vs memory / disk / network) with
 /// log-scale counts, plus the min/median/max/CoV summary the paper
 /// narrates ("minimum values are 5–10× lower than the median, which in
 /// turn is ~50× lower than the maximum").
-pub fn fig2(scale: Scale) -> String {
-    let w = scale.facebook();
+pub fn fig2(ctx: &RunCtx) -> Report {
+    let w = ctx.facebook();
     let mut out = String::new();
     out.push_str(&format!(
         "Figure 2 — task demand diversity over the Facebook-like trace ({} tasks)\n\n",
@@ -49,7 +52,11 @@ pub fn fig2(scale: Scale) -> String {
             h.render()
         ));
     }
-    out
+    Report::new(out)
+        .metric("within_stage_cov_cores", within[0])
+        .metric("within_stage_cov_memory", within[1])
+        .metric("within_stage_cov_disk", within[2])
+        .metric("within_stage_cov_network", within[3])
 }
 
 /// Table 3: probability that a resource is used above {50, 80, 99} % of
@@ -58,19 +65,22 @@ pub fn fig2(scale: Scale) -> String {
 /// melting slot scheduler (tasks crawling under interference) depresses
 /// the measured IO usage. Paper finding: multiple resources become tight,
 /// at different times.
-pub fn table3(scale: Scale) -> String {
-    let cluster = scale.cluster();
+pub fn table3(ctx: &RunCtx) -> Report {
+    let cluster = ctx.cluster();
     let total = cluster.total_capacity();
-    let w = scale.facebook();
-    let cfg = scale.sim_config();
-    let o = run(&cluster, &w, SchedName::Tetris, &cfg);
+    let w = ctx.facebook();
+    let cfg = ctx.sim_config();
+    let o = run(ctx, &cluster, &w, SchedName::Tetris, &cfg);
     let t = TightnessTable::cluster(&o, &total, &[0.5, 0.8, 0.99]);
-    format!(
+    Report::new(format!(
         "Table 3 — tightness of cluster resources (Facebook-like trace replay;\n\
          fraction of samples with aggregate usage above the threshold)\n\
          paper: several resources tight, at different times.\n\n{}",
         t.render()
-    )
+    ))
+    .metric("p_cpu_over_80", t.get(Resource::Cpu, 1))
+    .metric("p_mem_over_80", t.get(Resource::Mem, 1))
+    .metric("p_netin_over_80", t.get(Resource::NetIn, 1))
 }
 
 #[cfg(test)]
@@ -79,32 +89,29 @@ mod tests {
 
     #[test]
     fn table2_reports_weak_correlation() {
-        let s = table2(Scale::Laptop);
-        assert!(s.contains("max off-diagonal"));
-        // Extract the number and check the paper's qualitative claim.
-        let v: f64 = s
-            .split("max off-diagonal |r| = ")
-            .nth(1)
-            .unwrap()
-            .trim()
-            .parse()
-            .unwrap();
+        let r = table2(&RunCtx::default());
+        assert!(r.text.contains("max off-diagonal"));
+        // The typed metric carries the paper's qualitative claim.
+        let v = r.get("max_abs_offdiag_corr").unwrap();
         assert!(v < 0.6, "correlation too strong: {v}");
+        // And it matches what the text renders.
+        assert!(r.text.contains(&format!("max off-diagonal |r| = {v:.2}")));
     }
 
     #[test]
     fn fig2_renders_three_heatmaps() {
-        let s = fig2(Scale::Laptop);
-        assert!(s.contains("memory"));
-        assert!(s.contains("disk"));
-        assert!(s.contains("network"));
-        assert!(s.matches("cells occupied").count() == 3);
+        let r = fig2(&RunCtx::default());
+        assert!(r.text.contains("memory"));
+        assert!(r.text.contains("disk"));
+        assert!(r.text.contains("network"));
+        assert!(r.text.matches("cells occupied").count() == 3);
+        assert_eq!(r.metrics.len(), 4);
     }
 
     #[test]
     fn table3_multiple_resources_get_tight() {
-        let s = table3(Scale::Laptop);
-        assert!(s.contains("cpu"));
-        assert!(s.contains("net_in"));
+        let r = table3(&RunCtx::default());
+        assert!(r.text.contains("cpu"));
+        assert!(r.text.contains("net_in"));
     }
 }

@@ -13,19 +13,20 @@ use tetris_metrics::table::TextTable;
 use tetris_obs::{names, Histogram, JsonlRecorder, NoopRecorder, Obs, Recorder};
 use tetris_sim::Simulation;
 
-use crate::setup::{self, Scale, SchedName};
+use crate::setup::{self, SchedName};
+use crate::RunCtx;
 
 /// Run the reference configuration (suite workload, Tetris scheduler)
 /// with observability attached, writing the JSONL trace and/or metrics
 /// snapshot to the given paths. Returns the rendered summary report.
 pub fn instrumented_run(
-    scale: Scale,
+    ctx: &RunCtx,
     trace: Option<&str>,
     metrics: Option<&str>,
 ) -> Result<String, String> {
-    let cluster = scale.cluster();
-    let workload = scale.suite();
-    let cfg = scale.sim_config();
+    let cluster = ctx.cluster();
+    let workload = ctx.suite();
+    let cfg = ctx.sim_config();
     let sched = SchedName::Tetris;
 
     let recorder: Box<dyn Recorder> = match trace {
@@ -37,13 +38,13 @@ pub fn instrumented_run(
     let mut obs = Obs::with_recorder(recorder);
 
     let traced = Simulation::build(cluster.clone(), workload.clone())
-        .scheduler_boxed(sched.build())
+        .scheduler_boxed(sched.build(cfg.seed))
         .config(cfg.clone())
         .observe(&mut obs)
         .run();
 
     // The no-recorder control run: observability must be a pure read.
-    let plain = setup::run(&cluster, &workload, sched, &cfg);
+    let plain = setup::run(ctx, &cluster, &workload, sched, &cfg);
     let identical = serde_json::to_string(&plain).map_err(|e| e.to_string())?
         == serde_json::to_string(&traced).map_err(|e| e.to_string())?;
 
@@ -115,7 +116,7 @@ mod tests {
         let trace = dir.join(format!("tetris-instr-{}.jsonl", std::process::id()));
         let metrics = dir.join(format!("tetris-instr-{}.json", std::process::id()));
         let report = instrumented_run(
-            Scale::Laptop,
+            &RunCtx::default(),
             Some(trace.to_str().unwrap()),
             Some(metrics.to_str().unwrap()),
         )

@@ -6,8 +6,10 @@
 //!
 //! ```sh
 //! cargo run -p tetris-expts --release --bin reproduce -- all
+//! cargo run -p tetris-expts --release --bin reproduce -- all --jobs 4
 //! cargo run -p tetris-expts --release --bin reproduce -- fig4 fig8
 //! cargo run -p tetris-expts --release --bin reproduce -- --full fig7
+//! cargo run -p tetris-expts --release --bin reproduce -- sweep fig4 --seeds 1..9
 //! ```
 //!
 //! The default scale runs every experiment on a 20-machine cluster with
@@ -18,12 +20,25 @@
 //! text lost its digits); the *shape* — who wins, by roughly what factor,
 //! where the knees fall — is the reproduction target. EXPERIMENTS.md
 //! records both.
+//!
+//! Every experiment is a pure function `fn(&RunCtx) -> Report`: the
+//! [`RunCtx`] carries the scale and master seed as plain data (no global
+//! state), and the [`Report`] carries the rendered text plus typed
+//! headline metrics. That purity is what lets [`runner`] execute the
+//! suite — or a multi-seed sweep — on a thread pool with byte-identical
+//! results to serial execution.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
+pub mod ctx;
 pub mod experiments;
 pub mod instrument;
+pub mod report;
+pub mod runner;
 pub mod setup;
 
+pub use ctx::RunCtx;
+pub use report::Report;
 pub use setup::{Scale, SchedName};

@@ -1,0 +1,80 @@
+//! Structured experiment output: rendered text plus typed headline
+//! metrics.
+//!
+//! Experiments used to return a bare `String`, which forced anything
+//! downstream (sweep aggregation, benchmark emission, tests) to re-parse
+//! printed tables. A [`Report`] carries the rendered text unchanged —
+//! `Display` reproduces exactly what the CLI printed before — alongside a
+//! flat list of named numbers the aggregators consume directly.
+
+/// The result of one experiment run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// The rendered report, byte-identical to the pre-`Report` CLI output.
+    pub text: String,
+    /// Headline numbers, in presentation order. Names are `&'static str`
+    /// so sweep aggregation can group by pointer-cheap keys and typos in
+    /// metric names fail at compile time, not at aggregation time.
+    pub metrics: Vec<(&'static str, f64)>,
+}
+
+impl Report {
+    /// Report with text and no metrics (yet).
+    pub fn new(text: impl Into<String>) -> Self {
+        Report {
+            text: text.into(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Builder-style: append one named metric.
+    #[must_use]
+    pub fn metric(mut self, name: &'static str, value: f64) -> Self {
+        self.push(name, value);
+        self
+    }
+
+    /// Append one named metric.
+    pub fn push(&mut self, name: &'static str, value: f64) {
+        debug_assert!(
+            !self.metrics.iter().any(|(n, _)| *n == name),
+            "duplicate metric {name}"
+        );
+        self.metrics.push((name, value));
+    }
+
+    /// Look up a metric by name.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_exactly_the_text() {
+        let r = Report::new("line one\nline two\n").metric("x", 1.5);
+        assert_eq!(format!("{r}"), "line one\nline two\n");
+    }
+
+    #[test]
+    fn metrics_accumulate_in_order_and_look_up() {
+        let mut r = Report::new("t");
+        r.push("a", 1.0);
+        r.push("b", -2.0);
+        assert_eq!(r.metrics, vec![("a", 1.0), ("b", -2.0)]);
+        assert_eq!(r.get("b"), Some(-2.0));
+        assert_eq!(r.get("missing"), None);
+    }
+}

@@ -1,0 +1,446 @@
+//! Deterministic parallel execution of the experiment suite.
+//!
+//! A hand-rolled worker pool (scoped threads + a shared work deque + an
+//! mpsc results channel — no external crates): workers pull the next
+//! experiment off the deque, run it against their own private [`RunCtx`],
+//! and send the finished result back tagged with its submission index.
+//! The main thread re-orders completions and streams them out in
+//! submission order, so `--jobs 8` produces byte-identical reports to
+//! `--jobs 1` — parallelism changes only the wall-clock, never the
+//! output. That guarantee rests on two facts checked by tests elsewhere:
+//! experiments are pure functions of their context (no global state —
+//! the old env-var seed channel is gone), and observability never
+//! perturbs simulation outcomes.
+//!
+//! The same pool powers multi-seed sweeps (`reproduce sweep fig4 --seeds
+//! 1..8`), which fan one experiment out across seeds and aggregate the
+//! per-seed headline metrics into median/p10/p90 rows, and the benchmark
+//! emitter (`--bench FILE`), which records per-experiment wall-clock and
+//! the merged observability registry as machine-readable JSON.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+use tetris_metrics::table::TextTable;
+use tetris_obs::{MetricsRegistry, MetricsSnapshot};
+use tetris_workload::stats::percentile;
+
+use crate::experiments::Experiment;
+use crate::setup::Scale;
+use crate::{Report, RunCtx};
+
+/// Run every item of `items` through `f` on `jobs` worker threads,
+/// invoking `on_done` in *submission order* as results become available
+/// (a completion for item 3 is buffered until items 0..3 have been
+/// delivered). Returns all results in submission order.
+///
+/// `jobs = 1` still routes through the pool — one worker draining the
+/// deque in order — so the serial and parallel paths are the same code.
+pub fn pool_map<T, R, F, C>(items: Vec<T>, jobs: usize, f: F, on_done: C) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T, usize) -> R + Sync,
+    C: FnMut(usize, &R),
+{
+    pool_map_prioritized(items, jobs, |_| 0, f, on_done)
+}
+
+/// [`pool_map`] with an execution-priority hint: higher-priority items
+/// are *started* first (classic longest-processing-time-first packing —
+/// launching the most expensive experiment last would leave one worker
+/// grinding it alone while the rest idle). Delivery to `on_done` and the
+/// returned vector stay in submission order regardless; priorities
+/// change wall-clock only, never output.
+pub fn pool_map_prioritized<T, R, P, F, C>(
+    items: Vec<T>,
+    jobs: usize,
+    priority: P,
+    f: F,
+    mut on_done: C,
+) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    P: Fn(&T) -> u64,
+    F: Fn(T, usize) -> R + Sync,
+    C: FnMut(usize, &R),
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = jobs.clamp(1, n);
+    let mut ordered: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+    // Stable sort: equal priorities keep submission order.
+    ordered.sort_by_key(|(_, item)| std::cmp::Reverse(priority(item)));
+    let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(ordered.into_iter().collect());
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let queue = &queue;
+            let f = &f;
+            s.spawn(move || loop {
+                // Take the lock only to pop; the (expensive) call to `f`
+                // runs outside it.
+                let next = queue.lock().expect("runner queue poisoned").pop_front();
+                let Some((idx, item)) = next else { break };
+                let result = f(item, idx);
+                if tx.send((idx, result)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx); // rx ends when the last worker finishes
+
+        let mut next_out = 0;
+        for (idx, result) in rx {
+            slots[idx] = Some(result);
+            while next_out < n {
+                match slots[next_out].as_ref() {
+                    Some(r) => on_done(next_out, r),
+                    None => break,
+                }
+                next_out += 1;
+            }
+        }
+        // If a worker panicked, the scope re-raises that panic here —
+        // after the channel drained — so partial results still stream.
+    });
+    slots
+        .into_iter()
+        .map(|r| r.expect("worker exited without delivering a result"))
+        .collect()
+}
+
+/// One finished experiment: its report, wall-clock, and the
+/// observability metrics its simulations accumulated.
+pub struct ExpRun {
+    /// Experiment id ("fig4", ...).
+    pub id: &'static str,
+    /// One-line description.
+    pub what: &'static str,
+    /// The rendered report + typed metrics.
+    pub report: Report,
+    /// Wall-clock of this experiment alone.
+    pub seconds: f64,
+    /// Merged registries of every simulation the experiment ran.
+    pub metrics: MetricsRegistry,
+}
+
+/// Run `selected` experiments at `(scale, seed)` on `jobs` workers.
+/// `on_done` fires in registry order as experiments finish.
+pub fn run_experiments(
+    selected: Vec<Experiment>,
+    scale: Scale,
+    seed: u64,
+    jobs: usize,
+    mut on_done: impl FnMut(&ExpRun),
+) -> Vec<ExpRun> {
+    // Longest-first only matters with real parallelism; a single worker
+    // keeps registry order so serial output starts streaming immediately.
+    let lpt = jobs > 1;
+    pool_map_prioritized(
+        selected,
+        jobs,
+        move |e| if lpt { e.cost as u64 } else { 0 },
+        move |e, _| {
+            // A fresh context per experiment: workers share nothing, and
+            // the metrics each absorbs are attributable to one id.
+            let ctx = RunCtx::new(scale, seed);
+            let start = Instant::now();
+            let report = (e.run)(&ctx);
+            ExpRun {
+                id: e.id,
+                what: e.what,
+                report,
+                seconds: start.elapsed().as_secs_f64(),
+                metrics: ctx.take_metrics(),
+            }
+        },
+        |_, r| on_done(r),
+    )
+}
+
+/// One seed's leg of a sweep.
+pub struct SeedRun {
+    /// The master seed this leg ran under.
+    pub seed: u64,
+    /// The experiment's report at that seed.
+    pub report: Report,
+    /// Wall-clock of this leg.
+    pub seconds: f64,
+}
+
+/// Run one experiment across `seeds` on `jobs` workers. `on_done` fires
+/// in seed order.
+pub fn run_sweep(
+    exp: Experiment,
+    scale: Scale,
+    seeds: Vec<u64>,
+    jobs: usize,
+    mut on_done: impl FnMut(&SeedRun),
+) -> Vec<SeedRun> {
+    pool_map(
+        seeds,
+        jobs,
+        move |seed, _| {
+            let ctx = RunCtx::new(scale, seed);
+            let start = Instant::now();
+            let report = (exp.run)(&ctx);
+            SeedRun {
+                seed,
+                report,
+                seconds: start.elapsed().as_secs_f64(),
+            }
+        },
+        |_, r| on_done(r),
+    )
+}
+
+/// Aggregate a sweep's per-seed headline metrics into a median/p10/p90
+/// table, one row per metric in the order the experiment reports them.
+pub fn aggregate_sweep(runs: &[SeedRun]) -> String {
+    let mut t = TextTable::new(vec!["metric", "median", "p10", "p90"]);
+    let Some(first) = runs.first() else {
+        return t.render();
+    };
+    for (name, _) in &first.report.metrics {
+        let xs: Vec<f64> = runs.iter().filter_map(|r| r.report.get(name)).collect();
+        t.row(vec![
+            (*name).to_string(),
+            format!("{:.3}", percentile(&xs, 0.5)),
+            format!("{:.3}", percentile(&xs, 0.1)),
+            format!("{:.3}", percentile(&xs, 0.9)),
+        ]);
+    }
+    t.render()
+}
+
+/// Schema tag written into every benchmark emission.
+pub const BENCH_SCHEMA: &str = "tetris-reproduce-bench/v1";
+
+/// Machine-readable record of one `reproduce --bench` run.
+#[derive(Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Format tag ([`BENCH_SCHEMA`]).
+    pub schema: String,
+    /// The experiment ids that ran, in order.
+    pub command: Vec<String>,
+    /// Scale label ("laptop" / "full").
+    pub scale: String,
+    /// Master seed.
+    pub seed: u64,
+    /// Worker-thread count.
+    pub jobs: usize,
+    /// Wall-clock of the whole suite, queue to last result.
+    pub wall_seconds: f64,
+    /// Sum of per-experiment wall-clocks — what a serial run would cost.
+    pub cpu_seconds: f64,
+    /// `cpu_seconds / wall_seconds`: parallel speedup inferred from this
+    /// run alone.
+    pub speedup_estimate: f64,
+    /// Wall-clock of the `--bench-baseline` run, when one was supplied.
+    pub baseline_wall_seconds: Option<f64>,
+    /// Measured speedup vs the baseline run (`baseline wall / this wall`).
+    pub speedup_vs_baseline: Option<f64>,
+    /// Per-experiment timing and headline metrics.
+    pub experiments: Vec<BenchExperiment>,
+    /// Observability registries of every simulation, merged — includes
+    /// the heartbeat/schedule latency histograms (Table 8's continuous
+    /// counterpart).
+    pub obs: MetricsSnapshot,
+}
+
+/// One experiment's row in a [`BenchReport`].
+#[derive(Serialize, Deserialize)]
+pub struct BenchExperiment {
+    /// Experiment id.
+    pub id: String,
+    /// Wall-clock of this experiment alone.
+    pub seconds: f64,
+    /// The report's typed headline metrics.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+/// Assemble the benchmark record for a finished suite run. Pass the
+/// wall-clock measured around the whole run and, optionally, a prior
+/// emission to compute a measured speedup against.
+pub fn bench_report(
+    runs: &[ExpRun],
+    scale: Scale,
+    seed: u64,
+    jobs: usize,
+    wall_seconds: f64,
+    baseline: Option<&BenchReport>,
+) -> BenchReport {
+    let cpu_seconds: f64 = runs.iter().map(|r| r.seconds).sum();
+    let mut merged = MetricsRegistry::new();
+    for r in runs {
+        merged.merge(&r.metrics);
+    }
+    let baseline_wall = baseline.map(|b| b.wall_seconds);
+    BenchReport {
+        schema: BENCH_SCHEMA.to_string(),
+        command: runs.iter().map(|r| r.id.to_string()).collect(),
+        scale: scale.label().to_string(),
+        seed,
+        jobs,
+        wall_seconds,
+        cpu_seconds,
+        speedup_estimate: cpu_seconds / wall_seconds.max(1e-9),
+        baseline_wall_seconds: baseline_wall,
+        speedup_vs_baseline: baseline_wall.map(|b| b / wall_seconds.max(1e-9)),
+        experiments: runs
+            .iter()
+            .map(|r| BenchExperiment {
+                id: r.id.to_string(),
+                seconds: r.seconds,
+                metrics: r
+                    .report
+                    .metrics
+                    .iter()
+                    .map(|(k, v)| ((*k).to_string(), *v))
+                    .collect(),
+            })
+            .collect(),
+        obs: merged.snapshot(),
+    }
+}
+
+/// Read a previously written benchmark emission (the `--bench-baseline`
+/// input). Rejects files with a different schema tag.
+pub fn read_bench(path: &str) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let b: BenchReport =
+        serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    if b.schema != BENCH_SCHEMA {
+        return Err(format!(
+            "{path}: schema '{}' is not '{BENCH_SCHEMA}'",
+            b.schema
+        ));
+    }
+    Ok(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments;
+
+    #[test]
+    fn pool_map_preserves_order_and_streams_in_order() {
+        // Items deliberately finish out of order (larger index = shorter
+        // sleep); the callback must still see 0,1,2,...
+        let items: Vec<u64> = (0..12).collect();
+        let mut seen = Vec::new();
+        let out = pool_map(
+            items,
+            4,
+            |x, _| {
+                std::thread::sleep(std::time::Duration::from_millis(12 - x));
+                x * 10
+            },
+            |idx, r| seen.push((idx, *r)),
+        );
+        assert_eq!(out, (0..12).map(|x| x * 10).collect::<Vec<_>>());
+        assert_eq!(
+            seen,
+            (0..12).map(|x| (x as usize, x * 10)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn priority_controls_start_order_not_output_order() {
+        // One worker executes strictly in queue order, which makes the
+        // start order observable; results must still come back 1,2,3.
+        let started = Mutex::new(Vec::new());
+        let out = pool_map_prioritized(
+            vec![1u64, 2, 3],
+            1,
+            |x| *x,
+            |x, _| {
+                started.lock().unwrap().push(x);
+                x
+            },
+            |_, _| {},
+        );
+        assert_eq!(out, vec![1, 2, 3]);
+        assert_eq!(*started.lock().unwrap(), vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn pool_map_jobs_one_equals_many() {
+        let f = |x: u64, _| x * x + 1;
+        let a = pool_map((0..40).collect(), 1, f, |_, _| {});
+        let b = pool_map((0..40).collect(), 8, f, |_, _| {});
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pool_map_empty_and_oversubscribed() {
+        let empty: Vec<u64> = Vec::new();
+        assert!(pool_map(empty, 4, |x, _| x, |_, _| {}).is_empty());
+        // More workers than items: clamped, still correct.
+        assert_eq!(pool_map(vec![7u64], 16, |x, _| x, |_, _| {}), vec![7]);
+    }
+
+    #[test]
+    fn sweep_aggregation_computes_percentiles() {
+        let runs: Vec<SeedRun> = (1..=5)
+            .map(|seed| SeedRun {
+                seed,
+                report: Report::new(String::new()).metric("gain", seed as f64),
+                seconds: 0.0,
+            })
+            .collect();
+        let table = aggregate_sweep(&runs);
+        assert!(table.contains("gain"), "{table}");
+        assert!(table.contains("3.000"), "median of 1..5 is 3: {table}");
+    }
+
+    #[test]
+    fn bench_report_round_trips_through_json() {
+        let runs = run_experiments(
+            vec![experiments::find("table2").unwrap()],
+            Scale::Laptop,
+            42,
+            2,
+            |_| {},
+        );
+        let b = bench_report(&runs, Scale::Laptop, 42, 2, 1.0, None);
+        assert_eq!(b.command, vec!["table2"]);
+        assert!(b.cpu_seconds > 0.0);
+        assert!(b.speedup_vs_baseline.is_none());
+
+        let json = serde_json::to_string_pretty(&b).unwrap();
+        let dir = std::env::temp_dir().join(format!("tetris-bench-{}.json", std::process::id()));
+        std::fs::write(&dir, &json).unwrap();
+        let back = read_bench(dir.to_str().unwrap()).unwrap();
+        assert_eq!(back.schema, BENCH_SCHEMA);
+        assert_eq!(back.experiments.len(), 1);
+        assert_eq!(back.experiments[0].id, "table2");
+        std::fs::remove_file(&dir).ok();
+
+        // A second run benchmarked against the first reports a measured
+        // speedup of baseline_wall / wall.
+        let b2 = bench_report(&runs, Scale::Laptop, 42, 4, 0.5, Some(&back));
+        assert_eq!(b2.baseline_wall_seconds, Some(1.0));
+        assert!((b2.speedup_vs_baseline.unwrap() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn read_bench_rejects_wrong_schema() {
+        let dir =
+            std::env::temp_dir().join(format!("tetris-badschema-{}.json", std::process::id()));
+        std::fs::write(&dir, "{\"schema\":\"nope\"}").unwrap();
+        assert!(read_bench(dir.to_str().unwrap()).is_err());
+        std::fs::remove_file(&dir).ok();
+    }
+}

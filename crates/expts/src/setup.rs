@@ -1,26 +1,25 @@
 //! Shared experiment setup: clusters, workloads, scheduler construction.
+//!
+//! Seeding is explicit everywhere: the master seed lives in
+//! [`RunCtx`](crate::RunCtx) and flows into workload generation and
+//! scheduler construction as plain data. (It used to arrive through a
+//! process-wide environment variable — global mutable state that made
+//! concurrent runs unsound; that channel is gone.)
 
 use tetris_baselines::{
     CapacityScheduler, DrfScheduler, FairScheduler, RandomScheduler, SrtfScheduler,
 };
 use tetris_core::{TetrisConfig, TetrisScheduler};
+use tetris_obs::Obs;
 use tetris_resources::MachineSpec;
 use tetris_sim::{ClusterConfig, SchedulerPolicy, SimConfig, SimOutcome, Simulation};
 use tetris_workload::{FacebookTraceConfig, Workload, WorkloadSuiteConfig};
 
+use crate::RunCtx;
+
 /// Default master seed shared by all experiments (workload generation
 /// offsets it per use so experiments are independent but reproducible).
 pub const DEFAULT_SEED: u64 = 42;
-
-/// The master seed: `DEFAULT_SEED` unless overridden via the `TETRIS_SEED`
-/// environment variable (set by `reproduce --seed N`) — rerunning the
-/// battery under a few seeds is the cheapest robustness check.
-pub fn seed() -> u64 {
-    std::env::var("TETRIS_SEED")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(DEFAULT_SEED)
-}
 
 /// Experiment scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,12 +48,8 @@ impl Scale {
         ClusterConfig::uniform(n, MachineSpec::paper_large())
     }
 
-    /// The §5.1 deployment workload suite at this scale.
-    pub fn suite(self) -> Workload {
-        self.suite_seeded(seed())
-    }
-
-    /// The suite with an explicit seed (multi-seed sweeps).
+    /// The §5.1 deployment workload suite at this scale with an explicit
+    /// seed.
     pub fn suite_seeded(self, seed: u64) -> Workload {
         match self {
             Scale::Laptop => WorkloadSuiteConfig::scaled(50, 0.08).generate(seed),
@@ -62,12 +57,7 @@ impl Scale {
         }
     }
 
-    /// The Facebook-like trace at this scale (simulation experiments).
-    pub fn facebook(self) -> Workload {
-        self.facebook_seeded(seed() + 1)
-    }
-
-    /// The trace with an explicit seed (multi-seed sweeps).
+    /// The Facebook-like trace at this scale with an explicit seed.
     pub fn facebook_seeded(self, seed: u64) -> Workload {
         let cfg = match self {
             Scale::Laptop => FacebookTraceConfig {
@@ -86,22 +76,12 @@ impl Scale {
         cfg.generate(seed)
     }
 
-    /// Seeds used by multi-seed sweep experiments (tail-dominated metrics
-    /// like zero-arrival makespan are noisy on a single workload draw).
-    pub fn sweep_seeds(self) -> Vec<u64> {
-        vec![seed() + 1, seed() + 11, seed() + 21]
-    }
-
-    /// Default simulator configuration for experiments.
-    pub fn sim_config(self) -> SimConfig {
-        let mut cfg = SimConfig::default();
-        cfg.seed = seed();
-        if self == Scale::Full {
-            // Keep memory bounded on quarter-million-task runs.
-            cfg.record_machine_samples = false;
-            cfg.sample_period = Some(20.0);
+    /// Short label ("laptop" / "full"), used in benchmark emissions.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scale::Laptop => "laptop",
+            Scale::Full => "full",
         }
-        cfg
     }
 }
 
@@ -127,8 +107,10 @@ pub enum SchedName {
 }
 
 impl SchedName {
-    /// Construct the policy.
-    pub fn build(self) -> Box<dyn SchedulerPolicy> {
+    /// Construct the policy. `seed` feeds the stochastic schedulers
+    /// (currently only [`SchedName::Random`]); deterministic policies
+    /// ignore it.
+    pub fn build(self, seed: u64) -> Box<dyn SchedulerPolicy> {
         match self {
             SchedName::Tetris => Box::new(TetrisScheduler::new(TetrisConfig::default())),
             SchedName::Fair => Box::new(FairScheduler::new()),
@@ -141,7 +123,7 @@ impl SchedName {
                 cfg.consider_io_dims = false;
                 Box::new(TetrisScheduler::new(cfg))
             }
-            SchedName::Random => Box::new(RandomScheduler::seeded(seed())),
+            SchedName::Random => Box::new(RandomScheduler::seeded(seed)),
         }
     }
 
@@ -160,30 +142,48 @@ impl SchedName {
     }
 }
 
+/// Run a fully-built simulation with the context's observability attached
+/// (noop recorder: metrics accumulate, no event stream) and fold the
+/// run's metrics into the context. Observability never perturbs outcomes
+/// (enforced by an integration test in `tetris-sim`), so results are
+/// byte-identical to an unobserved run.
+pub fn run_observed(ctx: &RunCtx, sim: Simulation<'_>) -> SimOutcome {
+    let mut obs = Obs::noop();
+    let outcome = sim.observe(&mut obs).run();
+    ctx.absorb(&obs.metrics);
+    outcome
+}
+
 /// Run one `(cluster, workload, scheduler)` combination.
 pub fn run(
+    ctx: &RunCtx,
     cluster: &ClusterConfig,
     workload: &Workload,
     sched: SchedName,
     cfg: &SimConfig,
 ) -> SimOutcome {
-    Simulation::build(cluster.clone(), workload.clone())
-        .scheduler_boxed(sched.build())
-        .config(cfg.clone())
-        .run()
+    run_observed(
+        ctx,
+        Simulation::build(cluster.clone(), workload.clone())
+            .scheduler_boxed(sched.build(cfg.seed))
+            .config(cfg.clone()),
+    )
 }
 
 /// Run a custom Tetris configuration.
 pub fn run_tetris(
+    ctx: &RunCtx,
     cluster: &ClusterConfig,
     workload: &Workload,
     tetris: TetrisConfig,
     cfg: &SimConfig,
 ) -> SimOutcome {
-    Simulation::build(cluster.clone(), workload.clone())
-        .scheduler(TetrisScheduler::new(tetris))
-        .config(cfg.clone())
-        .run()
+    run_observed(
+        ctx,
+        Simulation::build(cluster.clone(), workload.clone())
+            .scheduler(TetrisScheduler::new(tetris))
+            .config(cfg.clone()),
+    )
 }
 
 /// Zero all arrivals (the paper's makespan measurements assume "all jobs
@@ -201,12 +201,12 @@ mod tests {
 
     #[test]
     fn laptop_setup_is_consistent() {
-        let s = Scale::Laptop;
-        assert_eq!(s.cluster().len(), 20);
-        let w = s.suite();
+        let ctx = RunCtx::default();
+        assert_eq!(ctx.cluster().len(), 20);
+        let w = ctx.suite();
         assert!(w.validate().is_ok());
         assert_eq!(w.jobs.len(), 50);
-        let fb = s.facebook();
+        let fb = ctx.facebook();
         assert!(fb.validate().is_ok());
     }
 
@@ -231,7 +231,7 @@ mod tests {
             SchedName::TetrisCpuMemOnly,
             SchedName::Random,
         ] {
-            let p = s.build();
+            let p = s.build(DEFAULT_SEED);
             assert!(!p.name().is_empty());
             assert!(!s.label().is_empty());
         }
@@ -239,7 +239,19 @@ mod tests {
 
     #[test]
     fn zero_arrivals() {
-        let w = with_zero_arrivals(Scale::Laptop.suite());
+        let w = with_zero_arrivals(RunCtx::default().suite());
         assert!(w.jobs.iter().all(|j| j.arrival == 0.0));
+    }
+
+    #[test]
+    fn runs_feed_metrics_into_the_context() {
+        let ctx = RunCtx::default();
+        let cluster = ctx.cluster();
+        let w = ctx.suite();
+        let cfg = ctx.sim_config();
+        let _ = run(&ctx, &cluster, &w, SchedName::Tetris, &cfg);
+        let m = ctx.take_metrics();
+        assert!(m.counter(tetris_obs::names::PLACEMENTS) > 0);
+        assert!(m.histogram(tetris_obs::names::HEARTBEAT_NS).is_some());
     }
 }

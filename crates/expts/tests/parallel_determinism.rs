@@ -1,0 +1,78 @@
+//! The parallel runner's core contract: `--jobs N` produces byte-identical
+//! reports to `--jobs 1` for the same (scale, seed). Exercised on the
+//! cheap end of the registry so the test stays fast; the property holds
+//! registry-wide because every experiment is a pure `fn(&RunCtx) -> Report`
+//! and the pool only reorders execution, never inputs.
+
+use tetris_expts::experiments;
+use tetris_expts::runner::run_experiments;
+use tetris_expts::Scale;
+
+const SUBSET: [&str; 4] = ["fig1", "table2", "fig2", "table3"];
+
+fn subset() -> Vec<experiments::Experiment> {
+    SUBSET
+        .iter()
+        .map(|id| experiments::find(id).unwrap())
+        .collect()
+}
+
+#[test]
+fn parallel_reports_are_byte_identical_to_serial() {
+    let serial = run_experiments(subset(), Scale::Laptop, 42, 1, |_| {});
+    for jobs in [4, 8] {
+        let par = run_experiments(subset(), Scale::Laptop, 42, jobs, |_| {});
+        assert_eq!(serial.len(), par.len());
+        for (s, p) in serial.iter().zip(&par) {
+            assert_eq!(s.id, p.id, "jobs={jobs} reordered results");
+            assert_eq!(
+                s.report.text, p.report.text,
+                "jobs={jobs} changed [{}]'s report text",
+                s.id
+            );
+            assert_eq!(
+                s.report.metrics, p.report.metrics,
+                "jobs={jobs} changed [{}]'s metrics",
+                s.id
+            );
+        }
+    }
+}
+
+#[test]
+fn streaming_callback_fires_in_registry_order() {
+    let mut order = Vec::new();
+    run_experiments(subset(), Scale::Laptop, 42, 4, |r| order.push(r.id));
+    assert_eq!(order, SUBSET);
+}
+
+#[test]
+fn observability_metrics_are_deterministic_too() {
+    // The per-experiment merged registries feed --bench. Counters and
+    // histogram *counts* (how many heartbeats/schedule calls happened)
+    // must be independent of the worker count; the recorded latencies
+    // themselves are wall-clock and legitimately vary run to run.
+    let serial = run_experiments(subset(), Scale::Laptop, 42, 1, |_| {});
+    let par = run_experiments(subset(), Scale::Laptop, 42, 8, |_| {});
+    for (s, p) in serial.iter().zip(&par) {
+        let (ss, ps) = (s.metrics.snapshot(), p.metrics.snapshot());
+        assert_eq!(
+            ss.counters, ps.counters,
+            "[{}] counters diverged under parallelism",
+            s.id
+        );
+        assert_eq!(
+            ss.histograms.keys().collect::<Vec<_>>(),
+            ps.histograms.keys().collect::<Vec<_>>(),
+            "[{}] histogram set diverged",
+            s.id
+        );
+        for (name, h) in &ss.histograms {
+            assert_eq!(
+                h.count, ps.histograms[name].count,
+                "[{}] {name} observation count diverged",
+                s.id
+            );
+        }
+    }
+}

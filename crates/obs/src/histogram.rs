@@ -115,6 +115,21 @@ impl Histogram {
         Some(self.max)
     }
 
+    /// Fold another histogram into this one. Buckets add element-wise
+    /// (both sides share the fixed power-of-two layout), and the exact
+    /// `count`/`sum`/`min`/`max` side-channels combine losslessly — so
+    /// merging per-worker histograms from a parallel run yields the same
+    /// quantiles the serial run would have reported.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Snapshot for serialization.
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
@@ -246,6 +261,38 @@ mod tests {
         h.record(5); // bucket [4, 8) → upper edge 7, clamped to 5
         h.record(5);
         assert_eq!(h.quantile(0.5), Some(5));
+    }
+
+    #[test]
+    fn merge_matches_recording_into_one() {
+        let xs = [0u64, 1, 5, 100, 1023, 1_000_000];
+        let ys = [3u64, 100, 77_777, u64::MAX];
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for &v in &xs {
+            a.record(v);
+            both.record(v);
+        }
+        for &v in &ys {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.snapshot(), both.snapshot());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Histogram::new();
+        a.record(42);
+        let before = a.snapshot();
+        a.merge(&Histogram::new());
+        assert_eq!(a.snapshot(), before);
+
+        let mut empty = Histogram::new();
+        empty.merge(&a);
+        assert_eq!(empty.snapshot(), before);
     }
 
     #[test]

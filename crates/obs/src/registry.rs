@@ -4,7 +4,9 @@
 //! Keys are `&'static str` (see [`crate::names`]) so lookup never
 //! allocates and typos surface as obviously-dead snapshot entries. The
 //! registry is deliberately not thread-safe: the simulator is
-//! single-threaded and an `Obs` is threaded by `&mut`.
+//! single-threaded and an `Obs` is threaded by `&mut`. Parallel harnesses
+//! give each worker its own registry and fold them together afterwards
+//! with [`MetricsRegistry::merge`].
 
 use std::collections::BTreeMap;
 
@@ -63,6 +65,23 @@ impl MetricsRegistry {
         self.histograms.get(name)
     }
 
+    /// Fold `other` into this registry: counters add, histograms merge
+    /// bucket-wise (see [`Histogram::merge`]), and gauges take `other`'s
+    /// value when it has one (last-write-wins, matching single-registry
+    /// semantics). This is how per-worker registries from a parallel run
+    /// combine into one suite-wide snapshot.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (&k, &v) in &other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        for (&k, &v) in &other.gauges {
+            self.gauges.insert(k, v);
+        }
+        for (&k, h) in &other.histograms {
+            self.histograms.entry(k).or_default().merge(h);
+        }
+    }
+
     /// Serializable snapshot of everything recorded so far.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -116,6 +135,53 @@ mod tests {
         m.gauge_set("g", 1.0);
         m.gauge_set("g", 0.25);
         assert_eq!(m.gauge("g"), Some(0.25));
+    }
+
+    #[test]
+    fn merge_combines_counters_gauges_and_histograms() {
+        let mut a = MetricsRegistry::new();
+        a.counter_add("placements", 10);
+        a.counter_add("only_a", 1);
+        a.gauge_set("pending_tasks", 3.0);
+        a.observe("heartbeat_ns", 100);
+
+        let mut b = MetricsRegistry::new();
+        b.counter_add("placements", 5);
+        b.counter_add("only_b", 2);
+        b.gauge_set("pending_tasks", 9.0);
+        b.observe("heartbeat_ns", 1_000_000);
+        b.observe("schedule_ns", 50);
+
+        a.merge(&b);
+        assert_eq!(a.counter("placements"), 15);
+        assert_eq!(a.counter("only_a"), 1);
+        assert_eq!(a.counter("only_b"), 2);
+        assert_eq!(a.gauge("pending_tasks"), Some(9.0));
+        let h = a.histogram("heartbeat_ns").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), Some(100));
+        assert_eq!(h.max(), Some(1_000_000));
+        assert_eq!(a.histogram("schedule_ns").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn merged_registries_match_one_shared_registry() {
+        // The determinism argument for the parallel runner: k workers
+        // each recording into their own registry, merged, must equal one
+        // registry that saw every sample.
+        let mut combined = MetricsRegistry::new();
+        let mut workers = vec![MetricsRegistry::new(), MetricsRegistry::new()];
+        for (i, v) in [10u64, 20, 30, 40, 50].iter().enumerate() {
+            workers[i % 2].observe("heartbeat_ns", *v);
+            workers[i % 2].counter_inc("engine_events");
+            combined.observe("heartbeat_ns", *v);
+            combined.counter_inc("engine_events");
+        }
+        let mut merged = MetricsRegistry::new();
+        for w in &workers {
+            merged.merge(w);
+        }
+        assert_eq!(merged.snapshot(), combined.snapshot());
     }
 
     #[test]

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Benchmark the reproduce suite: run it serially, then at --jobs N, and
+# emit BENCH_reproduce.json with per-experiment wall-clock, the merged
+# heartbeat-latency histograms, and the measured parallel speedup.
+#
+# usage: scripts/bench.sh [JOBS] [extra reproduce args...]
+#   JOBS defaults to the machine's core count.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc)}"
+shift || true
+
+echo "== building (release) =="
+cargo build --release -p tetris-expts
+BIN=target/release/reproduce
+
+BASELINE=$(mktemp /tmp/bench_serial.XXXXXX.json)
+trap 'rm -f "$BASELINE"' EXIT
+
+echo "== reproduce all --jobs 1 (serial baseline) =="
+"$BIN" all --jobs 1 --bench "$BASELINE" "$@" >/dev/null
+
+echo "== reproduce all --jobs $JOBS =="
+"$BIN" all --jobs "$JOBS" --bench BENCH_reproduce.json \
+    --bench-baseline "$BASELINE" "$@" | tail -n 3
+
+echo "wrote BENCH_reproduce.json"

@@ -12,4 +12,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test --workspace -q
 
+echo "== reproduce smoke (parallel runner) =="
+cargo build --release -p tetris-expts -q
+target/release/reproduce fig1 table2 --jobs 2 >/dev/null
+target/release/reproduce sweep table2 --seeds 1..2 --jobs 2 >/dev/null
+
 echo "all checks passed"
