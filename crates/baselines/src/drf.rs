@@ -89,11 +89,10 @@ impl SchedulerPolicy for DrfScheduler {
 
         let mut jobs: Vec<JobQueue<'_>> = view
             .active_jobs()
-            .into_iter()
             .map(|j| JobQueue {
                 id: j,
                 alloc: view.job_allocated(j),
-                stages: view.job_pending_stages(j),
+                stages: view.job_pending_stages(j).collect(),
                 stage_pos: 0,
                 off: 0,
                 stuck: false,
@@ -101,6 +100,7 @@ impl SchedulerPolicy for DrfScheduler {
             .filter(|j| j.head().is_some())
             .collect();
 
+        let mut preferred = Vec::new();
         let mut out = Vec::new();
         loop {
             // Progressive filling: job with the minimum dominant share.
@@ -127,7 +127,7 @@ impl SchedulerPolicy for DrfScheduler {
             // machine with the most available memory (YARN's continuous
             // scheduling balances load rather than packing) — checking
             // ONLY `self.dims`.
-            let preferred = view.preferred_machines(task);
+            view.preferred_machines_into(task, &mut preferred);
             let fits = |avail: &ResourceVec| demand.fits_within(&avail.project(&self.dims));
             let target = preferred
                 .iter()

@@ -30,11 +30,9 @@ impl SchedulerPolicy for RandomScheduler {
     fn schedule(&mut self, view: &ClusterView<'_>) -> Vec<Assignment> {
         let mut tasks: Vec<_> = view
             .active_jobs()
-            .into_iter()
             .flat_map(|j| {
                 view.job_pending_stages(j)
-                    .into_iter()
-                    .flat_map(|(_, slice)| slice.to_vec())
+                    .flat_map(|(_, slice)| slice.iter().copied())
             })
             .collect();
         // Fisher–Yates with the policy's own rng.

@@ -103,18 +103,18 @@ impl SlotScheduler {
         }
         let mut jobs: Vec<JobQ<'_>> = view
             .active_jobs()
-            .into_iter()
             .map(|j| JobQ {
                 id: j,
                 running: view.job_running(j),
                 arrival: view.job_arrival(j),
-                stages: view.job_pending_stages(j),
+                stages: view.job_pending_stages(j).collect(),
                 stage_pos: 0,
                 off: 0,
             })
             .filter(|q| q.head().is_some())
             .collect();
 
+        let mut preferred = Vec::new();
         let mut out = Vec::new();
         loop {
             // Pick the next job per policy.
@@ -144,7 +144,7 @@ impl SlotScheduler {
             // Place: prefer a machine holding the task's input, else the
             // machine with the most free slots (simple spread), checking
             // ONLY slot availability.
-            let preferred = view.preferred_machines(task);
+            view.preferred_machines_into(task, &mut preferred);
             let target = preferred
                 .iter()
                 .copied()

@@ -7,19 +7,61 @@
 //! decomposes its gains ("Using only the SRTF heuristic lowers the
 //! improvement...").
 
-use tetris_resources::ResourceVec;
-use tetris_sim::{Assignment, ClusterView, SchedulerPolicy};
+use tetris_resources::{Resource, ResourceVec};
+use tetris_sim::{Assignment, ClusterView, MachineId, SchedulerPolicy};
+use tetris_workload::JobId;
 
 /// SRTF-only scheduler.
+///
+/// The schedule pass walks every pending task; at saturation that is
+/// thousands of tasks per event, so the pass prefilters each task on the
+/// placement-*independent* demand dimensions (Cpu, Mem, DiskWrite — a
+/// placement plan's local demand equals the spec on exactly these) before
+/// paying for any per-machine placement plan. The prefilter only rejects
+/// tasks/machines the full feasibility check would also reject, so
+/// decisions are identical to the exhaustive pass (proven by
+/// `tests/schedule_equivalence.rs`).
 #[derive(Debug, Clone, Default)]
 pub struct SrtfScheduler {
-    _private: (),
+    /// Skip the prefilter and buffer reuse: the from-scratch reference
+    /// that the equivalence test compares against.
+    exhaustive: bool,
+    scratch: Scratch,
+}
+
+/// Buffers reused across `schedule()` calls (cleared, never shrunk).
+#[derive(Debug, Clone, Default)]
+struct Scratch {
+    jobs: Vec<(JobId, f64)>,
+    avail: Vec<ResourceVec>,
+    preferred: Vec<MachineId>,
+}
+
+/// The demand components a placement plan cannot change: Cpu, Mem and
+/// DiskWrite are taken verbatim from the spec regardless of machine, while
+/// DiskRead/NetIn/NetOut depend on where the inputs live (zeroed here, so
+/// the result is component-wise `<=` any machine's plan-local demand).
+fn placement_independent(demand: &ResourceVec) -> ResourceVec {
+    ResourceVec::zero()
+        .with(Resource::Cpu, demand.get(Resource::Cpu))
+        .with(Resource::Mem, demand.get(Resource::Mem))
+        .with(Resource::DiskWrite, demand.get(Resource::DiskWrite))
 }
 
 impl SrtfScheduler {
     /// New instance.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// From-scratch reference pass: no prefilter, no scratch reuse. Slower
+    /// but structurally identical to the original algorithm; exists so the
+    /// equivalence test can prove the optimized pass decision-identical.
+    pub fn exhaustive() -> Self {
+        SrtfScheduler {
+            exhaustive: true,
+            ..Self::default()
+        }
     }
 }
 
@@ -35,31 +77,60 @@ impl SchedulerPolicy for SrtfScheduler {
     fn schedule(&mut self, view: &ClusterView<'_>) -> Vec<Assignment> {
         let n = view.num_machines().max(1);
         let reference = view.total_capacity() / n as f64;
-        let mut jobs: Vec<_> = view
-            .active_jobs()
-            .into_iter()
-            .map(|j| {
-                (
-                    j,
-                    tetris_core::srtf::job_remaining_work(view, j, &reference),
-                )
-            })
-            .collect();
+        let exhaustive = self.exhaustive;
+        let Scratch {
+            jobs,
+            avail,
+            preferred,
+        } = &mut self.scratch;
+
+        jobs.clear();
+        jobs.extend(view.active_jobs().map(|j| {
+            (
+                j,
+                tetris_core::srtf::job_remaining_work(view, j, &reference),
+            )
+        }));
         jobs.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
 
-        let mut avail: Vec<ResourceVec> = view.machines().map(|m| view.available(m)).collect();
+        avail.clear();
+        avail.extend(view.machines().map(|m| view.available(m)));
+
+        // Upper envelope of availability on the placement-independent
+        // dims (∞ elsewhere so those always pass). Availability only
+        // shrinks during the pass, so the envelope stays an upper bound:
+        // a task that fails it fails the full check on every machine.
+        let mut env = ResourceVec::zero()
+            .with(Resource::Cpu, f64::NEG_INFINITY)
+            .with(Resource::Mem, f64::NEG_INFINITY)
+            .with(Resource::DiskWrite, f64::NEG_INFINITY)
+            .with(Resource::DiskRead, f64::INFINITY)
+            .with(Resource::NetIn, f64::INFINITY)
+            .with(Resource::NetOut, f64::INFINITY);
+        for a in avail.iter() {
+            env = env.max(a);
+        }
+
         let mut out = Vec::new();
-        for (j, _) in jobs {
+        for &(j, _) in jobs.iter() {
             for t in view
                 .job_pending_stages(j)
-                .into_iter()
                 .flat_map(|(_, slice)| slice.iter().copied())
             {
+                let quick = placement_independent(&view.task(t).demand);
+                if !exhaustive && !quick.fits_within(&env) {
+                    continue; // provably unplaceable on every machine
+                }
                 // Prefer data-local placements, else first machine where
                 // the full plan (local + remote) fits.
-                let preferred = view.preferred_machines(t);
+                view.preferred_machines_into(t, preferred);
                 let candidates = preferred.iter().copied().chain(view.machines());
                 for m in candidates {
+                    // Cheap exact reject before computing the plan: the
+                    // plan's local demand is >= `quick` component-wise.
+                    if !exhaustive && !quick.fits_within(&avail[m.index()]) {
+                        continue;
+                    }
                     let plan = view.plan(t, m);
                     let fits = plan.local.fits_within(&avail[m.index()])
                         && plan

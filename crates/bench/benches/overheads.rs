@@ -11,7 +11,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tetris_baselines::{CapacityScheduler, DrfScheduler, FairScheduler};
 use tetris_bench::{bench_cluster, pending_workload};
 use tetris_core::{TetrisConfig, TetrisScheduler};
-use tetris_sim::probe::ScheduleProbe;
+use tetris_sim::probe::{RecomputeProbe, ScheduleProbe};
 use tetris_sim::{SchedulerPolicy, SimConfig};
 
 fn bench_overheads(c: &mut Criterion) {
@@ -50,5 +50,32 @@ fn bench_overheads(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_overheads);
+/// Incremental rate recomputation: a full-cluster link invalidation (the
+/// worst case `recompute_dirty` sees — every live link dirty at once)
+/// at several flow-table sizes. The per-event hot path this exercises is
+/// gather + generation-stamp dedup + one `flow_rate` evaluation per
+/// affected flow.
+fn bench_recompute_dirty(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recompute_dirty");
+    group.sample_size(10);
+
+    for &pending in &[2_000usize, 10_000, 50_000] {
+        let mut policy = TetrisScheduler::new(TetrisConfig::default());
+        let mut probe = RecomputeProbe::new(
+            bench_cluster(100),
+            pending_workload(pending),
+            SimConfig::default(),
+            &mut policy,
+        );
+        let flows = probe.flows();
+        group.bench_with_input(
+            BenchmarkId::new("full_invalidation", format!("{flows}_flows")),
+            &flows,
+            |b, _| b.iter(|| probe.measure()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_overheads, bench_recompute_dirty);
 criterion_main!(benches);

@@ -93,15 +93,27 @@ impl DemandEstimator {
         if self.mode_learned.is_none() {
             return;
         }
-        let current: BTreeSet<String> = view
+        let mut current: Vec<&str> = view
             .active_jobs()
-            .into_iter()
             .filter_map(|j| view.job_family(j))
             .collect();
-        for fam in self.active_families.difference(&current) {
-            self.known_families.insert(fam.clone());
+        current.sort_unstable();
+        current.dedup();
+        // Families that left the active set completed a run: now known.
+        // Strings are only cloned when membership actually changes.
+        let known = &mut self.known_families;
+        self.active_families.retain(|fam| {
+            let still_active = current.binary_search(&fam.as_str()).is_ok();
+            if !still_active {
+                known.insert(fam.clone());
+            }
+            still_active
+        });
+        for fam in current {
+            if !self.active_families.contains(fam) {
+                self.active_families.insert(fam.to_string());
+            }
         }
-        self.active_families = current;
     }
 
     /// Estimated peak demand of a task.

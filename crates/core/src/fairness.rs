@@ -49,13 +49,21 @@ pub fn job_share(
 /// `f = 0` → every job is eligible (pure packing); `f → 1` → only the
 /// most-starved job is eligible (strict fairness).
 pub fn eligible_jobs(mut shares: Vec<(JobId, f64)>, fairness_knob: f64) -> Vec<JobId> {
+    eligible_jobs_in_place(&mut shares, fairness_knob);
+    shares.into_iter().map(|(j, _)| j).collect()
+}
+
+/// As [`eligible_jobs`], sorting and truncating the caller's vector in
+/// place (the eligible jobs remain as its prefix) — the allocation-free
+/// form used on the per-event hot path.
+pub fn eligible_jobs_in_place(shares: &mut Vec<(JobId, f64)>, fairness_knob: f64) {
     assert!(
         (0.0..=1.0).contains(&fairness_knob),
         "fairness knob must be in [0,1]"
     );
     let n = shares.len();
     if n == 0 {
-        return Vec::new();
+        return;
     }
     shares.sort_by(|a, b| {
         a.1.partial_cmp(&b.1)
@@ -64,7 +72,6 @@ pub fn eligible_jobs(mut shares: Vec<(JobId, f64)>, fairness_knob: f64) -> Vec<J
     });
     let k = (((1.0 - fairness_knob) * n as f64).ceil() as usize).clamp(1, n);
     shares.truncate(k);
-    shares.into_iter().map(|(j, _)| j).collect()
 }
 
 #[cfg(test)]

@@ -2,17 +2,17 @@
 //! scores, multi-resource SRTF, the fairness knob and the barrier knob,
 //! combined into one `SchedulerPolicy`.
 
-use std::collections::BTreeSet;
-
 use tetris_resources::{Resource, ResourceVec};
-use tetris_sim::{Assignment, ClusterView, DecisionScores, MachineId, SchedulerPolicy};
+use tetris_sim::{
+    Assignment, ClusterView, DecisionScores, MachineId, SchedulerPolicy, StageProgress,
+};
 use tetris_workload::{JobId, TaskUid};
 
 use crate::align::AlignmentKind;
 use crate::barrier::stage_promoted;
 use crate::estimate::{DemandEstimator, EstimationMode};
-use crate::fairness::{eligible_jobs, job_share, FairnessMeasure};
-use crate::srtf::{job_remaining_work_with, ranks, CombinedScorer};
+use crate::fairness::{eligible_jobs_in_place, job_share, FairnessMeasure};
+use crate::srtf::{job_remaining_work_with, ranks_into, CombinedScorer};
 
 /// Configuration of the Tetris scheduler. Defaults follow the paper's
 /// recommended operating point.
@@ -136,17 +136,19 @@ struct Candidate {
     p: f64,
     /// Estimated demand (shared by the stage's tasks).
     demand: ResourceVec,
-    /// Machines holding replicas of the head task's stored inputs.
-    preferred: Vec<MachineId>,
+    /// Range into the scratch preference arena: machines holding replicas
+    /// of the head task's stored inputs.
+    pref: (usize, usize),
     /// True if the task reads shuffle output (treated as remote-heavy).
     shuffle: bool,
     /// Cursor into the stage's pending slice (stable within one
     /// `schedule()` call — the engine applies assignments afterwards).
     next: usize,
-    /// Per capacity-class normalized demand: `norms[class]` = (normalized
-    /// demand, normalized demand with NetIn dropped). Filled once per
-    /// `schedule()` call.
-    norms: Vec<(ResourceVec, ResourceVec)>,
+    /// Start of this candidate's per-class row in the scratch norm arena:
+    /// `norms_arena[norms_start + class]` = (normalized demand, normalized
+    /// demand with NetIn dropped). Filled once per `schedule()` call for
+    /// live candidates only.
+    norms_start: usize,
     /// Cached "has a head task" flag, maintained as `next` advances.
     alive: bool,
 }
@@ -157,6 +159,84 @@ impl Candidate {
         view.stage_pending_slice(self.job, self.stage)
             .get(self.next)
             .copied()
+    }
+
+    /// Preference list via the scratch arena.
+    fn preferred<'s>(&self, arena: &'s [MachineId]) -> &'s [MachineId] {
+        &arena[self.pref.0..self.pref.0 + self.pref.1]
+    }
+}
+
+/// Buffers reused across `schedule()` calls (cleared, never shrunk): after
+/// the first few events the scheduler allocates nothing per event. Every
+/// structure is rebuilt from the view each call — reuse changes *where* the
+/// data lives, never *what* it contains, so decisions are byte-identical
+/// to the allocating pass (pinned by `tests/schedule_equivalence.rs`).
+#[derive(Default)]
+struct ScheduleScratch {
+    /// Active jobs with runnable work.
+    jobs: Vec<JobId>,
+    /// (job, share) pairs; sorted/truncated in place by the fairness knob.
+    shares: Vec<(JobId, f64)>,
+    /// Remaining-work score per eligible job.
+    p_scores: Vec<f64>,
+    /// Sort scratch + output buffer for remaining-work ranks.
+    rank_idx: Vec<usize>,
+    p_ranks: Vec<f64>,
+    /// Per-stage progress of the job currently being expanded.
+    progress: Vec<StageProgress>,
+    /// One candidate per (eligible job, pending stage).
+    cands: Vec<Candidate>,
+    /// Arena behind `Candidate::pref`.
+    preferred_arena: Vec<MachineId>,
+    /// Arena behind `Candidate::norms_start`.
+    norms_arena: Vec<(ResourceVec, ResourceVec)>,
+    /// Freed-machine hint, sorted + deduped (reproduces the former
+    /// `BTreeSet` iteration order).
+    hinted: Vec<MachineId>,
+    /// Machines considered this call.
+    machines: Vec<MachineId>,
+    /// Working availability ledger.
+    avail: Vec<ResourceVec>,
+    /// Indices of candidates that survived the envelope prefilter.
+    live: Vec<usize>,
+    /// (candidate, machine) pairs proven infeasible by the authoritative
+    /// plan this call.
+    banned: StampGrid,
+    /// Distinct machine capacities and each machine's class index.
+    classes: Vec<ResourceVec>,
+    class_of: Vec<usize>,
+}
+
+/// Generation-stamped membership grid: O(1) insert/query with no per-call
+/// clearing or allocation (bumping the generation invalidates every cell).
+#[derive(Default)]
+struct StampGrid {
+    stamps: Vec<u64>,
+    gen: u64,
+    stride: usize,
+    any: bool,
+}
+
+impl StampGrid {
+    /// Start a fresh (rows × cols) grid with all cells absent.
+    fn begin(&mut self, rows: usize, cols: usize) {
+        self.stride = cols;
+        let need = rows * cols;
+        if self.stamps.len() < need {
+            self.stamps.resize(need, 0);
+        }
+        self.gen += 1;
+        self.any = false;
+    }
+
+    fn insert(&mut self, row: usize, col: usize) {
+        self.stamps[row * self.stride + col] = self.gen;
+        self.any = true;
+    }
+
+    fn contains(&self, row: usize, col: usize) -> bool {
+        self.stamps[row * self.stride + col] == self.gen
     }
 }
 
@@ -183,6 +263,8 @@ pub struct TetrisScheduler {
     estimator: DemandEstimator,
     /// Machines currently reserved for a starved task (§3.5).
     reservations: Vec<(MachineId, TaskUid)>,
+    /// Reusable per-call buffers (see [`ScheduleScratch`]).
+    scratch: ScheduleScratch,
 }
 
 impl TetrisScheduler {
@@ -196,6 +278,7 @@ impl TetrisScheduler {
             scorer: CombinedScorer::new(cfg.srtf_multiplier),
             estimator: DemandEstimator::new(cfg.estimation),
             reservations: Vec::new(),
+            scratch: ScheduleScratch::default(),
             cfg,
         }
     }
@@ -210,13 +293,22 @@ impl TetrisScheduler {
         &self.cfg
     }
 
-    /// Project a vector to the dimensions this configuration considers.
-    fn visible(&self, v: &ResourceVec) -> ResourceVec {
-        if self.cfg.consider_io_dims {
-            *v
-        } else {
-            v.project(&[Resource::Cpu, Resource::Mem])
-        }
+    /// Drop every reusable scratch buffer, forcing the next `schedule()`
+    /// call to start from cold allocations — the reference behaviour the
+    /// equivalence suite compares warm-scratch runs against. Persistent
+    /// policy state (estimator, reservations) is untouched.
+    pub fn reset_scratch(&mut self) {
+        self.scratch = ScheduleScratch::default();
+    }
+}
+
+/// Project a vector to the dimensions the configuration considers (free
+/// function so the hot path can call it while scratch is borrowed).
+fn visible(consider_io_dims: bool, v: &ResourceVec) -> ResourceVec {
+    if consider_io_dims {
+        *v
+    } else {
+        v.project(&[Resource::Cpu, Resource::Mem])
     }
 }
 
@@ -241,17 +333,39 @@ impl SchedulerPolicy for TetrisScheduler {
     }
 
     fn schedule(&mut self, view: &ClusterView<'_>) -> Vec<Assignment> {
-        self.estimator.update(view);
+        let TetrisScheduler {
+            cfg,
+            scorer,
+            estimator,
+            reservations,
+            scratch,
+        } = self;
+        estimator.update(view);
         // Reservations for tasks that got placed/finished meanwhile lapse.
-        self.reservations.retain(|&(_, t)| view.is_runnable(t));
+        reservations.retain(|&(_, t)| view.is_runnable(t));
         // J = active jobs with runnable work: a job with nothing pending
         // cannot use an offer, so it neither receives one nor dilutes the
         // ⌈(1−f)|J|⌉ cutoff (§3.4).
-        let jobs: Vec<JobId> = view
-            .active_jobs()
-            .into_iter()
-            .filter(|&j| !view.job_pending_stages(j).is_empty())
-            .collect();
+        let ScheduleScratch {
+            jobs,
+            shares,
+            p_scores,
+            rank_idx,
+            p_ranks,
+            progress,
+            cands,
+            preferred_arena,
+            norms_arena,
+            hinted,
+            machines,
+            avail,
+            live,
+            banned,
+            classes,
+            class_of,
+        } = scratch;
+        jobs.clear();
+        jobs.extend(view.active_jobs().filter(|&j| view.job_has_pending(j)));
         if jobs.is_empty() {
             return Vec::new();
         }
@@ -263,48 +377,46 @@ impl SchedulerPolicy for TetrisScheduler {
         // Fairness knob: restrict to the jobs furthest from fair share.
         let total_slots: usize =
             jobs.iter().map(|&j| view.job_running(j)).sum::<usize>() + view.num_pending();
-        let shares: Vec<(JobId, f64)> = jobs
-            .iter()
-            .map(|&j| {
-                (
-                    j,
-                    job_share(
-                        self.cfg.fairness_measure,
-                        &view.job_allocated(j),
-                        view.job_running(j),
-                        &total_capacity,
-                        total_slots.max(1),
-                    ),
-                )
-            })
-            .collect();
-        let eligible = eligible_jobs(shares, self.cfg.fairness_knob);
+        shares.clear();
+        shares.extend(jobs.iter().map(|&j| {
+            (
+                j,
+                job_share(
+                    cfg.fairness_measure,
+                    &view.job_allocated(j),
+                    view.job_running(j),
+                    &total_capacity,
+                    total_slots.max(1),
+                ),
+            )
+        }));
+        eligible_jobs_in_place(shares, cfg.fairness_knob);
 
         // One pass per eligible job: fetch progress once, derive the SRTF
         // remaining-work score and the per-stage candidates from it.
-        let mut p_scores: Vec<f64> = Vec::with_capacity(eligible.len());
-        let mut cands: Vec<Candidate> = Vec::new();
-        for &j in &eligible {
+        p_scores.clear();
+        cands.clear();
+        preferred_arena.clear();
+        for &(j, _) in shares.iter() {
             let family = view.job_family(j);
-            let progress = view.stage_progress(j);
-            p_scores.push(job_remaining_work_with(view, j, &reference, &progress));
+            view.stage_progress_into(j, progress);
+            p_scores.push(job_remaining_work_with(view, j, &reference, progress));
             let p_slot = p_scores.len() - 1; // rank filled in below
             for (stage, pending) in view.job_pending_stages(j) {
                 let head = pending[0];
                 let spec = view.task(head);
-                let demand =
-                    self.estimator
-                        .estimate(spec, j, family.as_deref(), progress[stage].finished);
+                let demand = estimator.estimate(spec, j, family, progress[stage].finished);
+                let pref = view.preferred_machines_append(head, preferred_arena);
                 cands.push(Candidate {
                     job: j,
                     stage,
-                    promoted: stage_promoted(&progress[stage], self.cfg.barrier_knob),
+                    promoted: stage_promoted(&progress[stage], cfg.barrier_knob),
                     p: p_slot as f64, // placeholder: index into p_ranks
                     demand,
-                    preferred: view.preferred_machines(head),
+                    pref,
                     shuffle: spec.reads_shuffle(),
                     next: 0,
-                    norms: Vec::new(),
+                    norms_start: usize::MAX, // filled for live candidates
                     alive: true,
                 });
             }
@@ -313,24 +425,30 @@ impl SchedulerPolicy for TetrisScheduler {
             return Vec::new();
         }
         // Resolve remaining-work ranks (0 = least remaining work).
-        let p_ranks = ranks(&p_scores);
-        for c in &mut cands {
+        ranks_into(p_scores, rank_idx, p_ranks);
+        for c in cands.iter_mut() {
             c.p = p_ranks[c.p as usize];
         }
 
         // Focus on machines whose availability changed; fall back to the
         // whole cluster when no hint exists (arrivals, tracker ticks).
-        let hinted: BTreeSet<MachineId> = view.freed_machines().iter().copied().collect();
-        let machines: Vec<MachineId> = if hinted.is_empty() {
-            view.machines().collect()
+        // Sort + dedup reproduces the former `BTreeSet` iteration order.
+        hinted.clear();
+        hinted.extend_from_slice(view.freed_machines());
+        hinted.sort_unstable();
+        hinted.dedup();
+        machines.clear();
+        if hinted.is_empty() {
+            machines.extend(view.machines());
         } else {
-            hinted.into_iter().collect()
-        };
+            machines.extend_from_slice(hinted);
+        }
 
         // Working availability ledger over the whole cluster (remote
         // feasibility can touch machines outside the hint set).
-        let mut avail: Vec<ResourceVec> = view.machines().map(|m| view.available(m)).collect();
-        let mut banned: BTreeSet<(usize, usize)> = BTreeSet::new(); // (cand, machine)
+        avail.clear();
+        avail.extend(view.machines().map(|m| view.available(m)));
+        banned.begin(cands.len(), n_machines); // (cand, machine)
         let mut out = Vec::new();
 
         // Envelope prefilter: a candidate whose (capacity-clamped) demand
@@ -339,27 +457,26 @@ impl SchedulerPolicy for TetrisScheduler {
         // Valid throughout: availability only shrinks as we place.
         let mut cap_env = ResourceVec::zero();
         let mut avail_env = ResourceVec::zero();
-        for &m in &machines {
+        for &m in machines.iter() {
             cap_env = cap_env.max(&view.capacity(m));
             avail_env = avail_env.max(&avail[m.index()].clamp_non_negative());
         }
-        let live: Vec<usize> = (0..cands.len())
-            .filter(|&ci| {
-                let d = self.visible(&cands[ci].demand.min(&cap_env));
-                // Local placements shed NetIn, so exclude it from pruning.
-                let d = d.with(
-                    Resource::NetIn,
-                    d.get(Resource::NetIn).min(avail_env.get(Resource::NetIn)),
-                );
-                d.fits_within(&avail_env)
-            })
-            .collect();
+        live.clear();
+        live.extend((0..cands.len()).filter(|&ci| {
+            let d = visible(cfg.consider_io_dims, &cands[ci].demand.min(&cap_env));
+            // Local placements shed NetIn, so exclude it from pruning.
+            let d = d.with(
+                Resource::NetIn,
+                d.get(Resource::NetIn).min(avail_env.get(Resource::NetIn)),
+            );
+            d.fits_within(&avail_env)
+        }));
         // Cheapest-candidate floor: no live candidate demands less than
         // this much CPU/memory, so a machine below the floor hosts nothing
         // and is skipped without scanning (saturated-cluster fast path).
         let (mut min_cpu, mut min_mem) = (f64::INFINITY, f64::INFINITY);
-        for &ci in &live {
-            let d = self.visible(&cands[ci].demand.min(&cap_env));
+        for &ci in live.iter() {
+            let d = visible(cfg.consider_io_dims, &cands[ci].demand.min(&cap_env));
             min_cpu = min_cpu.min(d.get(Resource::Cpu));
             min_mem = min_mem.min(d.get(Resource::Mem));
         }
@@ -367,53 +484,51 @@ impl SchedulerPolicy for TetrisScheduler {
         // Capacity classes (clusters have very few distinct machine
         // specs): precompute each live candidate's normalized demand per
         // class so the inner scan does no per-pair normalization.
-        let mut classes: Vec<ResourceVec> = Vec::new();
-        let class_of: Vec<usize> = view
-            .machines()
-            .map(|m| {
-                let cap = view.capacity(m);
-                match classes.iter().position(|c| *c == cap) {
-                    Some(i) => i,
-                    None => {
-                        classes.push(cap);
-                        classes.len() - 1
-                    }
+        classes.clear();
+        class_of.clear();
+        class_of.extend(view.machines().map(|m| {
+            let cap = view.capacity(m);
+            match classes.iter().position(|c| *c == cap) {
+                Some(i) => i,
+                None => {
+                    classes.push(cap);
+                    classes.len() - 1
                 }
-            })
-            .collect();
-        for &ci in &live {
+            }
+        }));
+        norms_arena.clear();
+        for &ci in live.iter() {
             let c = &mut cands[ci];
-            c.norms = classes
-                .iter()
-                .map(|cap| {
-                    let clamped = c.demand.min(cap);
-                    let norm = if self.cfg.consider_io_dims {
-                        clamped.normalized_by(cap)
-                    } else {
-                        clamped
-                            .project(&[Resource::Cpu, Resource::Mem])
-                            .normalized_by(cap)
-                    };
-                    let mut norm_local = norm;
-                    norm_local.set(Resource::NetIn, 0.0);
-                    (norm, norm_local)
-                })
-                .collect();
+            c.norms_start = norms_arena.len();
+            norms_arena.extend(classes.iter().map(|cap| {
+                let clamped = c.demand.min(cap);
+                let norm = if cfg.consider_io_dims {
+                    clamped.normalized_by(cap)
+                } else {
+                    clamped
+                        .project(&[Resource::Cpu, Resource::Mem])
+                        .normalized_by(cap)
+                };
+                let mut norm_local = norm;
+                norm_local.set(Resource::NetIn, 0.0);
+                (norm, norm_local)
+            }));
         }
 
         // Fill each machine greedily: pick the highest-scoring candidate
         // that fits, charge it, repeat until nothing fits (§3.2 "this
         // process is repeated recursively until the machine cannot
         // accommodate any further tasks").
-        for &m in &machines {
+        for &m in machines.iter() {
             // A machine reserved for a starved task accepts only that task
             // (§3.5 reservation extension).
-            if let Some(&(_, starved)) = self.reservations.iter().find(|&&(rm, _)| rm == m) {
+            if let Some(&(_, starved)) = reservations.iter().find(|&&(rm, _)| rm == m) {
                 if view.is_runnable(starved) {
                     let plan = view.plan(starved, m);
-                    let local = self.visible(&plan.local);
-                    let feasible = local.fits_within(&self.visible(&avail[m.index()]))
-                        && (!self.cfg.consider_io_dims
+                    let local = visible(cfg.consider_io_dims, &plan.local);
+                    let feasible = local
+                        .fits_within(&visible(cfg.consider_io_dims, &avail[m.index()]))
+                        && (!cfg.consider_io_dims
                             || plan
                                 .remote
                                 .iter()
@@ -428,13 +543,13 @@ impl SchedulerPolicy for TetrisScheduler {
                         out.push(Assignment::new(starved, m));
                         // Consume the matching candidate head if present so
                         // the task is not double-placed this round.
-                        for c in &mut cands {
+                        for c in cands.iter_mut() {
                             if c.head(view) == Some(starved) {
                                 c.next += 1;
                                 c.alive = c.head(view).is_some();
                             }
                         }
-                        self.reservations.retain(|&(rm, _)| rm != m);
+                        reservations.retain(|&(rm, _)| rm != m);
                     }
                 }
                 continue;
@@ -451,20 +566,21 @@ impl SchedulerPolicy for TetrisScheduler {
                         break;
                     }
                 }
-                let machine_avail = self.visible(&avail[m.index()]);
+                let machine_avail = visible(cfg.consider_io_dims, &avail[m.index()]);
                 // Hoisted per machine-iteration: normalized availability.
                 let avail_norm = machine_avail.clamp_non_negative().normalized_by(&capacity);
                 // Select the best candidate by (promoted, score).
-                let ban_check = !banned.is_empty();
+                let ban_check = banned.any;
                 // (candidate, promoted, combined score, alignment term).
                 let mut best: Option<(usize, bool, f64, f64)> = None;
-                for &ci in &live {
+                for &ci in live.iter() {
                     let c = &cands[ci];
-                    if !c.alive || (ban_check && banned.contains(&(ci, m.index()))) {
+                    if !c.alive || (ban_check && banned.contains(ci, m.index())) {
                         continue;
                     }
-                    let (norm, norm_local) = &c.norms[cls];
-                    let local = !c.shuffle && c.preferred.binary_search(&m).is_ok();
+                    let (norm, norm_local) = &norms_arena[c.norms_start + cls];
+                    let local =
+                        !c.shuffle && c.preferred(preferred_arena).binary_search(&m).is_ok();
                     let demand_norm = if local { norm_local } else { norm };
                     // Feasibility in normalized space (capacity-relative);
                     // the demand was clamped to the class capacity, so a
@@ -473,20 +589,17 @@ impl SchedulerPolicy for TetrisScheduler {
                     if !demand_norm.fits_within(&avail_norm) {
                         continue;
                     }
-                    let mut a = self
-                        .cfg
-                        .alignment
-                        .score_normalized(demand_norm, &avail_norm);
-                    let is_remote = c.shuffle || (!c.preferred.is_empty() && !local);
+                    let mut a = cfg.alignment.score_normalized(demand_norm, &avail_norm);
+                    let is_remote = c.shuffle || (c.pref.1 != 0 && !local);
                     if is_remote {
-                        a *= 1.0 - self.cfg.remote_penalty;
+                        a *= 1.0 - cfg.remote_penalty;
                     }
                     let score = if c.promoted {
                         // Promoted stragglers rank above everyone and are
                         // ordered among themselves by alignment (§3.5).
                         a
                     } else {
-                        self.scorer.combined(a, c.p)
+                        scorer.combined(a, c.p)
                     };
                     let better = match best {
                         None => true,
@@ -504,15 +617,15 @@ impl SchedulerPolicy for TetrisScheduler {
                 // (checks disk/net-out at every remote input source).
                 let uid = cands[ci].head(view).expect("candidate head");
                 let plan = view.plan(uid, m);
-                let local = self.visible(&plan.local);
-                let feasible = local.fits_within(&self.visible(&avail[m.index()]))
-                    && (!self.cfg.consider_io_dims
+                let local = visible(cfg.consider_io_dims, &plan.local);
+                let feasible = local.fits_within(&visible(cfg.consider_io_dims, &avail[m.index()]))
+                    && (!cfg.consider_io_dims
                         || plan
                             .remote
                             .iter()
                             .all(|(src, dem)| dem.fits_within(&avail[src.index()])));
                 if !feasible {
-                    banned.insert((ci, m.index()));
+                    banned.insert(ci, m.index());
                     continue;
                 }
 
@@ -521,11 +634,12 @@ impl SchedulerPolicy for TetrisScheduler {
                 for (src, dem) in &plan.remote {
                     avail[src.index()] -= *dem;
                 }
-                let a_placed =
-                    self.cfg
-                        .alignment
-                        .score(&local, &self.visible(&avail[m.index()]), &capacity);
-                self.scorer.observe_alignment(a_placed.max(0.0));
+                let a_placed = cfg.alignment.score(
+                    &local,
+                    &visible(cfg.consider_io_dims, &avail[m.index()]),
+                    &capacity,
+                );
+                scorer.observe_alignment(a_placed.max(0.0));
                 out.push(Assignment::new(uid, m).with_scores(DecisionScores {
                     alignment,
                     srtf: cands[ci].p,
@@ -541,22 +655,22 @@ impl SchedulerPolicy for TetrisScheduler {
         // the patience threshold gets a machine reserved — the one where
         // its demand shortfall is smallest — so churn of small tasks can
         // no longer starve it.
-        if let Some(sc) = self.cfg.starvation {
-            for c in &cands {
-                if self.reservations.len() >= sc.max_reservations {
+        if let Some(sc) = cfg.starvation {
+            for c in cands.iter() {
+                if reservations.len() >= sc.max_reservations {
                     break;
                 }
                 let Some(head) = c.head(view) else { continue };
                 if view.task_pending_age(head) < sc.patience {
                     continue;
                 }
-                if self.reservations.iter().any(|&(_, t)| t == head) {
+                if reservations.iter().any(|&(_, t)| t == head) {
                     continue;
                 }
-                let demand = self.visible(&c.demand);
+                let demand = visible(cfg.consider_io_dims, &c.demand);
                 let mut best: Option<(MachineId, f64)> = None;
                 for m in view.machines() {
-                    if self.reservations.iter().any(|&(rm, _)| rm == m) {
+                    if reservations.iter().any(|&(rm, _)| rm == m) {
                         continue;
                     }
                     let cap = view.capacity(m);
@@ -565,7 +679,7 @@ impl SchedulerPolicy for TetrisScheduler {
                     }
                     // Shortfall: worst normalized gap between demand and
                     // current availability (0 ⇒ it already fits).
-                    let a = self.visible(&avail[m.index()]);
+                    let a = visible(cfg.consider_io_dims, &avail[m.index()]);
                     let gap = (demand - a)
                         .clamp_non_negative()
                         .normalized_by(&cap)
@@ -579,7 +693,7 @@ impl SchedulerPolicy for TetrisScheduler {
                     }
                 }
                 if let Some((m, _)) = best {
-                    self.reservations.push((m, head));
+                    reservations.push((m, head));
                 }
             }
         }

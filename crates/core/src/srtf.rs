@@ -31,8 +31,11 @@ pub fn job_remaining_work(
     job: JobId,
     reference_capacity: &ResourceVec,
 ) -> f64 {
-    let stages: Vec<StageProgress> = view.stage_progress(job);
-    job_remaining_work_with(view, job, reference_capacity, &stages)
+    let mut total = 0.0;
+    for (si, sp) in view.stage_progress(job).enumerate() {
+        total += stage_remaining_work(view, job, si, &sp, reference_capacity);
+    }
+    total
 }
 
 /// As [`job_remaining_work`] but reusing an already-fetched progress vector
@@ -45,18 +48,31 @@ pub fn job_remaining_work_with(
 ) -> f64 {
     let mut total = 0.0;
     for (si, sp) in stages.iter().enumerate() {
-        let unscheduled = sp.total - sp.finished - sp.running;
-        if unscheduled == 0 {
-            continue;
-        }
-        // One representative task per stage (first pending, or the stage's
-        // first task while locked) — O(1) instead of walking the stage.
-        if let Some(t) = view.stage_representative(job, si) {
-            total +=
-                unscheduled as f64 * task_cost(&t.demand, reference_capacity, t.ideal_duration());
-        }
+        total += stage_remaining_work(view, job, si, sp, reference_capacity);
     }
     total
+}
+
+/// Remaining work of one stage, from one representative task (first
+/// pending, or the stage's first task while locked) — O(1) instead of
+/// walking the stage.
+fn stage_remaining_work(
+    view: &ClusterView<'_>,
+    job: JobId,
+    si: usize,
+    sp: &StageProgress,
+    reference_capacity: &ResourceVec,
+) -> f64 {
+    let unscheduled = sp.total - sp.finished - sp.running;
+    if unscheduled == 0 {
+        return 0.0;
+    }
+    match view.stage_representative(job, si) {
+        Some(t) => {
+            unscheduled as f64 * task_cost(&t.demand, reference_capacity, t.ideal_duration())
+        }
+        None => 0.0,
+    }
 }
 
 /// Maintains the running average `ā` (alignment score of placed tasks)
@@ -117,13 +133,24 @@ impl CombinedScorer {
 /// Rank each value in `[0, 1]` by ascending order (ties share the lower
 /// rank; a single element ranks 0).
 pub fn ranks(values: &[f64]) -> Vec<f64> {
+    let mut idx = Vec::new();
+    let mut out = Vec::new();
+    ranks_into(values, &mut idx, &mut out);
+    out
+}
+
+/// As [`ranks`], writing into caller-owned buffers (`idx` is sort
+/// scratch) so hot paths rank without allocating per call.
+pub fn ranks_into(values: &[f64], idx: &mut Vec<usize>, out: &mut Vec<f64>) {
     let n = values.len();
+    out.clear();
+    out.resize(n, 0.0);
     if n <= 1 {
-        return vec![0.0; n];
+        return;
     }
-    let mut idx: Vec<usize> = (0..n).collect();
+    idx.clear();
+    idx.extend(0..n);
     idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("NaN rank input"));
-    let mut out = vec![0.0; n];
     let denom = (n - 1) as f64;
     let mut i = 0;
     while i < n {
@@ -137,7 +164,6 @@ pub fn ranks(values: &[f64]) -> Vec<f64> {
         }
         i = j + 1;
     }
-    out
 }
 
 /// Numerically stable running average.

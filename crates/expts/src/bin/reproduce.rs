@@ -94,8 +94,48 @@ fn main() {
                     b.jobs,
                     b.speedup_estimate
                 );
+                let longest = b
+                    .experiments
+                    .iter()
+                    .max_by(|a, c| a.seconds.partial_cmp(&c.seconds).unwrap())
+                    .map(|e| (e.id.as_str(), e.seconds))
+                    .unwrap_or(("-", 0.0));
+                println!(
+                    "parallelism: Amdahl bound {:.2}x (longest experiment '{}' at {:.1}s), \
+                     worker utilization {:.0}%, thread cpu {:.1}s of {:.1}s wall-sum",
+                    b.amdahl_bound,
+                    longest.0,
+                    longest.1,
+                    b.worker_utilization * 100.0,
+                    b.thread_cpu_seconds,
+                    b.cpu_seconds
+                );
+                if b.jobs > 1 && b.thread_cpu_seconds < 0.6 * b.cpu_seconds {
+                    println!(
+                        "note: workers were descheduled for {:.0}% of their runtime — the \
+                         machine has fewer free cores than --jobs; expect no speedup from \
+                         parallelism here",
+                        100.0 * (1.0 - b.thread_cpu_seconds / b.cpu_seconds.max(1e-9))
+                    );
+                }
                 if let (Some(bw), Some(s)) = (b.baseline_wall_seconds, b.speedup_vs_baseline) {
                     println!("measured speedup vs baseline ({bw:.1}s wall): {s:.2}x");
+                }
+                if let Some(base) = baseline.as_ref() {
+                    for e in &b.experiments {
+                        let prev = base.experiments.iter().find(|p| p.id == e.id);
+                        if let Some(prev) = prev {
+                            if prev.seconds.max(e.seconds) >= 0.5 {
+                                println!(
+                                    "  {:>10}: {:.1}s -> {:.1}s ({:.2}x)",
+                                    e.id,
+                                    prev.seconds,
+                                    e.seconds,
+                                    prev.seconds / e.seconds.max(1e-9)
+                                );
+                            }
+                        }
+                    }
                 }
                 if let Some(path) = &p.bench {
                     let json = serde_json::to_string_pretty(&b).expect("bench serializes");

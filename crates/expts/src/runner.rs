@@ -130,8 +130,40 @@ pub struct ExpRun {
     pub report: Report,
     /// Wall-clock of this experiment alone.
     pub seconds: f64,
+    /// CPU time the worker thread spent inside this experiment. On a
+    /// loaded or oversubscribed machine this is smaller than `seconds`;
+    /// the gap is time spent descheduled.
+    pub cpu_seconds: f64,
     /// Merged registries of every simulation the experiment ran.
     pub metrics: MetricsRegistry,
+}
+
+/// CPU time consumed by the calling thread, in seconds.
+///
+/// Parses utime+stime from `/proc/thread-self/stat` (fields 14/15, in
+/// USER_HZ ticks — fixed at 100 on Linux): a safe, dependency-free read
+/// that keeps the workspace's `forbid(unsafe_code)` intact, at the cost
+/// of 10 ms granularity — ample for experiments measured in seconds.
+/// Returns 0 where /proc is unavailable (non-Linux), leaving the field
+/// defined but empty.
+pub fn thread_cpu_seconds() -> f64 {
+    let Ok(stat) = std::fs::read_to_string("/proc/thread-self/stat") else {
+        return 0.0;
+    };
+    // comm (field 2) may contain spaces and parens; resume after the
+    // *last* closing paren, which lands at field 3 ("state").
+    let Some((_, rest)) = stat.rsplit_once(')') else {
+        return 0.0;
+    };
+    let mut fields = rest.split_ascii_whitespace();
+    // Counting from field 3 at index 0, utime (field 14) is index 11 and
+    // stime (field 15) follows it.
+    let (Some(utime), Some(stime)) = (fields.nth(11), fields.next()) else {
+        return 0.0;
+    };
+    let ticks = utime.parse::<f64>().unwrap_or(0.0) + stime.parse::<f64>().unwrap_or(0.0);
+    const USER_HZ: f64 = 100.0;
+    ticks / USER_HZ
 }
 
 /// Run `selected` experiments at `(scale, seed)` on `jobs` workers.
@@ -155,12 +187,14 @@ pub fn run_experiments(
             // the metrics each absorbs are attributable to one id.
             let ctx = RunCtx::new(scale, seed);
             let start = Instant::now();
+            let cpu_start = thread_cpu_seconds();
             let report = (e.run)(&ctx);
             ExpRun {
                 id: e.id,
                 what: e.what,
                 report,
                 seconds: start.elapsed().as_secs_f64(),
+                cpu_seconds: thread_cpu_seconds() - cpu_start,
                 metrics: ctx.take_metrics(),
             }
         },
@@ -224,7 +258,11 @@ pub fn aggregate_sweep(runs: &[SeedRun]) -> String {
 }
 
 /// Schema tag written into every benchmark emission.
-pub const BENCH_SCHEMA: &str = "tetris-reproduce-bench/v1";
+pub const BENCH_SCHEMA: &str = "tetris-reproduce-bench/v2";
+
+/// The previous schema tag; still accepted on read (v1 files simply lack
+/// the v2 CPU-accounting fields, which default to zero).
+pub const BENCH_SCHEMA_V1: &str = "tetris-reproduce-bench/v1";
 
 /// Machine-readable record of one `reproduce --bench` run.
 #[derive(Serialize, Deserialize)]
@@ -246,6 +284,22 @@ pub struct BenchReport {
     /// `cpu_seconds / wall_seconds`: parallel speedup inferred from this
     /// run alone.
     pub speedup_estimate: f64,
+    /// v2: sum of per-experiment *thread CPU* seconds. When this is well
+    /// below `cpu_seconds` the workers were descheduled — the machine has
+    /// fewer free cores than `jobs`, and adding workers cannot help.
+    #[serde(default)]
+    pub thread_cpu_seconds: f64,
+    /// v2: fraction of worker wall-capacity spent running experiments:
+    /// `cpu_seconds / (min(jobs, n_experiments) · wall_seconds)`. Low
+    /// utilization with `jobs > 1` means the pool idled waiting for a
+    /// straggler.
+    #[serde(default)]
+    pub worker_utilization: f64,
+    /// v2: Amdahl/LPT bound on parallel speedup for this suite:
+    /// `cpu_seconds / max(per-experiment seconds)` — no worker count can
+    /// beat the longest single experiment.
+    #[serde(default)]
+    pub amdahl_bound: f64,
     /// Wall-clock of the `--bench-baseline` run, when one was supplied.
     pub baseline_wall_seconds: Option<f64>,
     /// Measured speedup vs the baseline run (`baseline wall / this wall`).
@@ -265,6 +319,9 @@ pub struct BenchExperiment {
     pub id: String,
     /// Wall-clock of this experiment alone.
     pub seconds: f64,
+    /// v2: thread CPU seconds the experiment consumed (0 in v1 files).
+    #[serde(default)]
+    pub cpu_seconds: f64,
     /// The report's typed headline metrics.
     pub metrics: BTreeMap<String, f64>,
 }
@@ -281,6 +338,9 @@ pub fn bench_report(
     baseline: Option<&BenchReport>,
 ) -> BenchReport {
     let cpu_seconds: f64 = runs.iter().map(|r| r.seconds).sum();
+    let thread_cpu_seconds: f64 = runs.iter().map(|r| r.cpu_seconds).sum();
+    let longest = runs.iter().map(|r| r.seconds).fold(0.0, f64::max);
+    let workers = jobs.clamp(1, runs.len().max(1));
     let mut merged = MetricsRegistry::new();
     for r in runs {
         merged.merge(&r.metrics);
@@ -295,6 +355,9 @@ pub fn bench_report(
         wall_seconds,
         cpu_seconds,
         speedup_estimate: cpu_seconds / wall_seconds.max(1e-9),
+        thread_cpu_seconds,
+        worker_utilization: cpu_seconds / (workers as f64 * wall_seconds.max(1e-9)),
+        amdahl_bound: cpu_seconds / longest.max(1e-9),
         baseline_wall_seconds: baseline_wall,
         speedup_vs_baseline: baseline_wall.map(|b| b / wall_seconds.max(1e-9)),
         experiments: runs
@@ -302,6 +365,7 @@ pub fn bench_report(
             .map(|r| BenchExperiment {
                 id: r.id.to_string(),
                 seconds: r.seconds,
+                cpu_seconds: r.cpu_seconds,
                 metrics: r
                     .report
                     .metrics
@@ -320,9 +384,9 @@ pub fn read_bench(path: &str) -> Result<BenchReport, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let b: BenchReport =
         serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
-    if b.schema != BENCH_SCHEMA {
+    if b.schema != BENCH_SCHEMA && b.schema != BENCH_SCHEMA_V1 {
         return Err(format!(
-            "{path}: schema '{}' is not '{BENCH_SCHEMA}'",
+            "{path}: schema '{}' is neither '{BENCH_SCHEMA}' nor '{BENCH_SCHEMA_V1}'",
             b.schema
         ));
     }
@@ -442,5 +506,45 @@ mod tests {
         std::fs::write(&dir, "{\"schema\":\"nope\"}").unwrap();
         assert!(read_bench(dir.to_str().unwrap()).is_err());
         std::fs::remove_file(&dir).ok();
+    }
+
+    #[test]
+    fn read_bench_accepts_v1_files() {
+        // A v1 emission has no cpu-accounting fields; they must default
+        // to zero rather than fail the parse (back-compat for committed
+        // baselines).
+        let v1 = format!(
+            "{{\"schema\":\"{BENCH_SCHEMA_V1}\",\"command\":[\"fig7\"],\
+             \"scale\":\"laptop\",\"seed\":42,\"jobs\":4,\
+             \"wall_seconds\":211.7,\"cpu_seconds\":789.1,\
+             \"speedup_estimate\":3.73,\"baseline_wall_seconds\":null,\
+             \"speedup_vs_baseline\":null,\
+             \"experiments\":[{{\"id\":\"fig7\",\"seconds\":203.1,\"metrics\":{{}}}}],\
+             \"obs\":{{\"counters\":{{}},\"gauges\":{{}},\"histograms\":{{}}}}}}"
+        );
+        let dir = std::env::temp_dir().join(format!("tetris-benchv1-{}.json", std::process::id()));
+        std::fs::write(&dir, v1).unwrap();
+        let b = read_bench(dir.to_str().unwrap()).unwrap();
+        std::fs::remove_file(&dir).ok();
+        assert_eq!(b.schema, BENCH_SCHEMA_V1);
+        assert_eq!(b.thread_cpu_seconds, 0.0);
+        assert_eq!(b.worker_utilization, 0.0);
+        assert_eq!(b.experiments[0].cpu_seconds, 0.0);
+        assert_eq!(b.experiments[0].seconds, 203.1);
+    }
+
+    #[test]
+    fn thread_cpu_time_is_monotonic_and_advances_under_load() {
+        let a = thread_cpu_seconds();
+        // Burn ~30 ms of CPU (3 USER_HZ ticks) so the counter must move.
+        let t = std::time::Instant::now();
+        let mut x = 0u64;
+        while t.elapsed().as_millis() < 30 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        }
+        std::hint::black_box(x);
+        let b = thread_cpu_seconds();
+        assert!(b >= a, "thread cpu time went backwards: {a} -> {b}");
+        assert!(b > a, "thread cpu time did not advance under load");
     }
 }

@@ -9,11 +9,13 @@
 use std::time::Instant;
 
 use tetris_obs::{names, Event, Obs};
+use tetris_resources::NUM_RESOURCES;
 use tetris_workload::Workload;
 
 use crate::cluster::ClusterConfig;
 use crate::config::SimConfig;
-use crate::state::SimState;
+use crate::events::EventQueue;
+use crate::state::{DirtySet, SimState};
 use crate::view::{ClusterView, SchedulerPolicy};
 
 /// A reusable snapshot of "all jobs pending" state.
@@ -73,6 +75,84 @@ impl ScheduleProbe {
     }
 }
 
+/// A snapshot for benchmarking incremental rate recomputation
+/// ([`recompute_dirty`](SimState::recompute_dirty)): every job arrived
+/// and one scheduling pass applied, so the per-link flow tables are
+/// populated the way a mid-run heartbeat sees them.
+///
+/// `measure()` marks every link that carries at least one flow dirty —
+/// the worst-case invalidation pattern, equivalent to a cluster-wide
+/// tracker report — and recomputes all affected flow rates.
+pub struct RecomputeProbe {
+    state: SimState,
+    queue: EventQueue,
+    dirty: DirtySet,
+    /// (machine, dim) link slots with at least one live flow.
+    live_links: Vec<(usize, usize)>,
+}
+
+impl RecomputeProbe {
+    /// Build the snapshot: arrive every job, run `policy` once, apply its
+    /// valid assignments, and settle the initial rates.
+    pub fn new(
+        cluster: ClusterConfig,
+        workload: Workload,
+        cfg: SimConfig,
+        policy: &mut dyn SchedulerPolicy,
+    ) -> Self {
+        workload.validate().expect("invalid workload");
+        let mut state = SimState::new(cluster, workload, cfg);
+        let jobs: Vec<_> = state.workload.jobs.iter().map(|j| j.id).collect();
+        for j in jobs {
+            state.job_arrives(j);
+        }
+        let mut dirty = DirtySet::default();
+        let mut queue = EventQueue::new();
+        let assignments = {
+            let view = ClusterView::new(&state, policy.uses_tracker());
+            policy.schedule(&view)
+        };
+        for a in assignments {
+            if state.assignment_valid(a.task, a.machine) {
+                state.apply_assignment(a.task, a.machine, &mut dirty, &mut queue);
+            }
+        }
+        state.recompute_dirty(&mut dirty, &mut queue);
+        let live_links: Vec<(usize, usize)> = (0..state.machines.len())
+            .flat_map(|mi| (0..NUM_RESOURCES).map(move |ri| (mi, ri)))
+            .filter(|&(mi, ri)| !state.machines[mi].link_flows[ri].is_empty())
+            .collect();
+        RecomputeProbe {
+            state,
+            queue,
+            dirty,
+            live_links,
+        }
+    }
+
+    /// Number of live flows in the snapshot.
+    pub fn flows(&self) -> usize {
+        self.state.flows.iter().filter(|f| !f.done).count()
+    }
+
+    /// Number of dirty-able (machine, dim) link slots.
+    pub fn links(&self) -> usize {
+        self.live_links.len()
+    }
+
+    /// Mark every live link dirty and recompute all affected flow rates;
+    /// returns the number of links invalidated. Rates settle after the
+    /// first call, so repeated calls measure the steady-state cost of a
+    /// full-cluster invalidation (gather + dedup + rate evaluation).
+    pub fn measure(&mut self) -> usize {
+        for &(mi, ri) in &self.live_links {
+            self.dirty.insert_link(mi, ri);
+        }
+        self.state.recompute_dirty(&mut self.dirty, &mut self.queue);
+        self.live_links.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,6 +176,24 @@ mod tests {
         let n2 = probe.measure(&mut policy);
         assert!(n1 > 0);
         assert_eq!(n1, n2, "probe must be repeatable");
+    }
+
+    #[test]
+    fn recompute_probe_is_populated_and_repeatable() {
+        let w = WorkloadSuiteConfig::small().generate(3);
+        let mut policy = GreedyFifo::new();
+        let mut probe = RecomputeProbe::new(
+            ClusterConfig::uniform(4, MachineSpec::paper_large()),
+            w,
+            SimConfig::default(),
+            &mut policy,
+        );
+        assert!(probe.flows() > 0, "placements must create flows");
+        assert!(probe.links() > 0, "flows must occupy links");
+        let n1 = probe.measure();
+        let n2 = probe.measure();
+        assert_eq!(n1, n2, "probe must be repeatable");
+        assert_eq!(n1, probe.links());
     }
 
     #[test]

@@ -309,17 +309,70 @@ impl PlacementPlan {
 
 /// Dirty-set accumulated while mutating state; drives incremental rate
 /// recomputation.
-#[derive(Debug, Default)]
+///
+/// Allocation-free across events: membership is tracked by generation
+/// stamps (one `u64` per (machine, dim) slot / machine / flow) so an
+/// event batch never allocates once the stamp tables have grown to the
+/// cluster and flow-table size. `recompute_dirty` drains the insertion
+/// lists and bumps the generation — an O(1) clear.
+#[derive(Debug)]
 pub(crate) struct DirtySet {
-    /// (machine, dim) links whose demand changed.
-    pub links: BTreeSet<(usize, usize)>,
+    /// (machine, dim) links whose demand changed, in insertion order.
+    links: Vec<(usize, usize)>,
     /// Machines whose memory allocation changed (thrash factor).
-    pub mem: BTreeSet<usize>,
+    mem: Vec<usize>,
+    /// Stamp per (machine, dim) slot: equals `gen` iff present in `links`.
+    link_stamp: Vec<u64>,
+    /// Stamp per machine: equals `gen` iff present in `mem`.
+    mem_stamp: Vec<u64>,
+    /// Stamp per flow: equals `gen` iff already in `affected` this drain.
+    flow_stamp: Vec<u64>,
+    /// Current batch generation (starts at 1 so zeroed stamps are stale).
+    gen: u64,
+    /// Reusable buffer of flows touched by the current drain.
+    affected: Vec<FlowId>,
+}
+
+impl Default for DirtySet {
+    fn default() -> Self {
+        DirtySet {
+            links: Vec::new(),
+            mem: Vec::new(),
+            link_stamp: Vec::new(),
+            mem_stamp: Vec::new(),
+            flow_stamp: Vec::new(),
+            gen: 1,
+            affected: Vec::new(),
+        }
+    }
 }
 
 impl DirtySet {
     pub fn is_empty(&self) -> bool {
         self.links.is_empty() && self.mem.is_empty()
+    }
+
+    /// Mark a (machine, dim) link slot dirty.
+    pub fn insert_link(&mut self, mi: usize, ri: usize) {
+        let idx = mi * NUM_RESOURCES + ri;
+        if self.link_stamp.len() <= idx {
+            self.link_stamp.resize(idx + 1, 0);
+        }
+        if self.link_stamp[idx] != self.gen {
+            self.link_stamp[idx] = self.gen;
+            self.links.push((mi, ri));
+        }
+    }
+
+    /// Mark a machine's memory allocation dirty.
+    pub fn insert_mem(&mut self, mi: usize) {
+        if self.mem_stamp.len() <= mi {
+            self.mem_stamp.resize(mi + 1, 0);
+        }
+        if self.mem_stamp[mi] != self.gen {
+            self.mem_stamp[mi] = self.gen;
+            self.mem.push(mi);
+        }
     }
 }
 
@@ -709,7 +762,7 @@ impl SimState {
             ms.running_tasks.push(uid);
         }
         if plan.local.get(Resource::Mem) > 0.0 && self.cfg.thrashing {
-            dirty.mem.insert(machine.index());
+            dirty.insert_mem(machine.index());
         }
         for &(m, dem) in &plan.remote {
             let ms = &mut self.machines[m.index()];
@@ -771,7 +824,7 @@ impl SimState {
             let ms = &mut self.machines[m.index()];
             ms.link_demand[r.index()] += cap;
             ms.link_flows[r.index()].push(fid);
-            dirty.links.insert((m.index(), r.index()));
+            dirty.insert_link(m.index(), r.index());
         }
         self.flows.push(Flow {
             task,
@@ -826,25 +879,41 @@ impl SimState {
         if dirty.is_empty() {
             return;
         }
-        let mut affected: BTreeSet<FlowId> = BTreeSet::new();
-        for &(mi, ri) in &dirty.links {
+        // Gather affected flows into the reused buffer, stamp-deduped,
+        // then sort — reproducing the ascending-FlowId visit order the
+        // former BTreeSet gave (event re-queue order depends on it).
+        if dirty.flow_stamp.len() < self.flows.len() {
+            dirty.flow_stamp.resize(self.flows.len(), 0);
+        }
+        let fgen = dirty.gen;
+        dirty.affected.clear();
+        for li in 0..dirty.links.len() {
+            let (mi, ri) = dirty.links[li];
             for &fid in &self.machines[mi].link_flows[ri] {
-                affected.insert(fid);
+                if dirty.flow_stamp[fid.0] != fgen {
+                    dirty.flow_stamp[fid.0] = fgen;
+                    dirty.affected.push(fid);
+                }
             }
         }
-        for &mi in &dirty.mem {
+        for ii in 0..dirty.mem.len() {
+            let mi = dirty.mem[ii];
             for ri in 0..NUM_RESOURCES {
                 for &fid in &self.machines[mi].link_flows[ri] {
-                    if self.flows[fid.0].host.index() == mi {
-                        affected.insert(fid);
+                    if self.flows[fid.0].host.index() == mi && dirty.flow_stamp[fid.0] != fgen {
+                        dirty.flow_stamp[fid.0] = fgen;
+                        dirty.affected.push(fid);
                     }
                 }
             }
         }
         dirty.links.clear();
         dirty.mem.clear();
+        dirty.gen += 1;
 
-        for fid in affected {
+        let mut affected = std::mem::take(&mut dirty.affected);
+        affected.sort_unstable();
+        for &fid in &affected {
             if self.flows[fid.0].done {
                 continue;
             }
@@ -865,6 +934,7 @@ impl SimState {
                 // rate == 0: no event; a later link change will revisit.
             }
         }
+        dirty.affected = affected;
     }
 
     /// Handle a `FlowDone` event. Returns the task to complete, if this was
@@ -902,7 +972,7 @@ impl SimState {
             let ms = &mut self.machines[m.index()];
             ms.link_demand[r.index()] = (ms.link_demand[r.index()] - cap).max(0.0);
             ms.link_flows[r.index()].retain(|&x| x != fid);
-            dirty.links.insert((m.index(), r.index()));
+            dirty.insert_link(m.index(), r.index());
         }
 
         let t = &mut self.tasks[task.index()];
@@ -936,7 +1006,7 @@ impl SimState {
             ms.running_tasks.retain(|&t| t != uid);
         }
         if info.local_alloc.get(Resource::Mem) > 0.0 && self.cfg.thrashing {
-            dirty.mem.insert(host.index());
+            dirty.insert_mem(host.index());
         }
         self.freed_hint.push(host);
         for &(m, dem) in &info.remote_alloc {
@@ -1022,7 +1092,7 @@ impl SimState {
             }
             let ms = &mut self.machines[mi];
             ms.link_demand[r.index()] = (ms.link_demand[r.index()] + sign * v).max(0.0);
-            dirty.links.insert((mi, r.index()));
+            dirty.insert_link(mi, r.index());
         }
         let ms = &mut self.machines[mi];
         if active {

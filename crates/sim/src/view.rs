@@ -159,14 +159,21 @@ impl<'a> ClusterView<'a> {
     }
 
     /// Jobs that have arrived and not finished, in id order.
-    pub fn active_jobs(&self) -> Vec<JobId> {
+    ///
+    /// Allocation-free: the iterator borrows the underlying state (not the
+    /// view), so it can outlive the `&self` borrow.
+    pub fn active_jobs(&self) -> impl Iterator<Item = JobId> + 'a {
         self.state
             .jobs
             .iter()
             .enumerate()
             .filter(|(_, j)| j.is_active())
             .map(|(i, _)| JobId(i))
-            .collect()
+    }
+
+    /// True iff at least one job has arrived and not finished.
+    pub fn has_active_jobs(&self) -> bool {
+        self.state.jobs.iter().any(|j| j.is_active())
     }
 
     /// Job arrival time (seconds).
@@ -175,9 +182,10 @@ impl<'a> ClusterView<'a> {
     }
 
     /// Recurring-job family of a job, if any (for demand estimation from
-    /// prior runs, §4.1).
-    pub fn job_family(&self, j: JobId) -> Option<String> {
-        self.state.workload.jobs[j.index()].family.clone()
+    /// prior runs, §4.1). Borrowed — `schedule()` is called per event, so
+    /// cloning here would allocate on every decision.
+    pub fn job_family(&self, j: JobId) -> Option<&'a str> {
+        self.state.workload.jobs[j.index()].family.as_deref()
     }
 
     /// Sum of local peak demands of the job's currently running tasks —
@@ -193,29 +201,35 @@ impl<'a> ClusterView<'a> {
     }
 
     /// Runnable, unplaced tasks of the job, in stage order.
-    ///
-    /// Allocates; hot paths should prefer [`ClusterView::job_pending_stages`].
-    pub fn job_pending(&self, j: JobId) -> Vec<TaskUid> {
-        let js = &self.state.jobs[j.index()];
-        let mut out = Vec::new();
-        for s in &js.stages {
-            out.extend_from_slice(&s.pending);
-        }
-        out
+    pub fn job_pending(&self, j: JobId) -> impl Iterator<Item = TaskUid> + 'a {
+        self.state.jobs[j.index()]
+            .stages
+            .iter()
+            .flat_map(|s| s.pending.iter().copied())
     }
 
     /// Zero-copy view of the job's pending tasks, one slice per stage with
     /// pending work, in stage order. Slices are stable for the duration of
     /// one `schedule()` invocation (the engine applies assignments only
     /// after the policy returns).
-    pub fn job_pending_stages(&self, j: JobId) -> Vec<(usize, &[TaskUid])> {
+    pub fn job_pending_stages(
+        &self,
+        j: JobId,
+    ) -> impl Iterator<Item = (usize, &'a [TaskUid])> + 'a {
         self.state.jobs[j.index()]
             .stages
             .iter()
             .enumerate()
             .filter(|(_, s)| !s.pending.is_empty())
             .map(|(si, s)| (si, s.pending.as_slice()))
-            .collect()
+    }
+
+    /// True iff the job has at least one runnable, unplaced task.
+    pub fn job_has_pending(&self, j: JobId) -> bool {
+        self.state.jobs[j.index()]
+            .stages
+            .iter()
+            .any(|s| !s.pending.is_empty())
     }
 
     /// The pending slice of one stage (empty slice if none).
@@ -246,33 +260,31 @@ impl<'a> ClusterView<'a> {
     /// All unfinished, unplaced tasks of the job *including* tasks of
     /// still-locked stages — the "remaining work" of the multi-resource
     /// SRTF score (§3.3.1).
-    pub fn job_remaining_tasks(&self, j: JobId) -> Vec<TaskUid> {
+    pub fn job_remaining_tasks(&self, j: JobId) -> impl Iterator<Item = TaskUid> + 'a {
         let ji = j.index();
-        let js = &self.state.jobs[ji];
-        let mut out = Vec::new();
-        for (si, s) in js.stages.iter().enumerate() {
-            if s.unlocked {
-                out.extend_from_slice(&s.pending);
-            } else {
-                out.extend(
-                    self.state.workload.jobs[ji].stages[si]
-                        .tasks
-                        .iter()
-                        .map(|t| t.uid),
-                );
-            }
-        }
-        out
+        let workload_stages = &self.state.workload.jobs[ji].stages;
+        self.state.jobs[ji]
+            .stages
+            .iter()
+            .enumerate()
+            .flat_map(move |(si, s)| {
+                let (pending, locked) = if s.unlocked {
+                    (s.pending.as_slice(), &workload_stages[si].tasks[..0])
+                } else {
+                    (&s.pending[..0], workload_stages[si].tasks.as_slice())
+                };
+                pending.iter().copied().chain(locked.iter().map(|t| t.uid))
+            })
     }
 
     /// Per-stage progress of a job.
-    pub fn stage_progress(&self, j: JobId) -> Vec<StageProgress> {
+    pub fn stage_progress(&self, j: JobId) -> impl Iterator<Item = StageProgress> + 'a {
         let js = &self.state.jobs[j.index()];
         let n = js.stages.len();
         js.stages
             .iter()
             .enumerate()
-            .map(|(si, s)| StageProgress {
+            .map(move |(si, s)| StageProgress {
                 total: s.total,
                 finished: s.finished,
                 running: s.running,
@@ -281,7 +293,13 @@ impl<'a> ClusterView<'a> {
                 feeds_barrier: s.feeds_downstream || si == n - 1,
                 unlocked: s.unlocked,
             })
-            .collect()
+    }
+
+    /// Fill `out` with the job's per-stage progress (reusable scratch form
+    /// of [`ClusterView::stage_progress`] for indexed access on hot paths).
+    pub fn stage_progress_into(&self, j: JobId, out: &mut Vec<StageProgress>) {
+        out.clear();
+        out.extend(self.stage_progress(j));
     }
 
     /// Static spec of a task (peak demands, work, inputs).
@@ -317,18 +335,49 @@ impl<'a> ClusterView<'a> {
         self.state.placement_plan(task, machine)
     }
 
-    /// Machines holding a replica of at least one of the task's stored
-    /// input blocks (locality preferences for baseline schedulers).
-    pub fn preferred_machines(&self, task: TaskUid) -> Vec<MachineId> {
+    /// Fill `out` with the machines holding a replica of at least one of
+    /// the task's stored input blocks (locality preferences), sorted and
+    /// deduplicated. Caller-buffer form so hot paths can reuse one
+    /// allocation across tasks and schedule calls.
+    pub fn preferred_machines_into(&self, task: TaskUid, out: &mut Vec<MachineId>) {
+        out.clear();
+        self.preferred_machines_append(task, out);
+    }
+
+    /// As [`ClusterView::preferred_machines_into`] but appending to `out`
+    /// (only the appended tail is sorted/deduped), returning the appended
+    /// range — the arena form used by schedulers that keep all candidates'
+    /// preference lists in one buffer.
+    pub fn preferred_machines_append(
+        &self,
+        task: TaskUid,
+        out: &mut Vec<MachineId>,
+    ) -> (usize, usize) {
+        let start = out.len();
         let spec = self.state.spec(task);
-        let mut out = Vec::new();
         for input in &spec.inputs {
             if let tetris_workload::InputSource::Stored(b) = input.source {
                 out.extend_from_slice(&self.state.blocks[b.index()]);
             }
         }
-        out.sort_unstable();
-        out.dedup();
+        out[start..].sort_unstable();
+        let mut w = start;
+        for r in start..out.len() {
+            if w == start || out[w - 1] != out[r] {
+                out[w] = out[r];
+                w += 1;
+            }
+        }
+        out.truncate(w);
+        (start, w - start)
+    }
+
+    /// Machines holding a replica of at least one of the task's stored
+    /// input blocks (allocating convenience over
+    /// [`ClusterView::preferred_machines_into`]).
+    pub fn preferred_machines(&self, task: TaskUid) -> Vec<MachineId> {
+        let mut out = Vec::new();
+        self.preferred_machines_into(task, &mut out);
         out
     }
 

@@ -416,7 +416,6 @@ fn evacuation_slows_remote_reads_from_the_evacuating_machine() {
         }
         fn schedule(&mut self, view: &tetris_sim::ClusterView<'_>) -> Vec<Assignment> {
             view.active_jobs()
-                .into_iter()
                 .flat_map(|j| view.job_pending(j))
                 .map(|t| Assignment::new(t, self.0))
                 .collect()

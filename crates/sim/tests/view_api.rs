@@ -25,12 +25,11 @@ impl SchedulerPolicy for Capture {
     }
 
     fn schedule(&mut self, view: &ClusterView<'_>) -> Vec<Assignment> {
-        if self.seen.is_none() && !view.active_jobs().is_empty() {
+        if self.seen.is_none() && view.has_active_jobs() {
             let j = JobId(0);
             self.seen = Some(CaptureData {
                 pending_stages: view
                     .job_pending_stages(j)
-                    .into_iter()
                     .map(|(si, s)| (si, s.to_vec()))
                     .collect(),
                 representative: view.stage_representative(j, 0).map(|t| t.uid),
@@ -39,7 +38,7 @@ impl SchedulerPolicy for Capture {
                     .stage_pending_slice(j, 0)
                     .iter()
                     .all(|&t| view.task_pending_age(t) == 0.0),
-                family: view.job_family(j),
+                family: view.job_family(j).map(str::to_string),
             });
         }
         // Place everything greedily so the run completes.

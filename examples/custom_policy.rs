@@ -29,7 +29,6 @@ impl SchedulerPolicy for WidestFirst {
         // Collect pending tasks, widest (largest normalized demand) first.
         let mut tasks: Vec<(f64, _)> = view
             .active_jobs()
-            .into_iter()
             .flat_map(|j| view.job_pending_stages(j))
             .flat_map(|(_, slice)| slice.iter().copied())
             .map(|t| (view.task(t).demand.normalized_by(&total).sum(), t))

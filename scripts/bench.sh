@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
-# Benchmark the reproduce suite: run it serially, then at --jobs N, and
-# emit BENCH_reproduce.json with per-experiment wall-clock, the merged
-# heartbeat-latency histograms, and the measured parallel speedup.
+# Benchmark the reproduce suite: prove the optimized schedulers are
+# decision-identical to the reference path, run the suite serially (with
+# a per-experiment before/after comparison against the committed
+# BENCH_reproduce.json, if present), then at --jobs N, and emit
+# BENCH_reproduce.json (schema v2: wall + thread-CPU seconds, worker
+# utilization, Amdahl bound, merged heartbeat-latency histograms).
 #
 # usage: scripts/bench.sh [JOBS] [extra reproduce args...]
 #   JOBS defaults to the machine's core count.
@@ -11,6 +14,18 @@ cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 shift || true
 
+# Timing numbers from a scheduler that changed its decisions are
+# meaningless — refuse to benchmark unless equivalence holds. Do NOT
+# comment this out to "make the bench run": a skipped equivalence suite
+# means the before/after comparison below compares different programs.
+echo "== scheduler equivalence gate =="
+if ! cargo test -q --test schedule_equivalence; then
+    echo "FATAL: schedule_equivalence failed or did not run." >&2
+    echo "       The optimized hot path no longer matches the reference" >&2
+    echo "       scheduler; benchmark numbers would be invalid." >&2
+    exit 1
+fi
+
 echo "== building (release) =="
 cargo build --release -p tetris-expts
 BIN=target/release/reproduce
@@ -19,10 +34,18 @@ BASELINE=$(mktemp /tmp/bench_serial.XXXXXX.json)
 trap 'rm -f "$BASELINE"' EXIT
 
 echo "== reproduce all --jobs 1 (serial baseline) =="
-"$BIN" all --jobs 1 --bench "$BASELINE" "$@" >/dev/null
+if [[ -f BENCH_reproduce.json ]]; then
+    # Compare this serial run against the committed emission: per-
+    # experiment before/after rows (fig7 is the headline) plus the
+    # suite-level measured speedup.
+    "$BIN" all --jobs 1 --bench "$BASELINE" \
+        --bench-baseline BENCH_reproduce.json "$@" | tail -n 16
+else
+    "$BIN" all --jobs 1 --bench "$BASELINE" "$@" >/dev/null
+fi
 
 echo "== reproduce all --jobs $JOBS =="
 "$BIN" all --jobs "$JOBS" --bench BENCH_reproduce.json \
-    --bench-baseline "$BASELINE" "$@" | tail -n 3
+    --bench-baseline "$BASELINE" "$@" | tail -n 6
 
 echo "wrote BENCH_reproduce.json"

@@ -12,6 +12,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test --workspace -q
 
+echo "== scheduler equivalence (optimized == reference) =="
+cargo test -q --test schedule_equivalence
+
+echo "== benches compile =="
+cargo bench -p tetris-bench --no-run -q
+
 echo "== reproduce smoke (parallel runner) =="
 cargo build --release -p tetris-expts -q
 target/release/reproduce fig1 table2 --jobs 2 >/dev/null

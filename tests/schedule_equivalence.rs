@@ -1,0 +1,225 @@
+//! Golden equivalence suite for the event-hot-path performance pass.
+//!
+//! The optimized schedulers reuse warm scratch buffers (`ScheduleScratch`,
+//! generation-stamped sets, candidate arenas) and take availability-based
+//! shortcuts (the SRTF quick prefilter). Both are only legal if they are
+//! *invisible*: every decision — assignments, score breakdowns, event
+//! order, job/task outcomes — must be identical to the unoptimized
+//! reference path. This suite pins that across ≥3 seeds × 2 workload
+//! shapes for:
+//!
+//! * `TetrisScheduler` with warm (reused) scratch vs the same scheduler
+//!   with its scratch dropped before every `schedule()` call;
+//! * `SrtfScheduler::new()` (envelope prefilter) vs
+//!   `SrtfScheduler::exhaustive()` (checks every machine).
+//!
+//! Comparison is over the full observability event stream — which carries
+//! per-placement `DecisionScores` — with the one wall-clock field
+//! (`HeartbeatProcessed::wall_ns`) zeroed, plus a structural fingerprint
+//! of the outcome (per-job finishes, per-task placements).
+
+use tetris::prelude::*;
+use tetris::sim::ClusterView;
+use tetris_obs::{Event, Obs, VecRecorder};
+
+const SEEDS: [u64; 3] = [11, 42, 77];
+
+/// Tetris whose scratch is dropped before every call: the cold reference.
+struct ColdScratchTetris(TetrisScheduler);
+
+impl SchedulerPolicy for ColdScratchTetris {
+    fn name(&self) -> String {
+        self.0.name()
+    }
+    fn uses_tracker(&self) -> bool {
+        self.0.uses_tracker()
+    }
+    fn schedule(&mut self, view: &ClusterView<'_>) -> Vec<Assignment> {
+        self.0.reset_scratch();
+        self.0.schedule(view)
+    }
+}
+
+fn cluster() -> ClusterConfig {
+    ClusterConfig::uniform(8, MachineSpec::paper_large())
+}
+
+/// The two workload shapes: the synthetic deployment suite (map/reduce
+/// DAGs, staggered arrivals) and the Facebook-like trace (heavy-tailed
+/// job sizes, recurring families).
+fn workloads(seed: u64) -> Vec<(&'static str, Workload)> {
+    let suite = WorkloadSuiteConfig::small().generate(seed);
+    let mut fb_cfg = FacebookTraceConfig::default();
+    fb_cfg.n_jobs = 30;
+    fb_cfg.scale = 0.05;
+    fb_cfg.mean_interarrival = 10.0;
+    let facebook = fb_cfg.generate(seed);
+    vec![("suite", suite), ("facebook", facebook)]
+}
+
+/// Run one policy over a workload with the event stream recorded.
+fn traced_run(
+    sched: Box<dyn SchedulerPolicy>,
+    w: &Workload,
+    seed: u64,
+) -> (SimOutcome, Vec<(f64, Event)>) {
+    let rec = VecRecorder::shared();
+    let mut obs = Obs::with_recorder(Box::new(rec.clone()));
+    let outcome = Simulation::build(cluster(), w.clone())
+        .scheduler_boxed(sched)
+        .seed(seed)
+        .observe(&mut obs)
+        .run();
+    (outcome, rec.take())
+}
+
+/// Zero the only wall-clock-dependent field so streams compare exactly.
+fn normalize(events: Vec<(f64, Event)>) -> Vec<(f64, Event)> {
+    events
+        .into_iter()
+        .map(|(t, e)| match e {
+            Event::HeartbeatProcessed {
+                pending_tasks,
+                placements,
+                ..
+            } => (
+                t,
+                Event::HeartbeatProcessed {
+                    pending_tasks,
+                    placements,
+                    wall_ns: 0,
+                },
+            ),
+            other => (t, other),
+        })
+        .collect()
+}
+
+/// Structural fingerprint of an outcome: everything decision-dependent,
+/// nothing wall-clock-dependent.
+#[derive(PartialEq, Debug)]
+struct Fingerprint {
+    completed: bool,
+    final_time: f64,
+    jobs: Vec<(Option<f64>, Option<f64>)>,
+    tasks: Vec<(Option<usize>, Option<f64>, Option<f64>)>,
+    placements: u64,
+    events: u64,
+}
+
+fn fingerprint(o: &SimOutcome) -> Fingerprint {
+    Fingerprint {
+        completed: o.completed,
+        final_time: o.final_time,
+        jobs: o.jobs.iter().map(|j| (j.first_start, j.finish)).collect(),
+        tasks: o
+            .tasks
+            .iter()
+            .map(|t| (t.machine.map(|m| m.index()), t.start, t.finish))
+            .collect(),
+        placements: o.stats.placements,
+        events: o.stats.events,
+    }
+}
+
+/// Core assertion: two policies produce identical decisions on `w`.
+fn assert_equivalent(
+    label: &str,
+    seed: u64,
+    w: &Workload,
+    optimized: Box<dyn SchedulerPolicy>,
+    reference: Box<dyn SchedulerPolicy>,
+) {
+    let (o_opt, e_opt) = traced_run(optimized, w, seed);
+    let (o_ref, e_ref) = traced_run(reference, w, seed);
+
+    assert_eq!(
+        fingerprint(&o_opt),
+        fingerprint(&o_ref),
+        "{label}/seed {seed}: outcome diverged"
+    );
+    let e_opt = normalize(e_opt);
+    let e_ref = normalize(e_ref);
+    assert_eq!(
+        e_opt.len(),
+        e_ref.len(),
+        "{label}/seed {seed}: event counts diverged"
+    );
+    for (i, (a, b)) in e_opt.iter().zip(e_ref.iter()).enumerate() {
+        assert_eq!(
+            a, b,
+            "{label}/seed {seed}: event #{i} diverged (scores/order must be identical)"
+        );
+    }
+    // The streams must actually carry decision scores, otherwise this
+    // test silently compares nothing.
+    let scored = e_opt
+        .iter()
+        .filter(|(_, e)| {
+            matches!(
+                e,
+                Event::TaskPlaced {
+                    combined_score: Some(_),
+                    ..
+                }
+            )
+        })
+        .count();
+    if label.starts_with("tetris") {
+        assert!(
+            scored > 0,
+            "{label}/seed {seed}: no scored placements recorded"
+        );
+    }
+}
+
+#[test]
+fn tetris_warm_scratch_matches_cold_reference() {
+    for seed in SEEDS {
+        for (wname, w) in workloads(seed) {
+            assert_equivalent(
+                &format!("tetris/{wname}"),
+                seed,
+                &w,
+                Box::new(TetrisScheduler::new(TetrisConfig::default())),
+                Box::new(ColdScratchTetris(TetrisScheduler::new(
+                    TetrisConfig::default(),
+                ))),
+            );
+        }
+    }
+}
+
+#[test]
+fn srtf_prefilter_matches_exhaustive_reference() {
+    for seed in SEEDS {
+        for (wname, w) in workloads(seed) {
+            assert_equivalent(
+                &format!("srtf/{wname}"),
+                seed,
+                &w,
+                Box::new(SrtfScheduler::new()),
+                Box::new(SrtfScheduler::exhaustive()),
+            );
+        }
+    }
+}
+
+#[test]
+fn packing_only_warm_scratch_matches_cold_reference() {
+    // A second Tetris operating point (no SRTF term, no fairness) drives
+    // different branches through the candidate loop and the banned set.
+    for seed in SEEDS {
+        for (wname, w) in workloads(seed) {
+            assert_equivalent(
+                &format!("tetris-packing/{wname}"),
+                seed,
+                &w,
+                Box::new(TetrisScheduler::new(TetrisConfig::packing_only())),
+                Box::new(ColdScratchTetris(TetrisScheduler::new(
+                    TetrisConfig::packing_only(),
+                ))),
+            );
+        }
+    }
+}

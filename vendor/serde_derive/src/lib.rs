@@ -21,10 +21,19 @@ struct Input {
 
 #[derive(Debug)]
 enum Kind {
-    NamedStruct(Vec<String>),
+    NamedStruct(Vec<Field>),
     TupleStruct(usize),
     UnitStruct,
     Enum(Vec<Variant>),
+}
+
+/// One named field and its serde attributes.
+#[derive(Debug)]
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: a missing (or null) value deserializes to
+    /// `Default::default()` instead of erroring — schema back-compat.
+    default: bool,
 }
 
 #[derive(Debug)]
@@ -37,7 +46,7 @@ struct Variant {
 enum VariantKind {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<Field>),
 }
 
 /// Derive `serde::Serialize`.
@@ -63,8 +72,8 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 fn parse_input(ts: TokenStream) -> Input {
     let tokens: Vec<TokenTree> = ts.into_iter().collect();
     let mut i = 0;
-    let mut transparent = false;
-    skip_attrs(&tokens, &mut i, &mut transparent);
+    let attrs = skip_attrs(&tokens, &mut i);
+    let transparent = attrs.transparent;
     skip_visibility(&tokens, &mut i);
 
     let keyword = expect_ident(&tokens, &mut i);
@@ -100,8 +109,16 @@ fn parse_input(ts: TokenStream) -> Input {
     }
 }
 
-/// Advance past attributes, noting `#[serde(transparent)]`.
-fn skip_attrs(tokens: &[TokenTree], i: &mut usize, transparent: &mut bool) {
+/// Serde attributes recognized on an item or a field.
+#[derive(Debug, Default)]
+struct AttrFlags {
+    transparent: bool,
+    default: bool,
+}
+
+/// Advance past attributes, collecting the `#[serde(...)]` flags seen.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> AttrFlags {
+    let mut flags = AttrFlags::default();
     while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
         *i += 1;
         if let Some(TokenTree::Group(g)) = tokens.get(*i) {
@@ -110,8 +127,10 @@ fn skip_attrs(tokens: &[TokenTree], i: &mut usize, transparent: &mut bool) {
                 if let Some(TokenTree::Group(args)) = inner.get(1) {
                     for t in args.stream() {
                         if let TokenTree::Ident(id) = t {
-                            if id.to_string() == "transparent" {
-                                *transparent = true;
+                            match id.to_string().as_str() {
+                                "transparent" => flags.transparent = true,
+                                "default" => flags.default = true,
+                                _ => {}
                             }
                         }
                     }
@@ -120,6 +139,7 @@ fn skip_attrs(tokens: &[TokenTree], i: &mut usize, transparent: &mut bool) {
             *i += 1;
         }
     }
+    flags
 }
 
 fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
@@ -142,14 +162,14 @@ fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
     }
 }
 
-/// Parse `a: T, b: U, ...` field names from a brace group's stream.
-fn parse_named_fields(ts: TokenStream) -> Vec<String> {
+/// Parse `a: T, b: U, ...` fields (with serde attrs) from a brace
+/// group's stream.
+fn parse_named_fields(ts: TokenStream) -> Vec<Field> {
     let tokens: Vec<TokenTree> = ts.into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        let mut ignored = false;
-        skip_attrs(&tokens, &mut i, &mut ignored);
+        let attrs = skip_attrs(&tokens, &mut i);
         if i >= tokens.len() {
             break;
         }
@@ -159,7 +179,10 @@ fn parse_named_fields(ts: TokenStream) -> Vec<String> {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
             other => panic!("serde stub derive: expected `:` after field `{name}`, got {other:?}"),
         }
-        fields.push(name);
+        fields.push(Field {
+            name,
+            default: attrs.default,
+        });
         skip_type_until_comma(&tokens, &mut i);
     }
     fields
@@ -205,8 +228,7 @@ fn parse_variants(ts: TokenStream) -> Vec<Variant> {
     let mut variants = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        let mut ignored = false;
-        skip_attrs(&tokens, &mut i, &mut ignored);
+        let _ = skip_attrs(&tokens, &mut i);
         if i >= tokens.len() {
             break;
         }
@@ -240,11 +262,12 @@ fn gen_serialize(input: &Input) -> String {
     let body = match &input.kind {
         Kind::NamedStruct(fields) => {
             if input.transparent && fields.len() == 1 {
-                format!("serde::Serialize::to_value(&self.{})", fields[0])
+                format!("serde::Serialize::to_value(&self.{})", fields[0].name)
             } else {
                 let entries: Vec<String> = fields
                     .iter()
                     .map(|f| {
+                        let f = &f.name;
                         format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f}))")
                     })
                     .collect();
@@ -285,10 +308,13 @@ fn gen_serialize(input: &Input) -> String {
                             )
                         }
                         VariantKind::Named(fields) => {
-                            let binds = fields.join(", ");
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let binds = binds.join(", ");
                             let entries: Vec<String> = fields
                                 .iter()
                                 .map(|f| {
+                                    let f = &f.name;
                                     format!(
                                         "(\"{f}\".to_string(), serde::Serialize::to_value({f}))"
                                     )
@@ -313,6 +339,28 @@ fn gen_serialize(input: &Input) -> String {
     )
 }
 
+/// Deserialization initializer for one named field within `scope` (the
+/// struct name or `Enum::Variant` path, used in error messages).
+/// `#[serde(default)]` fields fall back to `Default::default()` when the
+/// key is absent (or null — the stub's `Value::field` conflates the two).
+fn named_field_init(scope: &str, f: &Field) -> String {
+    let name = &f.name;
+    if f.default {
+        format!(
+            "{name}: match serde::Value::field(obj, \"{name}\") {{\n\
+             serde::Value::Null => Default::default(),\n\
+             other => serde::Deserialize::from_value(other)\
+             .map_err(|e| e.in_field(\"{scope}.{name}\"))?,\n\
+             }},"
+        )
+    } else {
+        format!(
+            "{name}: serde::Deserialize::from_value(serde::Value::field(obj, \
+             \"{name}\")).map_err(|e| e.in_field(\"{scope}.{name}\"))?,"
+        )
+    }
+}
+
 fn gen_deserialize(input: &Input) -> String {
     let name = &input.name;
     let body = match &input.kind {
@@ -320,18 +368,10 @@ fn gen_deserialize(input: &Input) -> String {
             if input.transparent && fields.len() == 1 {
                 format!(
                     "Ok({name} {{ {}: serde::Deserialize::from_value(v)? }})",
-                    fields[0]
+                    fields[0].name
                 )
             } else {
-                let inits: Vec<String> = fields
-                    .iter()
-                    .map(|f| {
-                        format!(
-                            "{f}: serde::Deserialize::from_value(serde::Value::field(obj, \
-                             \"{f}\")).map_err(|e| e.in_field(\"{name}.{f}\"))?,"
-                        )
-                    })
-                    .collect();
+                let inits: Vec<String> = fields.iter().map(|f| named_field_init(name, f)).collect();
                 format!(
                     "let obj = v.as_obj().ok_or_else(|| serde::Error::custom(\
                      \"expected object for {name}\"))?;\n\
@@ -386,16 +426,9 @@ fn gen_deserialize(input: &Input) -> String {
                             ))
                         }
                         VariantKind::Named(fields) => {
-                            let inits: Vec<String> = fields
-                                .iter()
-                                .map(|f| {
-                                    format!(
-                                        "{f}: serde::Deserialize::from_value(serde::Value::field(\
-                                         obj, \"{f}\")).map_err(|e| \
-                                         e.in_field(\"{name}::{vn}.{f}\"))?,"
-                                    )
-                                })
-                                .collect();
+                            let scope = format!("{name}::{vn}");
+                            let inits: Vec<String> =
+                                fields.iter().map(|f| named_field_init(&scope, f)).collect();
                             Some(format!(
                                 "\"{vn}\" => {{\n\
                                  let obj = inner.as_obj().ok_or_else(|| serde::Error::custom(\
