@@ -143,16 +143,27 @@ impl SlotScheduler {
 
             // Place: prefer a machine holding the task's input, else the
             // machine with the most free slots (simple spread), checking
-            // ONLY slot availability.
+            // ONLY slot availability. Down machines are skipped and
+            // suspect ones sorted behind trusted ones — both exact no-ops
+            // without fault injection (nothing is down or suspect, and
+            // the extra leading key is then `true` everywhere), keeping
+            // decisions byte-identical to the pre-fault pass.
             view.preferred_machines_into(task, &mut preferred);
             let target = preferred
                 .iter()
                 .copied()
+                .filter(|&m| !view.is_down(m) && !view.is_suspect(m))
                 .find(|m| free[m.index()] >= need)
                 .or_else(|| {
                     view.machines()
-                        .filter(|m| free[m.index()] >= need)
-                        .max_by_key(|m| (free[m.index()], std::cmp::Reverse(m.index())))
+                        .filter(|&m| !view.is_down(m) && free[m.index()] >= need)
+                        .max_by_key(|m| {
+                            (
+                                !view.is_suspect(*m),
+                                free[m.index()],
+                                std::cmp::Reverse(m.index()),
+                            )
+                        })
                 });
             match target {
                 Some(m) => {

@@ -35,6 +35,7 @@ struct Scratch {
     jobs: Vec<(JobId, f64)>,
     avail: Vec<ResourceVec>,
     preferred: Vec<MachineId>,
+    candidates: Vec<MachineId>,
 }
 
 /// The demand components a placement plan cannot change: Cpu, Mem and
@@ -82,7 +83,13 @@ impl SchedulerPolicy for SrtfScheduler {
             jobs,
             avail,
             preferred,
+            candidates,
         } = &mut self.scratch;
+        // Fault awareness: skipping down machines and stably pushing
+        // suspect ones last are both exact no-ops without fault injection
+        // (every machine is up and trusted then), so decisions stay
+        // byte-identical to the pre-fault pass.
+        let any_suspect = view.machines().any(|m| view.is_suspect(m));
 
         jobs.clear();
         jobs.extend(view.active_jobs().map(|j| {
@@ -124,8 +131,14 @@ impl SchedulerPolicy for SrtfScheduler {
                 // Prefer data-local placements, else first machine where
                 // the full plan (local + remote) fits.
                 view.preferred_machines_into(t, preferred);
-                let candidates = preferred.iter().copied().chain(view.machines());
-                for m in candidates {
+                candidates.clear();
+                candidates.extend(preferred.iter().copied().chain(view.machines()));
+                candidates.retain(|&m| !view.is_down(m));
+                if any_suspect {
+                    // Stable partition: suspect machines considered last.
+                    candidates.sort_by_key(|&m| view.is_suspect(m));
+                }
+                for m in candidates.iter().copied() {
                     // Cheap exact reject before computing the plan: the
                     // plan's local demand is >= `quick` component-wise.
                     if !exhaustive && !quick.fits_within(&avail[m.index()]) {

@@ -443,6 +443,16 @@ impl SchedulerPolicy for TetrisScheduler {
         } else {
             machines.extend_from_slice(hinted);
         }
+        // Graceful degradation under faults: down machines host nothing,
+        // and suspect machines are skipped outright — alignment scores are
+        // computed *from* tracker reports, so a machine whose reports are
+        // implausible or stale gives Tetris nothing to score against
+        // (slot baselines, which never read usage, merely deprioritize).
+        // This is an exact no-op without fault injection —
+        // `is_down`/`is_suspect` are always false then and `retain` keeps
+        // everything — so decisions stay byte-identical to the pre-fault
+        // scheduler.
+        machines.retain(|&m| !view.is_down(m) && !view.is_suspect(m));
 
         // Working availability ledger over the whole cluster (remote
         // feasibility can touch machines outside the hint set).
@@ -671,6 +681,11 @@ impl SchedulerPolicy for TetrisScheduler {
                 let mut best: Option<(MachineId, f64)> = None;
                 for m in view.machines() {
                     if reservations.iter().any(|&(rm, _)| rm == m) {
+                        continue;
+                    }
+                    // Never reserve a dead or suspect machine for a
+                    // starved task (no-op without fault injection).
+                    if view.is_down(m) || view.is_suspect(m) {
                         continue;
                     }
                     let cap = view.capacity(m);

@@ -41,7 +41,7 @@ fn main() {
             print_registry();
         }
         Cmd::Instrument { trace, metrics } => {
-            let ctx = tetris_expts::RunCtx::new(p.scale, p.seed);
+            let ctx = tetris_expts::RunCtx::new(p.scale, p.seed).scaled(p.scale_factor);
             match instrument::instrumented_run(&ctx, trace.as_deref(), metrics.as_deref()) {
                 Ok(report) => println!("{report}"),
                 Err(e) => {
@@ -73,13 +73,14 @@ fn main() {
             });
 
             let start = Instant::now();
-            let runs = runner::run_experiments(selected, p.scale, p.seed, p.jobs, |r| {
-                println!("{}", "=".repeat(74));
-                println!("[{}] {}", r.id, r.what);
-                println!("{}", "=".repeat(74));
-                println!("{}", r.report);
-                println!("({} finished in {:.1}s)\n", r.id, r.seconds);
-            });
+            let runs =
+                runner::run_experiments(selected, p.scale, p.scale_factor, p.seed, p.jobs, |r| {
+                    println!("{}", "=".repeat(74));
+                    println!("[{}] {}", r.id, r.what);
+                    println!("{}", "=".repeat(74));
+                    println!("{}", r.report);
+                    println!("({} finished in {:.1}s)\n", r.id, r.seconds);
+                });
             let wall = start.elapsed().as_secs_f64();
 
             if p.bench.is_some() || baseline.is_some() {
@@ -123,16 +124,24 @@ fn main() {
                 }
                 if let Some(base) = baseline.as_ref() {
                     for e in &b.experiments {
+                        // Rows are matched by experiment id; ids absent
+                        // from the baseline (experiments added after it
+                        // was written) are skipped, not an error.
                         let prev = base.experiments.iter().find(|p| p.id == e.id);
-                        if let Some(prev) = prev {
-                            if prev.seconds.max(e.seconds) >= 0.5 {
-                                println!(
-                                    "  {:>10}: {:.1}s -> {:.1}s ({:.2}x)",
-                                    e.id,
-                                    prev.seconds,
-                                    e.seconds,
-                                    prev.seconds / e.seconds.max(1e-9)
-                                );
+                        match prev {
+                            Some(prev) => {
+                                if prev.seconds.max(e.seconds) >= 0.5 {
+                                    println!(
+                                        "  {:>10}: {:.1}s -> {:.1}s ({:.2}x)",
+                                        e.id,
+                                        prev.seconds,
+                                        e.seconds,
+                                        prev.seconds / e.seconds.max(1e-9)
+                                    );
+                                }
+                            }
+                            None => {
+                                println!("  {:>10}: not in baseline, skipped", e.id);
                             }
                         }
                     }
@@ -161,7 +170,7 @@ fn main() {
             );
             println!("{}", "=".repeat(74));
             let start = Instant::now();
-            let runs = runner::run_sweep(exp, p.scale, seeds, p.jobs, |r| {
+            let runs = runner::run_sweep(exp, p.scale, p.scale_factor, seeds, p.jobs, |r| {
                 println!("  seed {:<4} finished in {:.1}s", r.seed, r.seconds);
             });
             println!(

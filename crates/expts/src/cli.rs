@@ -44,6 +44,10 @@ pub enum Cmd {
 pub struct Parsed {
     /// Cluster/workload scale.
     pub scale: Scale,
+    /// Workload-size multiplier (`--scale F`, validated positive; 1.0 =
+    /// the experiment's own default sizing). Used by CI smokes to shrink
+    /// self-sizing experiments like `churn`.
+    pub scale_factor: f64,
     /// Master seed.
     pub seed: u64,
     /// Worker-thread count (validated ≥ 1).
@@ -63,6 +67,7 @@ const DEFAULT_SWEEP: (u64, u64) = (1, 8);
 /// machine's available parallelism, injected so tests are deterministic.
 pub fn parse(args: &[String], default_jobs: usize) -> Result<Parsed, String> {
     let mut scale = Scale::Laptop;
+    let mut scale_factor = 1.0f64;
     let mut seed = DEFAULT_SEED;
     let mut jobs = default_jobs.max(1);
     let mut bench = None;
@@ -90,6 +95,14 @@ pub fn parse(args: &[String], default_jobs: usize) -> Result<Parsed, String> {
                 seed = value("--seed")?
                     .parse::<u64>()
                     .map_err(|_| "--seed expects an integer".to_string())?;
+            }
+            "--scale" => {
+                let v = value("--scale")?;
+                scale_factor = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|f| f.is_finite() && *f > 0.0)
+                    .ok_or(format!("--scale expects a positive number (got '{v}')"))?;
             }
             "--jobs" | "-j" => {
                 let v = value("--jobs")?;
@@ -161,6 +174,7 @@ pub fn parse(args: &[String], default_jobs: usize) -> Result<Parsed, String> {
 
     Ok(Parsed {
         scale,
+        scale_factor,
         seed,
         jobs,
         bench,
@@ -193,6 +207,8 @@ pub fn print_help() {
          --full    250-machine cluster, paper-scale workloads (roughly ten\n\
                    minutes per simulation run — pick experiments singly)\n\
          --seed N  master seed (default 42; workloads derive from it)\n\
+         --scale F workload-size multiplier for self-sizing experiments\n\
+                   like churn (default 1.0; CI smokes use e.g. 0.05)\n\
          --jobs N  worker threads for running experiments/seeds in\n\
                    parallel (default: available cores; output is\n\
                    byte-identical to --jobs 1)\n\
@@ -291,7 +307,24 @@ mod tests {
         let got = p(&["--full", "--seed", "7", "fig7"]).unwrap();
         assert_eq!(got.scale, Scale::Full);
         assert_eq!(got.seed, 7);
+        assert_eq!(got.scale_factor, 1.0);
         assert!(p(&["--seed", "x"]).unwrap_err().contains("integer"));
+    }
+
+    #[test]
+    fn scale_factor_flag() {
+        assert_eq!(p(&["all"]).unwrap().scale_factor, 1.0);
+        assert_eq!(p(&["all", "--scale", "0.05"]).unwrap().scale_factor, 0.05);
+        assert!(p(&["all", "--scale", "0"])
+            .unwrap_err()
+            .contains("positive"));
+        assert!(p(&["all", "--scale", "-1"])
+            .unwrap_err()
+            .contains("positive"));
+        assert!(p(&["all", "--scale", "x"])
+            .unwrap_err()
+            .contains("positive"));
+        assert!(p(&["all", "--scale"]).unwrap_err().contains("value"));
     }
 
     #[test]

@@ -32,6 +32,10 @@ pub struct RunCtx {
     /// Master seed. Workload generation offsets it per use so experiments
     /// are independent but reproducible.
     pub seed: u64,
+    /// Workload-size multiplier (`--scale F`, default 1.0). Experiments
+    /// that generate their own workloads (e.g. `churn`) multiply job
+    /// counts by it, which is how CI smokes run them in seconds.
+    pub scale_factor: f64,
     /// Metrics folded in from every simulation this context ran.
     /// `RefCell` keeps `run(&RunCtx)` a shared borrow for the experiment
     /// code while the setup helpers record into it; a context is owned by
@@ -45,13 +49,25 @@ impl RunCtx {
         RunCtx {
             scale,
             seed,
+            scale_factor: 1.0,
             collected: RefCell::new(MetricsRegistry::new()),
         }
     }
 
+    /// Builder: set the workload-size multiplier (must be positive).
+    #[must_use]
+    pub fn scaled(mut self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "scale factor must be positive"
+        );
+        self.scale_factor = factor;
+        self
+    }
+
     /// The same scale under a different master seed (sweeps).
     pub fn with_seed(&self, seed: u64) -> Self {
-        RunCtx::new(self.scale, seed)
+        RunCtx::new(self.scale, seed).scaled(self.scale_factor)
     }
 
     /// The deployment cluster for this scale.

@@ -2,6 +2,7 @@
 //! its [`RunCtx`] returning a [`Report`] — rendered text for the CLI plus
 //! typed headline metrics for sweep aggregation and benchmark emission.
 
+pub mod churn;
 pub mod deployment;
 pub mod extensions;
 pub mod ingestion;
@@ -156,6 +157,12 @@ pub fn registry() -> Vec<Experiment> {
             run: extensions::starvation,
             cost: 1,
         },
+        Experiment {
+            id: "churn",
+            what: "Extension — graceful degradation under machine churn (§3.1/§4.3)",
+            run: churn::churn,
+            cost: 30,
+        },
     ]
 }
 
@@ -171,11 +178,11 @@ mod tests {
     #[test]
     fn registry_ids_unique_and_nonempty() {
         let reg = registry();
-        assert_eq!(reg.len(), 20);
+        assert_eq!(reg.len(), 21);
         let mut ids: Vec<_> = reg.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 20);
+        assert_eq!(ids.len(), 21);
     }
 
     #[test]

@@ -166,11 +166,13 @@ pub fn thread_cpu_seconds() -> f64 {
     ticks / USER_HZ
 }
 
-/// Run `selected` experiments at `(scale, seed)` on `jobs` workers.
+/// Run `selected` experiments at `(scale, seed)` on `jobs` workers, with
+/// a workload-size multiplier (`--scale`, 1.0 = default sizing).
 /// `on_done` fires in registry order as experiments finish.
 pub fn run_experiments(
     selected: Vec<Experiment>,
     scale: Scale,
+    scale_factor: f64,
     seed: u64,
     jobs: usize,
     mut on_done: impl FnMut(&ExpRun),
@@ -185,7 +187,7 @@ pub fn run_experiments(
         move |e, _| {
             // A fresh context per experiment: workers share nothing, and
             // the metrics each absorbs are attributable to one id.
-            let ctx = RunCtx::new(scale, seed);
+            let ctx = RunCtx::new(scale, seed).scaled(scale_factor);
             let start = Instant::now();
             let cpu_start = thread_cpu_seconds();
             let report = (e.run)(&ctx);
@@ -217,6 +219,7 @@ pub struct SeedRun {
 pub fn run_sweep(
     exp: Experiment,
     scale: Scale,
+    scale_factor: f64,
     seeds: Vec<u64>,
     jobs: usize,
     mut on_done: impl FnMut(&SeedRun),
@@ -225,7 +228,7 @@ pub fn run_sweep(
         seeds,
         jobs,
         move |seed, _| {
-            let ctx = RunCtx::new(scale, seed);
+            let ctx = RunCtx::new(scale, seed).scaled(scale_factor);
             let start = Instant::now();
             let report = (exp.run)(&ctx);
             SeedRun {
@@ -304,7 +307,10 @@ pub struct BenchReport {
     pub baseline_wall_seconds: Option<f64>,
     /// Measured speedup vs the baseline run (`baseline wall / this wall`).
     pub speedup_vs_baseline: Option<f64>,
-    /// Per-experiment timing and headline metrics.
+    /// Per-experiment timing and headline metrics. Rows are keyed by
+    /// experiment id: `--bench-baseline` comparisons match rows by id and
+    /// silently skip experiments absent from the older file (a baseline
+    /// written before an experiment existed stays usable).
     pub experiments: Vec<BenchExperiment>,
     /// Observability registries of every simulation, merged — includes
     /// the heartbeat/schedule latency histograms (Table 8's continuous
@@ -474,6 +480,7 @@ mod tests {
         let runs = run_experiments(
             vec![experiments::find("table2").unwrap()],
             Scale::Laptop,
+            1.0,
             42,
             2,
             |_| {},

@@ -19,9 +19,9 @@ fn subset() -> Vec<experiments::Experiment> {
 
 #[test]
 fn parallel_reports_are_byte_identical_to_serial() {
-    let serial = run_experiments(subset(), Scale::Laptop, 42, 1, |_| {});
+    let serial = run_experiments(subset(), Scale::Laptop, 1.0, 42, 1, |_| {});
     for jobs in [4, 8] {
-        let par = run_experiments(subset(), Scale::Laptop, 42, jobs, |_| {});
+        let par = run_experiments(subset(), Scale::Laptop, 1.0, 42, jobs, |_| {});
         assert_eq!(serial.len(), par.len());
         for (s, p) in serial.iter().zip(&par) {
             assert_eq!(s.id, p.id, "jobs={jobs} reordered results");
@@ -42,7 +42,7 @@ fn parallel_reports_are_byte_identical_to_serial() {
 #[test]
 fn streaming_callback_fires_in_registry_order() {
     let mut order = Vec::new();
-    run_experiments(subset(), Scale::Laptop, 42, 4, |r| order.push(r.id));
+    run_experiments(subset(), Scale::Laptop, 1.0, 42, 4, |r| order.push(r.id));
     assert_eq!(order, SUBSET);
 }
 
@@ -52,8 +52,8 @@ fn observability_metrics_are_deterministic_too() {
     // histogram *counts* (how many heartbeats/schedule calls happened)
     // must be independent of the worker count; the recorded latencies
     // themselves are wall-clock and legitimately vary run to run.
-    let serial = run_experiments(subset(), Scale::Laptop, 42, 1, |_| {});
-    let par = run_experiments(subset(), Scale::Laptop, 42, 8, |_| {});
+    let serial = run_experiments(subset(), Scale::Laptop, 1.0, 42, 1, |_| {});
+    let par = run_experiments(subset(), Scale::Laptop, 1.0, 42, 8, |_| {});
     for (s, p) in serial.iter().zip(&par) {
         let (ss, ps) = (s.metrics.snapshot(), p.metrics.snapshot());
         assert_eq!(

@@ -82,8 +82,10 @@ pub enum Event {
         task: usize,
         /// Machine the attempt was running on.
         machine: usize,
-        /// Why the slot was lost (`"failure_retry"` today).
-        reason: String,
+        /// Why the slot was lost (`"failure_retry"`, `"machine_crash"`).
+        /// `Cow` so emitters can pass interned `&'static str` tags without
+        /// allocating; deserialization produces the owned form.
+        reason: std::borrow::Cow<'static, str>,
     },
     /// One full "resources freed → pick tasks" pass completed — the
     /// continuous version of the paper's Table-8 heartbeat measurement.
@@ -107,6 +109,62 @@ pub enum Event {
         /// Machines that reported.
         machines: usize,
     },
+    /// Fault injection: a machine crashed, killing resident attempts.
+    MachineDown {
+        /// Machine id.
+        machine: usize,
+        /// Task attempts killed by the crash.
+        killed: usize,
+        /// Of those, attempts that will run again.
+        requeued: usize,
+        /// Of those, tasks permanently abandoned (attempt cap reached).
+        abandoned: usize,
+        /// Seconds of task progress lost.
+        lost_task_seconds: f64,
+        /// Blocks re-replicated off the dead machine.
+        evacuations: usize,
+    },
+    /// Fault injection: a crashed machine recovered.
+    MachineUp {
+        /// Machine id.
+        machine: usize,
+    },
+    /// Fault injection: a straggler window began on a machine.
+    SlowdownStart {
+        /// Machine id.
+        machine: usize,
+        /// Effective disk/net bandwidth factor in (0,1).
+        factor: f64,
+    },
+    /// Fault injection: a straggler window ended.
+    SlowdownEnd {
+        /// Machine id.
+        machine: usize,
+    },
+    /// Fault injection: a machine's tracker went stale ahead of a crash.
+    TrackerFlaky {
+        /// Machine id.
+        machine: usize,
+    },
+    /// The tracker's suspicion score crossed the suspect threshold.
+    MachineSuspected {
+        /// Machine id.
+        machine: usize,
+    },
+    /// A previously suspect machine's reports became trustworthy again.
+    MachineCleared {
+        /// Machine id.
+        machine: usize,
+    },
+    /// A task was permanently abandoned after exhausting its attempts.
+    TaskAbandoned {
+        /// Owning job id.
+        job: usize,
+        /// Task uid.
+        task: usize,
+        /// Attempts used.
+        attempts: u32,
+    },
 }
 
 impl Event {
@@ -120,6 +178,14 @@ impl Event {
             Event::HeartbeatProcessed { .. } => "HeartbeatProcessed",
             Event::TokenBucketThrottled { .. } => "TokenBucketThrottled",
             Event::TrackerReport { .. } => "TrackerReport",
+            Event::MachineDown { .. } => "MachineDown",
+            Event::MachineUp { .. } => "MachineUp",
+            Event::SlowdownStart { .. } => "SlowdownStart",
+            Event::SlowdownEnd { .. } => "SlowdownEnd",
+            Event::TrackerFlaky { .. } => "TrackerFlaky",
+            Event::MachineSuspected { .. } => "MachineSuspected",
+            Event::MachineCleared { .. } => "MachineCleared",
+            Event::TaskAbandoned { .. } => "TaskAbandoned",
         }
     }
 }

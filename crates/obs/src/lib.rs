@@ -69,6 +69,31 @@ pub mod names {
     /// Queueing delay imposed by token buckets (histogram, simulated
     /// microseconds).
     pub const TOKEN_WAIT_US: &str = "token_wait_us";
+
+    // ---------------- faults family (fault injection) ----------------
+
+    /// Machine crash events injected by the fault plan (counter).
+    pub const FAULT_CRASHES: &str = "fault_crashes";
+    /// Machine recoveries (counter).
+    pub const FAULT_RECOVERIES: &str = "fault_recoveries";
+    /// Whole seconds of task progress lost to crashes (counter).
+    pub const FAULT_LOST_TASK_SECONDS: &str = "fault_lost_task_seconds";
+    /// Task attempts killed by crashes that will retry (counter).
+    pub const FAULT_RETRIES: &str = "fault_retries";
+    /// Tasks permanently abandoned at the attempt cap (counter).
+    pub const FAULT_ABANDONED: &str = "fault_abandoned";
+    /// Crash-lost attempts that waited out a restart backoff (counter).
+    pub const FAULT_BACKOFF_WAITS: &str = "fault_backoff_waits";
+    /// Straggler slowdown windows entered (counter).
+    pub const FAULT_SLOWDOWNS: &str = "fault_slowdowns";
+    /// Trackers that went stale ahead of an imminent crash.
+    pub const FAULT_FLAKES: &str = "fault_flakes";
+    /// Machines newly marked suspect by the tracker (counter).
+    pub const FAULT_SUSPECTED: &str = "fault_suspected";
+    /// Suspect machines cleared after good reports (counter).
+    pub const FAULT_CLEARED: &str = "fault_cleared";
+    /// Blocks re-replicated off crashed machines (counter).
+    pub const FAULT_EVACUATIONS: &str = "fault_evacuations";
 }
 
 /// The observability context: one recorder plus one metrics registry,

@@ -3,6 +3,7 @@
 use tetris_resources::{Resource, ResourceVec};
 
 use crate::cluster::MachineId;
+use crate::fault::FaultPlan;
 use crate::time::SimTime;
 
 /// Interference model: when the demand on a disk or network link exceeds
@@ -111,7 +112,10 @@ pub struct SimConfig {
     /// Hard stop: simulated seconds after which the run aborts (guards
     /// against a policy that never schedules some task).
     pub max_time: f64,
-    /// Probability that a finishing task instead fails and re-runs.
+    /// Probability in [0,1] that a finishing task instead fails and
+    /// re-runs. 1.0 is allowed and bounded: the failure roll is skipped
+    /// once a task reaches its last permitted attempt, so even
+    /// always-failing tasks terminate after `max_task_attempts` runs.
     pub task_failure_prob: f64,
     /// Maximum attempts per task before it is abandoned (job never
     /// completes); mirrors YARN's retry limit.
@@ -152,6 +156,10 @@ pub struct SimConfig {
     /// Lower bound on the thrashing factor (real systems bound the
     /// meltdown with OOM kills and swap ceilings).
     pub thrash_floor: f64,
+    /// Fault-injection plan: machine crash/recover cycles, straggler
+    /// slowdown windows, and tracker misbehavior. Disabled by default;
+    /// a disabled plan perturbs nothing (byte-identical runs).
+    pub faults: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -174,6 +182,7 @@ impl Default for SimConfig {
             ramp_up_horizon: 10.0,
             thrash_exponent: 1.35,
             thrash_floor: 0.25,
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -195,8 +204,8 @@ impl SimConfig {
         if !(self.max_time > 0.0) {
             return Err("max_time must be positive".into());
         }
-        if !(0.0..1.0).contains(&self.task_failure_prob) {
-            return Err("task_failure_prob must be in [0,1)".into());
+        if !(0.0..=1.0).contains(&self.task_failure_prob) {
+            return Err("task_failure_prob must be in [0,1]".into());
         }
         if self.max_task_attempts == 0 {
             return Err("max_task_attempts must be ≥ 1".into());
@@ -227,6 +236,7 @@ impl SimConfig {
                 return Err(format!("external load {i} has invalid load vector"));
             }
         }
+        self.faults.validate(self.max_time)?;
         Ok(())
     }
 
@@ -260,13 +270,27 @@ mod tests {
         c.sample_period = Some(-1.0);
         assert!(c.validate().is_err());
 
+        // The failure probability accepts the full closed interval: 1.0 is
+        // bounded because the roll is skipped on the final attempt.
         let mut c = SimConfig::default();
         c.task_failure_prob = 1.0;
+        assert_eq!(c.validate(), Ok(()));
+        c.task_failure_prob = 1.0 + 1e-9;
+        assert!(c.validate().is_err());
+        c.task_failure_prob = -0.1;
         assert!(c.validate().is_err());
 
         let mut c = SimConfig::default();
         c.shuffle_fanin = 0;
         assert!(c.validate().is_err());
+
+        // Fault plans are validated against the sim horizon.
+        let mut c = SimConfig::default();
+        c.faults.crash_frac = 0.1;
+        c.faults.window = (0.0, c.max_time);
+        assert!(c.validate().is_err());
+        c.faults.window = (0.0, 600.0);
+        assert_eq!(c.validate(), Ok(()));
     }
 
     #[test]

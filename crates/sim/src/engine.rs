@@ -6,17 +6,23 @@ use tetris_obs::{names, Event, Obs};
 use tetris_resources::ResourceVec;
 use tetris_workload::{TaskUid, Workload};
 
-use crate::cluster::ClusterConfig;
+use crate::cluster::{ClusterConfig, MachineId};
 use crate::config::SimConfig;
 use crate::events::{EventKind, EventQueue};
+use crate::fault::FaultKind;
 use crate::outcome::{EngineStats, JobRecord, MachineSample, Sample, SimOutcome, TaskRecord};
-use crate::state::{DirtySet, SimState, TaskCompletion};
+use crate::state::{DirtySet, Phase, SimState, TaskCompletion};
 use crate::time::SimTime;
 use crate::view::{ClusterView, SchedulerPolicy};
 
 /// Cap on re-invocations of the policy within one scheduling round; guards
 /// against a policy that keeps returning assignments the engine rejects.
 const MAX_SCHEDULE_ROUNDS: usize = 16;
+
+/// Interned preemption-reason tags: `&'static str` into the event's `Cow`
+/// field, so emitting a retry allocates nothing for the reason.
+const REASON_FAILURE_RETRY: &str = "failure_retry";
+const REASON_MACHINE_CRASH: &str = "machine_crash";
 
 /// Builder for one simulation run.
 ///
@@ -152,9 +158,29 @@ impl<'o> Simulation<'o> {
             SimTime::from_secs(state.cfg.tracker_period),
             EventKind::TrackerReport,
         );
+        // Fault plan expansion draws from the sim RNG *after* all other
+        // seeding, and only when enabled: a disabled plan draws nothing
+        // and pushes nothing, keeping fault-free runs byte-identical.
+        if state.cfg.faults.enabled() {
+            let plan = state.cfg.faults.clone();
+            let expanded = plan.expand(state.machines.len(), state.cfg.max_time, &mut state.rng);
+            state.tracker_modes = expanded.tracker_modes.clone();
+            state.tracker_modes_baseline = expanded.tracker_modes;
+            for (t, k) in expanded.events {
+                let kind = match k {
+                    FaultKind::Down(m) => EventKind::MachineDown(MachineId(m)),
+                    FaultKind::Up(m) => EventKind::MachineUp(MachineId(m)),
+                    FaultKind::SlowStart(m) => EventKind::SlowdownStart(MachineId(m)),
+                    FaultKind::SlowEnd(m) => EventKind::SlowdownEnd(MachineId(m)),
+                    FaultKind::Flake(m) => EventKind::TrackerFlake(MachineId(m)),
+                };
+                queue.push(SimTime::from_secs(t), kind);
+            }
+        }
 
         let max_t = state.cfg.max_sim_time();
         let mut timed_out = false;
+        let mut tracker_transitions: Vec<(MachineId, bool)> = Vec::new();
 
         while let Some(ev) = queue.pop() {
             if ev.time > max_t {
@@ -206,7 +232,21 @@ impl<'o> Simulation<'o> {
                         }
                     }
                     EventKind::TrackerReport => {
-                        state.tracker_report();
+                        tracker_transitions.clear();
+                        state.tracker_report(&mut tracker_transitions);
+                        for &(m, suspect) in &tracker_transitions {
+                            if suspect {
+                                obs.metrics.counter_inc(names::FAULT_SUSPECTED);
+                                obs.emit(state.now.as_secs(), || Event::MachineSuspected {
+                                    machine: m.index(),
+                                });
+                            } else {
+                                obs.metrics.counter_inc(names::FAULT_CLEARED);
+                                obs.emit(state.now.as_secs(), || Event::MachineCleared {
+                                    machine: m.index(),
+                                });
+                            }
+                        }
                         obs.metrics.counter_inc(names::TRACKER_REPORTS);
                         if observing {
                             obs.metrics.gauge_set(
@@ -240,6 +280,89 @@ impl<'o> Simulation<'o> {
                     EventKind::ExternalEnd(i) => {
                         state.set_external(i, false, &mut dirty);
                         want_schedule = true;
+                    }
+                    EventKind::MachineDown(m) => {
+                        let rep = state.machine_crash(m, &mut dirty, &mut queue);
+                        stats.machine_crashes += 1;
+                        stats.crash_killed_attempts +=
+                            (rep.requeued.len() + rep.abandoned.len()) as u64;
+                        stats.lost_task_seconds += rep.lost_task_seconds;
+                        obs.metrics.counter_inc(names::FAULT_CRASHES);
+                        obs.metrics.counter_add(
+                            names::FAULT_LOST_TASK_SECONDS,
+                            rep.lost_task_seconds.round() as u64,
+                        );
+                        obs.metrics
+                            .counter_add(names::FAULT_RETRIES, rep.requeued.len() as u64);
+                        obs.metrics
+                            .counter_add(names::FAULT_ABANDONED, rep.abandoned.len() as u64);
+                        obs.metrics
+                            .counter_add(names::FAULT_EVACUATIONS, rep.evacuations as u64);
+                        for &uid in &rep.requeued {
+                            obs.emit(state.now.as_secs(), || Event::TaskPreempted {
+                                job: state.workload.task(uid).expect("task").job.index(),
+                                task: uid.index(),
+                                machine: m.index(),
+                                reason: REASON_MACHINE_CRASH.into(),
+                            });
+                        }
+                        for &uid in &rep.abandoned {
+                            obs.emit(state.now.as_secs(), || Event::TaskAbandoned {
+                                job: state.workload.task(uid).expect("task").job.index(),
+                                task: uid.index(),
+                                attempts: state.tasks[uid.index()].attempts,
+                            });
+                        }
+                        obs.emit(state.now.as_secs(), || Event::MachineDown {
+                            machine: m.index(),
+                            killed: rep.requeued.len() + rep.abandoned.len(),
+                            requeued: rep.requeued.len(),
+                            abandoned: rep.abandoned.len(),
+                            lost_task_seconds: rep.lost_task_seconds,
+                            evacuations: rep.evacuations,
+                        });
+                        want_schedule = true;
+                    }
+                    EventKind::MachineUp(m) => {
+                        state.machine_recover(m);
+                        obs.metrics.counter_inc(names::FAULT_RECOVERIES);
+                        obs.emit(state.now.as_secs(), || Event::MachineUp {
+                            machine: m.index(),
+                        });
+                        want_schedule = true;
+                    }
+                    EventKind::SlowdownStart(m) => {
+                        let factor = state.cfg.faults.slowdown_factor;
+                        state.set_slowdown(m, factor, &mut dirty);
+                        obs.metrics.counter_inc(names::FAULT_SLOWDOWNS);
+                        obs.emit(state.now.as_secs(), || Event::SlowdownStart {
+                            machine: m.index(),
+                            factor,
+                        });
+                        want_schedule = true;
+                    }
+                    EventKind::SlowdownEnd(m) => {
+                        state.set_slowdown(m, 1.0, &mut dirty);
+                        obs.emit(state.now.as_secs(), || Event::SlowdownEnd {
+                            machine: m.index(),
+                        });
+                        want_schedule = true;
+                    }
+                    EventKind::TrackerFlake(m) => {
+                        // The doomed machine's tracker goes stale ahead of
+                        // its crash; suspicion builds via the ordinary
+                        // stale-report detection in `tracker_report`.
+                        state.tracker_modes[m.index()] = crate::fault::TrackerMode::Stale;
+                        obs.metrics.counter_inc(names::FAULT_FLAKES);
+                        obs.emit(state.now.as_secs(), || Event::TrackerFlaky {
+                            machine: m.index(),
+                        });
+                    }
+                    EventKind::TaskRestart(task) => {
+                        if state.task_restart(task) {
+                            obs.metrics.counter_inc(names::FAULT_BACKOFF_WAITS);
+                            want_schedule = true;
+                        }
                     }
                 }
             }
@@ -342,7 +465,7 @@ fn observe_completion(obs: &mut Obs, state: &SimState, task: TaskUid, done: Task
                 job: state.workload.task(task).expect("task").job.index(),
                 task: task.index(),
                 machine: machine.index(),
-                reason: "failure_retry".into(),
+                reason: REASON_FAILURE_RETRY.into(),
             });
         }
         TaskCompletion::Finished {
@@ -425,6 +548,7 @@ fn finalize(
         .iter()
         .map(|t| (t.attempts.saturating_sub(1)) as u64)
         .sum();
+    stats.tasks_abandoned = state.tasks_abandoned;
 
     let tasks: Vec<TaskRecord> = state
         .workload
@@ -440,6 +564,7 @@ fn finalize(
                 ideal_duration: spec.ideal_duration(),
                 planned_duration: ts.planned,
                 attempts: ts.attempts,
+                abandoned: matches!(ts.phase, Phase::Abandoned),
             }
         })
         .collect();

@@ -30,10 +30,26 @@ pub(crate) enum EventKind {
     TrackerReport,
     /// Periodic utilization sample.
     Sample,
-    /// External load period begins (index into `SimConfig::external_loads`).
+    /// External load period begins (index into `SimConfig::external_loads`,
+    /// or past its end into `SimState::dynamic_loads` for re-replication
+    /// flows spawned at crash time).
     ExternalStart(usize),
     /// External load period ends.
     ExternalEnd(usize),
+    /// Fault injection: a machine crashes (kills resident flows/tasks).
+    MachineDown(crate::cluster::MachineId),
+    /// Fault injection: a crashed machine recovers.
+    MachineUp(crate::cluster::MachineId),
+    /// Fault injection: an IO slowdown window begins on a machine.
+    SlowdownStart(crate::cluster::MachineId),
+    /// Fault injection: an IO slowdown window ends.
+    SlowdownEnd(crate::cluster::MachineId),
+    /// Fault injection: a machine's tracker goes stale ahead of a crash
+    /// (failing machines flake before they die); cleared on recovery.
+    TrackerFlake(crate::cluster::MachineId),
+    /// A task attempt lost to a crash finishes its restart backoff and
+    /// becomes schedulable again.
+    TaskRestart(TaskUid),
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -50,6 +50,7 @@ mod cluster;
 mod config;
 mod engine;
 mod events;
+mod fault;
 mod outcome;
 pub mod probe;
 mod state;
@@ -61,6 +62,7 @@ mod view;
 pub use cluster::{ClusterConfig, MachineId};
 pub use config::{ExternalLoad, Interference, SimConfig};
 pub use engine::{GreedyFifo, Simulation};
+pub use fault::FaultPlan;
 pub use outcome::{EngineStats, JobRecord, MachineSample, Sample, SimOutcome, TaskRecord};
 pub use state::{PlacementPlan, TaskCompletion};
 pub use time::SimTime;

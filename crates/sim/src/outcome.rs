@@ -52,6 +52,10 @@ pub struct TaskRecord {
     pub planned_duration: Option<f64>,
     /// Number of attempts (>1 ⇒ failures).
     pub attempts: u32,
+    /// True if the task was permanently abandoned after exhausting
+    /// `max_task_attempts` (its `finish` records when it was given up).
+    #[serde(default)]
+    pub abandoned: bool,
 }
 
 impl TaskRecord {
@@ -119,6 +123,19 @@ pub struct EngineStats {
     pub rejected_assignments: u64,
     /// Task attempts that failed and re-ran.
     pub task_failures: u64,
+    /// Tasks permanently abandoned after exhausting `max_task_attempts`
+    /// (terminal-failure audit: their jobs still complete).
+    #[serde(default)]
+    pub tasks_abandoned: u64,
+    /// Machine crash events injected by the fault plan.
+    #[serde(default)]
+    pub machine_crashes: u64,
+    /// Task attempts killed by machine crashes.
+    #[serde(default)]
+    pub crash_killed_attempts: u64,
+    /// Seconds of task progress lost to crashes.
+    #[serde(default)]
+    pub lost_task_seconds: f64,
 }
 
 /// Everything a run produced.
@@ -259,6 +276,7 @@ mod tests {
             ideal_duration: 8.0,
             planned_duration: Some(10.0),
             attempts: 1,
+            abandoned: false,
         };
         assert_eq!(t.duration(), Some(20.0));
         assert_eq!(t.stretch(), Some(2.0));

@@ -32,9 +32,11 @@ use tetris_resources::{Resource, ResourceVec, NUM_RESOURCES};
 use tetris_workload::{InputSource, JobId, TaskSpec, TaskUid, Workload};
 
 use crate::cluster::{ClusterConfig, MachineId};
-use crate::config::SimConfig;
+use crate::config::{ExternalLoad, SimConfig};
 use crate::events::{EventKind, EventQueue, FlowId};
+use crate::fault::TrackerMode;
 use crate::time::SimTime;
+use crate::tracker;
 
 /// Relative tolerance under which a flow's remaining work counts as done.
 const WORK_EPS_REL: f64 = 1e-9;
@@ -89,6 +91,18 @@ pub(crate) struct MachineState {
     /// Uids of the hosted running tasks (slot accounting for slot-based
     /// policies; order is placement order).
     pub running_tasks: Vec<TaskUid>,
+    /// True while the machine is crashed (fault injection): zero
+    /// availability, no placements, no tracker reports.
+    pub down: bool,
+    /// Straggler factor in (0,1] applied to effective disk/net bandwidth
+    /// (1.0 = healthy; fault injection).
+    pub slowdown: f64,
+    /// Suspicion score fed by missed/implausible tracker reports; decays
+    /// on plausible ones. `>= tracker::SUSPECT_THRESHOLD` ⇒ suspect.
+    pub suspicion: f64,
+    /// Consecutive reports whose memory figure contradicted the
+    /// allocation ledger (stale-tracker detector).
+    pub stale_streak: u32,
 }
 
 impl MachineState {
@@ -104,6 +118,10 @@ impl MachineState {
             recent: Vec::new(),
             running: 0,
             running_tasks: Vec::new(),
+            down: false,
+            slowdown: 1.0,
+            suspicion: 0.0,
+            stale_streak: 0,
         }
     }
 
@@ -112,7 +130,13 @@ impl MachineState {
     /// over-subscription per the interference model (disk seeks, incast).
     #[inline]
     fn factor(&self, r: Resource, interference: &crate::config::Interference) -> f64 {
-        let cap = self.capacity.get(r);
+        let mut cap = self.capacity.get(r);
+        if self.slowdown < 1.0 && r != Resource::Cpu && r != Resource::Mem {
+            // Straggler window: the disk/NIC delivers only a fraction of
+            // nominal bandwidth (fault injection; never taken when
+            // faults are disabled).
+            cap *= self.slowdown;
+        }
         let demand = self.link_demand[r.index()];
         if demand <= cap || demand <= 0.0 {
             1.0
@@ -170,14 +194,19 @@ pub(crate) enum Phase {
     Running(RunInfo),
     /// Done.
     Finished,
+    /// Attempt lost to a machine crash; waiting out the restart backoff
+    /// before becoming runnable again.
+    Backoff,
+    /// Permanently failed: lost its last permitted attempt to a crash.
+    /// Counts toward stage/job completion so the job still terminates.
+    Abandoned,
 }
 
 /// Bookkeeping for a running task.
 #[derive(Debug, Clone)]
 pub(crate) struct RunInfo {
     pub machine: MachineId,
-    /// Flow ids of this attempt (kept for debugging/invariant checks).
-    #[allow(dead_code)]
+    /// Flow ids of this attempt (torn down on a crash).
     pub flows: Vec<FlowId>,
     pub flows_left: usize,
     pub local_alloc: ResourceVec,
@@ -401,6 +430,24 @@ pub(crate) struct SimState {
     pub freed_hint: Vec<MachineId>,
     /// Completions this run (diagnostics).
     pub completions: usize,
+    /// Tracker behavior per machine (all honest when faults are off).
+    pub tracker_modes: Vec<TrackerMode>,
+    /// Planned tracker behavior, restored when a machine recovers from a
+    /// crash (pre-crash flaking is transient; a reboot resets the agent).
+    pub tracker_modes_baseline: Vec<TrackerMode>,
+    /// External loads synthesized at runtime (crash-time re-replication);
+    /// indexed by `ExternalStart`/`ExternalEnd` past the end of
+    /// `cfg.external_loads`.
+    pub dynamic_loads: Vec<ExternalLoad>,
+    /// Whether each external load (static, then dynamic) is currently
+    /// applied, so a crash can abort a machine's in-flight transfers and
+    /// the load's own `ExternalEnd` becomes a no-op afterwards.
+    pub external_active: Vec<bool>,
+    /// External loads permanently aborted because their machine (or its
+    /// re-replication peer) crashed; queued Start/End events are no-ops.
+    pub external_cancelled: Vec<bool>,
+    /// Tasks permanently failed after exhausting `max_task_attempts`.
+    pub tasks_abandoned: u64,
 }
 
 impl SimState {
@@ -473,6 +520,7 @@ impl SimState {
 
         let total_capacity = cluster.total_capacity();
         let jobs_remaining = workload.jobs.len();
+        let n_external = cfg.external_loads.len();
         SimState {
             cluster,
             workload,
@@ -489,6 +537,12 @@ impl SimState {
             rng,
             freed_hint: Vec::new(),
             completions: 0,
+            tracker_modes: vec![TrackerMode::Honest; n_machines],
+            tracker_modes_baseline: vec![TrackerMode::Honest; n_machines],
+            external_active: vec![false; n_external],
+            external_cancelled: vec![false; n_external],
+            dynamic_loads: Vec::new(),
+            tasks_abandoned: 0,
         }
     }
 
@@ -550,6 +604,7 @@ impl SimState {
     /// reproduction.
     pub fn assignment_valid(&self, task: TaskUid, machine: MachineId) -> bool {
         machine.index() < self.machines.len()
+            && !self.machines[machine.index()].down
             && task.index() < self.tasks.len()
             && matches!(self.tasks[task.index()].phase, Phase::Runnable)
     }
@@ -1038,14 +1093,28 @@ impl SimState {
         self.completions += 1;
         self.tasks[uid.index()].finish = Some(self.now);
         let out = self.spec(uid).output_bytes;
+        if out > 0.0 {
+            let stage = &mut self.jobs[ji].stages[si];
+            *stage.out_by_machine.entry(host).or_default() += out;
+            stage.total_out += out;
+        }
+        let job_finished = self.note_task_terminal(ji, si);
+        TaskCompletion::Finished {
+            machine: host,
+            attempts,
+            job_finished,
+        }
+    }
+
+    /// Account one task of `(ji, si)` reaching a terminal state (finished
+    /// or abandoned): bump the finished counters, unlock downstream stages
+    /// whose dependencies are all complete, and finish the job when its
+    /// last task terminates. Returns true iff the job finished.
+    fn note_task_terminal(&mut self, ji: usize, si: usize) -> bool {
         let job = &mut self.jobs[ji];
         job.finished_tasks += 1;
         let stage = &mut job.stages[si];
         stage.finished += 1;
-        if out > 0.0 {
-            *stage.out_by_machine.entry(host).or_default() += out;
-            stage.total_out += out;
-        }
         let stage_done = stage.finished == stage.total;
 
         if stage_done {
@@ -1074,16 +1143,26 @@ impl SimState {
             job.finish = Some(self.now);
             self.jobs_remaining -= 1;
         }
-        TaskCompletion::Finished {
-            machine: host,
-            attempts,
-            job_finished,
-        }
+        job_finished
     }
 
-    /// Apply/remove external load on a machine's links.
+    /// Apply/remove external load on a machine's links. Indices past the
+    /// end of `cfg.external_loads` address `dynamic_loads` (re-replication
+    /// flows synthesized at crash time).
     pub fn set_external(&mut self, idx: usize, active: bool, dirty: &mut DirtySet) {
-        let e = self.cfg.external_loads[idx].clone();
+        // A transfer aborted at crash time ignores its queued Start/End
+        // events; the active flag makes the abort idempotent with the
+        // load's own End. Exact no-op without faults: starts and ends
+        // always alternate and nothing is ever cancelled.
+        if active == self.external_active[idx] || (active && self.external_cancelled[idx]) {
+            return;
+        }
+        self.external_active[idx] = active;
+        let e = if idx < self.cfg.external_loads.len() {
+            self.cfg.external_loads[idx].clone()
+        } else {
+            self.dynamic_loads[idx - self.cfg.external_loads.len()].clone()
+        };
         let mi = e.machine.index();
         let sign = if active { 1.0 } else { -1.0 };
         for (r, v) in e.load.iter() {
@@ -1105,15 +1184,84 @@ impl SimState {
 
     /// Tracker tick: machines report their current usage (task flows plus
     /// external activity) and prune expired ramp-up entries.
-    pub fn tracker_report(&mut self) {
+    ///
+    /// With faults enabled, reports pass through each machine's
+    /// [`TrackerMode`] (stale trackers freeze their last report, liars
+    /// scale theirs) and feed the per-machine suspicion score: a down
+    /// machine misses its report, an over-capacity report is implausible,
+    /// and a frozen report while the allocation ledger moves marks a stale
+    /// tracker. Suspicion decays on plausible reports. Machines crossing
+    /// the suspect threshold (either way) are appended to `transitions`
+    /// as `(machine, now_suspect)` so the engine can trace them.
+    pub fn tracker_report(&mut self, transitions: &mut Vec<(MachineId, bool)>) {
         let horizon = self.cfg.ramp_up_horizon;
         let now = self.now;
+        if !self.cfg.faults.enabled() {
+            // Fast path, byte-identical to the pre-fault tracker.
+            for mi in 0..self.machines.len() {
+                let usage = self.machines[mi].usage(&self.flows);
+                let ms = &mut self.machines[mi];
+                ms.external_reported = ms.external;
+                ms.usage_reported = usage;
+                ms.recent.retain(|(t, _)| now.secs_since(*t) < horizon);
+            }
+            return;
+        }
         for mi in 0..self.machines.len() {
-            let usage = self.machines[mi].usage(&self.flows);
-            let ms = &mut self.machines[mi];
-            ms.external_reported = ms.external;
-            ms.usage_reported = usage;
-            ms.recent.retain(|(t, _)| now.secs_since(*t) < horizon);
+            let was_suspect = self.machines[mi].suspicion >= tracker::SUSPECT_THRESHOLD;
+            if self.machines[mi].down {
+                // Missed report: the tracker hears nothing from a crashed
+                // machine, which is itself a strong signal.
+                let ms = &mut self.machines[mi];
+                ms.suspicion =
+                    (ms.suspicion + tracker::MISSED_REPORT_SUSPICION).min(tracker::SUSPICION_CAP);
+            } else {
+                let usage = self.machines[mi].usage(&self.flows);
+                let mode = self.tracker_modes[mi];
+                let ms = &mut self.machines[mi];
+                let (reported_usage, reported_external) = match mode {
+                    TrackerMode::Honest => (usage, ms.external),
+                    // A stale tracker re-sends its previous report forever.
+                    TrackerMode::Stale => (ms.usage_reported, ms.external_reported),
+                    // A misreporting tracker scales true usage by a factor
+                    // (over- or under-reporting).
+                    TrackerMode::Misreport(f) => (usage * f, ms.external * f),
+                };
+                if tracker::report_implausible(&reported_usage, &ms.capacity) {
+                    // Claims more usage than the hardware can deliver.
+                    ms.suspicion = (ms.suspicion + tracker::IMPLAUSIBLE_REPORT_SUSPICION)
+                        .min(tracker::SUSPICION_CAP);
+                    ms.stale_streak = 0;
+                } else if reported_usage.get(Resource::Mem) != ms.allocated.get(Resource::Mem) {
+                    // The report's memory figure contradicts the master's
+                    // own allocation ledger. Memory is a space resource —
+                    // an honest report equals allocated memory *by
+                    // construction* — so a mismatch means the report is
+                    // frozen (or scaled) while the ledger moved: a stale
+                    // tracker. Rate resources can't be used here: a
+                    // saturated link honestly repeats `capacity` forever.
+                    // The streak tolerates one-report races a real,
+                    // asynchronous cluster would produce.
+                    ms.stale_streak += 1;
+                    if ms.stale_streak >= tracker::STALE_STREAK_REPORTS {
+                        ms.suspicion = (ms.suspicion + tracker::MISSED_REPORT_SUSPICION)
+                            .min(tracker::SUSPICION_CAP);
+                    }
+                } else {
+                    ms.stale_streak = 0;
+                    ms.suspicion *= tracker::SUSPICION_DECAY;
+                    if ms.suspicion < tracker::SUSPICION_ZERO_BELOW {
+                        ms.suspicion = 0.0;
+                    }
+                }
+                ms.usage_reported = reported_usage;
+                ms.external_reported = reported_external;
+                ms.recent.retain(|(t, _)| now.secs_since(*t) < horizon);
+            }
+            let is_suspect = self.machines[mi].suspicion >= tracker::SUSPECT_THRESHOLD;
+            if is_suspect != was_suspect {
+                transitions.push((MachineId(mi), is_suspect));
+            }
         }
     }
 
@@ -1153,6 +1301,10 @@ impl SimState {
     /// the demand ledger minus tracker-reported external usage.
     pub fn availability(&self, m: MachineId, tracker_aware: bool) -> ResourceVec {
         let ms = &self.machines[m.index()];
+        if ms.down {
+            // A crashed machine offers nothing to any policy.
+            return ResourceVec::zero();
+        }
         if !tracker_aware {
             return ms.capacity - ms.allocated;
         }
@@ -1172,6 +1324,312 @@ impl SimState {
         committed.set(Resource::Mem, ms.allocated.get(Resource::Mem));
         ms.capacity - committed
     }
+
+    // ------------------------------------------------------------------
+    // Fault injection: crash / recover / slowdown / restart
+    // ------------------------------------------------------------------
+
+    /// Tear down a running task's attempt (machine crash): invalidate its
+    /// flows, release every ledger the attempt charged, and decide its
+    /// fate — abandoned when out of attempts, backoff-delayed restart when
+    /// `restart_backoff > 0`, immediately runnable otherwise.
+    ///
+    /// Returns `None` if the task was not actually running, else
+    /// `Some((abandoned, lost_task_seconds))`.
+    fn kill_task(
+        &mut self,
+        uid: TaskUid,
+        dirty: &mut DirtySet,
+        queue: &mut EventQueue,
+    ) -> Option<(bool, f64)> {
+        let (ji, si, _) = self.task_loc[uid.index()];
+        let info = match std::mem::replace(&mut self.tasks[uid.index()].phase, Phase::Runnable) {
+            Phase::Running(info) => info,
+            other => {
+                self.tasks[uid.index()].phase = other;
+                return None;
+            }
+        };
+
+        // Invalidate this attempt's flows: mark done, bump generation so
+        // queued FlowDone events go stale, and drop them from every link.
+        for &fid in &info.flows {
+            let f = &mut self.flows[fid.0];
+            if f.done {
+                continue;
+            }
+            f.done = true;
+            f.remaining = 0.0;
+            f.rate = 0.0;
+            f.gen += 1;
+            let links = f.links.clone();
+            let cap = f.cap;
+            for (m, r) in links {
+                let ms = &mut self.machines[m.index()];
+                ms.link_demand[r.index()] = (ms.link_demand[r.index()] - cap).max(0.0);
+                ms.link_flows[r.index()].retain(|&x| x != fid);
+                dirty.insert_link(m.index(), r.index());
+            }
+        }
+
+        // Release ledgers (mirror of task_complete).
+        let host = info.machine;
+        {
+            let ms = &mut self.machines[host.index()];
+            ms.allocated = (ms.allocated - info.local_alloc).clamp_non_negative();
+            ms.running -= 1;
+            ms.running_tasks.retain(|&t| t != uid);
+        }
+        if info.local_alloc.get(Resource::Mem) > 0.0 && self.cfg.thrashing {
+            dirty.insert_mem(host.index());
+        }
+        self.freed_hint.push(host);
+        for &(m, dem) in &info.remote_alloc {
+            self.machines[m.index()].allocated =
+                (self.machines[m.index()].allocated - dem).clamp_non_negative();
+            self.freed_hint.push(m);
+        }
+        let job = &mut self.jobs[ji];
+        job.allocated = (job.allocated - info.local_alloc).clamp_non_negative();
+        job.running -= 1;
+        job.stages[si].running -= 1;
+
+        let now = self.now;
+        let backoff = self.cfg.faults.restart_backoff;
+        let max_attempts = self.cfg.max_task_attempts;
+        let t = &mut self.tasks[uid.index()];
+        let lost = t.start.map_or(0.0, |s| now.secs_since(s));
+        t.machine = None;
+        if t.attempts >= max_attempts {
+            // Out of attempts: permanently failed, but still terminal so
+            // the owning stage/job completes instead of hanging.
+            t.phase = Phase::Abandoned;
+            t.finish = Some(now);
+            self.tasks_abandoned += 1;
+            self.note_task_terminal(ji, si);
+            Some((true, lost))
+        } else if backoff > 0.0 {
+            t.phase = Phase::Backoff;
+            queue.push(now.after_secs(backoff), EventKind::TaskRestart(uid));
+            Some((false, lost))
+        } else {
+            t.phase = Phase::Runnable;
+            t.runnable_since = Some(now);
+            self.jobs[ji].stages[si].pending.push(uid);
+            Some((false, lost))
+        }
+    }
+
+    /// Crash a machine: kill every resident task attempt *and* every
+    /// remote attempt with a flow traversing this machine (readers of its
+    /// disks lose their input stream), zero its tracker state, and kick
+    /// off re-replication of the blocks it held.
+    pub fn machine_crash(
+        &mut self,
+        machine: MachineId,
+        dirty: &mut DirtySet,
+        queue: &mut EventQueue,
+    ) -> CrashReport {
+        let mi = machine.index();
+        self.machines[mi].down = true;
+        self.machines[mi].slowdown = 1.0;
+
+        // Victims: tasks hosted here plus any task with a flow on one of
+        // this machine's links (remote readers), deduped and in TaskUid
+        // order for determinism.
+        let mut victims: Vec<TaskUid> = self.machines[mi].running_tasks.clone();
+        for ri in 0..NUM_RESOURCES {
+            for &fid in &self.machines[mi].link_flows[ri] {
+                victims.push(self.flows[fid.0].task);
+            }
+        }
+        victims.sort_unstable();
+        victims.dedup();
+
+        let mut report = CrashReport {
+            requeued: Vec::new(),
+            abandoned: Vec::new(),
+            lost_task_seconds: 0.0,
+            evacuations: 0,
+        };
+        for uid in victims {
+            if let Some((abandoned, lost)) = self.kill_task(uid, dirty, queue) {
+                report.lost_task_seconds += lost;
+                if abandoned {
+                    report.abandoned.push(uid);
+                } else {
+                    report.requeued.push(uid);
+                }
+            }
+        }
+
+        // The tracker stops hearing from the machine.
+        {
+            let ms = &mut self.machines[mi];
+            ms.usage_reported = ResourceVec::zero();
+            ms.external_reported = ResourceVec::zero();
+            ms.recent.clear();
+        }
+
+        // Abort external transfers through the dead machine: its links
+        // carry nothing while it is down, and the transfer does not resume
+        // on recovery. A re-replication stream dies on *both* ends — once
+        // one side is gone the surviving peer's effort is moot (pairs sit
+        // at consecutive dynamic indices, source first).
+        let n_static = self.cfg.external_loads.len();
+        for idx in 0..n_static + self.dynamic_loads.len() {
+            let owner = if idx < n_static {
+                self.cfg.external_loads[idx].machine
+            } else {
+                self.dynamic_loads[idx - n_static].machine
+            };
+            if owner != machine || self.external_cancelled[idx] {
+                continue;
+            }
+            self.set_external(idx, false, dirty);
+            self.external_cancelled[idx] = true;
+            if idx >= n_static {
+                let peer = n_static + ((idx - n_static) ^ 1);
+                self.set_external(peer, false, dirty);
+                self.external_cancelled[peer] = true;
+            }
+        }
+
+        report.evacuations = self.evacuate_blocks(machine, queue);
+        report
+    }
+
+    /// Re-replicate blocks lost to a crash (paper §4.3: evacuation shows
+    /// up as external DiskRead+NetOut load at the surviving source and
+    /// NetIn+DiskWrite at the new home). Transfers are serialized so each
+    /// crash adds at most one concurrent transfer stream. Returns the
+    /// number of blocks re-replicated.
+    fn evacuate_blocks(&mut self, machine: MachineId, queue: &mut EventQueue) -> usize {
+        let n = self.machines.len();
+        let now_secs = self.now.secs_since(SimTime::ZERO);
+        let bw = self.cfg.faults.rerep_bandwidth;
+        let duration = self.cfg.faults.rerep_bytes / bw;
+        let mut evacuations = 0usize;
+        for bi in 0..self.blocks.len() {
+            let Some(pos) = self.blocks[bi].iter().position(|&m| m == machine) else {
+                continue;
+            };
+            if self.blocks[bi].len() == 1 {
+                // Sole replica: nothing to copy from. The block becomes
+                // readable again when the machine recovers; until then
+                // placement treats the dead machine as its (only) source.
+                continue;
+            }
+            self.blocks[bi].remove(pos);
+            if !self.cfg.faults.evacuate {
+                continue;
+            }
+            let sources: Vec<MachineId> = self.blocks[bi]
+                .iter()
+                .copied()
+                .filter(|m| !self.machines[m.index()].down)
+                .collect();
+            let dests: Vec<MachineId> = (0..n)
+                .map(MachineId)
+                .filter(|m| !self.machines[m.index()].down && !self.blocks[bi].contains(m))
+                .collect();
+            if sources.is_empty() || dests.is_empty() {
+                continue;
+            }
+            let src = sources[self.rng.gen_range(0..sources.len())];
+            let dest = dests[self.rng.gen_range(0..dests.len())];
+            self.blocks[bi].push(dest);
+            self.blocks[bi].sort_unstable();
+
+            // One transfer at a time: the k-th evacuated block starts
+            // after the previous one finishes.
+            let start = now_secs + evacuations as f64 * duration;
+            let src_load = ResourceVec::zero()
+                .with(Resource::DiskRead, bw)
+                .with(Resource::NetOut, bw);
+            let dest_load = ResourceVec::zero()
+                .with(Resource::NetIn, bw)
+                .with(Resource::DiskWrite, bw);
+            for (m, load) in [(src, src_load), (dest, dest_load)] {
+                let idx = self.cfg.external_loads.len() + self.dynamic_loads.len();
+                self.dynamic_loads.push(ExternalLoad {
+                    machine: m,
+                    start,
+                    duration,
+                    load,
+                });
+                self.external_active.push(false);
+                self.external_cancelled.push(false);
+                queue.push(SimTime::from_secs(start), EventKind::ExternalStart(idx));
+                queue.push(
+                    SimTime::from_secs(start + duration),
+                    EventKind::ExternalEnd(idx),
+                );
+            }
+            evacuations += 1;
+        }
+        evacuations
+    }
+
+    /// Bring a crashed machine back: it starts reporting again with a
+    /// clean tracker slate (suspicion is retained so flapping machines
+    /// stay suspect until they prove themselves with good reports).
+    pub fn machine_recover(&mut self, machine: MachineId) {
+        // A reboot resets the tracker agent: transient pre-crash flaking
+        // ends here (planned stale/misreporting modes persist).
+        self.tracker_modes[machine.index()] = self.tracker_modes_baseline[machine.index()];
+        let ms = &mut self.machines[machine.index()];
+        ms.down = false;
+        ms.recent.clear();
+        ms.usage_reported = ResourceVec::zero();
+        ms.external_reported = ResourceVec::zero();
+        ms.stale_streak = 0;
+        self.freed_hint.push(machine);
+    }
+
+    /// Enter/leave a straggler window: `factor < 1` scales the machine's
+    /// effective disk/net bandwidth; `1.0` restores health.
+    pub fn set_slowdown(&mut self, machine: MachineId, factor: f64, dirty: &mut DirtySet) {
+        let mi = machine.index();
+        self.machines[mi].slowdown = factor;
+        for r in [
+            Resource::DiskRead,
+            Resource::DiskWrite,
+            Resource::NetIn,
+            Resource::NetOut,
+        ] {
+            dirty.insert_link(mi, r.index());
+        }
+    }
+
+    /// A crash-lost task finishes its restart backoff. Returns true if it
+    /// became runnable (false on a stale event).
+    pub fn task_restart(&mut self, uid: TaskUid) -> bool {
+        if !matches!(self.tasks[uid.index()].phase, Phase::Backoff) {
+            return false;
+        }
+        let (ji, si, _) = self.task_loc[uid.index()];
+        let now = self.now;
+        let t = &mut self.tasks[uid.index()];
+        t.phase = Phase::Runnable;
+        t.runnable_since = Some(now);
+        self.jobs[ji].stages[si].pending.push(uid);
+        true
+    }
+}
+
+/// What a machine crash did, so the engine can trace and count it.
+#[derive(Debug, Clone)]
+pub(crate) struct CrashReport {
+    /// Tasks whose attempt was lost but which will run again (directly
+    /// runnable or in backoff).
+    pub requeued: Vec<TaskUid>,
+    /// Tasks permanently failed (attempt cap reached).
+    pub abandoned: Vec<TaskUid>,
+    /// Sum over killed attempts of seconds of progress lost.
+    pub lost_task_seconds: f64,
+    /// Blocks re-replicated off the dead machine.
+    pub evacuations: usize,
 }
 
 #[cfg(test)]
@@ -1306,12 +1764,15 @@ mod tests {
             duration: 10.0,
             load: ResourceVec::zero().with(Resource::DiskWrite, 50.0 * MB),
         });
+        // Keep the activation flags parallel to the injected load.
+        st.external_active.push(false);
+        st.external_cancelled.push(false);
         st.set_external(0, true, &mut dirty);
         assert_eq!(
             st.availability(MachineId(0), true).get(Resource::DiskWrite),
             st.machines[0].capacity.get(Resource::DiskWrite)
         );
-        st.tracker_report();
+        st.tracker_report(&mut Vec::new());
         let dw_avail = st.availability(MachineId(0), true).get(Resource::DiskWrite);
         assert_eq!(
             dw_avail,
@@ -1588,5 +2049,265 @@ mod tests {
         // Allocation ledger, by contrast, records the over-allocation.
         assert_eq!(st.machines[0].allocated.get(Resource::Cpu), 12.0);
         assert!(st.availability(MachineId(0), false).get(Resource::Cpu) < 0.0);
+    }
+
+    #[test]
+    fn crash_kills_resident_task_and_requeues() {
+        let mut st = mk_state(one_task_workload(2.0, 10.0));
+        st.cfg.faults.restart_backoff = 0.0;
+        st.job_arrives(JobId(0));
+        let mut dirty = DirtySet::default();
+        let mut q = EventQueue::new();
+        st.apply_assignment(TaskUid(0), MachineId(0), &mut dirty, &mut q);
+        st.recompute_dirty(&mut dirty, &mut q);
+        st.now = SimTime::from_secs(3.0);
+        let rep = st.machine_crash(MachineId(0), &mut dirty, &mut q);
+        assert_eq!(rep.requeued, vec![TaskUid(0)]);
+        assert!(rep.abandoned.is_empty());
+        assert!((rep.lost_task_seconds - 3.0).abs() < 1e-9);
+        // Attempt fully torn down: runnable again, ledgers released,
+        // machine offers nothing, queued FlowDone is stale.
+        assert!(matches!(st.tasks[0].phase, Phase::Runnable));
+        assert_eq!(st.jobs[0].stages[0].pending, vec![TaskUid(0)]);
+        assert!(st.machines[0].allocated.is_zero());
+        assert!(st.machines[0].down);
+        assert!(st.availability(MachineId(0), false).is_zero());
+        assert!(st.availability(MachineId(0), true).is_zero());
+        assert!(!st.assignment_valid(TaskUid(0), MachineId(0)));
+        assert!(st.assignment_valid(TaskUid(0), MachineId(1)));
+        assert!(st.flows[0].done);
+        // Recovery restores availability.
+        st.machine_recover(MachineId(0));
+        assert!(!st.machines[0].down);
+        assert_eq!(st.availability(MachineId(0), false).get(Resource::Cpu), 4.0);
+    }
+
+    #[test]
+    fn crash_respects_restart_backoff() {
+        let mut st = mk_state(one_task_workload(2.0, 10.0));
+        st.cfg.faults.restart_backoff = 7.5;
+        st.job_arrives(JobId(0));
+        let mut dirty = DirtySet::default();
+        let mut q = EventQueue::new();
+        st.apply_assignment(TaskUid(0), MachineId(0), &mut dirty, &mut q);
+        st.recompute_dirty(&mut dirty, &mut q);
+        st.now = SimTime::from_secs(1.0);
+        let rep = st.machine_crash(MachineId(0), &mut dirty, &mut q);
+        assert_eq!(rep.requeued, vec![TaskUid(0)]);
+        assert!(matches!(st.tasks[0].phase, Phase::Backoff));
+        assert!(st.jobs[0].stages[0].pending.is_empty());
+        // The restart event fires after the backoff.
+        let restart = loop {
+            let ev = q.pop().expect("restart event queued");
+            if let EventKind::TaskRestart(uid) = ev.kind {
+                break (ev.time, uid);
+            }
+        };
+        assert_eq!(restart, (SimTime::from_secs(8.5), TaskUid(0)));
+        st.now = restart.0;
+        assert!(st.task_restart(TaskUid(0)));
+        assert!(matches!(st.tasks[0].phase, Phase::Runnable));
+        assert_eq!(st.jobs[0].stages[0].pending, vec![TaskUid(0)]);
+        // A second restart for the same task is stale.
+        assert!(!st.task_restart(TaskUid(0)));
+    }
+
+    #[test]
+    fn crash_abandons_task_out_of_attempts_and_job_terminates() {
+        let w = one_task_workload(2.0, 10.0);
+        let cluster = ClusterConfig::uniform(2, MachineSpec::paper_small());
+        let mut cfg = SimConfig::default();
+        cfg.max_task_attempts = 1;
+        let mut st = SimState::new(cluster, w, cfg);
+        st.job_arrives(JobId(0));
+        let mut dirty = DirtySet::default();
+        let mut q = EventQueue::new();
+        st.apply_assignment(TaskUid(0), MachineId(0), &mut dirty, &mut q);
+        st.recompute_dirty(&mut dirty, &mut q);
+        st.now = SimTime::from_secs(2.0);
+        let rep = st.machine_crash(MachineId(0), &mut dirty, &mut q);
+        assert_eq!(rep.abandoned, vec![TaskUid(0)]);
+        assert!(rep.requeued.is_empty());
+        // Terminal-failure audit: the job still reaches a terminal state.
+        assert!(matches!(st.tasks[0].phase, Phase::Abandoned));
+        assert_eq!(st.tasks_abandoned, 1);
+        assert_eq!(st.jobs_remaining, 0);
+        assert_eq!(st.jobs[0].finish, Some(SimTime::from_secs(2.0)));
+    }
+
+    #[test]
+    fn crash_kills_remote_reader_and_evacuates_blocks() {
+        // A task reads a block from a remote source; the *source* crashes:
+        // the reader's attempt dies and the block is re-replicated.
+        let mut b = WorkloadBuilder::new();
+        let j = b.begin_job("j", None, 0.0);
+        let input = b.stored_input(100.0 * MB);
+        b.add_stage(j, "s", vec![], 1, |_| TaskParams {
+            cores: 1.0,
+            mem: GB,
+            duration: 10.0,
+            cpu_frac: 1.0,
+            io_burst: 1.0,
+            inputs: vec![input],
+            output_bytes: 0.0,
+            remote_frac: 1.0,
+        });
+        let w = b.finish();
+        let cluster = ClusterConfig::uniform(4, MachineSpec::paper_small());
+        let mut cfg = SimConfig::default();
+        cfg.replication = 2;
+        cfg.faults.restart_backoff = 0.0;
+        let mut st = SimState::new(cluster, w, cfg);
+        st.job_arrives(JobId(0));
+        let replicas = st.blocks[0].clone();
+        let host = (0..4)
+            .map(MachineId)
+            .find(|m| !replicas.contains(m))
+            .expect("non-replica host");
+        let mut dirty = DirtySet::default();
+        let mut q = EventQueue::new();
+        st.apply_assignment(TaskUid(0), host, &mut dirty, &mut q);
+        st.recompute_dirty(&mut dirty, &mut q);
+        // The deterministic replica choice for uid 0 is replicas[0].
+        let src = replicas[0];
+        st.now = SimTime::from_secs(1.0);
+        let rep = st.machine_crash(src, &mut dirty, &mut q);
+        // The reader lost its input stream even though its host is fine.
+        assert_eq!(rep.requeued, vec![TaskUid(0)]);
+        assert!(matches!(st.tasks[0].phase, Phase::Runnable));
+        assert!(st.machines[host.index()].allocated.is_zero());
+        // Block evacuated: the dead machine no longer appears as a
+        // replica, replication is restored, and the copy shows up as a
+        // pair of dynamic external loads (source + destination).
+        assert_eq!(rep.evacuations, 1);
+        assert!(!st.blocks[0].contains(&src));
+        assert_eq!(st.blocks[0].len(), 2);
+        assert_eq!(st.dynamic_loads.len(), 2);
+        let placed = st.placement_plan(TaskUid(0), host);
+        assert!(placed
+            .remote_reads
+            .iter()
+            .all(|(m, _)| !st.machines[m.index()].down));
+    }
+
+    #[test]
+    fn sole_replica_survives_crash_without_evacuation() {
+        let mut b = WorkloadBuilder::new();
+        let j = b.begin_job("j", None, 0.0);
+        let input = b.stored_input(10.0 * MB);
+        b.add_stage(j, "s", vec![], 1, |_| TaskParams {
+            cores: 1.0,
+            mem: GB,
+            duration: 10.0,
+            cpu_frac: 1.0,
+            io_burst: 1.0,
+            inputs: vec![input],
+            output_bytes: 0.0,
+            remote_frac: 1.0,
+        });
+        let w = b.finish();
+        let cluster = ClusterConfig::uniform(3, MachineSpec::paper_small());
+        let mut cfg = SimConfig::default();
+        cfg.replication = 1;
+        let mut st = SimState::new(cluster, w, cfg);
+        let only = st.blocks[0][0];
+        let mut dirty = DirtySet::default();
+        let mut q = EventQueue::new();
+        let rep = st.machine_crash(only, &mut dirty, &mut q);
+        // Nothing to copy from: the replica entry is retained so the
+        // block is readable again after recovery.
+        assert_eq!(rep.evacuations, 0);
+        assert_eq!(st.blocks[0], vec![only]);
+        assert!(st.dynamic_loads.is_empty());
+    }
+
+    #[test]
+    fn slowdown_scales_io_links_only() {
+        // A disk-write-bound task at half disk bandwidth runs at half rate;
+        // CPU links are untouched by the straggler window.
+        let mut b = WorkloadBuilder::new();
+        let j = b.begin_job("j", None, 0.0);
+        b.add_stage(j, "s", vec![], 1, |_| TaskParams {
+            cores: 1.0,
+            mem: GB,
+            duration: 10.0,
+            cpu_frac: 0.0,
+            io_burst: 1.0,
+            inputs: vec![],
+            output_bytes: 500.0 * MB,
+            remote_frac: 1.0,
+        });
+        let mut st = mk_state(b.finish());
+        st.job_arrives(JobId(0));
+        let mut dirty = DirtySet::default();
+        let mut q = EventQueue::new();
+        st.apply_assignment(TaskUid(0), MachineId(0), &mut dirty, &mut q);
+        st.recompute_dirty(&mut dirty, &mut q);
+        let dw = st
+            .flows
+            .iter()
+            .position(|f| f.links.iter().any(|&(_, r)| r == Resource::DiskWrite))
+            .expect("disk-write flow");
+        let healthy = st.flows[dw].rate;
+        assert!(healthy > 0.0);
+        // Enter a slowdown window with a factor small enough to bite even
+        // an under-subscribed link.
+        let cap = st.machines[0].capacity.get(Resource::DiskWrite);
+        let factor = (st.flows[dw].cap / cap) * 0.5;
+        st.set_slowdown(MachineId(0), factor, &mut dirty);
+        st.recompute_dirty(&mut dirty, &mut q);
+        assert!(st.flows[dw].rate < healthy);
+        // Window ends: full rate restored.
+        st.set_slowdown(MachineId(0), 1.0, &mut dirty);
+        st.recompute_dirty(&mut dirty, &mut q);
+        assert!((st.flows[dw].rate - healthy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn suspicion_rises_on_missed_reports_and_decays_on_good_ones() {
+        let mut st = mk_state(one_task_workload(1.0, 10.0));
+        st.cfg.faults.stale_frac = 0.5; // any non-zero knob enables faults
+        let mut transitions = Vec::new();
+        let mut dirty = DirtySet::default();
+        let mut q = EventQueue::new();
+        st.machine_crash(MachineId(0), &mut dirty, &mut q);
+        let reports_to_suspect =
+            (tracker::SUSPECT_THRESHOLD / tracker::MISSED_REPORT_SUSPICION).ceil() as usize;
+        for _ in 0..reports_to_suspect {
+            st.tracker_report(&mut transitions);
+        }
+        assert_eq!(transitions, vec![(MachineId(0), true)]);
+        assert!(st.machines[0].suspicion >= tracker::SUSPECT_THRESHOLD);
+        // Machine 1 stayed honest and unsuspected.
+        assert_eq!(st.machines[1].suspicion, 0.0);
+        // Recovery + good reports clear the suspicion.
+        st.machine_recover(MachineId(0));
+        transitions.clear();
+        for _ in 0..16 {
+            st.tracker_report(&mut transitions);
+        }
+        assert_eq!(transitions, vec![(MachineId(0), false)]);
+        assert_eq!(st.machines[0].suspicion, 0.0);
+    }
+
+    #[test]
+    fn stale_tracker_mode_freezes_reports_and_raises_suspicion() {
+        let mut st = mk_state(one_task_workload(2.0, 10.0));
+        st.cfg.faults.stale_frac = 0.5;
+        st.tracker_modes[0] = TrackerMode::Stale;
+        st.job_arrives(JobId(0));
+        let mut dirty = DirtySet::default();
+        let mut q = EventQueue::new();
+        let mut transitions = Vec::new();
+        st.tracker_report(&mut transitions);
+        // Place a task: allocation moves, but the stale report stays
+        // frozen at zero usage.
+        st.apply_assignment(TaskUid(0), MachineId(0), &mut dirty, &mut q);
+        st.recompute_dirty(&mut dirty, &mut q);
+        for _ in 0..16 {
+            st.tracker_report(&mut transitions);
+        }
+        assert!(st.machines[0].usage_reported.is_zero());
+        assert_eq!(transitions, vec![(MachineId(0), true)]);
     }
 }

@@ -14,10 +14,55 @@
 //! over-schedule during the window between assigning a task and the task
 //! reaching its steady-state usage.
 
-use tetris_resources::ResourceVec;
+use tetris_resources::{Resource, ResourceVec};
 
 /// Ramp-up horizon in seconds (paper: 10 s).
 pub const RAMP_UP_HORIZON_SECS: f64 = 10.0;
+
+// ----------------------------------------------------------------------
+// Misbehaving-node detection (fault model, DESIGN.md §10)
+//
+// The resource manager scores each machine's trustworthiness from its
+// report stream. Missed reports (crashed machine), implausible reports
+// (claimed usage beyond hardware capacity) and frozen reports (stale
+// tracker: the report stops moving while the allocation ledger does) add
+// suspicion; every plausible report halves it. A machine at or above
+// `SUSPECT_THRESHOLD` is *suspect*: schedulers deprioritize it rather
+// than blacklist it, so the cluster degrades gracefully and a recovered
+// machine earns its way back within a few report periods.
+// ----------------------------------------------------------------------
+
+/// Suspicion at or above which a machine is suspect. Two strikes: one
+/// missed report is forgiven (report loss happens), two in a row are not.
+pub const SUSPECT_THRESHOLD: f64 = 2.0;
+/// Suspicion ceiling, so recovery time after a long outage is bounded
+/// (cap → below threshold in two good reports at the default decay).
+pub const SUSPICION_CAP: f64 = 8.0;
+/// Multiplicative decay applied by each plausible report.
+pub const SUSPICION_DECAY: f64 = 0.5;
+/// Suspicion below this snaps to exactly zero (keeps honest machines'
+/// state canonical and comparisons exact).
+pub const SUSPICION_ZERO_BELOW: f64 = 0.125;
+/// Suspicion added per missed report (machine down / unreachable).
+pub const MISSED_REPORT_SUSPICION: f64 = 1.0;
+/// Suspicion added per implausible (over-capacity) report.
+pub const IMPLAUSIBLE_REPORT_SUSPICION: f64 = 1.0;
+/// A report is implausible when any rate dimension exceeds capacity by
+/// more than this factor (small margin forgives measurement jitter).
+pub const PLAUSIBLE_CAPACITY_MARGIN: f64 = 1.05;
+/// Consecutive frozen-while-ledger-moves reports before the stale
+/// detector starts adding suspicion.
+pub const STALE_STREAK_REPORTS: u32 = 3;
+
+/// True if a usage report claims more than the machine's hardware can
+/// deliver on some dimension (beyond the plausibility margin). Memory is
+/// included: a report above physical RAM is just as impossible.
+pub fn report_implausible(reported: &ResourceVec, capacity: &ResourceVec) -> bool {
+    Resource::ALL.iter().any(|&r| {
+        let cap = capacity.get(r);
+        cap > 0.0 && reported.get(r) > cap * PLAUSIBLE_CAPACITY_MARGIN
+    })
+}
 
 /// Allowance added to observed usage for one task that started `age`
 /// seconds ago with peak demand `demand`: linearly decaying from the full
@@ -87,6 +132,37 @@ mod tests {
         let adj = adjusted_usage(&observed, &young, 10.0);
         // 1 + 2 + 2 = 5.
         assert_eq!(adj.get(Resource::Cpu), 5.0);
+    }
+
+    #[test]
+    fn implausible_report_detection() {
+        let cap = d(4.0);
+        // Within capacity and within the margin: plausible.
+        assert!(!report_implausible(&d(4.0), &cap));
+        assert!(!report_implausible(&d(4.0 * 1.04), &cap));
+        // Beyond the margin: impossible hardware claim.
+        assert!(report_implausible(&d(4.0 * 1.06), &cap));
+        // Zero-capacity dimensions are ignored (cannot divide a claim by
+        // hardware that isn't there).
+        assert!(!report_implausible(
+            &ResourceVec::zero().with(Resource::NetIn, 1.0),
+            &d(4.0)
+        ));
+    }
+
+    #[test]
+    fn suspicion_constants_are_consistent() {
+        // The cap must drop below the threshold within a few good reports,
+        // and one strike must not be enough to mark a machine suspect.
+        const { assert!(MISSED_REPORT_SUSPICION < SUSPECT_THRESHOLD) };
+        const { assert!(SUSPECT_THRESHOLD < SUSPICION_CAP) };
+        let mut s = SUSPICION_CAP;
+        let mut reports = 0;
+        while s >= SUSPECT_THRESHOLD {
+            s *= SUSPICION_DECAY;
+            reports += 1;
+        }
+        assert!(reports <= 3, "recovery takes too long: {reports} reports");
     }
 
     #[test]

@@ -122,9 +122,29 @@ impl<'a> ClusterView<'a> {
         (0..self.state.machines.len()).map(MachineId)
     }
 
-    /// Capacity of a machine.
+    /// Capacity of a machine (zero while it is crashed: a down machine
+    /// offers no hardware, so slot counts derived from capacity go to
+    /// zero too).
     pub fn capacity(&self, m: MachineId) -> ResourceVec {
-        self.state.machines[m.index()].capacity
+        let ms = &self.state.machines[m.index()];
+        if ms.down {
+            return ResourceVec::zero();
+        }
+        ms.capacity
+    }
+
+    /// True while the machine is crashed (fault injection). Down machines
+    /// have zero capacity/availability and reject assignments.
+    pub fn is_down(&self, m: MachineId) -> bool {
+        self.state.machines[m.index()].down
+    }
+
+    /// True if the machine's tracker reports are currently suspect
+    /// (missed, implausible, or frozen reports — see `tracker`). Policies
+    /// should deprioritize suspect machines rather than blacklist them:
+    /// graceful degradation, not capacity loss (DESIGN.md §10).
+    pub fn is_suspect(&self, m: MachineId) -> bool {
+        self.state.machines[m.index()].suspicion >= crate::tracker::SUSPECT_THRESHOLD
     }
 
     /// Scheduler-visible availability of a machine: capacity minus the

@@ -18,9 +18,15 @@ cargo test -q --test schedule_equivalence
 echo "== benches compile =="
 cargo bench -p tetris-bench --no-run -q
 
+echo "== fault-injection properties =="
+cargo test -q -p tetris-sim --test prop_faults
+
 echo "== reproduce smoke (parallel runner) =="
 cargo build --release -p tetris-expts -q
 target/release/reproduce fig1 table2 --jobs 2 >/dev/null
 target/release/reproduce sweep table2 --seeds 1..2 --jobs 2 >/dev/null
+
+echo "== churn smoke (fault sweep at toy scale) =="
+target/release/reproduce churn --scale 0.05 >/dev/null
 
 echo "all checks passed"

@@ -379,6 +379,18 @@ impl<T: Deserialize> Deserialize for Box<T> {
     }
 }
 
+impl<T: Serialize + std::borrow::ToOwned + ?Sized> Serialize for std::borrow::Cow<'_, T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Deserialize for std::borrow::Cow<'_, str> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        String::from_value(v).map(std::borrow::Cow::Owned)
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn to_value(&self) -> Value {
         match self {
