@@ -10,14 +10,21 @@
 //! over all six dimensions is provided for the §2.1 discussion.
 
 use tetris_resources::{Resource, ResourceVec};
-use tetris_sim::{Assignment, ClusterView, SchedulerPolicy};
-use tetris_workload::TaskUid;
+use tetris_sim::{Assignment, ClusterView, SchedulerEvent, SchedulerPolicy};
+use tetris_workload::{JobId, TaskUid};
 
 /// The DRF scheduler (progressive filling over dominant shares).
 #[derive(Debug, Clone)]
 pub struct DrfScheduler {
     dims: Vec<Resource>,
     extended: bool,
+    /// True once any event has been delivered: `active` below is then the
+    /// job list. Driven bare, the view is re-scanned every call.
+    synced: bool,
+    /// Incrementally maintained active-job list, kept id-sorted (the
+    /// order [`ClusterView::active_jobs`] yields). Jobs enter on
+    /// `JobArrived` and are dropped once inactive.
+    active: Vec<JobId>,
 }
 
 impl DrfScheduler {
@@ -26,6 +33,8 @@ impl DrfScheduler {
         DrfScheduler {
             dims: vec![Resource::Cpu, Resource::Mem],
             extended: false,
+            synced: false,
+            active: Vec::new(),
         }
     }
 
@@ -35,6 +44,8 @@ impl DrfScheduler {
         DrfScheduler {
             dims: Resource::ALL.to_vec(),
             extended: true,
+            synced: false,
+            active: Vec::new(),
         }
     }
 }
@@ -74,11 +85,20 @@ impl JobQueue<'_> {
 }
 
 impl SchedulerPolicy for DrfScheduler {
-    fn name(&self) -> String {
+    fn name(&self) -> &str {
         if self.extended {
-            "drf-all-dims".into()
+            "drf-all-dims"
         } else {
-            "drf".into()
+            "drf"
+        }
+    }
+
+    fn on_event(&mut self, _view: &ClusterView<'_>, event: &SchedulerEvent) {
+        self.synced = true;
+        if let SchedulerEvent::JobArrived { job } = *event {
+            if let Err(pos) = self.active.binary_search(&job) {
+                self.active.insert(pos, job);
+            }
         }
     }
 
@@ -87,18 +107,30 @@ impl SchedulerPolicy for DrfScheduler {
         // Working availability on the dimensions DRF examines.
         let mut avail: Vec<ResourceVec> = view.machines().map(|m| view.available(m)).collect();
 
-        let mut jobs: Vec<JobQueue<'_>> = view
-            .active_jobs()
-            .map(|j| JobQueue {
-                id: j,
-                alloc: view.job_allocated(j),
-                stages: view.job_pending_stages(j).collect(),
-                stage_pos: 0,
-                off: 0,
-                stuck: false,
-            })
-            .filter(|j| j.head().is_some())
-            .collect();
+        // Job list: the event-maintained id-sorted active set (pruned of
+        // finished jobs) when synced, else a fresh scan of the view. Both
+        // yield active jobs in id order, so decisions are identical.
+        let mk = |j: JobId| JobQueue {
+            id: j,
+            alloc: view.job_allocated(j),
+            stages: view.job_pending_stages(j).collect(),
+            stage_pos: 0,
+            off: 0,
+            stuck: false,
+        };
+        let mut jobs: Vec<JobQueue<'_>> = if self.synced {
+            self.active.retain(|&j| view.job_is_active(j));
+            self.active
+                .iter()
+                .map(|&j| mk(j))
+                .filter(|j| j.head().is_some())
+                .collect()
+        } else {
+            view.active_jobs()
+                .map(mk)
+                .filter(|j| j.head().is_some())
+                .collect()
+        };
 
         let mut preferred = Vec::new();
         let mut out = Vec::new();

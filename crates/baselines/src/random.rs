@@ -23,8 +23,8 @@ impl RandomScheduler {
 }
 
 impl SchedulerPolicy for RandomScheduler {
-    fn name(&self) -> String {
-        "random".into()
+    fn name(&self) -> &str {
+        "random"
     }
 
     fn schedule(&mut self, view: &ClusterView<'_>) -> Vec<Assignment> {

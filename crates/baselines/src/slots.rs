@@ -20,7 +20,7 @@
 //! their input data", §2.2.1).
 
 use tetris_resources::{units::GB, Resource};
-use tetris_sim::{Assignment, ClusterView, MachineId, SchedulerPolicy};
+use tetris_sim::{Assignment, ClusterView, MachineId, SchedulerEvent, SchedulerPolicy};
 use tetris_workload::{JobId, TaskUid};
 
 /// Default slot size: 2 GB, "similar to the Facebook cluster".
@@ -45,6 +45,14 @@ struct SlotScheduler {
     /// paper-faithful Facebook configuration — every task takes exactly
     /// one slot, silently over-committing memory (§2.1).
     mem_rounded: bool,
+    /// True once any event has been delivered: the `used` ledger below is
+    /// then authoritative. Driven bare (no events), every call recomputes
+    /// used slots from the view — the exact pre-event path.
+    synced: bool,
+    /// Incremental used-slot count per machine, maintained from placement
+    /// and completion events. Integer slot counts, so incremental += / −=
+    /// cannot drift from the recomputed sum.
+    used: Vec<usize>,
 }
 
 impl SlotScheduler {
@@ -61,20 +69,56 @@ impl SlotScheduler {
         }
     }
 
-    fn schedule(&self, view: &ClusterView<'_>) -> Vec<Assignment> {
-        // Free slots per machine (slots − slots held by running tasks).
-        let mut free: Vec<usize> = view
-            .machines()
-            .map(|m| {
-                let total = self.slots_of(view, m);
-                let used: usize = view
-                    .machine_tasks(m)
-                    .iter()
-                    .map(|&t| self.slots_needed(view.task(t).demand.get(Resource::Mem)))
-                    .sum();
-                total.saturating_sub(used)
-            })
-            .collect();
+    /// Incremental bookkeeping: placements charge the host's slot count,
+    /// terminations release it. Crash-killed attempts arrive as
+    /// `TaskPreempted`/`TaskAbandoned` naming the *host* of the killed
+    /// attempt (remote readers run away from the crashed machine), so the
+    /// ledger stays exact under fault injection too.
+    fn on_event(&mut self, view: &ClusterView<'_>, event: &SchedulerEvent) {
+        self.synced = true;
+        if self.used.len() < view.num_machines() {
+            self.used.resize(view.num_machines(), 0);
+        }
+        match *event {
+            SchedulerEvent::TaskPlaced { task, machine, .. } => {
+                self.used[machine.index()] +=
+                    self.slots_needed(view.task(task).demand.get(Resource::Mem));
+            }
+            SchedulerEvent::TaskFinished { task, machine, .. }
+            | SchedulerEvent::TaskPreempted { task, machine, .. }
+            | SchedulerEvent::TaskAbandoned { task, machine, .. } => {
+                let need = self.slots_needed(view.task(task).demand.get(Resource::Mem));
+                self.used[machine.index()] = self.used[machine.index()].saturating_sub(need);
+            }
+            _ => {}
+        }
+    }
+
+    fn schedule(&mut self, view: &ClusterView<'_>) -> Vec<Assignment> {
+        // Free slots per machine (slots − slots held by running tasks):
+        // read from the event-maintained ledger when synced, recomputed
+        // from scratch otherwise. Slot counts are integers, so the two
+        // agree exactly.
+        if self.used.len() < view.num_machines() {
+            self.used.resize(view.num_machines(), 0);
+        }
+        let mut free: Vec<usize> = if self.synced {
+            view.machines()
+                .map(|m| self.slots_of(view, m).saturating_sub(self.used[m.index()]))
+                .collect()
+        } else {
+            view.machines()
+                .map(|m| {
+                    let total = self.slots_of(view, m);
+                    let used: usize = view
+                        .machine_tasks(m)
+                        .iter()
+                        .map(|&t| self.slots_needed(view.task(t).demand.get(Resource::Mem)))
+                        .sum();
+                    total.saturating_sub(used)
+                })
+                .collect()
+        };
 
         // Job queue state over zero-copy per-stage pending slices.
         struct JobQ<'a> {
@@ -199,6 +243,8 @@ impl FairScheduler {
                 slot_mem,
                 order: JobOrder::FewestSlots,
                 mem_rounded: false,
+                synced: false,
+                used: Vec::new(),
             },
         }
     }
@@ -211,6 +257,8 @@ impl FairScheduler {
                 slot_mem: DEFAULT_SLOT_MEM,
                 order: JobOrder::FewestSlots,
                 mem_rounded: true,
+                synced: false,
+                used: Vec::new(),
             },
         }
     }
@@ -223,12 +271,16 @@ impl Default for FairScheduler {
 }
 
 impl SchedulerPolicy for FairScheduler {
-    fn name(&self) -> String {
+    fn name(&self) -> &str {
         if self.inner.mem_rounded {
-            "fair-slots-memrounded".into()
+            "fair-slots-memrounded"
         } else {
-            "fair-slots".into()
+            "fair-slots"
         }
+    }
+
+    fn on_event(&mut self, view: &ClusterView<'_>, event: &SchedulerEvent) {
+        self.inner.on_event(view, event);
     }
 
     fn schedule(&mut self, view: &ClusterView<'_>) -> Vec<Assignment> {
@@ -257,6 +309,8 @@ impl CapacityScheduler {
                 slot_mem,
                 order: JobOrder::Arrival,
                 mem_rounded: false,
+                synced: false,
+                used: Vec::new(),
             },
         }
     }
@@ -269,8 +323,12 @@ impl Default for CapacityScheduler {
 }
 
 impl SchedulerPolicy for CapacityScheduler {
-    fn name(&self) -> String {
-        "capacity-slots".into()
+    fn name(&self) -> &str {
+        "capacity-slots"
+    }
+
+    fn on_event(&mut self, view: &ClusterView<'_>, event: &SchedulerEvent) {
+        self.inner.on_event(view, event);
     }
 
     fn schedule(&mut self, view: &ClusterView<'_>) -> Vec<Assignment> {

@@ -67,8 +67,8 @@ impl SrtfScheduler {
 }
 
 impl SchedulerPolicy for SrtfScheduler {
-    fn name(&self) -> String {
-        "srtf".into()
+    fn name(&self) -> &str {
+        "srtf"
     }
 
     fn uses_tracker(&self) -> bool {

@@ -43,7 +43,7 @@ fn run(w: &Workload, policy: Box<dyn SchedulerPolicy>) -> tetris_sim::SimOutcome
         tetris_sim::ClusterConfig::uniform(2, MachineSpec::paper_small()),
         w.clone(),
     )
-    .scheduler_boxed(policy)
+    .scheduler(policy)
     .config(cfg)
     .run()
 }

@@ -7,18 +7,20 @@
 //! work triggered by a heartbeat that freed resources) at several backlog
 //! sizes, for Tetris and the baselines.
 
+use std::time::Duration;
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tetris_baselines::{CapacityScheduler, DrfScheduler, FairScheduler};
 use tetris_bench::{bench_cluster, pending_workload};
 use tetris_core::{TetrisConfig, TetrisScheduler};
-use tetris_sim::probe::{RecomputeProbe, ScheduleProbe};
-use tetris_sim::{SchedulerPolicy, SimConfig};
+use tetris_sim::probe::{IncrementalProbe, RecomputeProbe, ScheduleProbe};
+use tetris_sim::{MarkAllDirty, SchedulerPolicy, SimConfig};
 
 fn bench_overheads(c: &mut Criterion) {
     let mut group = c.benchmark_group("schedule_decision");
     group.sample_size(10);
 
-    for &pending in &[2_000usize, 10_000, 50_000] {
+    for &pending in &[2_000usize, 10_000, 50_000, 100_000] {
         let probe = ScheduleProbe::new(
             bench_cluster(100),
             pending_workload(pending),
@@ -77,5 +79,66 @@ fn bench_recompute_dirty(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_overheads, bench_recompute_dirty);
+/// The event-driven warm path: the cluster is packed by
+/// [`IncrementalProbe::settle`], then every iteration is one heartbeat —
+/// drain a machine, deliver its [`SchedulerEvent`]s, and make one
+/// decision. `tetris_incremental` answers from event-synced per-job
+/// caches; `tetris_mark_all_dirty` is the same policy behind the
+/// [`MarkAllDirty`] adapter, rebuilding everything from the view each
+/// time. The probe asserts both propose byte-identical assignments at
+/// every heartbeat, so the two series time the same decisions.
+///
+/// [`SchedulerEvent`]: tetris_sim::SchedulerEvent
+fn bench_warm_heartbeat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("warm_heartbeat");
+    group.sample_size(10);
+
+    for &pending in &[2_000usize, 10_000, 50_000, 100_000] {
+        let mut probe = IncrementalProbe::new(
+            bench_cluster(100),
+            pending_workload(pending),
+            SimConfig::default(),
+        );
+        let actual = probe.pending();
+        let mut inc = TetrisScheduler::new(TetrisConfig::default());
+        let mut full = MarkAllDirty(TetrisScheduler::new(TetrisConfig::default()));
+        probe.settle(&mut inc, &mut full);
+        group.bench_with_input(
+            BenchmarkId::new("tetris_incremental", format!("{actual}_pending")),
+            &actual,
+            |b, _| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let hb = probe.warm_heartbeat(&mut inc, &mut full);
+                        total += Duration::from_nanos(hb.inc_ns);
+                    }
+                    total
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("tetris_mark_all_dirty", format!("{actual}_pending")),
+            &actual,
+            |b, _| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let hb = probe.warm_heartbeat(&mut inc, &mut full);
+                        total += Duration::from_nanos(hb.oracle_ns);
+                    }
+                    total
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_overheads,
+    bench_recompute_dirty,
+    bench_warm_heartbeat
+);
 criterion_main!(benches);

@@ -4,7 +4,8 @@
 
 use tetris_resources::{Resource, ResourceVec};
 use tetris_sim::{
-    Assignment, ClusterView, DecisionScores, MachineId, SchedulerPolicy, StageProgress,
+    Assignment, ClusterView, DecisionScores, MachineId, SchedulerEvent, SchedulerPolicy,
+    StageProgress,
 };
 use tetris_workload::{JobId, TaskUid};
 
@@ -208,6 +209,57 @@ struct ScheduleScratch {
     class_of: Vec<usize>,
 }
 
+/// Cached per-job candidate prototype: everything `schedule()` derives
+/// from the job's *own* state (progress, head tasks, demand estimate,
+/// preference list). One entry per pending stage.
+#[derive(Clone)]
+struct ProtoCandidate {
+    stage: usize,
+    promoted: bool,
+    demand: ResourceVec,
+    /// `(start, len)` into the owning [`JobCache::prefs`].
+    pref: (usize, usize),
+    shuffle: bool,
+}
+
+/// One job's cached candidates, rebuilt only when an event dirtied the
+/// job. Validity is the incremental contract: every mutation of a job's
+/// progress or pending queues arrives as a [`SchedulerEvent`] naming the
+/// job, and block-replica moves (which alter preference lists globally)
+/// arrive as `MachineDown`/`MachineUp`, which flush every entry.
+#[derive(Default)]
+struct JobCache {
+    valid: bool,
+    /// SRTF remaining-work score (pre-ranking).
+    p_score: f64,
+    protos: Vec<ProtoCandidate>,
+    /// Preference-list storage behind `protos[..].pref`.
+    prefs: Vec<MachineId>,
+}
+
+/// Event-maintained incremental state (the tentpole): per-job candidate
+/// caches plus a mirror of the engine's freed-machine hints.
+#[derive(Default)]
+struct IncState {
+    /// True once any event has been delivered. Before that the policy may
+    /// be driven bare (probes, direct `schedule` calls) and must take the
+    /// full recompute path every call — there is never scheduler-relevant
+    /// history before the first delivered event, so no staleness either.
+    synced: bool,
+    /// Invalidate every cache entry on the next call (machine down/up:
+    /// re-replication moves blocks, so preference lists are globally
+    /// stale).
+    flush_all: bool,
+    /// Jobs dirtied by events since the last call (may repeat).
+    dirty: Vec<JobId>,
+    /// Mirror of [`ClusterView::freed_machines`] built from `MachineFreed`
+    /// events; cleared on `RoundComplete` exactly when the engine clears
+    /// its hints.
+    freed: Vec<MachineId>,
+    /// Per-job caches, indexed by job id (grown on demand).
+    cache: Vec<JobCache>,
+}
+
 /// Generation-stamped membership grid: O(1) insert/query with no per-call
 /// clearing or allocation (bumping the generation invalidates every cell).
 #[derive(Default)]
@@ -265,6 +317,11 @@ pub struct TetrisScheduler {
     reservations: Vec<(MachineId, TaskUid)>,
     /// Reusable per-call buffers (see [`ScheduleScratch`]).
     scratch: ScheduleScratch,
+    /// Event-maintained incremental state (see [`IncState`]).
+    inc: IncState,
+    /// Rendered once at construction — `name()` is called per round and
+    /// per trace event.
+    name: String,
 }
 
 impl TetrisScheduler {
@@ -274,11 +331,23 @@ impl TetrisScheduler {
     /// If the config is out of range.
     pub fn new(cfg: TetrisConfig) -> Self {
         cfg.validate().expect("invalid TetrisConfig");
+        let mut name = format!(
+            "tetris(f={},b={},m={},{})",
+            cfg.fairness_knob,
+            cfg.barrier_knob,
+            cfg.srtf_multiplier,
+            cfg.alignment.label()
+        );
+        if !cfg.consider_io_dims {
+            name.push_str("[cpu-mem-only]");
+        }
         TetrisScheduler {
             scorer: CombinedScorer::new(cfg.srtf_multiplier),
             estimator: DemandEstimator::new(cfg.estimation),
             reservations: Vec::new(),
             scratch: ScheduleScratch::default(),
+            inc: IncState::default(),
+            name,
             cfg,
         }
     }
@@ -313,23 +382,43 @@ fn visible(consider_io_dims: bool, v: &ResourceVec) -> ResourceVec {
 }
 
 impl SchedulerPolicy for TetrisScheduler {
-    fn name(&self) -> String {
-        let mut name = format!(
-            "tetris(f={},b={},m={},{})",
-            self.cfg.fairness_knob,
-            self.cfg.barrier_knob,
-            self.cfg.srtf_multiplier,
-            self.cfg.alignment.label()
-        );
-        if !self.cfg.consider_io_dims {
-            name.push_str("[cpu-mem-only]");
-        }
-        name
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn uses_tracker(&self) -> bool {
         // Tetris subtracts tracker-reported external usage (§4.3).
         true
+    }
+
+    fn on_event(&mut self, _view: &ClusterView<'_>, event: &SchedulerEvent) {
+        self.inc.synced = true;
+        match *event {
+            // Anything that moves a job's progress or pending queues
+            // dirties exactly that job's cached candidates.
+            SchedulerEvent::JobArrived { job }
+            | SchedulerEvent::TaskPlaced { job, .. }
+            | SchedulerEvent::TaskFinished { job, .. }
+            | SchedulerEvent::TaskPreempted { job, .. }
+            | SchedulerEvent::TaskAbandoned { job, .. }
+            | SchedulerEvent::TaskRunnable { job, .. } => self.inc.dirty.push(job),
+            SchedulerEvent::MachineFreed { machine } => self.inc.freed.push(machine),
+            // Crash/recovery re-replicates blocks: every cached preference
+            // list may be stale, so flush the lot (rare events).
+            SchedulerEvent::MachineDown { .. } | SchedulerEvent::MachineUp { .. } => {
+                self.inc.flush_all = true;
+            }
+            // Tracker state and external loads are read fresh from the
+            // view on every call (suspect filter, availability ledger) —
+            // nothing cached depends on them.
+            SchedulerEvent::MachineSuspected { .. }
+            | SchedulerEvent::MachineCleared { .. }
+            | SchedulerEvent::TrackerReport
+            | SchedulerEvent::ExternalLoadChanged { .. } => {}
+            // The engine clears its freed hints when the round ends; the
+            // mirror follows.
+            SchedulerEvent::RoundComplete => self.inc.freed.clear(),
+        }
     }
 
     fn schedule(&mut self, view: &ClusterView<'_>) -> Vec<Assignment> {
@@ -339,7 +428,29 @@ impl SchedulerPolicy for TetrisScheduler {
             estimator,
             reservations,
             scratch,
+            inc,
+            ..
         } = self;
+        // Cache reuse needs two things: event delivery (`synced` — before
+        // the first event there is no history to be stale about, but also
+        // no way to know what changed) and the `Exact` estimator (the
+        // `Learned` mode keys off cross-job family state the per-job
+        // events don't cover). Otherwise every entry is rebuilt each call,
+        // which replays the exact pre-event recompute path.
+        let use_cache = inc.synced && matches!(cfg.estimation, EstimationMode::Exact);
+        if !use_cache || inc.flush_all {
+            for c in inc.cache.iter_mut() {
+                c.valid = false;
+            }
+            inc.flush_all = false;
+        } else {
+            for &j in &inc.dirty {
+                if let Some(c) = inc.cache.get_mut(j.index()) {
+                    c.valid = false;
+                }
+            }
+        }
+        inc.dirty.clear();
         estimator.update(view);
         // Reservations for tasks that got placed/finished meanwhile lapse.
         reservations.retain(|&(_, t)| view.is_runnable(t));
@@ -392,29 +503,56 @@ impl SchedulerPolicy for TetrisScheduler {
         }));
         eligible_jobs_in_place(shares, cfg.fairness_knob);
 
-        // One pass per eligible job: fetch progress once, derive the SRTF
-        // remaining-work score and the per-stage candidates from it.
+        // One pass per eligible job: rebuild the job's candidate cache if
+        // an event dirtied it (or caching is off), then assemble global
+        // candidates from the cache. The rebuild is exactly the former
+        // recompute — progress, SRTF score, per-stage demand estimate and
+        // preference list — so assembly from a warm cache is byte-for-byte
+        // the recomputed result (pinned by `tests/schedule_equivalence.rs`
+        // and the incremental proptest).
         p_scores.clear();
         cands.clear();
         preferred_arena.clear();
         for &(j, _) in shares.iter() {
-            let family = view.job_family(j);
-            view.stage_progress_into(j, progress);
-            p_scores.push(job_remaining_work_with(view, j, &reference, progress));
+            let ji = j.index();
+            if inc.cache.len() <= ji {
+                inc.cache.resize_with(ji + 1, JobCache::default);
+            }
+            let cached = &mut inc.cache[ji];
+            if !cached.valid {
+                let family = view.job_family(j);
+                view.stage_progress_into(j, progress);
+                cached.p_score = job_remaining_work_with(view, j, &reference, progress);
+                cached.protos.clear();
+                cached.prefs.clear();
+                for (stage, pending) in view.job_pending_stages(j) {
+                    let head = pending[0];
+                    let spec = view.task(head);
+                    let demand = estimator.estimate(spec, j, family, progress[stage].finished);
+                    let pref = view.preferred_machines_append(head, &mut cached.prefs);
+                    cached.protos.push(ProtoCandidate {
+                        stage,
+                        promoted: stage_promoted(&progress[stage], cfg.barrier_knob),
+                        demand,
+                        pref,
+                        shuffle: spec.reads_shuffle(),
+                    });
+                }
+                cached.valid = use_cache;
+            }
+            p_scores.push(cached.p_score);
             let p_slot = p_scores.len() - 1; // rank filled in below
-            for (stage, pending) in view.job_pending_stages(j) {
-                let head = pending[0];
-                let spec = view.task(head);
-                let demand = estimator.estimate(spec, j, family, progress[stage].finished);
-                let pref = view.preferred_machines_append(head, preferred_arena);
+            let base = preferred_arena.len();
+            preferred_arena.extend_from_slice(&cached.prefs);
+            for proto in &cached.protos {
                 cands.push(Candidate {
                     job: j,
-                    stage,
-                    promoted: stage_promoted(&progress[stage], cfg.barrier_knob),
+                    stage: proto.stage,
+                    promoted: proto.promoted,
                     p: p_slot as f64, // placeholder: index into p_ranks
-                    demand,
-                    pref,
-                    shuffle: spec.reads_shuffle(),
+                    demand: proto.demand,
+                    pref: (base + proto.pref.0, proto.pref.1),
+                    shuffle: proto.shuffle,
                     next: 0,
                     norms_start: usize::MAX, // filled for live candidates
                     alive: true,
@@ -433,8 +571,16 @@ impl SchedulerPolicy for TetrisScheduler {
         // Focus on machines whose availability changed; fall back to the
         // whole cluster when no hint exists (arrivals, tracker ticks).
         // Sort + dedup reproduces the former `BTreeSet` iteration order.
+        // Synced policies read their event-built mirror (identical to the
+        // view's hints when engine-driven, but also correct when a harness
+        // delivers events without threading hints through the state);
+        // unsynced ones read the view, the exact pre-event path.
         hinted.clear();
-        hinted.extend_from_slice(view.freed_machines());
+        if inc.synced {
+            hinted.extend_from_slice(&inc.freed);
+        } else {
+            hinted.extend_from_slice(view.freed_machines());
+        }
         hinted.sort_unstable();
         hinted.dedup();
         machines.clear();

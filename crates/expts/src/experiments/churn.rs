@@ -18,7 +18,7 @@
 
 use tetris_metrics::table::TextTable;
 use tetris_resources::MachineSpec;
-use tetris_sim::{ClusterConfig, SimConfig, SimOutcome, Simulation};
+use tetris_sim::{ClusterConfig, ExpandedFaultPlan, SimConfig, SimOutcome, Simulation};
 use tetris_workload::{Workload, WorkloadSuiteConfig};
 
 use crate::setup::{run_observed, SchedName};
@@ -92,11 +92,12 @@ fn workload(ctx: &RunCtx) -> Workload {
     .generate(ctx.seed + 60)
 }
 
-/// One `(scheduler, crash fraction, draw)` run. All fault randomness flows
-/// from the sim seed, so a sweep point is a pure function of its inputs.
-fn run_one(ctx: &RunCtx, sched: SchedName, frac: f64, salt: u64) -> SimOutcome {
+fn cluster(ctx: &RunCtx) -> ClusterConfig {
     let n_machines = ((MACHINES as f64 * ctx.scale_factor).round() as usize).max(10);
-    let cluster = ClusterConfig::uniform(n_machines, MachineSpec::paper_large());
+    ClusterConfig::uniform(n_machines, MachineSpec::paper_large())
+}
+
+fn sweep_cfg(ctx: &RunCtx, frac: f64, salt: u64) -> SimConfig {
     let mut cfg = SimConfig::default();
     cfg.seed = ctx.seed + salt * 1009;
     if frac > 0.0 {
@@ -112,22 +113,51 @@ fn run_one(ctx: &RunCtx, sched: SchedName, frac: f64, salt: u64) -> SimOutcome {
         // cycling; stragglers hit every scheduler's IO equally and only
         // blur the degradation comparison.
     }
-    run_observed(
-        ctx,
-        Simulation::build(cluster, workload(ctx))
-            .scheduler_boxed(sched.build(cfg.seed))
-            .config(cfg),
-    )
+    cfg
+}
+
+/// Expand the fault plan for one `(crash fraction, draw)` sweep point
+/// once, so every scheduler compared at that point receives the identical
+/// drawn plan *object* — not three per-run re-expansions that merely
+/// happen to agree (guards against expansion ever reading config order).
+fn expand_point(ctx: &RunCtx, frac: f64, salt: u64) -> Option<ExpandedFaultPlan> {
+    Simulation::build(cluster(ctx), workload(ctx))
+        .config(sweep_cfg(ctx, frac, salt))
+        .expand_fault_plan()
+}
+
+/// One `(scheduler, crash fraction, draw)` run. All fault randomness flows
+/// from the sim seed, so a sweep point is a pure function of its inputs.
+fn run_one(
+    ctx: &RunCtx,
+    sched: SchedName,
+    frac: f64,
+    salt: u64,
+    plan: Option<&ExpandedFaultPlan>,
+) -> SimOutcome {
+    let cfg = sweep_cfg(ctx, frac, salt);
+    let mut sim = Simulation::build(cluster(ctx), workload(ctx))
+        .scheduler(sched.build(cfg.seed))
+        .config(cfg);
+    if let Some(plan) = plan {
+        sim = sim.faults_pre_expanded(plan.clone());
+    }
+    run_observed(ctx, sim)
 }
 
 /// A sweep point averages [`DRAWS`] independent fault-plan draws so one
 /// unlucky crash placement does not decide the verdict. The faults-off
 /// baseline is averaged over the same salts (the scheduler tie-break RNG
 /// is salted too), keeping numerator and denominator comparable.
-fn run_point(ctx: &RunCtx, sched: SchedName, frac: f64) -> (f64, f64, u64, u64) {
+fn run_point(
+    ctx: &RunCtx,
+    sched: SchedName,
+    frac: f64,
+    plans: &[Option<ExpandedFaultPlan>],
+) -> (f64, f64, u64, u64) {
     let (mut mk, mut jct, mut crashes, mut abandoned) = (0.0, 0.0, 0, 0);
     for salt in 0..DRAWS {
-        let o = run_one(ctx, sched, frac, salt);
+        let o = run_one(ctx, sched, frac, salt, plans[salt as usize].as_ref());
         mk += o.makespan();
         jct += o.avg_jct();
         crashes += o.stats.machine_crashes;
@@ -161,11 +191,21 @@ pub fn churn(ctx: &RunCtx) -> Report {
         "abandoned",
     ]);
     let mut report = Report::new(String::new());
+    // One fault-plan expansion per (fraction, draw), shared by all three
+    // schedulers at that sweep point.
+    let plans: Vec<Vec<Option<ExpandedFaultPlan>>> = CRASH_FRACS
+        .iter()
+        .map(|&frac| {
+            (0..DRAWS)
+                .map(|salt| expand_point(ctx, frac, salt))
+                .collect()
+        })
+        .collect();
     for sched in SCHEDS {
         let names = metric_names(sched);
         let mut base: Option<(f64, f64)> = None;
         for (fi, &frac) in CRASH_FRACS.iter().enumerate() {
-            let (mk, jct, crashes, abandoned) = run_point(ctx, sched, frac);
+            let (mk, jct, crashes, abandoned) = run_point(ctx, sched, frac, &plans[fi]);
             let (b_mk, b_jct) = *base.get_or_insert((mk, jct));
             let (mk_infl, jct_infl) = (mk / b_mk, jct / b_jct);
             t.row(vec![

@@ -51,7 +51,7 @@ fn run_one(ctx: &RunCtx, sched: SchedName) -> SimOutcome {
     run_observed(
         ctx,
         Simulation::build(cluster, w)
-            .scheduler_boxed(sched.build(cfg.seed))
+            .scheduler(sched.build(cfg.seed))
             .config(cfg),
     )
 }

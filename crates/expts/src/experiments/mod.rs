@@ -11,6 +11,7 @@ pub mod load;
 pub mod motivating;
 pub mod sensitivity;
 pub mod simulation;
+pub mod table8;
 pub mod upper_bound;
 pub mod workload_tables;
 
@@ -163,6 +164,12 @@ pub fn registry() -> Vec<Experiment> {
             run: churn::churn,
             cost: 30,
         },
+        Experiment {
+            id: "table8",
+            what: "Table 8 — heartbeat overheads: incremental vs full-rebuild scheduling",
+            run: table8::table8,
+            cost: 20,
+        },
     ]
 }
 
@@ -178,11 +185,11 @@ mod tests {
     #[test]
     fn registry_ids_unique_and_nonempty() {
         let reg = registry();
-        assert_eq!(reg.len(), 21);
+        assert_eq!(reg.len(), 22);
         let mut ids: Vec<_> = reg.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 21);
+        assert_eq!(ids.len(), 22);
     }
 
     #[test]

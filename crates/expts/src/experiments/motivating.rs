@@ -46,7 +46,7 @@ pub fn fig1(ctx: &RunCtx) -> Report {
         let o = run_observed(
             ctx,
             Simulation::build(cluster.clone(), ex.workload.clone())
-                .scheduler_boxed(sched.build(cfg.seed))
+                .scheduler(sched.build(cfg.seed))
                 .config(cfg.clone()),
         );
         assert!(o.all_jobs_completed(), "fig1 run did not complete");
@@ -86,7 +86,7 @@ mod tests {
         cfg.seed = 1;
         cfg.interference = Interference::none();
         let o = Simulation::build(fig1_cluster(), ex.workload.clone())
-            .scheduler_boxed(SchedName::Tetris.build(cfg.seed))
+            .scheduler(SchedName::Tetris.build(cfg.seed))
             .config(cfg)
             .run();
         assert!(o.all_jobs_completed());
@@ -109,7 +109,7 @@ mod tests {
         cfg.seed = 1;
         cfg.interference = Interference::none();
         let o = Simulation::build(fig1_cluster(), ex.workload.clone())
-            .scheduler_boxed(SchedName::Drf.build(cfg.seed))
+            .scheduler(SchedName::Drf.build(cfg.seed))
             .config(cfg)
             .run();
         assert!(o.all_jobs_completed());

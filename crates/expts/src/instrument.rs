@@ -38,7 +38,7 @@ pub fn instrumented_run(
     let mut obs = Obs::with_recorder(recorder);
 
     let traced = Simulation::build(cluster.clone(), workload.clone())
-        .scheduler_boxed(sched.build(cfg.seed))
+        .scheduler(sched.build(cfg.seed))
         .config(cfg.clone())
         .observe(&mut obs)
         .run();

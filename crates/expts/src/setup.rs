@@ -165,7 +165,7 @@ pub fn run(
     run_observed(
         ctx,
         Simulation::build(cluster.clone(), workload.clone())
-            .scheduler_boxed(sched.build(cfg.seed))
+            .scheduler(sched.build(cfg.seed))
             .config(cfg.clone()),
     )
 }

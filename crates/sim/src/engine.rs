@@ -9,11 +9,12 @@ use tetris_workload::{TaskUid, Workload};
 use crate::cluster::{ClusterConfig, MachineId};
 use crate::config::SimConfig;
 use crate::events::{EventKind, EventQueue};
-use crate::fault::FaultKind;
+use crate::fault::{ExpandedFaultPlan, FaultKind};
 use crate::outcome::{EngineStats, JobRecord, MachineSample, Sample, SimOutcome, TaskRecord};
 use crate::state::{DirtySet, Phase, SimState, TaskCompletion};
 use crate::time::SimTime;
-use crate::view::{ClusterView, SchedulerPolicy};
+use crate::view::{ClusterView, SchedulerEvent, SchedulerPolicy};
+use tetris_workload::JobId;
 
 /// Cap on re-invocations of the policy within one scheduling round; guards
 /// against a policy that keeps returning assignments the engine rejects.
@@ -45,6 +46,7 @@ pub struct Simulation<'o> {
     cfg: SimConfig,
     policy: Option<Box<dyn SchedulerPolicy>>,
     obs: Option<&'o mut Obs>,
+    pre_expanded: Option<ExpandedFaultPlan>,
 }
 
 impl Simulation<'static> {
@@ -56,23 +58,29 @@ impl Simulation<'static> {
             cfg: SimConfig::default(),
             policy: None,
             obs: None,
+            pre_expanded: None,
         }
     }
 }
 
 impl<'o> Simulation<'o> {
-    /// Set the scheduling policy (required).
+    /// Set the scheduling policy (required). Accepts both concrete
+    /// policies and `Box<dyn SchedulerPolicy>` (heterogeneous sweeps)
+    /// through one entry point.
     #[must_use]
-    pub fn scheduler(mut self, p: impl SchedulerPolicy + 'static) -> Self {
-        self.policy = Some(Box::new(p));
+    pub fn scheduler(mut self, p: impl Into<Box<dyn SchedulerPolicy>>) -> Self {
+        self.policy = Some(p.into());
         self
     }
 
-    /// Set the scheduling policy from a box (for heterogeneous sweeps).
+    /// Set the scheduling policy from a box.
+    #[deprecated(
+        since = "0.1.0",
+        note = "`scheduler` now accepts boxes too; use `.scheduler(boxed)`"
+    )]
     #[must_use]
-    pub fn scheduler_boxed(mut self, p: Box<dyn SchedulerPolicy>) -> Self {
-        self.policy = Some(p);
-        self
+    pub fn scheduler_boxed(self, p: Box<dyn SchedulerPolicy>) -> Self {
+        self.scheduler(p)
     }
 
     /// Replace the whole config.
@@ -89,6 +97,40 @@ impl<'o> Simulation<'o> {
         self
     }
 
+    /// Expand this run's fault plan exactly as [`Simulation::run`] would —
+    /// same seed, same RNG draw order (a throwaway state performs the
+    /// pre-expansion draws, e.g. block-replica placement) — without
+    /// running anything. `None` when faults are disabled.
+    ///
+    /// Callers comparing schedulers under identical faults expand once and
+    /// hand the result to each run via
+    /// [`Simulation::faults_pre_expanded`], guaranteeing all runs see the
+    /// same drawn plan object rather than relying on per-run re-expansion
+    /// happening to agree.
+    pub fn expand_fault_plan(&self) -> Option<ExpandedFaultPlan> {
+        if !self.cfg.faults.enabled() {
+            return None;
+        }
+        let mut state = SimState::new(
+            self.cluster.clone(),
+            self.workload.clone(),
+            self.cfg.clone(),
+        );
+        let plan = state.cfg.faults.clone();
+        Some(plan.expand(state.machines.len(), state.cfg.max_time, &mut state.rng))
+    }
+
+    /// Use a pre-expanded fault plan (from [`Simulation::expand_fault_plan`]
+    /// on an identically configured builder) instead of the run's own
+    /// expansion. The run still performs the expansion draws — keeping the
+    /// RNG stream, and therefore every later draw, byte-identical — but the
+    /// supplied plan is the one applied (debug builds assert they agree).
+    #[must_use]
+    pub fn faults_pre_expanded(mut self, plan: ExpandedFaultPlan) -> Self {
+        self.pre_expanded = Some(plan);
+        self
+    }
+
     /// Attach an observability context: decision events go to its
     /// recorder, heartbeat timings and counters to its metrics registry.
     /// Observability never perturbs the run — the outcome is identical
@@ -101,6 +143,7 @@ impl<'o> Simulation<'o> {
             cfg: self.cfg,
             policy: self.policy,
             obs: Some(obs),
+            pre_expanded: self.pre_expanded,
         }
     }
 
@@ -164,6 +207,20 @@ impl<'o> Simulation<'o> {
         if state.cfg.faults.enabled() {
             let plan = state.cfg.faults.clone();
             let expanded = plan.expand(state.machines.len(), state.cfg.max_time, &mut state.rng);
+            // A caller-supplied pre-expansion replaces the run's own —
+            // the draws above still happened, so the RNG stream (and every
+            // later legacy draw) is unchanged, and the two plans must
+            // agree whenever the builder configs do.
+            let expanded = match self.pre_expanded {
+                Some(pre) => {
+                    debug_assert_eq!(
+                        pre, expanded,
+                        "pre-expanded fault plan disagrees with this run's expansion"
+                    );
+                    pre
+                }
+                None => expanded,
+            };
             state.tracker_modes = expanded.tracker_modes.clone();
             state.tracker_modes_baseline = expanded.tracker_modes;
             for (t, k) in expanded.events {
@@ -181,6 +238,10 @@ impl<'o> Simulation<'o> {
         let max_t = state.cfg.max_sim_time();
         let mut timed_out = false;
         let mut tracker_transitions: Vec<(MachineId, bool)> = Vec::new();
+        // Scheduler events accumulated while processing one batch,
+        // delivered (with the freed-machine mirror) just before the
+        // batch's scheduling round. Reused across batches.
+        let mut sched_events: Vec<SchedulerEvent> = Vec::new();
 
         while let Some(ev) = queue.pop() {
             if ev.time > max_t {
@@ -198,12 +259,14 @@ impl<'o> Simulation<'o> {
 
             let mut want_schedule = false;
             let mut want_sample = false;
+            sched_events.clear();
             for ev in batch {
                 stats.events += 1;
                 obs.metrics.counter_inc(names::ENGINE_EVENTS);
                 match ev.kind {
                     EventKind::JobArrival(j) => {
                         state.job_arrives(j);
+                        sched_events.push(SchedulerEvent::JobArrived { job: j });
                         obs.emit(state.now.as_secs(), || {
                             let spec = &state.workload.jobs[j.index()];
                             Event::JobArrived {
@@ -217,6 +280,7 @@ impl<'o> Simulation<'o> {
                     EventKind::FlowDone { flow, gen } => {
                         if let Some(task) = state.flow_done(flow, gen, &mut dirty, &mut queue) {
                             let done = state.task_complete(task, &mut dirty);
+                            push_completion_event(&mut sched_events, &state, task, done);
                             observe_completion(obs, &state, task, done);
                             want_schedule = true;
                         }
@@ -227,6 +291,7 @@ impl<'o> Simulation<'o> {
                         let current = matches!(&state.tasks[task.index()].phase, crate::state::Phase::Running(info) if info.gen == gen);
                         if current {
                             let done = state.task_complete(task, &mut dirty);
+                            push_completion_event(&mut sched_events, &state, task, done);
                             observe_completion(obs, &state, task, done);
                             want_schedule = true;
                         }
@@ -236,17 +301,20 @@ impl<'o> Simulation<'o> {
                         state.tracker_report(&mut tracker_transitions);
                         for &(m, suspect) in &tracker_transitions {
                             if suspect {
+                                sched_events.push(SchedulerEvent::MachineSuspected { machine: m });
                                 obs.metrics.counter_inc(names::FAULT_SUSPECTED);
                                 obs.emit(state.now.as_secs(), || Event::MachineSuspected {
                                     machine: m.index(),
                                 });
                             } else {
+                                sched_events.push(SchedulerEvent::MachineCleared { machine: m });
                                 obs.metrics.counter_inc(names::FAULT_CLEARED);
                                 obs.emit(state.now.as_secs(), || Event::MachineCleared {
                                     machine: m.index(),
                                 });
                             }
                         }
+                        sched_events.push(SchedulerEvent::TrackerReport);
                         obs.metrics.counter_inc(names::TRACKER_REPORTS);
                         if observing {
                             obs.metrics.gauge_set(
@@ -275,10 +343,16 @@ impl<'o> Simulation<'o> {
                     }
                     EventKind::ExternalStart(i) => {
                         state.set_external(i, true, &mut dirty);
+                        sched_events.push(SchedulerEvent::ExternalLoadChanged {
+                            machine: external_owner(&state, i),
+                        });
                         want_schedule = true;
                     }
                     EventKind::ExternalEnd(i) => {
                         state.set_external(i, false, &mut dirty);
+                        sched_events.push(SchedulerEvent::ExternalLoadChanged {
+                            machine: external_owner(&state, i),
+                        });
                         want_schedule = true;
                     }
                     EventKind::MachineDown(m) => {
@@ -298,7 +372,16 @@ impl<'o> Simulation<'o> {
                             .counter_add(names::FAULT_ABANDONED, rep.abandoned.len() as u64);
                         obs.metrics
                             .counter_add(names::FAULT_EVACUATIONS, rep.evacuations as u64);
-                        for &uid in &rep.requeued {
+                        // Scheduler events carry the *host* of each killed
+                        // attempt (remote readers run elsewhere); the trace
+                        // events below keep attributing to the crashed
+                        // machine, matching the pre-event trace format.
+                        for &(uid, host) in &rep.requeued {
+                            sched_events.push(SchedulerEvent::TaskPreempted {
+                                job: JobId(state.task_loc[uid.index()].0),
+                                task: uid,
+                                machine: host,
+                            });
                             obs.emit(state.now.as_secs(), || Event::TaskPreempted {
                                 job: state.workload.task(uid).expect("task").job.index(),
                                 task: uid.index(),
@@ -306,13 +389,19 @@ impl<'o> Simulation<'o> {
                                 reason: REASON_MACHINE_CRASH.into(),
                             });
                         }
-                        for &uid in &rep.abandoned {
+                        for &(uid, host) in &rep.abandoned {
+                            sched_events.push(SchedulerEvent::TaskAbandoned {
+                                job: JobId(state.task_loc[uid.index()].0),
+                                task: uid,
+                                machine: host,
+                            });
                             obs.emit(state.now.as_secs(), || Event::TaskAbandoned {
                                 job: state.workload.task(uid).expect("task").job.index(),
                                 task: uid.index(),
                                 attempts: state.tasks[uid.index()].attempts,
                             });
                         }
+                        sched_events.push(SchedulerEvent::MachineDown { machine: m });
                         obs.emit(state.now.as_secs(), || Event::MachineDown {
                             machine: m.index(),
                             killed: rep.requeued.len() + rep.abandoned.len(),
@@ -325,6 +414,7 @@ impl<'o> Simulation<'o> {
                     }
                     EventKind::MachineUp(m) => {
                         state.machine_recover(m);
+                        sched_events.push(SchedulerEvent::MachineUp { machine: m });
                         obs.metrics.counter_inc(names::FAULT_RECOVERIES);
                         obs.emit(state.now.as_secs(), || Event::MachineUp {
                             machine: m.index(),
@@ -360,6 +450,10 @@ impl<'o> Simulation<'o> {
                     }
                     EventKind::TaskRestart(task) => {
                         if state.task_restart(task) {
+                            sched_events.push(SchedulerEvent::TaskRunnable {
+                                job: JobId(state.task_loc[task.index()].0),
+                                task,
+                            });
                             obs.metrics.counter_inc(names::FAULT_BACKOFF_WAITS);
                             want_schedule = true;
                         }
@@ -370,6 +464,22 @@ impl<'o> Simulation<'o> {
             state.recompute_dirty(&mut dirty, &mut queue);
 
             if want_schedule && state.jobs_remaining > 0 {
+                // Deliver the batch's scheduler events, then mirror each
+                // freed-machine hint, before the round's schedule calls —
+                // the protocol documented on [`SchedulerEvent`].
+                {
+                    let view = ClusterView::new(&state, tracker_aware);
+                    for e in &sched_events {
+                        policy.on_event(&view, e);
+                    }
+                    for &m in &state.freed_hint {
+                        policy.on_event(&view, &SchedulerEvent::MachineFreed { machine: m });
+                    }
+                    obs.metrics.counter_add(
+                        names::SCHED_EVENTS,
+                        (sched_events.len() + state.freed_hint.len()) as u64,
+                    );
+                }
                 // One "resources freed → pick tasks" pass: the heartbeat
                 // of a real cluster scheduler. Timed end-to-end into the
                 // continuous version of the paper's Table-8 measurement.
@@ -398,6 +508,18 @@ impl<'o> Simulation<'o> {
                             stats.placements += 1;
                             obs.metrics.counter_inc(names::PLACEMENTS);
                             placed = true;
+                            {
+                                let view = ClusterView::new(&state, tracker_aware);
+                                policy.on_event(
+                                    &view,
+                                    &SchedulerEvent::TaskPlaced {
+                                        job: JobId(state.task_loc[a.task.index()].0),
+                                        task: a.task,
+                                        machine: a.machine,
+                                    },
+                                );
+                            }
+                            obs.metrics.counter_inc(names::SCHED_EVENTS);
                             obs.emit(state.now.as_secs(), || {
                                 let job = state.workload.task(a.task).expect("task").job;
                                 Event::TaskPlaced {
@@ -434,6 +556,11 @@ impl<'o> Simulation<'o> {
                 // round, so a policy can keep focusing on freed machines
                 // across its re-invocations.
                 state.freed_hint.clear();
+                {
+                    let view = ClusterView::new(&state, tracker_aware);
+                    policy.on_event(&view, &SchedulerEvent::RoundComplete);
+                }
+                obs.metrics.counter_inc(names::SCHED_EVENTS);
             }
 
             if want_sample {
@@ -450,7 +577,38 @@ impl<'o> Simulation<'o> {
         }
 
         obs.flush();
-        finalize(state, policy.name(), samples, stats, timed_out)
+        let scheduler = policy.name().to_string();
+        finalize(state, scheduler, samples, stats, timed_out)
+    }
+}
+
+/// The machine owning external load `idx` (static config loads first,
+/// then dynamic re-replication loads).
+fn external_owner(state: &SimState, idx: usize) -> MachineId {
+    let n_static = state.cfg.external_loads.len();
+    if idx < n_static {
+        state.cfg.external_loads[idx].machine
+    } else {
+        state.dynamic_loads[idx - n_static].machine
+    }
+}
+
+/// Push the [`SchedulerEvent`] matching a [`TaskCompletion`], if any.
+fn push_completion_event(
+    out: &mut Vec<SchedulerEvent>,
+    state: &SimState,
+    task: TaskUid,
+    done: TaskCompletion,
+) {
+    let job = JobId(state.task_loc[task.index()].0);
+    match done {
+        TaskCompletion::Stale => {}
+        TaskCompletion::Requeued { machine } => {
+            out.push(SchedulerEvent::TaskPreempted { job, task, machine });
+        }
+        TaskCompletion::Finished { machine, .. } => {
+            out.push(SchedulerEvent::TaskFinished { job, task, machine });
+        }
     }
 }
 
@@ -597,8 +755,8 @@ impl GreedyFifo {
 }
 
 impl SchedulerPolicy for GreedyFifo {
-    fn name(&self) -> String {
-        "greedy-fifo".into()
+    fn name(&self) -> &str {
+        "greedy-fifo"
     }
 
     fn schedule(&mut self, view: &ClusterView<'_>) -> Vec<crate::view::Assignment> {

@@ -167,8 +167,13 @@ impl FaultPlan {
     /// from `rng`. The returned events are sorted by `(time, kind,
     /// machine)` so the engine's queue push order — and hence event
     /// sequence numbers — is deterministic.
-    pub(crate) fn expand(&self, n_machines: usize, max_time: f64, rng: &mut StdRng) -> Expanded {
-        let mut ex = Expanded {
+    pub(crate) fn expand(
+        &self,
+        n_machines: usize,
+        max_time: f64,
+        rng: &mut StdRng,
+    ) -> ExpandedFaultPlan {
+        let mut ex = ExpandedFaultPlan {
             events: Vec::new(),
             tracker_modes: vec![TrackerMode::Honest; n_machines],
         };
@@ -295,12 +300,17 @@ pub(crate) enum TrackerMode {
 }
 
 /// Expanded plan: sorted fault events plus per-machine tracker modes.
-#[derive(Debug, Clone)]
-pub(crate) struct Expanded {
+///
+/// Obtained from [`crate::Simulation::expand_fault_plan`] and handed back
+/// via [`crate::Simulation::faults_pre_expanded`] so several runs (e.g.
+/// different schedulers at one sweep point) share the identical drawn
+/// plan object. Opaque outside the crate: the fields feed the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpandedFaultPlan {
     /// `(time_seconds, transition)`, sorted.
-    pub events: Vec<(f64, FaultKind)>,
+    pub(crate) events: Vec<(f64, FaultKind)>,
     /// Tracker behavior per machine index.
-    pub tracker_modes: Vec<TrackerMode>,
+    pub(crate) tracker_modes: Vec<TrackerMode>,
 }
 
 #[cfg(test)]

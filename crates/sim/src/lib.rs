@@ -62,11 +62,13 @@ mod view;
 pub use cluster::{ClusterConfig, MachineId};
 pub use config::{ExternalLoad, Interference, SimConfig};
 pub use engine::{GreedyFifo, Simulation};
-pub use fault::FaultPlan;
+pub use fault::{ExpandedFaultPlan, FaultPlan};
 pub use outcome::{EngineStats, JobRecord, MachineSample, Sample, SimOutcome, TaskRecord};
 pub use state::{PlacementPlan, TaskCompletion};
 pub use time::SimTime;
-pub use view::{Assignment, ClusterView, SchedulerPolicy, StageProgress};
+pub use view::{
+    Assignment, ClusterView, MarkAllDirty, SchedulerEvent, SchedulerPolicy, StageProgress,
+};
 // Re-exported so policies can annotate assignments without naming the obs
 // crate themselves.
 pub use tetris_obs::DecisionScores;

@@ -10,13 +10,13 @@ use std::time::Instant;
 
 use tetris_obs::{names, Event, Obs};
 use tetris_resources::NUM_RESOURCES;
-use tetris_workload::Workload;
+use tetris_workload::{JobId, Workload};
 
-use crate::cluster::ClusterConfig;
+use crate::cluster::{ClusterConfig, MachineId};
 use crate::config::SimConfig;
 use crate::events::EventQueue;
 use crate::state::{DirtySet, SimState};
-use crate::view::{ClusterView, SchedulerPolicy};
+use crate::view::{Assignment, ClusterView, SchedulerEvent, SchedulerPolicy};
 
 /// A reusable snapshot of "all jobs pending" state.
 pub struct ScheduleProbe {
@@ -153,6 +153,249 @@ impl RecomputeProbe {
     }
 }
 
+/// A live snapshot for benchmarking *incremental* scheduling: the
+/// heartbeat-scale loop of [`SchedulerEvent`]-driven policies.
+///
+/// [`ScheduleProbe`] measures the cold decision — an unsynced policy
+/// rebuilding its world from the view. This probe measures the warm one:
+/// after [`settle`](IncrementalProbe::settle) bootstraps two policies
+/// (typically the incremental policy under test and a
+/// [`MarkAllDirty`](crate::view::MarkAllDirty) oracle) onto a packed
+/// cluster, each [`warm_heartbeat`](IncrementalProbe::warm_heartbeat)
+/// drains one machine, delivers the resulting [`TaskPreempted`] /
+/// [`MachineFreed`] events exactly as the engine would, and times one
+/// `schedule()` call per policy on the identical state — asserting the
+/// two assignment streams stay byte-identical.
+///
+/// The engine's freed-machine hint stays in place for the timed calls —
+/// both policies consider the identical hinted machine set, exactly as
+/// they would inside the engine. What the oracle pays and the synced
+/// policy skips is the per-job state rebuild (remaining-work scores,
+/// demand estimates, placement preferences for every pending job) — the
+/// cost Table 8's incremental row reports.
+///
+/// [`TaskPreempted`]: SchedulerEvent::TaskPreempted
+/// [`MachineFreed`]: SchedulerEvent::MachineFreed
+pub struct IncrementalProbe {
+    state: SimState,
+    dirty: DirtySet,
+    queue: EventQueue,
+    reps: u64,
+    events: u64,
+}
+
+/// One timed warm heartbeat: wall-clock nanoseconds for the policy under
+/// test and the oracle, plus what the (identical) decisions did.
+#[derive(Debug, Clone, Copy)]
+pub struct WarmHeartbeat {
+    /// Nanoseconds for the event-synced policy's `schedule()` call.
+    pub inc_ns: u64,
+    /// Nanoseconds for the oracle policy's `schedule()` call.
+    pub oracle_ns: u64,
+    /// Tasks killed to drain the heartbeat's machine.
+    pub drained: usize,
+    /// Assignments both policies proposed (asserted identical).
+    pub placements: usize,
+}
+
+impl IncrementalProbe {
+    /// Build the snapshot: every job arrived, nothing placed. Restart
+    /// backoff is zeroed and the attempt cap lifted so drained tasks
+    /// return to the pending pool immediately instead of dying.
+    pub fn new(cluster: ClusterConfig, workload: Workload, mut cfg: SimConfig) -> Self {
+        workload.validate().expect("invalid workload");
+        cfg.faults.restart_backoff = 0.0;
+        cfg.max_task_attempts = u32::MAX;
+        let mut state = SimState::new(cluster, workload, cfg);
+        let jobs: Vec<_> = state.workload.jobs.iter().map(|j| j.id).collect();
+        for j in jobs {
+            state.job_arrives(j);
+        }
+        IncrementalProbe {
+            state,
+            dirty: DirtySet::default(),
+            queue: EventQueue::new(),
+            reps: 0,
+            events: 0,
+        }
+    }
+
+    /// Number of pending runnable tasks right now.
+    pub fn pending(&self) -> usize {
+        self.state
+            .jobs
+            .iter()
+            .flat_map(|j| j.stages.iter())
+            .map(|s| s.pending.len())
+            .sum()
+    }
+
+    /// Total [`SchedulerEvent`]s delivered so far (counted once per
+    /// event, not per receiving policy) — deterministic for a given
+    /// snapshot and call sequence, which is what lets callers assert the
+    /// incremental path was actually exercised.
+    pub fn events_delivered(&self) -> u64 {
+        self.events
+    }
+
+    fn deliver(&mut self, policies: &mut [&mut dyn SchedulerPolicy], event: &SchedulerEvent) {
+        self.events += 1;
+        for p in policies.iter_mut() {
+            let view = ClusterView::new(&self.state, p.uses_tracker());
+            p.on_event(&view, event);
+        }
+    }
+
+    /// One engine-faithful scheduling round over both policies: schedule
+    /// on the identical state, assert the streams match, apply `inc`'s
+    /// assignments, and deliver a [`TaskPlaced`](SchedulerEvent::TaskPlaced)
+    /// per application plus a terminal
+    /// [`RoundComplete`](SchedulerEvent::RoundComplete) to both. Returns
+    /// (placements, inc_ns, oracle_ns).
+    fn round(
+        &mut self,
+        inc: &mut dyn SchedulerPolicy,
+        oracle: &mut dyn SchedulerPolicy,
+    ) -> (usize, u64, u64) {
+        let (a_inc, inc_ns, a_oracle, oracle_ns) = {
+            let view_inc = ClusterView::new(&self.state, inc.uses_tracker());
+            let t0 = Instant::now();
+            let a_inc = inc.schedule(&view_inc);
+            let inc_ns = t0.elapsed().as_nanos() as u64;
+            let view_oracle = ClusterView::new(&self.state, oracle.uses_tracker());
+            let t1 = Instant::now();
+            let a_oracle = oracle.schedule(&view_oracle);
+            let oracle_ns = t1.elapsed().as_nanos() as u64;
+            (a_inc, inc_ns, a_oracle, oracle_ns)
+        };
+        assert_assignments_eq(&a_inc, &a_oracle);
+        let mut placed = 0;
+        for a in &a_inc {
+            if !self.state.assignment_valid(a.task, a.machine) {
+                continue;
+            }
+            self.state
+                .apply_assignment(a.task, a.machine, &mut self.dirty, &mut self.queue);
+            placed += 1;
+            let job = JobId(self.state.task_loc[a.task.index()].0);
+            self.deliver(
+                &mut [&mut *inc, &mut *oracle],
+                &SchedulerEvent::TaskPlaced {
+                    job,
+                    task: a.task,
+                    machine: a.machine,
+                },
+            );
+        }
+        self.state.recompute_dirty(&mut self.dirty, &mut self.queue);
+        self.state.freed_hint.clear();
+        self.deliver(
+            &mut [&mut *inc, &mut *oracle],
+            &SchedulerEvent::RoundComplete,
+        );
+        (placed, inc_ns, oracle_ns)
+    }
+
+    /// Bootstrap both policies: deliver a
+    /// [`JobArrived`](SchedulerEvent::JobArrived) per job (syncing any
+    /// event-driven policy), then run scheduling rounds until the cluster
+    /// stops accepting work. Returns (placements, cold-pass ns for `inc`,
+    /// cold-pass ns for `oracle`) where the cold pass is the first —
+    /// all-pending — `schedule()` call of each.
+    pub fn settle(
+        &mut self,
+        inc: &mut dyn SchedulerPolicy,
+        oracle: &mut dyn SchedulerPolicy,
+    ) -> (usize, u64, u64) {
+        let jobs: Vec<JobId> = self.state.workload.jobs.iter().map(|j| j.id).collect();
+        for j in jobs {
+            self.deliver(
+                &mut [&mut *inc, &mut *oracle],
+                &SchedulerEvent::JobArrived { job: j },
+            );
+        }
+        let (mut total, cold_inc, cold_oracle) = self.round(inc, oracle);
+        loop {
+            let (placed, _, _) = self.round(inc, oracle);
+            if placed == 0 {
+                break;
+            }
+            total += placed;
+        }
+        (total, cold_inc, cold_oracle)
+    }
+
+    /// One warm heartbeat: drain the next machine round-robin (kill its
+    /// resident tasks back into the pending pool), deliver the
+    /// preemption/freed events, clear the engine hint, and time one
+    /// `schedule()` per policy on the identical state. Panics if the two
+    /// assignment streams diverge.
+    pub fn warm_heartbeat(
+        &mut self,
+        inc: &mut dyn SchedulerPolicy,
+        oracle: &mut dyn SchedulerPolicy,
+    ) -> WarmHeartbeat {
+        let mi = (self.reps as usize) % self.state.machines.len();
+        self.reps += 1;
+        let machine = MachineId(mi);
+        let victims: Vec<_> = self.state.machines[mi].running_tasks.clone();
+        let mut drained = 0;
+        for uid in victims {
+            let Some((abandoned, _, host)) =
+                self.state.kill_task(uid, &mut self.dirty, &mut self.queue)
+            else {
+                continue;
+            };
+            debug_assert!(!abandoned, "attempt cap was lifted in new()");
+            drained += 1;
+            let job = JobId(self.state.task_loc[uid.index()].0);
+            self.deliver(
+                &mut [&mut *inc, &mut *oracle],
+                &SchedulerEvent::TaskPreempted {
+                    job,
+                    task: uid,
+                    machine: host,
+                },
+            );
+        }
+        self.state.recompute_dirty(&mut self.dirty, &mut self.queue);
+        // Mirror the engine's freed-machine delivery; the state-side hint
+        // stays for the scheduling round (as in the engine), so a synced
+        // policy's event-built freed set and an unsynced policy's
+        // view-read one describe the same machines.
+        let freed = self.state.freed_hint.clone();
+        for &m in &freed {
+            self.deliver(
+                &mut [&mut *inc, &mut *oracle],
+                &SchedulerEvent::MachineFreed { machine: m },
+            );
+        }
+        debug_assert!(drained == 0 || freed.contains(&machine));
+        let (placements, inc_ns, oracle_ns) = self.round(inc, oracle);
+        WarmHeartbeat {
+            inc_ns,
+            oracle_ns,
+            drained,
+            placements,
+        }
+    }
+}
+
+#[track_caller]
+fn assert_assignments_eq(a: &[Assignment], b: &[Assignment]) {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "incremental and oracle proposed different assignment counts"
+    );
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        assert!(
+            x == y,
+            "assignment #{i} diverged: incremental {x:?} vs oracle {y:?}"
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,6 +437,35 @@ mod tests {
         let n2 = probe.measure();
         assert_eq!(n1, n2, "probe must be repeatable");
         assert_eq!(n1, probe.links());
+    }
+
+    #[test]
+    fn incremental_probe_drains_and_replaces() {
+        let w = WorkloadSuiteConfig::small().generate(3);
+        let mut probe = IncrementalProbe::new(
+            ClusterConfig::uniform(4, MachineSpec::paper_large()),
+            w,
+            SimConfig::default(),
+        );
+        // GreedyFifo never syncs, so inc and oracle take the same path —
+        // this pins the probe's drain/replace mechanics, not a speedup.
+        let mut inc = GreedyFifo::new();
+        let mut oracle = GreedyFifo::new();
+        let before = probe.pending();
+        let (placed, cold_inc, cold_oracle) = probe.settle(&mut inc, &mut oracle);
+        assert!(placed > 0, "settle must place work");
+        assert!(cold_inc > 0 && cold_oracle > 0);
+        assert_eq!(before - probe.pending(), placed);
+        let mut drained_total = 0;
+        let mut replaced_total = 0;
+        for _ in 0..4 {
+            let hb = probe.warm_heartbeat(&mut inc, &mut oracle);
+            drained_total += hb.drained;
+            replaced_total += hb.placements;
+            assert!(hb.inc_ns > 0 && hb.oracle_ns > 0);
+        }
+        assert!(drained_total > 0, "drains must kill resident tasks");
+        assert!(replaced_total > 0, "freed machines must be refilled");
     }
 
     #[test]

@@ -1335,13 +1335,13 @@ impl SimState {
     /// `restart_backoff > 0`, immediately runnable otherwise.
     ///
     /// Returns `None` if the task was not actually running, else
-    /// `Some((abandoned, lost_task_seconds))`.
-    fn kill_task(
+    /// `Some((abandoned, lost_task_seconds, host_machine))`.
+    pub(crate) fn kill_task(
         &mut self,
         uid: TaskUid,
         dirty: &mut DirtySet,
         queue: &mut EventQueue,
-    ) -> Option<(bool, f64)> {
+    ) -> Option<(bool, f64, MachineId)> {
         let (ji, si, _) = self.task_loc[uid.index()];
         let info = match std::mem::replace(&mut self.tasks[uid.index()].phase, Phase::Runnable) {
             Phase::Running(info) => info,
@@ -1407,16 +1407,16 @@ impl SimState {
             t.finish = Some(now);
             self.tasks_abandoned += 1;
             self.note_task_terminal(ji, si);
-            Some((true, lost))
+            Some((true, lost, host))
         } else if backoff > 0.0 {
             t.phase = Phase::Backoff;
             queue.push(now.after_secs(backoff), EventKind::TaskRestart(uid));
-            Some((false, lost))
+            Some((false, lost, host))
         } else {
             t.phase = Phase::Runnable;
             t.runnable_since = Some(now);
             self.jobs[ji].stages[si].pending.push(uid);
-            Some((false, lost))
+            Some((false, lost, host))
         }
     }
 
@@ -1453,12 +1453,12 @@ impl SimState {
             evacuations: 0,
         };
         for uid in victims {
-            if let Some((abandoned, lost)) = self.kill_task(uid, dirty, queue) {
+            if let Some((abandoned, lost, host)) = self.kill_task(uid, dirty, queue) {
                 report.lost_task_seconds += lost;
                 if abandoned {
-                    report.abandoned.push(uid);
+                    report.abandoned.push((uid, host));
                 } else {
-                    report.requeued.push(uid);
+                    report.requeued.push((uid, host));
                 }
             }
         }
@@ -1619,13 +1619,18 @@ impl SimState {
 }
 
 /// What a machine crash did, so the engine can trace and count it.
+///
+/// Each victim carries the machine that *hosted* the killed attempt —
+/// remote readers of the crashed machine's disks run elsewhere, so the
+/// host is not always the crashed machine itself.
 #[derive(Debug, Clone)]
 pub(crate) struct CrashReport {
     /// Tasks whose attempt was lost but which will run again (directly
-    /// runnable or in backoff).
-    pub requeued: Vec<TaskUid>,
-    /// Tasks permanently failed (attempt cap reached).
-    pub abandoned: Vec<TaskUid>,
+    /// runnable or in backoff), with the machine that hosted the attempt.
+    pub requeued: Vec<(TaskUid, MachineId)>,
+    /// Tasks permanently failed (attempt cap reached), with the machine
+    /// that hosted the final attempt.
+    pub abandoned: Vec<(TaskUid, MachineId)>,
     /// Sum over killed attempts of seconds of progress lost.
     pub lost_task_seconds: f64,
     /// Blocks re-replicated off the dead machine.
@@ -2062,7 +2067,7 @@ mod tests {
         st.recompute_dirty(&mut dirty, &mut q);
         st.now = SimTime::from_secs(3.0);
         let rep = st.machine_crash(MachineId(0), &mut dirty, &mut q);
-        assert_eq!(rep.requeued, vec![TaskUid(0)]);
+        assert_eq!(rep.requeued, vec![(TaskUid(0), MachineId(0))]);
         assert!(rep.abandoned.is_empty());
         assert!((rep.lost_task_seconds - 3.0).abs() < 1e-9);
         // Attempt fully torn down: runnable again, ledgers released,
@@ -2093,7 +2098,7 @@ mod tests {
         st.recompute_dirty(&mut dirty, &mut q);
         st.now = SimTime::from_secs(1.0);
         let rep = st.machine_crash(MachineId(0), &mut dirty, &mut q);
-        assert_eq!(rep.requeued, vec![TaskUid(0)]);
+        assert_eq!(rep.requeued, vec![(TaskUid(0), MachineId(0))]);
         assert!(matches!(st.tasks[0].phase, Phase::Backoff));
         assert!(st.jobs[0].stages[0].pending.is_empty());
         // The restart event fires after the backoff.
@@ -2126,7 +2131,7 @@ mod tests {
         st.recompute_dirty(&mut dirty, &mut q);
         st.now = SimTime::from_secs(2.0);
         let rep = st.machine_crash(MachineId(0), &mut dirty, &mut q);
-        assert_eq!(rep.abandoned, vec![TaskUid(0)]);
+        assert_eq!(rep.abandoned, vec![(TaskUid(0), MachineId(0))]);
         assert!(rep.requeued.is_empty());
         // Terminal-failure audit: the job still reaches a terminal state.
         assert!(matches!(st.tasks[0].phase, Phase::Abandoned));
@@ -2172,8 +2177,9 @@ mod tests {
         let src = replicas[0];
         st.now = SimTime::from_secs(1.0);
         let rep = st.machine_crash(src, &mut dirty, &mut q);
-        // The reader lost its input stream even though its host is fine.
-        assert_eq!(rep.requeued, vec![TaskUid(0)]);
+        // The reader lost its input stream even though its host is fine —
+        // the report carries the *host*, not the crashed source.
+        assert_eq!(rep.requeued, vec![(TaskUid(0), host)]);
         assert!(matches!(st.tasks[0].phase, Phase::Runnable));
         assert!(st.machines[host.index()].allocated.is_zero());
         // Block evacuated: the dead machine no longer appears as a

@@ -1,10 +1,19 @@
-//! The scheduler-facing API: [`SchedulerPolicy`], [`Assignment`] and
-//! [`ClusterView`].
+//! The scheduler-facing API: [`SchedulerPolicy`], [`SchedulerEvent`],
+//! [`Assignment`] and [`ClusterView`].
 //!
-//! The engine invokes the policy whenever scheduling-relevant state changes
-//! (job arrival, task completion, tracker report, external-load change).
-//! The policy inspects the view and returns a batch of assignments; the
-//! engine applies them and re-invokes until the policy returns nothing.
+//! The protocol is event-driven (DESIGN.md §11). Whenever
+//! scheduling-relevant state changes, the engine first delivers the typed
+//! [`SchedulerEvent`]s describing *what* changed through
+//! [`SchedulerPolicy::on_event`], then asks for decisions through
+//! [`SchedulerPolicy::schedule`]. A policy may ignore events entirely —
+//! the default `on_event` is a no-op, which is the "mark all dirty"
+//! contract: `schedule` must then derive everything it needs from the
+//! view, exactly like the original stateless API. A policy that *does*
+//! consume events may keep incrementally maintained state (candidate
+//! caches, slot counters) and answer `schedule` by touching only the
+//! delta, provided its answers stay byte-identical to its own
+//! mark-all-dirty behaviour (pinned by `tests/schedule_equivalence.rs`
+//! and the [`MarkAllDirty`] oracle).
 //!
 //! The view exposes *reported* information — peak demands, machine
 //! availability ledgers, tracker reports — never simulation ground truth
@@ -51,14 +60,151 @@ impl Assignment {
     }
 }
 
+/// A scheduling-relevant state change, delivered to policies through
+/// [`SchedulerPolicy::on_event`] before each scheduling round.
+///
+/// The taxonomy covers everything a policy could otherwise only discover
+/// by re-scanning the view (DESIGN.md §11 documents the invalidation rule
+/// each variant implies). Events are facts about the simulation, not
+/// commands: a policy is free to ignore any of them as long as its
+/// `schedule` answers account for the change some other way.
+///
+/// Delivery guarantees (the determinism contract):
+///
+/// * every arrival, placement, completion, preemption, abandonment,
+///   restart, crash, recovery, suspicion transition, tracker report and
+///   external-load change is delivered, in simulation order, before the
+///   `schedule` calls of the round it occurred in;
+/// * one [`SchedulerEvent::MachineFreed`] is delivered per entry of
+///   [`ClusterView::freed_machines`], in the same order (duplicates
+///   included), so an event-consuming policy can mirror the hint list
+///   exactly;
+/// * [`SchedulerEvent::RoundComplete`] is delivered once after the last
+///   `schedule` call of a round, when the engine clears the freed-machine
+///   hints — a mirrored list must be cleared there too;
+/// * events may be *spurious* (e.g. an external-load change that was
+///   cancelled at crash time still reports); treating an event as "mark
+///   dirty" is always safe, treating it as "state certainly changed" is
+///   not;
+/// * machine slowdowns are deliberately **not** delivered: they alter
+///   flow rates, which are simulation ground truth the scheduler cannot
+///   observe (§4.1 trackers report usage, not speed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerEvent {
+    /// A job arrived; its root stages became pending.
+    JobArrived {
+        /// The arriving job.
+        job: JobId,
+    },
+    /// The engine applied an assignment: `task` now runs on `machine`.
+    TaskPlaced {
+        /// Owning job.
+        job: JobId,
+        /// The placed task.
+        task: TaskUid,
+        /// Host machine.
+        machine: MachineId,
+    },
+    /// A task finished for good; its resources were released.
+    TaskFinished {
+        /// Owning job.
+        job: JobId,
+        /// The finished task.
+        task: TaskUid,
+        /// The machine that hosted it.
+        machine: MachineId,
+    },
+    /// A running attempt was torn down (failure retry or machine crash)
+    /// and the task returned to the pending queue (or a restart backoff).
+    TaskPreempted {
+        /// Owning job.
+        job: JobId,
+        /// The preempted task.
+        task: TaskUid,
+        /// The machine that hosted the killed attempt.
+        machine: MachineId,
+    },
+    /// A task permanently failed at the attempt cap; its stage counts it
+    /// as terminal.
+    TaskAbandoned {
+        /// Owning job.
+        job: JobId,
+        /// The abandoned task.
+        task: TaskUid,
+        /// The machine that hosted the final attempt.
+        machine: MachineId,
+    },
+    /// A crash-killed task finished its restart backoff and is pending
+    /// again.
+    TaskRunnable {
+        /// Owning job.
+        job: JobId,
+        /// The again-runnable task.
+        task: TaskUid,
+    },
+    /// A machine's availability changed since the last round (mirror of
+    /// [`ClusterView::freed_machines`]; may repeat per round).
+    MachineFreed {
+        /// The machine with changed availability.
+        machine: MachineId,
+    },
+    /// A machine crashed: zero capacity, residents killed, blocks
+    /// re-replicating — locality preference lists are globally stale.
+    MachineDown {
+        /// The crashed machine.
+        machine: MachineId,
+    },
+    /// A crashed machine came back empty.
+    MachineUp {
+        /// The recovered machine.
+        machine: MachineId,
+    },
+    /// The machine's tracker reports crossed the suspicion threshold.
+    MachineSuspected {
+        /// The now-suspect machine.
+        machine: MachineId,
+    },
+    /// A suspect machine's reports became plausible again.
+    MachineCleared {
+        /// The cleared machine.
+        machine: MachineId,
+    },
+    /// A tracker reporting round ran: reported usage / availability of
+    /// every machine may have moved (tracker-aware policies re-read it
+    /// per call anyway).
+    TrackerReport,
+    /// An external load (ingestion, evacuation, §4.3) started or ended on
+    /// a machine.
+    ExternalLoadChanged {
+        /// The machine whose external load changed.
+        machine: MachineId,
+    },
+    /// The scheduling round finished; freed-machine hints were consumed.
+    RoundComplete,
+}
+
 /// A cluster scheduling policy.
 ///
-/// Implementations must be deterministic functions of the views they see
-/// (plus their own seeded state): the whole simulator is bit-reproducible
-/// and the test suite relies on it.
+/// Implementations must be deterministic functions of the views and
+/// events they see (plus their own seeded state): the whole simulator is
+/// bit-reproducible and the test suite relies on it.
 pub trait SchedulerPolicy {
-    /// Short name for reports ("tetris", "drf", "fair", ...).
-    fn name(&self) -> String;
+    /// Short name for reports ("tetris", "drf", "fair", ...). Borrowed —
+    /// it is read per schedule round and per trace event, so allocating
+    /// here would cost on every decision.
+    fn name(&self) -> &str;
+
+    /// Observe one scheduling-relevant state change (see
+    /// [`SchedulerEvent`] for the taxonomy and delivery guarantees).
+    ///
+    /// The default does nothing — the *mark-all-dirty* contract: a policy
+    /// that ignores events must treat every `schedule` call as if
+    /// anything may have changed, which is exactly the behaviour of the
+    /// pre-event stateless API. Incremental policies override this to
+    /// invalidate only what the event touches.
+    fn on_event(&mut self, view: &ClusterView<'_>, event: &SchedulerEvent) {
+        let _ = (view, event);
+    }
 
     /// Pick assignments for the current state. Called repeatedly within a
     /// scheduling round until it returns an empty batch; implementations
@@ -71,6 +217,42 @@ pub trait SchedulerPolicy {
     /// availability. Tetris does (§4.3); slot-based baselines do not.
     fn uses_tracker(&self) -> bool {
         false
+    }
+}
+
+/// Any policy converts into a boxed trait object, so builder entry points
+/// (notably `Simulation::scheduler`) accept concrete policies and
+/// pre-boxed ones through one `impl Into<Box<dyn SchedulerPolicy>>`
+/// parameter (the `std::error::Error` pattern).
+impl<T: SchedulerPolicy + 'static> From<T> for Box<dyn SchedulerPolicy> {
+    fn from(policy: T) -> Self {
+        Box::new(policy)
+    }
+}
+
+/// Adapter that suppresses event delivery to the wrapped policy, forcing
+/// its mark-all-dirty (full re-scan) path on every `schedule` call.
+///
+/// This is the *oracle* the equivalence suite and the Table-8 experiment
+/// compare incremental policies against: the wrapped policy never sees an
+/// event, so it can never sync its caches and must recompute from the
+/// view alone — the exact behaviour of the pre-event API.
+pub struct MarkAllDirty<P>(pub P);
+
+impl<P: SchedulerPolicy> SchedulerPolicy for MarkAllDirty<P> {
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+
+    // No `on_event` override: the trait default swallows every event, so
+    // the inner policy stays on its view-only path.
+
+    fn schedule(&mut self, view: &ClusterView<'_>) -> Vec<Assignment> {
+        self.0.schedule(view)
+    }
+
+    fn uses_tracker(&self) -> bool {
+        self.0.uses_tracker()
     }
 }
 
@@ -194,6 +376,14 @@ impl<'a> ClusterView<'a> {
     /// True iff at least one job has arrived and not finished.
     pub fn has_active_jobs(&self) -> bool {
         self.state.jobs.iter().any(|j| j.is_active())
+    }
+
+    /// True iff this job has arrived and not finished — the membership
+    /// test behind [`ClusterView::active_jobs`], exposed so event-driven
+    /// policies can prune incrementally maintained job lists without
+    /// scanning every job.
+    pub fn job_is_active(&self, j: JobId) -> bool {
+        self.state.jobs[j.index()].is_active()
     }
 
     /// Job arrival time (seconds).

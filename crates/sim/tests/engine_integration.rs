@@ -152,8 +152,8 @@ fn contention_stretches_tasks() {
     // the full disk write bandwidth, so they take ~4× the ideal duration.
     struct DumpAll;
     impl SchedulerPolicy for DumpAll {
-        fn name(&self) -> String {
-            "dump-all".into()
+        fn name(&self) -> &str {
+            "dump-all"
         }
         fn schedule(&mut self, view: &tetris_sim::ClusterView<'_>) -> Vec<Assignment> {
             let mut out = Vec::new();
@@ -197,8 +197,8 @@ fn contention_without_interference_is_work_conserving() {
     // its full 100 MB/s, so 4000 MB finish in 40 s.
     struct DumpAll;
     impl SchedulerPolicy for DumpAll {
-        fn name(&self) -> String {
-            "dump-all".into()
+        fn name(&self) -> &str {
+            "dump-all"
         }
         fn schedule(&mut self, view: &tetris_sim::ClusterView<'_>) -> Vec<Assignment> {
             let mut out = Vec::new();
@@ -411,8 +411,8 @@ fn evacuation_slows_remote_reads_from_the_evacuating_machine() {
     // prefers fit, so pin the reader remotely with a custom policy.
     struct PlaceOn(MachineId);
     impl SchedulerPolicy for PlaceOn {
-        fn name(&self) -> String {
-            "place-on".into()
+        fn name(&self) -> &str {
+            "place-on"
         }
         fn schedule(&mut self, view: &tetris_sim::ClusterView<'_>) -> Vec<Assignment> {
             view.active_jobs()
@@ -492,5 +492,26 @@ fn flow_throughput_matches_token_bucket_enforcement() {
     assert!(
         (simulated_rate - bucket_rate).abs() / bucket_rate < 0.01,
         "simulated {simulated_rate} vs enforced {bucket_rate}"
+    );
+}
+
+#[test]
+#[allow(deprecated)]
+fn scheduler_boxed_shim_matches_scheduler_entry() {
+    // The deprecated `scheduler_boxed` builder entry must keep old call
+    // sites compiling and behave exactly like `.scheduler(...)`.
+    let w = WorkloadSuiteConfig::small().generate(9);
+    let via_scheduler = Simulation::build(small_cluster(3), w.clone())
+        .scheduler(GreedyFifo::new())
+        .seed(9)
+        .run();
+    let via_shim = Simulation::build(small_cluster(3), w)
+        .scheduler_boxed(Box::new(GreedyFifo::new()))
+        .seed(9)
+        .run();
+    assert_eq!(
+        serde_json::to_string(&via_scheduler).unwrap(),
+        serde_json::to_string(&via_shim).unwrap(),
+        "shim and primary entry point diverged"
     );
 }

@@ -20,8 +20,8 @@ struct CaptureData {
 }
 
 impl SchedulerPolicy for Capture {
-    fn name(&self) -> String {
-        "capture".into()
+    fn name(&self) -> &str {
+        "capture"
     }
 
     fn schedule(&mut self, view: &ClusterView<'_>) -> Vec<Assignment> {
@@ -97,8 +97,8 @@ fn view_exposes_stages_representatives_and_families() {
     // static — simpler: run and re-create expectations from the outcome.
     struct Holder(std::rc::Rc<std::cell::RefCell<Capture>>);
     impl SchedulerPolicy for Holder {
-        fn name(&self) -> String {
-            "holder".into()
+        fn name(&self) -> &str {
+            "holder"
         }
         fn schedule(&mut self, view: &ClusterView<'_>) -> Vec<Assignment> {
             self.0.borrow_mut().schedule(view)

@@ -20,8 +20,8 @@ use tetris::prelude::*;
 struct WidestFirst;
 
 impl SchedulerPolicy for WidestFirst {
-    fn name(&self) -> String {
-        "widest-first".into()
+    fn name(&self) -> &str {
+        "widest-first"
     }
 
     fn schedule(&mut self, view: &ClusterView<'_>) -> Vec<Assignment> {
@@ -76,7 +76,7 @@ fn main() {
 
     let run = |sched: Box<dyn SchedulerPolicy>| {
         Simulation::build(cluster.clone(), workload.clone())
-            .scheduler_boxed(sched)
+            .scheduler(sched)
             .seed(42)
             .run()
     };

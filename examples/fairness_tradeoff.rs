@@ -21,7 +21,7 @@ fn main() {
 
     let run = |sched: Box<dyn SchedulerPolicy>| {
         Simulation::build(cluster.clone(), workload.clone())
-            .scheduler_boxed(sched)
+            .scheduler(sched)
             .seed(7)
             .run()
     };

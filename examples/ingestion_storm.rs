@@ -49,7 +49,7 @@ fn main() {
         ),
     ] {
         let o = Simulation::build(cluster.clone(), workload.clone())
-            .scheduler_boxed(sched)
+            .scheduler(sched)
             .config(cfg.clone())
             .run();
         let tl = timeline::machine_timeline(&o, loaded, &cap).expect("machine samples");

@@ -50,7 +50,7 @@ fn main() {
         ("drf-all-dims", Box::new(DrfScheduler::extended())),
     ] {
         let o = Simulation::build(cluster.clone(), ex.workload.clone())
-            .scheduler_boxed(sched)
+            .scheduler(sched)
             .config(cfg.clone())
             .run();
         if name == "tetris" {

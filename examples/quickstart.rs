@@ -23,7 +23,7 @@ fn main() {
 
     let run = |name: &str, sched: Box<dyn SchedulerPolicy>| {
         let outcome = Simulation::build(cluster.clone(), workload.clone())
-            .scheduler_boxed(sched)
+            .scheduler(sched)
             .seed(42)
             .run();
         println!("{:<12} {}", name, RunMetrics::of(&outcome).row());

@@ -16,7 +16,7 @@ fn suite(seed: u64) -> Workload {
 
 fn run(w: &Workload, sched: Box<dyn SchedulerPolicy>, seed: u64) -> tetris::sim::SimOutcome {
     Simulation::build(cluster(), w.clone())
-        .scheduler_boxed(sched)
+        .scheduler(sched)
         .seed(seed)
         .run()
 }
@@ -181,7 +181,7 @@ fn facebook_trace_runs_under_all_schedulers() {
         Box::new(SrtfScheduler::new()),
         Box::new(RandomScheduler::seeded(7)),
     ] {
-        let name = sched.name();
+        let name = sched.name().to_string();
         let o = run(&w, sched, 7);
         assert!(
             o.all_jobs_completed(),

@@ -18,7 +18,7 @@ fn traced_run(
     let rec = VecRecorder::shared();
     let mut obs = Obs::with_recorder(Box::new(rec.clone()));
     let outcome = Simulation::build(cluster(), w)
-        .scheduler_boxed(sched)
+        .scheduler(sched)
         .seed(seed)
         .observe(&mut obs)
         .run();
@@ -85,7 +85,7 @@ fn heartbeat_histograms_fill_for_every_policy() {
         Box::new(FairScheduler::new()),
         Box::new(DrfScheduler::new()),
     ] {
-        let name = sched.name();
+        let name = sched.name().to_string();
         let (_, obs, _) = traced_run(sched, 23);
         let hb = obs
             .metrics

@@ -17,9 +17,17 @@
 //! per-placement `DecisionScores` — with the one wall-clock field
 //! (`HeartbeatProcessed::wall_ns`) zeroed, plus a structural fingerprint
 //! of the outcome (per-job finishes, per-task placements).
+//!
+//! The event-driven API adds a third axis: every policy with incremental
+//! `on_event` state (Tetris's per-job candidate caches, the slot
+//! baselines' ledgers, DRF's active-job list) is pinned against the same
+//! policy behind the [`MarkAllDirty`] adapter — which swallows events, so
+//! the inner policy never syncs and recomputes everything from the view —
+//! on fault-free runs *and* under machine crash/recover churn (the event
+//! arms a quiet run never exercises).
 
 use tetris::prelude::*;
-use tetris::sim::ClusterView;
+use tetris::sim::{ClusterView, MarkAllDirty, SimConfig};
 use tetris_obs::{Event, Obs, VecRecorder};
 
 const SEEDS: [u64; 3] = [11, 42, 77];
@@ -28,7 +36,7 @@ const SEEDS: [u64; 3] = [11, 42, 77];
 struct ColdScratchTetris(TetrisScheduler);
 
 impl SchedulerPolicy for ColdScratchTetris {
-    fn name(&self) -> String {
+    fn name(&self) -> &str {
         self.0.name()
     }
     fn uses_tracker(&self) -> bool {
@@ -61,16 +69,36 @@ fn workloads(seed: u64) -> Vec<(&'static str, Workload)> {
 fn traced_run(
     sched: Box<dyn SchedulerPolicy>,
     w: &Workload,
-    seed: u64,
+    cfg: &SimConfig,
 ) -> (SimOutcome, Vec<(f64, Event)>) {
     let rec = VecRecorder::shared();
     let mut obs = Obs::with_recorder(Box::new(rec.clone()));
     let outcome = Simulation::build(cluster(), w.clone())
-        .scheduler_boxed(sched)
-        .seed(seed)
+        .scheduler(sched)
+        .config(cfg.clone())
         .observe(&mut obs)
         .run();
     (outcome, rec.take())
+}
+
+fn quiet_cfg(seed: u64) -> SimConfig {
+    let mut cfg = SimConfig::default();
+    cfg.seed = seed;
+    cfg
+}
+
+/// Machine churn: a quarter of the cluster crash/recover-cycles, with
+/// flaky trackers leading each crash — drives the `TaskPreempted` /
+/// `TaskAbandoned` / `MachineDown` / `MachineUp` / `MachineSuspected` /
+/// `MachineCleared` event arms through every policy under test.
+fn churn_cfg(seed: u64) -> SimConfig {
+    let mut cfg = quiet_cfg(seed);
+    cfg.faults.crash_frac = 0.25;
+    cfg.faults.crash_cycles = 2;
+    cfg.faults.downtime = 60.0;
+    cfg.faults.window = (20.0, 600.0);
+    cfg.faults.flake_lead = 30.0;
+    cfg
 }
 
 /// Zero the only wall-clock-dependent field so streams compare exactly.
@@ -130,8 +158,21 @@ fn assert_equivalent(
     optimized: Box<dyn SchedulerPolicy>,
     reference: Box<dyn SchedulerPolicy>,
 ) {
-    let (o_opt, e_opt) = traced_run(optimized, w, seed);
-    let (o_ref, e_ref) = traced_run(reference, w, seed);
+    assert_equivalent_cfg(label, seed, w, &quiet_cfg(seed), optimized, reference)
+}
+
+/// [`assert_equivalent`] under an explicit simulation config (fault
+/// plans, tracker periods, ...).
+fn assert_equivalent_cfg(
+    label: &str,
+    seed: u64,
+    w: &Workload,
+    cfg: &SimConfig,
+    optimized: Box<dyn SchedulerPolicy>,
+    reference: Box<dyn SchedulerPolicy>,
+) {
+    let (o_opt, e_opt) = traced_run(optimized, w, cfg);
+    let (o_ref, e_ref) = traced_run(reference, w, cfg);
 
     assert_eq!(
         fingerprint(&o_opt),
@@ -220,6 +261,71 @@ fn packing_only_warm_scratch_matches_cold_reference() {
                     TetrisConfig::packing_only(),
                 ))),
             );
+        }
+    }
+}
+
+/// A policy under test and its full-rescan reference twin.
+type PolicyPair = (
+    &'static str,
+    Box<dyn SchedulerPolicy>,
+    Box<dyn SchedulerPolicy>,
+);
+
+/// The incremental policies and their mark-all-dirty reference twins.
+fn incremental_pairs() -> Vec<PolicyPair> {
+    vec![
+        (
+            "tetris-inc",
+            Box::new(TetrisScheduler::new(TetrisConfig::default())),
+            Box::new(MarkAllDirty(TetrisScheduler::new(TetrisConfig::default()))),
+        ),
+        (
+            "capacity-inc",
+            Box::new(CapacityScheduler::new()),
+            Box::new(MarkAllDirty(CapacityScheduler::new())),
+        ),
+        (
+            "fair-inc",
+            Box::new(FairScheduler::new()),
+            Box::new(MarkAllDirty(FairScheduler::new())),
+        ),
+        (
+            "drf-inc",
+            Box::new(DrfScheduler::new()),
+            Box::new(MarkAllDirty(DrfScheduler::new())),
+        ),
+    ]
+}
+
+#[test]
+fn incremental_policies_match_mark_all_dirty_oracle() {
+    for seed in SEEDS {
+        for (wname, w) in workloads(seed) {
+            for (name, inc, oracle) in incremental_pairs() {
+                assert_equivalent(&format!("{name}/{wname}"), seed, &w, inc, oracle);
+            }
+        }
+    }
+}
+
+#[test]
+fn incremental_policies_match_oracle_under_machine_churn() {
+    // Crashes preempt and abandon tasks, take machines down and up, and
+    // flake trackers — the full event taxonomy. Incremental bookkeeping
+    // that drifts from the view under churn diverges here.
+    for seed in SEEDS {
+        for (wname, w) in workloads(seed) {
+            for (name, inc, oracle) in incremental_pairs() {
+                assert_equivalent_cfg(
+                    &format!("{name}-churn/{wname}"),
+                    seed,
+                    &w,
+                    &churn_cfg(seed),
+                    inc,
+                    oracle,
+                );
+            }
         }
     }
 }

@@ -77,6 +77,17 @@ impl Bencher {
             self.samples.push(start.elapsed());
         }
     }
+
+    /// Caller-timed variant (upstream `iter_custom`): `routine` receives
+    /// an iteration count and returns the measured time for that many
+    /// iterations. One warm-up call, then `sample_size` recorded calls of
+    /// one iteration each.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut routine: F) {
+        black_box(routine(1));
+        for _ in 0..self.target_samples {
+            self.samples.push(routine(1));
+        }
+    }
 }
 
 /// A named group of related benchmarks.
