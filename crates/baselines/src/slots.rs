@@ -20,7 +20,10 @@
 //! their input data", §2.2.1).
 
 use tetris_resources::{units::GB, Resource};
-use tetris_sim::{Assignment, ClusterView, MachineId, SchedulerEvent, SchedulerPolicy};
+use tetris_sim::{
+    Assignment, ClusterView, MachineId, PlacementProvenance, RejectedCandidate, SchedulerEvent,
+    SchedulerPolicy,
+};
 use tetris_workload::{JobId, TaskUid};
 
 /// Default slot size: 2 GB, "similar to the Facebook cluster".
@@ -53,9 +56,20 @@ struct SlotScheduler {
     /// and completion events. Integer slot counts, so incremental += / −=
     /// cannot drift from the recomputed sum.
     used: Vec<usize>,
+    /// Verbose-trace provenance capture (see [`SchedulerPolicy`]): pure
+    /// bookkeeping, never read by any decision above.
+    capture: bool,
+    /// Captured provenance per placed task, drained by the engine.
+    prov: Vec<(TaskUid, PlacementProvenance)>,
 }
 
 impl SlotScheduler {
+    /// Drain the provenance captured for `task`, if any.
+    fn take_provenance(&mut self, task: TaskUid) -> Option<PlacementProvenance> {
+        let i = self.prov.iter().position(|(t, _)| *t == task)?;
+        Some(self.prov.swap_remove(i).1)
+    }
+
     fn slots_of(&self, view: &ClusterView<'_>, m: MachineId) -> usize {
         (view.capacity(m).get(Resource::Mem) / self.slot_mem).floor() as usize
     }
@@ -95,6 +109,8 @@ impl SlotScheduler {
     }
 
     fn schedule(&mut self, view: &ClusterView<'_>) -> Vec<Assignment> {
+        // Provenance not collected by the engine last call is stale now.
+        self.prov.clear();
         // Free slots per machine (slots − slots held by running tasks):
         // read from the event-maintained ledger when synced, recomputed
         // from scratch otherwise. Slot counts are integers, so the two
@@ -211,6 +227,61 @@ impl SlotScheduler {
                 });
             match target {
                 Some(m) => {
+                    if self.capture {
+                        // The slot queue has no multi-resource scores: the
+                        // runner-ups are the next jobs in policy order, and
+                        // `score` is the (negated) queue rank so that, like
+                        // Tetris scores, higher still means closer to
+                        // winning. Pure bookkeeping after the decision.
+                        let mut order: Vec<usize> = jobs
+                            .iter()
+                            .enumerate()
+                            .filter(|&(i, q)| i != ji && q.head().is_some())
+                            .map(|(i, _)| i)
+                            .collect();
+                        let n_queued = order.len() + 1;
+                        match self.order {
+                            JobOrder::FewestSlots => {
+                                order.sort_by_key(|&i| (jobs[i].running, jobs[i].id));
+                            }
+                            JobOrder::Arrival => order.sort_by(|&x, &y| {
+                                jobs[x]
+                                    .arrival
+                                    .partial_cmp(&jobs[y].arrival)
+                                    .unwrap()
+                                    .then(jobs[x].id.cmp(&jobs[y].id))
+                            }),
+                        }
+                        let rejected = order
+                            .iter()
+                            .take(3)
+                            .enumerate()
+                            .filter_map(|(rank, &i)| {
+                                let head = jobs[i].head()?;
+                                Some(RejectedCandidate {
+                                    job: jobs[i].id.index(),
+                                    task: head.index(),
+                                    alignment: None,
+                                    srtf: None,
+                                    score: -((rank + 1) as f64),
+                                })
+                            })
+                            .collect();
+                        self.prov.push((
+                            task,
+                            PlacementProvenance {
+                                // The slot ledger is the baselines' only
+                                // incremental state: event-maintained when
+                                // synced, recomputed from the view when not.
+                                cache_hits: if self.synced { 1 } else { 0 },
+                                cache_rebuilds: if self.synced { 0 } else { 1 },
+                                cache_flushed: !self.synced,
+                                dirty_jobs: 0,
+                                candidates: n_queued as u32,
+                                rejected,
+                            },
+                        ));
+                    }
                     free[m.index()] -= need;
                     jobs[ji].running += 1;
                     jobs[ji].advance();
@@ -245,6 +316,8 @@ impl FairScheduler {
                 mem_rounded: false,
                 synced: false,
                 used: Vec::new(),
+                capture: false,
+                prov: Vec::new(),
             },
         }
     }
@@ -259,6 +332,8 @@ impl FairScheduler {
                 mem_rounded: true,
                 synced: false,
                 used: Vec::new(),
+                capture: false,
+                prov: Vec::new(),
             },
         }
     }
@@ -286,6 +361,15 @@ impl SchedulerPolicy for FairScheduler {
     fn schedule(&mut self, view: &ClusterView<'_>) -> Vec<Assignment> {
         self.inner.schedule(view)
     }
+
+    fn set_capture_provenance(&mut self, on: bool) {
+        self.inner.capture = on;
+        self.inner.prov.clear();
+    }
+
+    fn take_provenance(&mut self, task: TaskUid) -> Option<PlacementProvenance> {
+        self.inner.take_provenance(task)
+    }
 }
 
 /// The slot-based Capacity scheduler (deployed at Yahoo! per §5.1),
@@ -311,6 +395,8 @@ impl CapacityScheduler {
                 mem_rounded: false,
                 synced: false,
                 used: Vec::new(),
+                capture: false,
+                prov: Vec::new(),
             },
         }
     }
@@ -333,6 +419,15 @@ impl SchedulerPolicy for CapacityScheduler {
 
     fn schedule(&mut self, view: &ClusterView<'_>) -> Vec<Assignment> {
         self.inner.schedule(view)
+    }
+
+    fn set_capture_provenance(&mut self, on: bool) {
+        self.inner.capture = on;
+        self.inner.prov.clear();
+    }
+
+    fn take_provenance(&mut self, task: TaskUid) -> Option<PlacementProvenance> {
+        self.inner.take_provenance(task)
     }
 }
 

@@ -4,8 +4,8 @@
 
 use tetris_resources::{Resource, ResourceVec};
 use tetris_sim::{
-    Assignment, ClusterView, DecisionScores, MachineId, SchedulerEvent, SchedulerPolicy,
-    StageProgress,
+    Assignment, ClusterView, DecisionScores, MachineId, PlacementProvenance, RejectedCandidate,
+    SchedulerEvent, SchedulerPolicy, StageProgress,
 };
 use tetris_workload::{JobId, TaskUid};
 
@@ -14,6 +14,9 @@ use crate::barrier::stage_promoted;
 use crate::estimate::{DemandEstimator, EstimationMode};
 use crate::fairness::{eligible_jobs_in_place, job_share, FairnessMeasure};
 use crate::srtf::{job_remaining_work_with, ranks_into, CombinedScorer};
+
+/// How many runner-up candidates a verbose trace records per placement.
+const PROVENANCE_TOP_K: usize = 3;
 
 /// Configuration of the Tetris scheduler. Defaults follow the paper's
 /// recommended operating point.
@@ -207,6 +210,10 @@ struct ScheduleScratch {
     /// Distinct machine capacities and each machine's class index.
     classes: Vec<ResourceVec>,
     class_of: Vec<usize>,
+    /// Scored candidates of the current machine-iteration, recorded only
+    /// under provenance capture: `(candidate, promoted, score,
+    /// alignment)`.
+    scored: Vec<(usize, bool, f64, f64)>,
 }
 
 /// Cached per-job candidate prototype: everything `schedule()` derives
@@ -322,6 +329,14 @@ pub struct TetrisScheduler {
     /// Rendered once at construction — `name()` is called per round and
     /// per trace event.
     name: String,
+    /// Record decision provenance per assignment (verbose tracing only).
+    /// Capture is write-only bookkeeping: it never changes decisions.
+    capture: bool,
+    /// Provenance awaiting collection via `take_provenance`, keyed by the
+    /// placed task. Cleared at the start of each `schedule()` call —
+    /// anything still here (e.g. for an assignment the engine rejected)
+    /// was never going to be collected.
+    prov: Vec<(TaskUid, PlacementProvenance)>,
 }
 
 impl TetrisScheduler {
@@ -349,6 +364,8 @@ impl TetrisScheduler {
             inc: IncState::default(),
             name,
             cfg,
+            capture: false,
+            prov: Vec::new(),
         }
     }
 
@@ -391,6 +408,16 @@ impl SchedulerPolicy for TetrisScheduler {
         true
     }
 
+    fn set_capture_provenance(&mut self, on: bool) {
+        self.capture = on;
+        self.prov.clear();
+    }
+
+    fn take_provenance(&mut self, task: TaskUid) -> Option<PlacementProvenance> {
+        let i = self.prov.iter().position(|(t, _)| *t == task)?;
+        Some(self.prov.swap_remove(i).1)
+    }
+
     fn on_event(&mut self, _view: &ClusterView<'_>, event: &SchedulerEvent) {
         self.inc.synced = true;
         match *event {
@@ -429,8 +456,14 @@ impl SchedulerPolicy for TetrisScheduler {
             reservations,
             scratch,
             inc,
+            capture,
+            prov,
             ..
         } = self;
+        let capture = *capture;
+        // Uncollected provenance (assignments the engine rejected) will
+        // never be queried once a new call begins.
+        prov.clear();
         // Cache reuse needs two things: event delivery (`synced` — before
         // the first event there is no history to be stale about, but also
         // no way to know what changed) and the `Exact` estimator (the
@@ -438,6 +471,10 @@ impl SchedulerPolicy for TetrisScheduler {
         // events don't cover). Otherwise every entry is rebuilt each call,
         // which replays the exact pre-event recompute path.
         let use_cache = inc.synced && matches!(cfg.estimation, EstimationMode::Exact);
+        // Snapshot the incremental-state inputs for provenance before they
+        // are consumed below.
+        let prov_flushed = !use_cache || inc.flush_all;
+        let prov_dirty = inc.dirty.len() as u32;
         if !use_cache || inc.flush_all {
             for c in inc.cache.iter_mut() {
                 c.valid = false;
@@ -474,6 +511,7 @@ impl SchedulerPolicy for TetrisScheduler {
             banned,
             classes,
             class_of,
+            scored,
         } = scratch;
         jobs.clear();
         jobs.extend(view.active_jobs().filter(|&j| view.job_has_pending(j)));
@@ -513,6 +551,8 @@ impl SchedulerPolicy for TetrisScheduler {
         p_scores.clear();
         cands.clear();
         preferred_arena.clear();
+        let mut cache_hits = 0u32;
+        let mut cache_rebuilds = 0u32;
         for &(j, _) in shares.iter() {
             let ji = j.index();
             if inc.cache.len() <= ji {
@@ -520,6 +560,7 @@ impl SchedulerPolicy for TetrisScheduler {
             }
             let cached = &mut inc.cache[ji];
             if !cached.valid {
+                cache_rebuilds += 1;
                 let family = view.job_family(j);
                 view.stage_progress_into(j, progress);
                 cached.p_score = job_remaining_work_with(view, j, &reference, progress);
@@ -539,6 +580,8 @@ impl SchedulerPolicy for TetrisScheduler {
                     });
                 }
                 cached.valid = use_cache;
+            } else {
+                cache_hits += 1;
             }
             p_scores.push(cached.p_score);
             let p_slot = p_scores.len() - 1; // rank filled in below
@@ -729,6 +772,9 @@ impl SchedulerPolicy for TetrisScheduler {
                 let ban_check = banned.any;
                 // (candidate, promoted, combined score, alignment term).
                 let mut best: Option<(usize, bool, f64, f64)> = None;
+                if capture {
+                    scored.clear();
+                }
                 for &ci in live.iter() {
                     let c = &cands[ci];
                     if !c.alive || (ban_check && banned.contains(ci, m.index())) {
@@ -757,6 +803,9 @@ impl SchedulerPolicy for TetrisScheduler {
                     } else {
                         scorer.combined(a, c.p)
                     };
+                    if capture {
+                        scored.push((ci, c.promoted, score, a));
+                    }
                     let better = match best {
                         None => true,
                         Some((_, bp, bs, _)) => (c.promoted, score) > (bp, bs),
@@ -802,6 +851,39 @@ impl SchedulerPolicy for TetrisScheduler {
                     combined,
                     considered_machines: machines.len() as u32,
                 }));
+                if capture {
+                    // Runner-up candidates on this machine, best first, so
+                    // `explain` can show what the winner beat. Recorded
+                    // after the decision: pure bookkeeping, never feeds
+                    // back into scoring.
+                    scored.sort_unstable_by(|x, y| y.1.cmp(&x.1).then_with(|| y.2.total_cmp(&x.2)));
+                    let rejected = scored
+                        .iter()
+                        .filter(|&&(rci, ..)| rci != ci)
+                        .take(PROVENANCE_TOP_K)
+                        .filter_map(|&(rci, _, score, a)| {
+                            let head = cands[rci].head(view)?;
+                            Some(RejectedCandidate {
+                                job: cands[rci].job.index(),
+                                task: head.index(),
+                                alignment: Some(a),
+                                srtf: Some(cands[rci].p),
+                                score,
+                            })
+                        })
+                        .collect();
+                    prov.push((
+                        uid,
+                        PlacementProvenance {
+                            cache_hits,
+                            cache_rebuilds,
+                            cache_flushed: prov_flushed,
+                            dirty_jobs: prov_dirty,
+                            candidates: scored.len() as u32,
+                            rejected,
+                        },
+                    ));
+                }
                 cands[ci].next += 1;
                 cands[ci].alive = cands[ci].head(view).is_some();
             }

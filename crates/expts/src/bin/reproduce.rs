@@ -13,6 +13,9 @@
 //! reproduce --trace run.jsonl --metrics run.json
 //!                          # instrumented reference run: JSONL decision
 //!                          # trace + metrics snapshot + summary table
+//! reproduce --trace run.jsonl --trace-verbose --timeseries ts.jsonl
+//!                          # + decision provenance on TaskPlaced events
+//!                          # and a per-heartbeat telemetry stream
 //! ```
 
 use std::time::Instant;
@@ -40,9 +43,22 @@ fn main() {
             cli::print_help();
             print_registry();
         }
-        Cmd::Instrument { trace, metrics } => {
+        Cmd::Instrument {
+            trace,
+            metrics,
+            verbose,
+            timeseries,
+            crash_frac,
+        } => {
             let ctx = tetris_expts::RunCtx::new(p.scale, p.seed).scaled(p.scale_factor);
-            match instrument::instrumented_run(&ctx, trace.as_deref(), metrics.as_deref()) {
+            let opts = instrument::InstrumentOpts {
+                trace,
+                metrics,
+                verbose,
+                timeseries,
+                crash_frac,
+            };
+            match instrument::instrumented_run(&ctx, &opts) {
                 Ok(report) => println!("{report}"),
                 Err(e) => {
                     eprintln!("instrumented run failed: {e}");

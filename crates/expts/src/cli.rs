@@ -30,12 +30,25 @@ pub enum Cmd {
         /// The seeds to fan out over (inclusive range, ascending).
         seeds: Vec<u64>,
     },
-    /// `--trace` / `--metrics`: the instrumented reference run.
+    /// `--trace` / `--metrics` / `--timeseries`: the instrumented
+    /// reference run.
     Instrument {
         /// JSONL decision-trace path.
         trace: Option<String>,
         /// Metrics-snapshot path.
         metrics: Option<String>,
+        /// `--trace-verbose`: attach decision provenance (runner-up
+        /// candidates, incremental-cache state) to every `TaskPlaced`
+        /// trace event. Requires `--trace`.
+        verbose: bool,
+        /// `--timeseries FILE.jsonl`: stream one telemetry sample per
+        /// heartbeat (utilization, fragmentation, packing efficiency,
+        /// backlog, suspect machines).
+        timeseries: Option<String>,
+        /// `--crash-frac F`: fraction of machines undergoing
+        /// crash/recover cycles (churn-style fault injection), so the
+        /// telemetry curves can be read against cluster churn.
+        crash_frac: f64,
     },
 }
 
@@ -74,6 +87,10 @@ pub fn parse(args: &[String], default_jobs: usize) -> Result<Parsed, String> {
     let mut bench_baseline = None;
     let mut trace = None;
     let mut metrics = None;
+    let mut verbose = false;
+    let mut timeseries = None;
+    let mut crash_frac = 0.0f64;
+    let mut crash_frac_given = false;
     let mut seeds_range = None;
     let mut list = false;
     let mut help = false;
@@ -117,7 +134,20 @@ pub fn parse(args: &[String], default_jobs: usize) -> Result<Parsed, String> {
                 seeds_range = Some(parse_seed_range(&v)?);
             }
             "--trace" => trace = Some(value("--trace")?),
+            "--trace-verbose" => verbose = true,
             "--metrics" => metrics = Some(value("--metrics")?),
+            "--timeseries" => timeseries = Some(value("--timeseries")?),
+            "--crash-frac" => {
+                let v = value("--crash-frac")?;
+                crash_frac = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|f| (0.0..=1.0).contains(f))
+                    .ok_or(format!(
+                        "--crash-frac expects a fraction in [0,1] (got '{v}')"
+                    ))?;
+                crash_frac_given = true;
+            }
             "--bench" => bench = Some(value("--bench")?),
             "--bench-baseline" => bench_baseline = Some(value("--bench-baseline")?),
             other if other.starts_with('-') => {
@@ -131,15 +161,24 @@ pub fn parse(args: &[String], default_jobs: usize) -> Result<Parsed, String> {
         Cmd::Help
     } else if list {
         Cmd::List
-    } else if trace.is_some() || metrics.is_some() {
+    } else if trace.is_some() || metrics.is_some() || timeseries.is_some() {
         if !positional.is_empty() {
             return Err(format!(
-                "--trace/--metrics run the instrumented reference run and cannot \
-                 be combined with experiment ids (got: {})",
+                "--trace/--metrics/--timeseries run the instrumented reference run \
+                 and cannot be combined with experiment ids (got: {})",
                 positional.join(" ")
             ));
         }
-        Cmd::Instrument { trace, metrics }
+        if verbose && trace.is_none() {
+            return Err("--trace-verbose requires --trace FILE.jsonl".to_string());
+        }
+        Cmd::Instrument {
+            trace,
+            metrics,
+            verbose,
+            timeseries,
+            crash_frac,
+        }
     } else if positional.first().map(String::as_str) == Some("sweep") {
         let id = match positional.len() {
             2 => positional.pop().unwrap(),
@@ -171,6 +210,13 @@ pub fn parse(args: &[String], default_jobs: usize) -> Result<Parsed, String> {
     if (bench.is_some() || bench_baseline.is_some()) && !matches!(cmd, Cmd::Run { .. }) {
         return Err("--bench/--bench-baseline only apply to experiment runs".to_string());
     }
+    if (verbose || crash_frac_given) && !matches!(cmd, Cmd::Instrument { .. }) {
+        return Err(
+            "--trace-verbose/--crash-frac only apply to the instrumented run \
+             (--trace/--metrics/--timeseries)"
+                .to_string(),
+        );
+    }
 
     Ok(Parsed {
         scale,
@@ -201,7 +247,8 @@ pub fn print_help() {
         "reproduce — regenerate the Tetris paper's tables and figures\n\n\
          usage: reproduce [options] <experiment>... | all\n\
          \x20      reproduce sweep <experiment> [--seeds A..B]\n\
-         \x20      reproduce [--trace FILE.jsonl] [--metrics FILE.json]\n\n\
+         \x20      reproduce [--trace FILE.jsonl [--trace-verbose]] [--metrics FILE.json]\n\
+         \x20                [--timeseries FILE.jsonl] [--crash-frac F]\n\n\
          --laptop  20-machine cluster, scaled workloads (default; seconds\n\
                    per experiment)\n\
          --full    250-machine cluster, paper-scale workloads (roughly ten\n\
@@ -223,7 +270,20 @@ pub fn print_help() {
          --trace   instrumented reference run; stream every scheduling\n\
                    decision to FILE.jsonl as JSON Lines\n\
          --metrics instrumented reference run; write the metrics snapshot\n\
-                   (counters + latency histograms) to FILE.json"
+                   (counters + latency histograms + telemetry samples) to\n\
+                   FILE.json\n\
+         --trace-verbose\n\
+                   attach decision provenance to every TaskPlaced trace\n\
+                   event: top rejected candidates with their score\n\
+                   breakdown plus incremental-cache state (requires\n\
+                   --trace; default traces stay byte-identical)\n\
+         --timeseries FILE.jsonl\n\
+                   stream one cluster telemetry sample per heartbeat\n\
+                   (utilization, fragmentation, packing efficiency,\n\
+                   backlog, suspect machines) as JSON Lines\n\
+         --crash-frac F\n\
+                   churn-style fault injection for the instrumented run:\n\
+                   fraction of machines crash/recover-cycling in [0,1]"
     );
 }
 
@@ -335,12 +395,69 @@ mod tests {
             Cmd::Instrument {
                 trace: Some("t.jsonl".into()),
                 metrics: Some("m.json".into()),
+                verbose: false,
+                timeseries: None,
+                crash_frac: 0.0,
             }
         );
         assert!(p(&["--trace", "t.jsonl", "fig4"])
             .unwrap_err()
             .contains("cannot"));
         assert!(p(&["--trace"]).unwrap_err().contains("value"));
+    }
+
+    #[test]
+    fn telemetry_flags() {
+        let got = p(&[
+            "--trace",
+            "t.jsonl",
+            "--trace-verbose",
+            "--timeseries",
+            "ts.jsonl",
+            "--crash-frac",
+            "0.1",
+        ])
+        .unwrap();
+        assert_eq!(
+            got.cmd,
+            Cmd::Instrument {
+                trace: Some("t.jsonl".into()),
+                metrics: None,
+                verbose: true,
+                timeseries: Some("ts.jsonl".into()),
+                crash_frac: 0.1,
+            }
+        );
+        // --timeseries alone selects instrument mode.
+        match p(&["--timeseries", "ts.jsonl"]).unwrap().cmd {
+            Cmd::Instrument {
+                timeseries: Some(ts),
+                verbose: false,
+                ..
+            } => assert_eq!(ts, "ts.jsonl"),
+            c => panic!("{c:?}"),
+        }
+        // Verbose needs a trace to attach provenance to.
+        assert!(p(&["--metrics", "m.json", "--trace-verbose"])
+            .unwrap_err()
+            .contains("--trace-verbose requires --trace"));
+        // Instrument-only flags are rejected on experiment runs.
+        assert!(p(&["fig4", "--trace-verbose"])
+            .unwrap_err()
+            .contains("only apply"));
+        assert!(p(&["fig4", "--crash-frac", "0.1"])
+            .unwrap_err()
+            .contains("only apply"));
+        // Fraction validation.
+        assert!(p(&["--trace", "t.jsonl", "--crash-frac", "1.5"])
+            .unwrap_err()
+            .contains("[0,1]"));
+        assert!(p(&["--trace", "t.jsonl", "--crash-frac", "x"])
+            .unwrap_err()
+            .contains("[0,1]"));
+        assert!(p(&["--timeseries", "ts.jsonl", "fig4"])
+            .unwrap_err()
+            .contains("cannot"));
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! The `--trace` / `--metrics` instrumented reference run.
+//! The `--trace` / `--metrics` / `--timeseries` instrumented reference
+//! run.
 //!
 //! `reproduce --trace run.jsonl --metrics run.json` executes the §5.1
 //! deployment suite under Tetris with a [`tetris_obs::Obs`] context
@@ -8,49 +9,113 @@
 //! an end-of-run table summarises both. A second, unobserved run of the
 //! same configuration cross-checks that attaching observability did not
 //! perturb the simulation.
+//!
+//! Three telemetry extensions ride on the same run:
+//!
+//! * `--trace-verbose` attaches decision provenance to every `TaskPlaced`
+//!   event — the top rejected candidates with their alignment/SRTF/
+//!   combined scores plus the incremental-policy cache state — consumed by
+//!   `trace-tool explain`. Off by default, so default traces stay
+//!   byte-identical.
+//! * `--timeseries FILE.jsonl` streams one [`tetris_obs::TelemetrySample`]
+//!   per heartbeat (utilization, fragmentation, packing efficiency,
+//!   backlog, suspect machines); the samples also land in the metrics
+//!   snapshot, and the summary table gains the series' headline stats plus
+//!   an end-of-run packing-efficiency comparison against the one-big-bin
+//!   `upper_bound` oracle.
+//! * `--crash-frac F` injects churn-style machine crash/recover cycles so
+//!   the telemetry curves can be read against cluster churn.
 
+use tetris_baselines::UpperBoundScheduler;
 use tetris_metrics::table::TextTable;
-use tetris_obs::{names, Histogram, JsonlRecorder, NoopRecorder, Obs, Recorder};
+use tetris_obs::timeseries::SeriesSummary;
+use tetris_obs::{names, Histogram, JsonlRecorder, NoopRecorder, Obs, Recorder, TimeSeries};
 use tetris_sim::Simulation;
 
 use crate::setup::{self, SchedName};
 use crate::RunCtx;
 
+/// What the instrumented run should produce (all outputs optional).
+#[derive(Debug, Clone, Default)]
+pub struct InstrumentOpts {
+    /// JSONL decision-trace path.
+    pub trace: Option<String>,
+    /// Metrics-snapshot path.
+    pub metrics: Option<String>,
+    /// Attach decision provenance to `TaskPlaced` events (needs `trace`).
+    pub verbose: bool,
+    /// JSONL telemetry time-series path.
+    pub timeseries: Option<String>,
+    /// Fraction of machines undergoing crash/recover cycles, in [0,1].
+    pub crash_frac: f64,
+}
+
+/// Fault-plan shape used when `--crash-frac` is nonzero: the `churn`
+/// experiment's cycling profile (crash/recover cycles with a flake lead
+/// so the tracker's suspicion score gets a warning window).
+const CRASH_CYCLES: u32 = 3;
+const CRASH_DOWNTIME: f64 = 150.0;
+const CRASH_WINDOW: (f64, f64) = (60.0, 1500.0);
+const CRASH_FLAKE_LEAD: f64 = 90.0;
+
 /// Run the reference configuration (suite workload, Tetris scheduler)
-/// with observability attached, writing the JSONL trace and/or metrics
-/// snapshot to the given paths. Returns the rendered summary report.
-pub fn instrumented_run(
-    ctx: &RunCtx,
-    trace: Option<&str>,
-    metrics: Option<&str>,
-) -> Result<String, String> {
+/// with observability attached, writing the requested artifacts. Returns
+/// the rendered summary report.
+pub fn instrumented_run(ctx: &RunCtx, opts: &InstrumentOpts) -> Result<String, String> {
     let cluster = ctx.cluster();
     let workload = ctx.suite();
-    let cfg = ctx.sim_config();
+    let mut cfg = ctx.sim_config();
+    if opts.crash_frac > 0.0 {
+        cfg.faults.crash_frac = opts.crash_frac;
+        cfg.faults.crash_cycles = CRASH_CYCLES;
+        cfg.faults.downtime = CRASH_DOWNTIME;
+        cfg.faults.window = CRASH_WINDOW;
+        cfg.faults.flake_lead = CRASH_FLAKE_LEAD;
+    }
     let sched = SchedName::Tetris;
 
-    let recorder: Box<dyn Recorder> = match trace {
+    let recorder: Box<dyn Recorder> = match &opts.trace {
         Some(path) => {
             Box::new(JsonlRecorder::create(path).map_err(|e| format!("cannot create {path}: {e}"))?)
         }
         None => Box::new(NoopRecorder),
     };
     let mut obs = Obs::with_recorder(recorder);
+    obs.set_verbose(opts.verbose);
+    match &opts.timeseries {
+        Some(path) => {
+            let sink =
+                std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+            obs.set_timeseries(TimeSeries::streaming(Box::new(std::io::BufWriter::new(
+                sink,
+            ))));
+        }
+        // Collect in memory anyway when a metrics snapshot wants the
+        // samples.
+        None if opts.metrics.is_some() => obs.set_timeseries(TimeSeries::in_memory()),
+        None => {}
+    }
 
     let traced = Simulation::build(cluster.clone(), workload.clone())
         .scheduler(sched.build(cfg.seed))
         .config(cfg.clone())
         .observe(&mut obs)
         .run();
+    obs.flush();
+    let samples = obs
+        .take_timeseries()
+        .map(TimeSeries::into_samples)
+        .unwrap_or_default();
 
     // The no-recorder control run: observability must be a pure read.
     let plain = setup::run(ctx, &cluster, &workload, sched, &cfg);
     let identical = serde_json::to_string(&plain).map_err(|e| e.to_string())?
         == serde_json::to_string(&traced).map_err(|e| e.to_string())?;
 
-    if let Some(path) = metrics {
-        let json =
-            serde_json::to_string_pretty(&obs.metrics.snapshot()).map_err(|e| e.to_string())?;
+    if let Some(path) = &opts.metrics {
+        let mut snap = obs.metrics.snapshot();
+        snap.timeseries = samples.clone();
+        let json = serde_json::to_string_pretty(&snap).map_err(|e| e.to_string())?;
         std::fs::write(path, json + "\n").map_err(|e| format!("cannot write {path}: {e}"))?;
     }
 
@@ -58,6 +123,13 @@ pub fn instrumented_run(
     t.row(vec!["scheduler".into(), sched.label().to_string()]);
     t.row(vec!["machines".into(), cluster.len().to_string()]);
     t.row(vec!["jobs".into(), workload.jobs.len().to_string()]);
+    if opts.crash_frac > 0.0 {
+        t.row(vec!["crash frac".into(), format!("{:.2}", opts.crash_frac)]);
+        t.row(vec![
+            "machine crashes".into(),
+            traced.stats.machine_crashes.to_string(),
+        ]);
+    }
     t.row(vec![
         "makespan (s)".into(),
         format!("{:.1}", traced.makespan()),
@@ -66,6 +138,20 @@ pub fn instrumented_run(
         "avg JCT (s)".into(),
         format!("{:.1}", traced.avg_jct()),
     ]);
+    // End-of-run packing efficiency against the fluid one-big-bin oracle
+    // (§3.1's upper bound): how close the whole run came to the best any
+    // packing could do on this workload.
+    let oracle = UpperBoundScheduler::new().simulate(&workload, cluster.total_capacity());
+    if oracle.complete() && traced.makespan() > 0.0 {
+        t.row(vec![
+            "oracle makespan (s)".into(),
+            format!("{:.1}", oracle.makespan()),
+        ]);
+        t.row(vec![
+            "packing efficiency vs oracle".into(),
+            format!("{:.3}", (oracle.makespan() / traced.makespan()).min(1.0)),
+        ]);
+    }
     for name in [
         names::ENGINE_EVENTS,
         names::PLACEMENTS,
@@ -86,14 +172,21 @@ pub fn instrumented_run(
     ]);
 
     let mut out = String::new();
-    if let Some(path) = trace {
-        out.push_str(&format!("trace   -> {path}\n"));
+    if let Some(path) = &opts.trace {
+        out.push_str(&format!("trace      -> {path}\n"));
     }
-    if let Some(path) = metrics {
-        out.push_str(&format!("metrics -> {path}\n"));
+    if let Some(path) = &opts.metrics {
+        out.push_str(&format!("metrics    -> {path}\n"));
+    }
+    if let Some(path) = &opts.timeseries {
+        out.push_str(&format!("timeseries -> {path}\n"));
     }
     out.push('\n');
     out.push_str(&t.render());
+    if !samples.is_empty() {
+        out.push_str("\ntelemetry\n");
+        out.push_str(&SeriesSummary::compute(&samples).render());
+    }
     if !identical {
         return Err(format!(
             "observed run diverged from unobserved control run\n{out}"
@@ -110,24 +203,30 @@ fn hist_us(h: &Histogram) -> String {
 mod tests {
     use super::*;
 
+    fn opts(trace: &std::path::Path, metrics: &std::path::Path) -> InstrumentOpts {
+        InstrumentOpts {
+            trace: Some(trace.to_str().unwrap().into()),
+            metrics: Some(metrics.to_str().unwrap().into()),
+            ..InstrumentOpts::default()
+        }
+    }
+
     #[test]
     fn instrumented_run_writes_parseable_outputs() {
         let dir = std::env::temp_dir();
         let trace = dir.join(format!("tetris-instr-{}.jsonl", std::process::id()));
         let metrics = dir.join(format!("tetris-instr-{}.json", std::process::id()));
-        let report = instrumented_run(
-            &RunCtx::default(),
-            Some(trace.to_str().unwrap()),
-            Some(metrics.to_str().unwrap()),
-        )
-        .unwrap();
+        let report = instrumented_run(&RunCtx::default(), &opts(&trace, &metrics)).unwrap();
         assert!(report.contains("noop run identical"), "{report}");
         assert!(report.contains("yes"), "{report}");
 
         let text = std::fs::read_to_string(&trace).unwrap();
         assert!(!text.is_empty());
         for line in text.lines() {
-            let _: tetris_obs::event::TraceRecord = serde_json::from_str(line).unwrap();
+            let rec: tetris_obs::event::TraceRecord = serde_json::from_str(line).unwrap();
+            // Default traces never carry provenance.
+            assert!(!line.contains("\"provenance\""), "{line}");
+            let _ = rec;
         }
 
         let snap: tetris_obs::MetricsSnapshot =
@@ -136,8 +235,44 @@ mod tests {
         let hb = &snap.histograms["heartbeat_ns"];
         assert!(hb.count > 0);
         assert!(hb.p50.unwrap() > 0 && hb.p99.unwrap() > 0);
+        // --metrics implies in-memory telemetry: one sample per heartbeat.
+        assert!(!snap.timeseries.is_empty());
+        assert!(snap.timeseries.windows(2).all(|p| p[0].t <= p[1].t));
 
         std::fs::remove_file(&trace).ok();
         std::fs::remove_file(&metrics).ok();
+    }
+
+    #[test]
+    fn verbose_run_attaches_provenance_and_streams_timeseries() {
+        let dir = std::env::temp_dir();
+        let trace = dir.join(format!("tetris-instr-v-{}.jsonl", std::process::id()));
+        let ts = dir.join(format!("tetris-instr-ts-{}.jsonl", std::process::id()));
+        let o = InstrumentOpts {
+            trace: Some(trace.to_str().unwrap().into()),
+            metrics: None,
+            verbose: true,
+            timeseries: Some(ts.to_str().unwrap().into()),
+            crash_frac: 0.0,
+        };
+        let report = instrumented_run(&RunCtx::default(), &o).unwrap();
+        assert!(report.contains("telemetry"), "{report}");
+        assert!(report.contains("fragmentation"), "{report}");
+
+        let text = std::fs::read_to_string(&trace).unwrap();
+        assert!(
+            text.contains("\"provenance\""),
+            "verbose trace must carry provenance"
+        );
+        assert!(text.contains("\"rejected\""));
+
+        let ts_text = std::fs::read_to_string(&ts).unwrap();
+        assert!(!ts_text.is_empty());
+        for line in ts_text.lines() {
+            let _: tetris_obs::TelemetrySample = serde_json::from_str(line).unwrap();
+        }
+
+        std::fs::remove_file(&trace).ok();
+        std::fs::remove_file(&ts).ok();
     }
 }

@@ -28,6 +28,47 @@ pub struct DecisionScores {
     pub considered_machines: u32,
 }
 
+/// A candidate the scheduler scored for a slot but did not pick — the
+/// runner-up detail behind a [`Event::TaskPlaced`] decision. Only
+/// recorded when verbose tracing is on.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RejectedCandidate {
+    /// Owning job id of the losing candidate.
+    pub job: usize,
+    /// Task uid of the losing candidate (the stage-head task scored).
+    pub task: usize,
+    /// Alignment (packing) score, for policies that compute one.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub alignment: Option<f64>,
+    /// Multi-resource SRTF rank, for policies that compute one.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub srtf: Option<f64>,
+    /// The policy's comparable score for the candidate: Tetris's combined
+    /// score, or a slot baseline's queue rank (higher = preferred).
+    pub score: f64,
+}
+
+/// Why a placement happened: the losing candidates plus the incremental
+/// bookkeeping (PR 5 ledgers/caches) that produced the decision. Attached
+/// to [`Event::TaskPlaced`] only under `--trace-verbose`; default traces
+/// omit the field entirely and stay byte-identical.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PlacementProvenance {
+    /// Per-job candidate caches served warm in this `schedule()` call.
+    pub cache_hits: u32,
+    /// Caches rebuilt this call (cold start or dirtied by an event).
+    pub cache_rebuilds: u32,
+    /// True when the incremental state was flushed wholesale (first call,
+    /// topology change, or a mark-all-dirty event).
+    pub cache_flushed: bool,
+    /// Jobs named dirty by scheduler events since the previous call.
+    pub dirty_jobs: u32,
+    /// Candidates scored on the winning machine for this slot.
+    pub candidates: u32,
+    /// Top-k losing candidates, best first by the policy's own ordering.
+    pub rejected: Vec<RejectedCandidate>,
+}
+
 /// One observable scheduling occurrence.
 ///
 /// Variants mirror the lifecycle the paper's evaluation reasons about:
@@ -61,6 +102,12 @@ pub enum Event {
         combined_score: Option<f64>,
         /// Machines considered in the pass, if reported.
         considered_machines: Option<u32>,
+        /// Decision provenance (rejected candidates, cache/dirty-set
+        /// bookkeeping). Only present under `--trace-verbose`; skipped
+        /// on the wire when absent so default traces are byte-identical
+        /// to pre-provenance versions.
+        #[serde(skip_serializing_if = "Option::is_none", default)]
+        provenance: Option<Box<PlacementProvenance>>,
     },
     /// A task finished for good.
     TaskCompleted {
@@ -215,6 +262,7 @@ mod tests {
             srtf_score: Some(1.25),
             combined_score: Some(0.875),
             considered_machines: Some(20),
+            provenance: None,
         };
         let line = serde_json::to_string(&TraceRecord {
             t: 12.5,
@@ -237,9 +285,70 @@ mod tests {
             srtf_score: None,
             combined_score: None,
             considered_machines: None,
+            provenance: None,
         };
         let json = serde_json::to_string(&e).unwrap();
         assert!(json.contains("\"alignment_score\":null"), "{json}");
+        let back: Event = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+
+    /// Byte-identity contract for default traces: a `TaskPlaced` without
+    /// provenance must serialize to exactly the pre-provenance wire form
+    /// (no `provenance` key, explicit `null` score fields). check.sh
+    /// additionally greps live traces; this pins the exact bytes.
+    #[test]
+    fn default_task_placed_wire_bytes_are_unchanged() {
+        let e = Event::TaskPlaced {
+            job: 3,
+            task: 17,
+            machine: 2,
+            alignment_score: Some(0.75),
+            srtf_score: Some(1.25),
+            combined_score: Some(0.875),
+            considered_machines: Some(20),
+            provenance: None,
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        assert_eq!(
+            json,
+            "{\"TaskPlaced\":{\"job\":3,\"task\":17,\"machine\":2,\
+             \"alignment_score\":0.75,\"srtf_score\":1.25,\
+             \"combined_score\":0.875,\"considered_machines\":20}}"
+        );
+        // Old traces (without the field) still deserialize.
+        let back: Event = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn verbose_task_placed_roundtrips_with_provenance() {
+        let e = Event::TaskPlaced {
+            job: 1,
+            task: 4,
+            machine: 0,
+            alignment_score: Some(0.5),
+            srtf_score: Some(2.0),
+            combined_score: Some(0.6),
+            considered_machines: Some(8),
+            provenance: Some(Box::new(PlacementProvenance {
+                cache_hits: 5,
+                cache_rebuilds: 2,
+                cache_flushed: false,
+                dirty_jobs: 2,
+                candidates: 7,
+                rejected: vec![RejectedCandidate {
+                    job: 2,
+                    task: 9,
+                    alignment: Some(0.4),
+                    srtf: Some(3.0),
+                    score: 0.45,
+                }],
+            })),
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        assert!(json.contains("\"provenance\""), "{json}");
+        assert!(json.contains("\"rejected\""), "{json}");
         let back: Event = serde_json::from_str(&json).unwrap();
         assert_eq!(back, e);
     }

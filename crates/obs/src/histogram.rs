@@ -97,9 +97,15 @@ impl Histogram {
     /// least `q` of the samples fall. Interior buckets report their upper
     /// edge clamped to the observed `[min, max]`, so a single-sample
     /// histogram reports the sample exactly and the overflow bucket
-    /// reports the observed maximum. `None` when empty.
+    /// reports the observed maximum.
+    ///
+    /// Edge cases are defined, not incidental: an empty histogram
+    /// returns `None` for every `q` (including NaN); a NaN `q` returns
+    /// `None` (NaN slips through `clamp`, and "quantile of NaN" has no
+    /// meaningful rank); when all samples share one bucket, every
+    /// quantile reports a value clamped into the observed `[min, max]`.
     pub fn quantile(&self, q: f64) -> Option<u64> {
-        if self.count == 0 {
+        if self.count == 0 || q.is_nan() {
             return None;
         }
         let q = q.clamp(0.0, 1.0);
@@ -208,6 +214,49 @@ mod tests {
         let s = h.snapshot();
         assert_eq!(s.count, 0);
         assert!(s.buckets.is_empty());
+    }
+
+    /// The snapshot's headline quantiles of an empty histogram are all
+    /// absent — not zeros, not bucket edges.
+    #[test]
+    fn empty_histogram_snapshot_quantiles_are_none() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.p50, None);
+        assert_eq!(s.p90, None);
+        assert_eq!(s.p99, None);
+        assert_eq!((s.min, s.max, s.mean), (None, None, None));
+    }
+
+    /// Out-of-range and non-finite `q` have pinned behavior: negatives
+    /// clamp to the minimum quantile, >1 clamps to the maximum, and NaN
+    /// (which `clamp` passes through) is rejected instead of producing a
+    /// garbage rank.
+    #[test]
+    fn quantile_handles_out_of_range_and_nan_q() {
+        let mut h = Histogram::new();
+        h.record(10);
+        h.record(2000);
+        assert_eq!(h.quantile(-3.0), h.quantile(0.0));
+        assert_eq!(h.quantile(7.5), h.quantile(1.0));
+        assert_eq!(h.quantile(f64::INFINITY), h.quantile(1.0));
+        assert_eq!(h.quantile(f64::NAN), None);
+        assert_eq!(Histogram::new().quantile(f64::NAN), None);
+    }
+
+    /// Many samples collapsed into one bucket: every headline quantile is
+    /// defined and lies within the observed range (here all samples are
+    /// equal, so p50 = p90 = p99 = the sample).
+    #[test]
+    fn single_bucket_histogram_has_defined_quantiles() {
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.record(5); // all in bucket [4, 8)
+        }
+        let s = h.snapshot();
+        assert_eq!(s.p50, Some(5));
+        assert_eq!(s.p90, Some(5));
+        assert_eq!(s.p99, Some(5));
+        assert_eq!(s.buckets, vec![(7, 100)]);
     }
 
     #[test]

@@ -12,6 +12,10 @@
 //!   fixed-bucket latency [`Histogram`]s keyed by static names,
 //!   snapshotable to JSON;
 //! * [`histogram`] — power-of-two-bucket histograms with p50/p90/p99/max;
+//! * [`timeseries`] — per-heartbeat cluster telemetry samples
+//!   ([`TelemetrySample`]: utilization, fragmentation, backlog, suspect
+//!   machines, packing efficiency) streamed as JSONL and rendered by
+//!   `trace-tool report`;
 //! * [`summary`] — small plain-text key/value rendering for CLI summaries.
 //!
 //! The paper's evaluation leans on exactly this kind of instrumentation:
@@ -33,11 +37,13 @@ pub mod histogram;
 pub mod recorder;
 pub mod registry;
 pub mod summary;
+pub mod timeseries;
 
-pub use event::{DecisionScores, Event};
+pub use event::{DecisionScores, Event, PlacementProvenance, RejectedCandidate};
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use recorder::{JsonlRecorder, NoopRecorder, Recorder, VecRecorder};
 pub use registry::{MetricsRegistry, MetricsSnapshot};
+pub use timeseries::{TelemetrySample, TimeSeries};
 
 /// Well-known metric names, shared across crates so snapshots stay
 /// consistent and greppable.
@@ -105,6 +111,8 @@ pub struct Obs {
     recorder: Box<dyn Recorder>,
     /// Counters, gauges and histograms accumulated during the run.
     pub metrics: MetricsRegistry,
+    verbose: bool,
+    timeseries: Option<TimeSeries>,
 }
 
 impl Obs {
@@ -115,6 +123,8 @@ impl Obs {
         Obs {
             recorder: Box::new(NoopRecorder),
             metrics: MetricsRegistry::new(),
+            verbose: false,
+            timeseries: None,
         }
     }
 
@@ -123,7 +133,55 @@ impl Obs {
         Obs {
             recorder,
             metrics: MetricsRegistry::new(),
+            verbose: false,
+            timeseries: None,
         }
+    }
+
+    /// Request verbose traces: emitters attach decision provenance
+    /// (rejected candidates, cache bookkeeping) to placements. Has no
+    /// effect unless a recorder is attached — default traces stay
+    /// byte-identical.
+    pub fn set_verbose(&mut self, on: bool) {
+        self.verbose = on;
+    }
+
+    /// Whether emitters should attach decision provenance: verbose was
+    /// requested *and* a recorder is actually consuming events.
+    #[inline]
+    pub fn verbose(&self) -> bool {
+        self.verbose && self.recorder.enabled()
+    }
+
+    /// Attach a telemetry time-series collector; the engine samples the
+    /// cluster once per heartbeat into it.
+    pub fn set_timeseries(&mut self, ts: TimeSeries) {
+        self.timeseries = Some(ts);
+    }
+
+    /// Whether a time-series collector is attached (hot paths gate the
+    /// sample computation on this).
+    #[inline]
+    pub fn sampling(&self) -> bool {
+        self.timeseries.is_some()
+    }
+
+    /// Record one telemetry sample (no-op when no collector is attached).
+    #[inline]
+    pub fn record_sample(&mut self, sample: TelemetrySample) {
+        if let Some(ts) = self.timeseries.as_mut() {
+            ts.record(sample);
+        }
+    }
+
+    /// The collected telemetry samples so far (empty when not sampling).
+    pub fn timeseries_samples(&self) -> &[TelemetrySample] {
+        self.timeseries.as_ref().map_or(&[], |ts| ts.samples())
+    }
+
+    /// Detach and return the time-series collector, if any.
+    pub fn take_timeseries(&mut self) -> Option<TimeSeries> {
+        self.timeseries.take()
     }
 
     /// Whether the attached recorder wants events. Hot paths check this
@@ -143,9 +201,13 @@ impl Obs {
         }
     }
 
-    /// Flush the recorder (e.g. at end of run).
+    /// Flush the recorder and the time-series stream (e.g. at end of
+    /// run).
     pub fn flush(&mut self) {
         self.recorder.flush();
+        if let Some(ts) = self.timeseries.as_mut() {
+            ts.flush();
+        }
     }
 }
 

@@ -11,6 +11,7 @@
 use std::collections::BTreeMap;
 
 use crate::histogram::{Histogram, HistogramSnapshot};
+use crate::timeseries::TelemetrySample;
 
 /// Counters, gauges and latency histograms for one run.
 #[derive(Debug, Default)]
@@ -100,6 +101,7 @@ impl MetricsRegistry {
                 .iter()
                 .map(|(&k, h)| (k.to_string(), h.snapshot()))
                 .collect(),
+            timeseries: Vec::new(),
         }
     }
 }
@@ -113,6 +115,13 @@ pub struct MetricsSnapshot {
     pub gauges: BTreeMap<String, f64>,
     /// Latency histograms.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Per-heartbeat telemetry samples, filled in by harnesses that ran
+    /// with a time-series collector attached (see
+    /// [`crate::timeseries`]). Omitted from the JSON when empty so
+    /// snapshots from runs without sampling are byte-identical to
+    /// pre-telemetry versions.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub timeseries: Vec<TelemetrySample>,
 }
 
 #[cfg(test)]
@@ -162,6 +171,95 @@ mod tests {
         assert_eq!(h.min(), Some(100));
         assert_eq!(h.max(), Some(1_000_000));
         assert_eq!(a.histogram("schedule_ns").unwrap().count(), 1);
+    }
+
+    /// Workers in a sweep often touch *no* common metric (different
+    /// fault families, different policies): merge must behave as pure
+    /// union, preserving every key from both sides untouched.
+    #[test]
+    fn merge_with_fully_disjoint_counter_sets_is_union() {
+        let mut a = MetricsRegistry::new();
+        a.counter_add("fault_crashes", 3);
+        a.counter_add("fault_evacuations", 7);
+
+        let mut b = MetricsRegistry::new();
+        b.counter_add("placements", 100);
+        b.counter_add("task_retries", 2);
+
+        a.merge(&b);
+        assert_eq!(a.counter("fault_crashes"), 3);
+        assert_eq!(a.counter("fault_evacuations"), 7);
+        assert_eq!(a.counter("placements"), 100);
+        assert_eq!(a.counter("task_retries"), 2);
+        assert_eq!(a.snapshot().counters.len(), 4);
+        // b is untouched by the merge.
+        assert_eq!(b.counter("placements"), 100);
+        assert_eq!(b.counter("fault_crashes"), 0);
+    }
+
+    /// Histograms whose populated-bucket counts differ (one worker saw a
+    /// single latency regime, another saw a spread) must merge into the
+    /// exact histogram a single registry would have produced — including
+    /// when one side's histogram key is missing entirely.
+    #[test]
+    fn merge_with_mismatched_histogram_bucket_counts() {
+        // a: all samples land in one bucket; b: spread across many.
+        let mut a = MetricsRegistry::new();
+        for _ in 0..5 {
+            a.observe("heartbeat_ns", 100); // bucket [64,128)
+        }
+        let mut b = MetricsRegistry::new();
+        let mut expect = Histogram::new();
+        for _ in 0..5 {
+            expect.record(100);
+        }
+        for v in [1u64, 500, 70_000, 9_000_000] {
+            b.observe("heartbeat_ns", v);
+            expect.record(v);
+        }
+        // One-sided key: only b recorded schedule_ns.
+        b.observe("schedule_ns", 50);
+
+        a.merge(&b);
+        assert_eq!(
+            a.histogram("heartbeat_ns").unwrap().snapshot(),
+            expect.snapshot()
+        );
+        assert_eq!(a.histogram("schedule_ns").unwrap().count(), 1);
+        assert_eq!(a.histogram("schedule_ns").unwrap().min(), Some(50));
+
+        // Reverse direction: wide histogram folded into the narrow one.
+        let mut a2 = MetricsRegistry::new();
+        for v in [1u64, 500, 70_000, 9_000_000] {
+            a2.observe("heartbeat_ns", v);
+        }
+        let mut b2 = MetricsRegistry::new();
+        for _ in 0..5 {
+            b2.observe("heartbeat_ns", 100);
+        }
+        a2.merge(&b2);
+        assert_eq!(
+            a2.histogram("heartbeat_ns").unwrap().snapshot(),
+            expect.snapshot()
+        );
+    }
+
+    /// Merging into a fresh registry copies everything (the fold's
+    /// identity element), and merging an empty registry changes nothing.
+    #[test]
+    fn merge_with_empty_registry_is_identity() {
+        let mut src = MetricsRegistry::new();
+        src.counter_add("placements", 9);
+        src.gauge_set("pending_tasks", 4.0);
+        src.observe("heartbeat_ns", 123);
+
+        let mut fresh = MetricsRegistry::new();
+        fresh.merge(&src);
+        assert_eq!(fresh.snapshot(), src.snapshot());
+
+        let before = src.snapshot();
+        src.merge(&MetricsRegistry::new());
+        assert_eq!(src.snapshot(), before);
     }
 
     #[test]

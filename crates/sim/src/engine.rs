@@ -173,6 +173,16 @@ impl<'o> Simulation<'o> {
             }
         };
 
+        // Verbose tracing asks policies to capture decision provenance
+        // (rejected candidates, cache bookkeeping) per placement. This is
+        // pure extra bookkeeping on the policy side — capture must never
+        // change which assignments are produced (the noop-identity test
+        // covers the default path; `schedule_equivalence` the policies).
+        let verbose = obs.verbose();
+        if verbose {
+            policy.set_capture_provenance(true);
+        }
+
         let tracker_aware = policy.uses_tracker();
         let mut state = SimState::new(self.cluster, self.workload, self.cfg);
         let mut queue = EventQueue::new();
@@ -520,6 +530,15 @@ impl<'o> Simulation<'o> {
                                 );
                             }
                             obs.metrics.counter_inc(names::SCHED_EVENTS);
+                            // Provenance is queried only under verbose
+                            // tracing, before the emit closure (which
+                            // borrows `state` immutably and cannot also
+                            // hold `&mut policy`).
+                            let provenance = if verbose {
+                                policy.take_provenance(a.task).map(Box::new)
+                            } else {
+                                None
+                            };
                             obs.emit(state.now.as_secs(), || {
                                 let job = state.workload.task(a.task).expect("task").job;
                                 Event::TaskPlaced {
@@ -530,6 +549,7 @@ impl<'o> Simulation<'o> {
                                     srtf_score: a.scores.map(|s| s.srtf),
                                     combined_score: a.scores.map(|s| s.combined),
                                     considered_machines: a.scores.map(|s| s.considered_machines),
+                                    provenance,
                                 }
                             });
                         } else {
@@ -561,6 +581,17 @@ impl<'o> Simulation<'o> {
                     policy.on_event(&view, &SchedulerEvent::RoundComplete);
                 }
                 obs.metrics.counter_inc(names::SCHED_EVENTS);
+
+                // Telemetry time-series: one sample per heartbeat, taken
+                // after the scheduling pass so each point describes the
+                // cluster the *next* decision will see. Gated on an
+                // attached collector; the computation is a pure read of
+                // ledger state (no wall clock, no RNG), so the stream is
+                // byte-identical across runs.
+                if obs.sampling() {
+                    let sample = crate::telemetry::sample_cluster(&state);
+                    obs.record_sample(sample);
+                }
             }
 
             if want_sample {

@@ -54,6 +54,7 @@ mod fault;
 mod outcome;
 pub mod probe;
 mod state;
+mod telemetry;
 pub mod time;
 pub mod token_bucket;
 pub mod tracker;
@@ -71,4 +72,4 @@ pub use view::{
 };
 // Re-exported so policies can annotate assignments without naming the obs
 // crate themselves.
-pub use tetris_obs::DecisionScores;
+pub use tetris_obs::{DecisionScores, PlacementProvenance, RejectedCandidate};

@@ -218,6 +218,24 @@ pub trait SchedulerPolicy {
     fn uses_tracker(&self) -> bool {
         false
     }
+
+    /// Ask the policy to record decision provenance (losing candidates,
+    /// cache/dirty-set bookkeeping) for each assignment it returns, to be
+    /// collected via [`SchedulerPolicy::take_provenance`]. The engine
+    /// enables this only under verbose tracing; it must never change
+    /// which assignments are produced. The default ignores the request —
+    /// policies without provenance simply yield `None` later.
+    fn set_capture_provenance(&mut self, on: bool) {
+        let _ = on;
+    }
+
+    /// Surrender the recorded provenance for one assignment returned by
+    /// the latest `schedule` call(s). Called at most once per placed
+    /// task, after the engine applies the assignment. Default: `None`.
+    fn take_provenance(&mut self, task: TaskUid) -> Option<tetris_obs::PlacementProvenance> {
+        let _ = task;
+        None
+    }
 }
 
 /// Any policy converts into a boxed trait object, so builder entry points
@@ -253,6 +271,14 @@ impl<P: SchedulerPolicy> SchedulerPolicy for MarkAllDirty<P> {
 
     fn uses_tracker(&self) -> bool {
         self.0.uses_tracker()
+    }
+
+    fn set_capture_provenance(&mut self, on: bool) {
+        self.0.set_capture_provenance(on);
+    }
+
+    fn take_provenance(&mut self, task: TaskUid) -> Option<tetris_obs::PlacementProvenance> {
+        self.0.take_provenance(task)
     }
 }
 

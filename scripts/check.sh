@@ -32,6 +32,42 @@ target/release/reproduce churn --scale 0.05 >/dev/null
 echo "== view API snapshot (SchedulerPolicy surface is pinned) =="
 cargo test -q -p tetris-sim --test api_snapshot
 
+echo "== telemetry + provenance smoke =="
+cargo build --release -p tetris-workload -q
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+# Default trace: byte-identity gate — no provenance keys may appear when
+# --trace-verbose is off (the golden wire-bytes unit test pins the exact
+# JSON; this guards the whole end-to-end artifact).
+target/release/reproduce --trace "$tmp/plain.jsonl" --scale 0.1 >/dev/null
+if grep -q '"provenance"' "$tmp/plain.jsonl"; then
+  echo "default trace leaked provenance (must be --trace-verbose only)"; exit 1
+fi
+# Verbose run: provenance with rejected candidates must be present, and
+# the telemetry stream must be byte-identical across repeated runs.
+target/release/reproduce --trace "$tmp/verbose.jsonl" --trace-verbose \
+  --timeseries "$tmp/ts1.jsonl" --scale 0.1 >/dev/null
+grep -q '"provenance"' "$tmp/verbose.jsonl" \
+  || { echo "verbose trace carries no provenance"; exit 1; }
+grep -q '"rejected":\[{' "$tmp/verbose.jsonl" \
+  || { echo "verbose trace has no rejected candidates"; exit 1; }
+target/release/reproduce --timeseries "$tmp/ts2.jsonl" --scale 0.1 >/dev/null
+cmp -s "$tmp/ts1.jsonl" "$tmp/ts2.jsonl" \
+  || { echo "telemetry stream is not deterministic across runs"; exit 1; }
+# explain reconstructs a placement story from the verbose trace. (Write
+# to a file before grepping: `| grep -q` exits at first match and the
+# closed pipe would SIGPIPE the tool, which pipefail reads as failure.)
+task="$(grep -m1 '"rejected":\[{' "$tmp/verbose.jsonl" \
+  | sed 's/.*"TaskPlaced":{"job":[0-9]*,"task":\([0-9]*\).*/\1/')"
+target/release/trace-tool explain "$tmp/verbose.jsonl" --task "$task" > "$tmp/explain.txt"
+grep -q "rejected #1" "$tmp/explain.txt" \
+  || { echo "explain shows no rejected candidates"; exit 1; }
+# report renders a deterministic summary of the stream.
+target/release/trace-tool report "$tmp/ts1.jsonl" --csv "$tmp/ts.csv" > "$tmp/report.txt"
+grep -q "packing_efficiency" "$tmp/report.txt" \
+  || { echo "report missing summary"; exit 1; }
+head -1 "$tmp/ts.csv" | grep -q "^t,cpu_alloc" || { echo "bad csv header"; exit 1; }
+
 echo "== table8 smoke (incremental heartbeat path) =="
 # The probe inside table8 asserts incremental == full-rebuild decisions
 # every heartbeat; here we additionally check the event-driven path was

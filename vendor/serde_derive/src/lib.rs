@@ -8,7 +8,9 @@
 //! non-generic named-field structs, tuple structs, unit structs, and
 //! enums with unit / tuple / named-field variants. `#[serde(transparent)]`
 //! on single-field structs delegates to the field (the default newtype
-//! behaviour already matches real serde's wire format).
+//! behaviour already matches real serde's wire format). Named fields may
+//! carry `#[serde(default)]` and/or `#[serde(skip_serializing_if =
+//! "path")]`, with the same wire semantics as real serde.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -34,6 +36,10 @@ struct Field {
     /// `#[serde(default)]`: a missing (or null) value deserializes to
     /// `Default::default()` instead of erroring — schema back-compat.
     default: bool,
+    /// `#[serde(skip_serializing_if = "path")]`: omit the key entirely
+    /// when `path(&field)` is true (e.g. `Option::is_none`,
+    /// `Vec::is_empty`) — matches real serde's wire behaviour.
+    skip_if: Option<String>,
 }
 
 #[derive(Debug)]
@@ -114,6 +120,7 @@ fn parse_input(ts: TokenStream) -> Input {
 struct AttrFlags {
     transparent: bool,
     default: bool,
+    skip_if: Option<String>,
 }
 
 /// Advance past attributes, collecting the `#[serde(...)]` flags seen.
@@ -125,14 +132,32 @@ fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> AttrFlags {
             let inner: Vec<TokenTree> = g.stream().into_iter().collect();
             if matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde") {
                 if let Some(TokenTree::Group(args)) = inner.get(1) {
-                    for t in args.stream() {
-                        if let TokenTree::Ident(id) = t {
+                    let arg_tokens: Vec<TokenTree> = args.stream().into_iter().collect();
+                    let mut j = 0;
+                    while j < arg_tokens.len() {
+                        if let TokenTree::Ident(id) = &arg_tokens[j] {
                             match id.to_string().as_str() {
                                 "transparent" => flags.transparent = true,
                                 "default" => flags.default = true,
+                                "skip_serializing_if" => {
+                                    // Expect `= "path::to::predicate"`.
+                                    let lit = match (arg_tokens.get(j + 1), arg_tokens.get(j + 2)) {
+                                        (
+                                            Some(TokenTree::Punct(p)),
+                                            Some(TokenTree::Literal(l)),
+                                        ) if p.as_char() == '=' => l.to_string(),
+                                        other => panic!(
+                                            "serde stub derive: malformed skip_serializing_if: \
+                                             {other:?}"
+                                        ),
+                                    };
+                                    flags.skip_if = Some(lit.trim_matches('"').to_string());
+                                    j += 2;
+                                }
                                 _ => {}
                             }
                         }
+                        j += 1;
                     }
                 }
             }
@@ -182,6 +207,7 @@ fn parse_named_fields(ts: TokenStream) -> Vec<Field> {
         fields.push(Field {
             name,
             default: attrs.default,
+            skip_if: attrs.skip_if,
         });
         skip_type_until_comma(&tokens, &mut i);
     }
@@ -257,6 +283,35 @@ fn parse_variants(ts: TokenStream) -> Vec<Variant> {
 
 // ------------------------------------------------------------------ codegen
 
+/// Serialize named fields (struct or enum-variant) into an object
+/// expression, honouring `skip_serializing_if` by pushing conditionally.
+/// `expr` maps a field name to the expression reaching it (`&self.f` for
+/// structs, the match binding `f` for variants).
+fn named_obj_expr(fields: &[Field], expr: impl Fn(&str) -> String) -> String {
+    let mut stmts = String::new();
+    for f in fields {
+        let name = &f.name;
+        let value = expr(name);
+        let push =
+            format!("entries.push((\"{name}\".to_string(), serde::Serialize::to_value({value})));");
+        match &f.skip_if {
+            Some(pred) => {
+                // `value` is already a reference (`&self.f` or a match
+                // binding), matching the predicate's `&T` argument.
+                stmts.push_str(&format!("if !{pred}({value}) {{ {push} }}\n"));
+            }
+            None => {
+                stmts.push_str(&push);
+                stmts.push('\n');
+            }
+        }
+    }
+    format!(
+        "{{ let mut entries: Vec<(String, serde::Value)> = Vec::new();\n{stmts}\
+         serde::Value::Obj(entries) }}"
+    )
+}
+
 fn gen_serialize(input: &Input) -> String {
     let name = &input.name;
     let body = match &input.kind {
@@ -264,14 +319,7 @@ fn gen_serialize(input: &Input) -> String {
             if input.transparent && fields.len() == 1 {
                 format!("serde::Serialize::to_value(&self.{})", fields[0].name)
             } else {
-                let entries: Vec<String> = fields
-                    .iter()
-                    .map(|f| {
-                        let f = &f.name;
-                        format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f}))")
-                    })
-                    .collect();
-                format!("serde::Value::Obj(vec![{}])", entries.join(", "))
+                named_obj_expr(fields, |f| format!("&self.{f}"))
             }
         }
         Kind::TupleStruct(1) => "serde::Serialize::to_value(&self.0)".to_string(),
@@ -311,19 +359,10 @@ fn gen_serialize(input: &Input) -> String {
                             let binds: Vec<String> =
                                 fields.iter().map(|f| f.name.clone()).collect();
                             let binds = binds.join(", ");
-                            let entries: Vec<String> = fields
-                                .iter()
-                                .map(|f| {
-                                    let f = &f.name;
-                                    format!(
-                                        "(\"{f}\".to_string(), serde::Serialize::to_value({f}))"
-                                    )
-                                })
-                                .collect();
+                            let obj = named_obj_expr(fields, |f| f.to_string());
                             format!(
                                 "{name}::{vn} {{ {binds} }} => serde::Value::Obj(vec![(\
-                                 \"{vn}\".to_string(), serde::Value::Obj(vec![{}]))]),",
-                                entries.join(", ")
+                                 \"{vn}\".to_string(), {obj})]),"
                             )
                         }
                     }
