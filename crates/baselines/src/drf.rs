@@ -105,7 +105,8 @@ impl SchedulerPolicy for DrfScheduler {
     fn schedule(&mut self, view: &ClusterView<'_>) -> Vec<Assignment> {
         let total = view.total_capacity();
         // Working availability on the dimensions DRF examines.
-        let mut avail: Vec<ResourceVec> = view.machines().map(|m| view.available(m)).collect();
+        let query = view.query();
+        let mut avail: Vec<ResourceVec> = query.iter_all().map(|m| view.available(m)).collect();
 
         // Job list: the event-maintained id-sorted active set (pruned of
         // finished jobs) when synced, else a fresh scan of the view. Both
@@ -166,7 +167,8 @@ impl SchedulerPolicy for DrfScheduler {
                 .copied()
                 .find(|m| fits(&avail[m.index()]))
                 .or_else(|| {
-                    view.machines()
+                    view.query()
+                        .iter_all()
                         .filter(|m| fits(&avail[m.index()]))
                         .max_by(|a, b| {
                             let fa = avail[a.index()].get(Resource::Mem);

@@ -40,7 +40,8 @@ impl SchedulerPolicy for RandomScheduler {
             let k = self.rng.gen_range(0..=i);
             tasks.swap(i, k);
         }
-        let mut avail: Vec<ResourceVec> = view.machines().map(|m| view.available(m)).collect();
+        let query = view.query();
+        let mut avail: Vec<ResourceVec> = query.iter_all().map(|m| view.available(m)).collect();
         let n = view.num_machines();
         let mut out = Vec::new();
         for t in tasks {

@@ -118,12 +118,15 @@ impl SlotScheduler {
         if self.used.len() < view.num_machines() {
             self.used.resize(view.num_machines(), 0);
         }
+        let query = view.query();
         let mut free: Vec<usize> = if self.synced {
-            view.machines()
+            query
+                .iter_all()
                 .map(|m| self.slots_of(view, m).saturating_sub(self.used[m.index()]))
                 .collect()
         } else {
-            view.machines()
+            query
+                .iter_all()
                 .map(|m| {
                     let total = self.slots_of(view, m);
                     let used: usize = view
@@ -215,7 +218,8 @@ impl SlotScheduler {
                 .filter(|&m| !view.is_down(m) && !view.is_suspect(m))
                 .find(|m| free[m.index()] >= need)
                 .or_else(|| {
-                    view.machines()
+                    query
+                        .iter_all()
                         .filter(|&m| !view.is_down(m) && free[m.index()] >= need)
                         .max_by_key(|m| {
                             (
@@ -278,6 +282,8 @@ impl SlotScheduler {
                                 cache_flushed: !self.synced,
                                 dirty_jobs: 0,
                                 candidates: n_queued as u32,
+                                index_pruned: 0,
+                                index_considered: 0,
                                 rejected,
                             },
                         ));

@@ -89,7 +89,8 @@ impl SchedulerPolicy for SrtfScheduler {
         // suspect ones last are both exact no-ops without fault injection
         // (every machine is up and trusted then), so decisions stay
         // byte-identical to the pre-fault pass.
-        let any_suspect = view.machines().any(|m| view.is_suspect(m));
+        let query = view.query();
+        let any_suspect = query.iter_all().any(|m| view.is_suspect(m));
 
         jobs.clear();
         jobs.extend(view.active_jobs().map(|j| {
@@ -101,7 +102,7 @@ impl SchedulerPolicy for SrtfScheduler {
         jobs.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
 
         avail.clear();
-        avail.extend(view.machines().map(|m| view.available(m)));
+        avail.extend(query.iter_all().map(|m| view.available(m)));
 
         // Upper envelope of availability on the placement-independent
         // dims (∞ elsewhere so those always pass). Availability only
@@ -132,7 +133,7 @@ impl SchedulerPolicy for SrtfScheduler {
                 // the full plan (local + remote) fits.
                 view.preferred_machines_into(t, preferred);
                 candidates.clear();
-                candidates.extend(preferred.iter().copied().chain(view.machines()));
+                candidates.extend(preferred.iter().copied().chain(query.iter_all()));
                 candidates.retain(|&m| !view.is_down(m));
                 if any_suspect {
                     // Stable partition: suspect machines considered last.

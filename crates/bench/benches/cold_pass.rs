@@ -1,0 +1,61 @@
+//! Cold-pass placement cost at scale — indexed `MachineQuery` vs the
+//! linear scan (DESIGN.md §13, companion to the `scale` experiment).
+//!
+//! The cold pass is a scheduling round with no freed hint: a burst of
+//! arrivals hitting a packed cluster, where the pre-index code walked
+//! every machine per candidate. Setup mirrors [`ColdPassProbe`]: a
+//! saturated cluster with a 10×-machines pending backlog and four empty
+//! machines for the pass to find. Each iteration times one cold
+//! `schedule()` of a *fresh* `TetrisScheduler` (unsynced ⇒ no freed
+//! hint ⇒ cold path; no adaptive state leaks between iterations), with
+//! scheduler construction kept outside the timed window via
+//! `iter_custom`. Index maintenance is not a separate setup phase — the
+//! bucketed index seeds and refreshes inside the measured pass, so the
+//! indexed series carries its full build+query cost.
+//!
+//! [`ColdPassProbe`]: tetris_sim::probe::ColdPassProbe
+
+use std::time::{Duration, Instant};
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tetris_core::{TetrisConfig, TetrisScheduler};
+use tetris_sim::probe::ColdPassProbe;
+
+/// Pending backlog per machine, matching the `scale` experiment.
+const PENDING_PER_MACHINE: usize = 10;
+
+fn time_cold(probe: &ColdPassProbe, indexed: bool, iters: u64) -> Duration {
+    let mut total = Duration::ZERO;
+    for _ in 0..iters {
+        let mut policy = TetrisScheduler::new(TetrisConfig::default());
+        let t0 = Instant::now();
+        let placed = if indexed {
+            probe.cold_schedule_indexed(&mut policy)
+        } else {
+            probe.cold_schedule_linear(&mut policy)
+        };
+        total += t0.elapsed();
+        black_box(placed);
+    }
+    total
+}
+
+fn bench_cold_pass(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cold_pass");
+    group.sample_size(10);
+
+    for &machines in &[1_000usize, 10_000, 100_000] {
+        let probe = ColdPassProbe::new(machines, machines * PENDING_PER_MACHINE);
+        for (name, indexed) in [("indexed", true), ("linear", false)] {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("{machines}_machines")),
+                &machines,
+                |b, _| b.iter_custom(|iters| time_cold(&probe, indexed, iters)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cold_pass);
+criterion_main!(benches);

@@ -55,6 +55,12 @@ pub struct TetrisConfig {
     /// which relies on heartbeat batching alone (§3.5) — so enabling
     /// reservations is an explicit, documented extension.
     pub starvation: Option<StarvationConfig>,
+    /// Worker shards for the candidate-scoring scan (DESIGN.md §13).
+    /// `1` (the default) scores serially; `> 1` fans large scans out
+    /// across the deterministic worker pool *within* a heartbeat. The
+    /// merge is earliest-candidate-wins in submission order, so shard
+    /// count never changes decisions — only wall-clock.
+    pub shards: usize,
 }
 
 /// Parameters of starvation-prevention reservations (§3.5).
@@ -87,6 +93,7 @@ impl Default for TetrisConfig {
             consider_io_dims: true,
             estimation: EstimationMode::Exact,
             starvation: None,
+            shards: 1,
         }
     }
 }
@@ -121,6 +128,9 @@ impl TetrisConfig {
             if !(sc.patience > 0.0) || sc.max_reservations == 0 {
                 return Err("invalid starvation config".into());
             }
+        }
+        if self.shards == 0 {
+            return Err("shards must be ≥ 1".into());
         }
         Ok(())
     }
@@ -200,8 +210,8 @@ struct ScheduleScratch {
     hinted: Vec<MachineId>,
     /// Machines considered this call.
     machines: Vec<MachineId>,
-    /// Working availability ledger.
-    avail: Vec<ResourceVec>,
+    /// Working availability ledger (lazily populated).
+    avail: AvailCache,
     /// Indices of candidates that survived the envelope prefilter.
     live: Vec<usize>,
     /// (candidate, machine) pairs proven infeasible by the authoritative
@@ -267,35 +277,107 @@ struct IncState {
     cache: Vec<JobCache>,
 }
 
+/// Above this many cells the grid switches to a sparse pair list: at
+/// 100k machines × hundreds of candidates a dense stamp array would cost
+/// hundreds of megabytes, while plan-infeasibility bans are rare enough
+/// that a linear membership scan (guarded by the `any` fast path) wins.
+const DENSE_GRID_CELLS_MAX: usize = 1 << 24;
+
 /// Generation-stamped membership grid: O(1) insert/query with no per-call
-/// clearing or allocation (bumping the generation invalidates every cell).
+/// clearing (bumping the generation invalidates every cell). Falls back
+/// to a sparse pair list past [`DENSE_GRID_CELLS_MAX`] cells. The dense
+/// stamp array is allocated lazily on the first insert — plan-
+/// infeasibility bans are rare, so most calls (and at cluster scale,
+/// most schedulers) never pay for the grid at all.
 #[derive(Default)]
 struct StampGrid {
     stamps: Vec<u64>,
     gen: u64,
     stride: usize,
+    need: usize,
     any: bool,
+    sparse: bool,
+    pairs: Vec<(u32, u32)>,
 }
 
 impl StampGrid {
-    /// Start a fresh (rows × cols) grid with all cells absent.
+    /// Start a fresh (rows × cols) grid with all cells absent. O(1): no
+    /// allocation or clearing happens until an insert.
     fn begin(&mut self, rows: usize, cols: usize) {
-        self.stride = cols;
-        let need = rows * cols;
-        if self.stamps.len() < need {
-            self.stamps.resize(need, 0);
+        self.sparse = rows.saturating_mul(cols) > DENSE_GRID_CELLS_MAX;
+        if self.sparse {
+            self.pairs.clear();
+        } else {
+            self.stride = cols;
+            self.need = rows * cols;
+            self.gen += 1;
         }
-        self.gen += 1;
         self.any = false;
     }
 
     fn insert(&mut self, row: usize, col: usize) {
-        self.stamps[row * self.stride + col] = self.gen;
+        if self.sparse {
+            self.pairs.push((row as u32, col as u32));
+        } else {
+            if self.stamps.len() < self.need {
+                self.stamps.resize(self.need, 0);
+            }
+            self.stamps[row * self.stride + col] = self.gen;
+        }
         self.any = true;
     }
 
     fn contains(&self, row: usize, col: usize) -> bool {
-        self.stamps[row * self.stride + col] == self.gen
+        if self.sparse {
+            self.pairs.contains(&(row as u32, col as u32))
+        } else {
+            // Cells past the (lazily grown) stamp array were never
+            // inserted this generation.
+            self.stamps
+                .get(row * self.stride + col)
+                .is_some_and(|&s| s == self.gen)
+        }
+    }
+}
+
+/// Lazily populated availability ledger: `view.available` is evaluated
+/// once per *touched* machine per `schedule()` call (stamp-invalidated,
+/// never cleared), instead of eagerly for the whole cluster. Values and
+/// subtraction order are exactly the former dense ledger's — the view's
+/// availability is constant within one call — so decisions are
+/// byte-identical; only the O(cluster) prefill disappears.
+#[derive(Default)]
+struct AvailCache {
+    vals: Vec<ResourceVec>,
+    stamp: Vec<u64>,
+    gen: u64,
+}
+
+impl AvailCache {
+    /// Start a fresh call over `n` machines (all entries invalid).
+    fn begin(&mut self, n: usize) {
+        if self.vals.len() < n {
+            self.vals.resize(n, ResourceVec::zero());
+            self.stamp.resize(n, 0);
+        }
+        self.gen += 1;
+    }
+
+    /// Current working availability of `m` (view value minus this call's
+    /// committed placements so far).
+    fn get(&mut self, view: &ClusterView<'_>, m: MachineId) -> ResourceVec {
+        let i = m.index();
+        if self.stamp[i] != self.gen {
+            self.stamp[i] = self.gen;
+            self.vals[i] = view.available(m);
+        }
+        self.vals[i]
+    }
+
+    /// Charge a committed placement against `m`'s working availability.
+    fn sub(&mut self, view: &ClusterView<'_>, m: MachineId, d: &ResourceVec) {
+        let v = self.get(view, m);
+        self.vals[m.index()] = v - *d;
     }
 }
 
@@ -337,6 +419,10 @@ pub struct TetrisScheduler {
     /// anything still here (e.g. for an assignment the engine rejected)
     /// was never going to be collected.
     prov: Vec<(TaskUid, PlacementProvenance)>,
+    /// Scoring scans fanned out across the worker pool (shards > 1 only).
+    shard_batches: u64,
+    /// Candidate entries dispatched across those fan-outs.
+    shard_items: u64,
 }
 
 impl TetrisScheduler {
@@ -356,6 +442,9 @@ impl TetrisScheduler {
         if !cfg.consider_io_dims {
             name.push_str("[cpu-mem-only]");
         }
+        if cfg.shards > 1 {
+            name.push_str(&format!("[shards={}]", cfg.shards));
+        }
         TetrisScheduler {
             scorer: CombinedScorer::new(cfg.srtf_multiplier),
             estimator: DemandEstimator::new(cfg.estimation),
@@ -366,7 +455,19 @@ impl TetrisScheduler {
             cfg,
             capture: false,
             prov: Vec::new(),
+            shard_batches: 0,
+            shard_items: 0,
         }
+    }
+
+    /// Drain the shard-utilization counters: scoring scans dispatched to
+    /// the worker pool and candidate entries fanned out across them.
+    /// Always `(0, 0)` with `shards = 1`.
+    pub fn take_shard_stats(&mut self) -> (u64, u64) {
+        (
+            std::mem::take(&mut self.shard_batches),
+            std::mem::take(&mut self.shard_items),
+        )
     }
 
     /// Machines currently reserved for starved tasks (diagnostics).
@@ -396,6 +497,69 @@ fn visible(consider_io_dims: bool, v: &ResourceVec) -> ResourceVec {
     } else {
         v.project(&[Resource::Cpu, Resource::Mem])
     }
+}
+
+/// A scoring fan-out wider than this stays serial: below it, thread
+/// launch costs more than the scan itself.
+const SHARD_MIN_CANDIDATES: usize = 4096;
+
+/// Score one contiguous chunk of live candidates against machine `m`,
+/// returning the chunk-local best as `(candidate index, promoted,
+/// combined score, alignment)`. The comparison is strictly-greater on
+/// `(promoted, score)`, so within a chunk the *earliest* maximal
+/// candidate wins — and merging chunk results in submission order
+/// preserves exactly the serial scan's earliest-wins winner, which is
+/// what makes sharding decision-neutral (DESIGN.md §13).
+#[allow(clippy::too_many_arguments)]
+fn scan_chunk(
+    chunk: &[usize],
+    cands: &[Candidate],
+    norms_arena: &[(ResourceVec, ResourceVec)],
+    preferred_arena: &[MachineId],
+    avail_norm: &ResourceVec,
+    banned: &StampGrid,
+    ban_check: bool,
+    m: MachineId,
+    cls: usize,
+    scorer: &CombinedScorer,
+    cfg: &TetrisConfig,
+) -> Option<(usize, bool, f64, f64)> {
+    let mut best: Option<(usize, bool, f64, f64)> = None;
+    for &ci in chunk {
+        let c = &cands[ci];
+        if !c.alive || (ban_check && banned.contains(ci, m.index())) {
+            continue;
+        }
+        let (norm, norm_local) = &norms_arena[c.norms_start + cls];
+        let local = !c.shuffle && c.preferred(preferred_arena).binary_search(&m).is_ok();
+        let demand_norm = if local { norm_local } else { norm };
+        // Feasibility in normalized space (capacity-relative); the demand
+        // was clamped to the class capacity, so a deliberate over-estimate
+        // (§4.1) cannot make the task unplaceable everywhere.
+        if !demand_norm.fits_within(avail_norm) {
+            continue;
+        }
+        let mut a = cfg.alignment.score_normalized(demand_norm, avail_norm);
+        let is_remote = c.shuffle || (c.pref.1 != 0 && !local);
+        if is_remote {
+            a *= 1.0 - cfg.remote_penalty;
+        }
+        let score = if c.promoted {
+            // Promoted stragglers rank above everyone and are ordered
+            // among themselves by alignment (§3.5).
+            a
+        } else {
+            scorer.combined(a, c.p)
+        };
+        let better = match best {
+            None => true,
+            Some((_, bp, bs, _)) => (c.promoted, score) > (bp, bs),
+        };
+        if better {
+            best = Some((ci, c.promoted, score, a));
+        }
+    }
+    best
 }
 
 impl SchedulerPolicy for TetrisScheduler {
@@ -458,6 +622,8 @@ impl SchedulerPolicy for TetrisScheduler {
             inc,
             capture,
             prov,
+            shard_batches,
+            shard_items,
             ..
         } = self;
         let capture = *capture;
@@ -626,39 +792,50 @@ impl SchedulerPolicy for TetrisScheduler {
         }
         hinted.sort_unstable();
         hinted.dedup();
+        // A cold pass (no freed-machine hint: arrivals, tracker ticks,
+        // cache flushes) must consider the whole cluster; that is the
+        // pass MachineQuery makes sublinear. Warm passes keep focusing on
+        // the hinted machines as before.
+        let query = view.query();
+        let cold = hinted.is_empty();
         machines.clear();
-        if hinted.is_empty() {
-            machines.extend(view.machines());
-        } else {
+        if !cold {
             machines.extend_from_slice(hinted);
+            // Graceful degradation under faults: down machines host
+            // nothing, and suspect machines are skipped outright —
+            // alignment scores are computed *from* tracker reports, so a
+            // machine whose reports are implausible or stale gives Tetris
+            // nothing to score against (slot baselines, which never read
+            // usage, merely deprioritize). This is an exact no-op without
+            // fault injection — `is_down`/`is_suspect` are always false
+            // then and `retain` keeps everything — so decisions stay
+            // byte-identical to the pre-fault scheduler.
+            machines.retain(|&m| !view.is_down(m) && !view.is_suspect(m));
         }
-        // Graceful degradation under faults: down machines host nothing,
-        // and suspect machines are skipped outright — alignment scores are
-        // computed *from* tracker reports, so a machine whose reports are
-        // implausible or stale gives Tetris nothing to score against
-        // (slot baselines, which never read usage, merely deprioritize).
-        // This is an exact no-op without fault injection —
-        // `is_down`/`is_suspect` are always false then and `retain` keeps
-        // everything — so decisions stay byte-identical to the pre-fault
-        // scheduler.
-        machines.retain(|&m| !view.is_down(m) && !view.is_suspect(m));
 
-        // Working availability ledger over the whole cluster (remote
+        // Working availability ledger, populated lazily (remote
         // feasibility can touch machines outside the hint set).
-        avail.clear();
-        avail.extend(view.machines().map(|m| view.available(m)));
+        avail.begin(n_machines);
         banned.begin(cands.len(), n_machines); // (cand, machine)
         let mut out = Vec::new();
 
         // Envelope prefilter: a candidate whose (capacity-clamped) demand
         // exceeds the per-dimension *maximum* availability over all
         // considered machines fits nowhere — skip it for the whole call.
-        // Valid throughout: availability only shrinks as we place.
+        // Valid throughout: availability only shrinks as we place. Cold
+        // passes take the envelopes from the query (the indexed backend
+        // answers without scanning the cluster); warm passes fold over
+        // the hinted worklist exactly as before.
         let mut cap_env = ResourceVec::zero();
         let mut avail_env = ResourceVec::zero();
-        for &m in machines.iter() {
-            cap_env = cap_env.max(&view.capacity(m));
-            avail_env = avail_env.max(&avail[m.index()].clamp_non_negative());
+        if cold {
+            cap_env = query.capacity_envelope();
+            avail_env = query.availability_envelope();
+        } else {
+            for &m in machines.iter() {
+                cap_env = cap_env.max(&view.capacity(m));
+                avail_env = avail_env.max(&avail.get(view, m).clamp_non_negative());
+            }
         }
         live.clear();
         live.extend((0..cands.len()).filter(|&ci| {
@@ -679,22 +856,48 @@ impl SchedulerPolicy for TetrisScheduler {
             min_cpu = min_cpu.min(d.get(Resource::Cpu));
             min_mem = min_mem.min(d.get(Resource::Mem));
         }
+        if cold {
+            // Cold worklist: the considered machines whose availability
+            // *upper bound* meets the cheapest-candidate floor, ascending
+            // by id — every machine this skips would have hit the floor
+            // break below on its first iteration with no side effects, so
+            // pruning is decision-neutral. Reserved machines are re-added
+            // (their branch runs before the floor break), keeping the
+            // worklist sorted so processing order matches the old full
+            // ascending scan.
+            query.floor_candidates_into(min_cpu, min_mem, machines);
+            for &(rm, _) in reservations.iter() {
+                if !view.is_down(rm) && !view.is_suspect(rm) {
+                    if let Err(pos) = machines.binary_search(&rm) {
+                        machines.insert(pos, rm);
+                    }
+                }
+            }
+        }
 
         // Capacity classes (clusters have very few distinct machine
         // specs): precompute each live candidate's normalized demand per
-        // class so the inner scan does no per-pair normalization.
+        // class so the inner scan does no per-pair normalization. Classes
+        // cover the *worklist* only — class identity is just a shared
+        // capacity vector, so worklist-local class numbering yields the
+        // same normalized demands as whole-cluster numbering did.
         classes.clear();
-        class_of.clear();
-        class_of.extend(view.machines().map(|m| {
+        if class_of.len() < n_machines {
+            // Grow-once: stale entries for machines outside this call's
+            // worklist are never read, and an O(cluster) clear here would
+            // defeat the sublinear cold pass.
+            class_of.resize(n_machines, 0);
+        }
+        for &m in machines.iter() {
             let cap = view.capacity(m);
-            match classes.iter().position(|c| *c == cap) {
+            class_of[m.index()] = match classes.iter().position(|c| *c == cap) {
                 Some(i) => i,
                 None => {
                     classes.push(cap);
                     classes.len() - 1
                 }
-            }
-        }));
+            };
+        }
         norms_arena.clear();
         for &ci in live.iter() {
             let c = &mut cands[ci];
@@ -714,6 +917,22 @@ impl SchedulerPolicy for TetrisScheduler {
             }));
         }
 
+        // Decision bookkeeping: how many machines this pass *considered*
+        // (the pre-index cold-pass scope), and how many the index pruned
+        // away before scoring. Cold passes report the full considered
+        // set so traces stay comparable with the pre-index scheduler.
+        let considered_machines = if cold {
+            query.considered_count() as u32
+        } else {
+            machines.len() as u32
+        };
+        let prov_index_considered = machines.len() as u32;
+        let prov_index_pruned = if cold {
+            query.considered_count().saturating_sub(machines.len()) as u32
+        } else {
+            0
+        };
+
         // Fill each machine greedily: pick the highest-scoring candidate
         // that fits, charge it, repeat until nothing fits (§3.2 "this
         // process is repeated recursively until the machine cannot
@@ -726,16 +945,16 @@ impl SchedulerPolicy for TetrisScheduler {
                     let plan = view.plan(starved, m);
                     let local = visible(cfg.consider_io_dims, &plan.local);
                     let feasible = local
-                        .fits_within(&visible(cfg.consider_io_dims, &avail[m.index()]))
+                        .fits_within(&visible(cfg.consider_io_dims, &avail.get(view, m)))
                         && (!cfg.consider_io_dims
                             || plan
                                 .remote
                                 .iter()
-                                .all(|(src, dem)| dem.fits_within(&avail[src.index()])));
+                                .all(|(src, dem)| dem.fits_within(&avail.get(view, *src))));
                     if feasible {
-                        avail[m.index()] -= plan.local;
+                        avail.sub(view, m, &plan.local);
                         for (src, dem) in &plan.remote {
-                            avail[src.index()] -= *dem;
+                            avail.sub(view, *src, dem);
                         }
                         // Reservation redemptions are placed by right, not
                         // by score — no DecisionScores to attach.
@@ -757,7 +976,7 @@ impl SchedulerPolicy for TetrisScheduler {
             let cls = class_of[m.index()];
             loop {
                 {
-                    let a = &avail[m.index()];
+                    let a = avail.get(view, m);
                     if live.is_empty()
                         || a.get(Resource::Cpu) < min_cpu
                         || a.get(Resource::Mem) < min_mem
@@ -765,7 +984,7 @@ impl SchedulerPolicy for TetrisScheduler {
                         break;
                     }
                 }
-                let machine_avail = visible(cfg.consider_io_dims, &avail[m.index()]);
+                let machine_avail = visible(cfg.consider_io_dims, &avail.get(view, m));
                 // Hoisted per machine-iteration: normalized availability.
                 let avail_norm = machine_avail.clamp_non_negative().normalized_by(&capacity);
                 // Select the best candidate by (promoted, score).
@@ -773,46 +992,100 @@ impl SchedulerPolicy for TetrisScheduler {
                 // (candidate, promoted, combined score, alignment term).
                 let mut best: Option<(usize, bool, f64, f64)> = None;
                 if capture {
+                    // Provenance capture needs every score, not just the
+                    // winner — keep the serial inline loop.
                     scored.clear();
-                }
-                for &ci in live.iter() {
-                    let c = &cands[ci];
-                    if !c.alive || (ban_check && banned.contains(ci, m.index())) {
-                        continue;
-                    }
-                    let (norm, norm_local) = &norms_arena[c.norms_start + cls];
-                    let local =
-                        !c.shuffle && c.preferred(preferred_arena).binary_search(&m).is_ok();
-                    let demand_norm = if local { norm_local } else { norm };
-                    // Feasibility in normalized space (capacity-relative);
-                    // the demand was clamped to the class capacity, so a
-                    // deliberate over-estimate (§4.1) cannot make the task
-                    // unplaceable everywhere.
-                    if !demand_norm.fits_within(&avail_norm) {
-                        continue;
-                    }
-                    let mut a = cfg.alignment.score_normalized(demand_norm, &avail_norm);
-                    let is_remote = c.shuffle || (c.pref.1 != 0 && !local);
-                    if is_remote {
-                        a *= 1.0 - cfg.remote_penalty;
-                    }
-                    let score = if c.promoted {
-                        // Promoted stragglers rank above everyone and are
-                        // ordered among themselves by alignment (§3.5).
-                        a
-                    } else {
-                        scorer.combined(a, c.p)
-                    };
-                    if capture {
+                    for &ci in live.iter() {
+                        let c = &cands[ci];
+                        if !c.alive || (ban_check && banned.contains(ci, m.index())) {
+                            continue;
+                        }
+                        let (norm, norm_local) = &norms_arena[c.norms_start + cls];
+                        let local =
+                            !c.shuffle && c.preferred(preferred_arena).binary_search(&m).is_ok();
+                        let demand_norm = if local { norm_local } else { norm };
+                        // Feasibility in normalized space (capacity-relative);
+                        // the demand was clamped to the class capacity, so a
+                        // deliberate over-estimate (§4.1) cannot make the task
+                        // unplaceable everywhere.
+                        if !demand_norm.fits_within(&avail_norm) {
+                            continue;
+                        }
+                        let mut a = cfg.alignment.score_normalized(demand_norm, &avail_norm);
+                        let is_remote = c.shuffle || (c.pref.1 != 0 && !local);
+                        if is_remote {
+                            a *= 1.0 - cfg.remote_penalty;
+                        }
+                        let score = if c.promoted {
+                            // Promoted stragglers rank above everyone and are
+                            // ordered among themselves by alignment (§3.5).
+                            a
+                        } else {
+                            scorer.combined(a, c.p)
+                        };
                         scored.push((ci, c.promoted, score, a));
+                        let better = match best {
+                            None => true,
+                            Some((_, bp, bs, _)) => (c.promoted, score) > (bp, bs),
+                        };
+                        if better {
+                            best = Some((ci, c.promoted, score, a));
+                        }
                     }
-                    let better = match best {
-                        None => true,
-                        Some((_, bp, bs, _)) => (c.promoted, score) > (bp, bs),
-                    };
-                    if better {
-                        best = Some((ci, c.promoted, score, a));
+                } else if cfg.shards > 1 && live.len() >= SHARD_MIN_CANDIDATES {
+                    // Shard the scan across the deterministic worker pool.
+                    // Each chunk returns its earliest-wins best under the
+                    // same strict `(promoted, score)` comparison as the
+                    // serial loop; merging chunk winners in submission
+                    // order with that comparison reproduces the serial
+                    // earliest-wins choice exactly (DESIGN.md §13).
+                    *shard_batches += 1;
+                    *shard_items += live.len() as u64;
+                    let chunk_len = live.len().div_ceil(cfg.shards);
+                    let chunks: Vec<&[usize]> = live.chunks(chunk_len).collect();
+                    let winners = tetris_sim::pool::pool_map(
+                        chunks,
+                        cfg.shards,
+                        |chunk, _| {
+                            scan_chunk(
+                                chunk,
+                                cands,
+                                norms_arena,
+                                preferred_arena,
+                                &avail_norm,
+                                banned,
+                                ban_check,
+                                m,
+                                cls,
+                                scorer,
+                                cfg,
+                            )
+                        },
+                        |_, _| {},
+                    );
+                    for w in winners.into_iter().flatten() {
+                        let better = match best {
+                            None => true,
+                            Some((_, bp, bs, _)) => (w.1, w.2) > (bp, bs),
+                        };
+                        if better {
+                            best = Some(w);
+                        }
                     }
+                } else {
+                    best = scan_chunk(
+                        live,
+                        cands,
+                        norms_arena,
+                        preferred_arena,
+                        &avail_norm,
+                        banned,
+                        ban_check,
+                        m,
+                        cls,
+                        scorer,
+                        cfg,
+                    );
                 }
                 let Some((ci, _, combined, alignment)) = best else {
                     break;
@@ -823,25 +1096,26 @@ impl SchedulerPolicy for TetrisScheduler {
                 let uid = cands[ci].head(view).expect("candidate head");
                 let plan = view.plan(uid, m);
                 let local = visible(cfg.consider_io_dims, &plan.local);
-                let feasible = local.fits_within(&visible(cfg.consider_io_dims, &avail[m.index()]))
+                let feasible = local
+                    .fits_within(&visible(cfg.consider_io_dims, &avail.get(view, m)))
                     && (!cfg.consider_io_dims
                         || plan
                             .remote
                             .iter()
-                            .all(|(src, dem)| dem.fits_within(&avail[src.index()])));
+                            .all(|(src, dem)| dem.fits_within(&avail.get(view, *src))));
                 if !feasible {
                     banned.insert(ci, m.index());
                     continue;
                 }
 
                 // Commit.
-                avail[m.index()] -= plan.local;
+                avail.sub(view, m, &plan.local);
                 for (src, dem) in &plan.remote {
-                    avail[src.index()] -= *dem;
+                    avail.sub(view, *src, dem);
                 }
                 let a_placed = cfg.alignment.score(
                     &local,
-                    &visible(cfg.consider_io_dims, &avail[m.index()]),
+                    &visible(cfg.consider_io_dims, &avail.get(view, m)),
                     &capacity,
                 );
                 scorer.observe_alignment(a_placed.max(0.0));
@@ -849,7 +1123,7 @@ impl SchedulerPolicy for TetrisScheduler {
                     alignment,
                     srtf: cands[ci].p,
                     combined,
-                    considered_machines: machines.len() as u32,
+                    considered_machines,
                 }));
                 if capture {
                     // Runner-up candidates on this machine, best first, so
@@ -880,6 +1154,8 @@ impl SchedulerPolicy for TetrisScheduler {
                             cache_flushed: prov_flushed,
                             dirty_jobs: prov_dirty,
                             candidates: scored.len() as u32,
+                            index_pruned: prov_index_pruned,
+                            index_considered: prov_index_considered,
                             rejected,
                         },
                     ));
@@ -907,7 +1183,7 @@ impl SchedulerPolicy for TetrisScheduler {
                 }
                 let demand = visible(cfg.consider_io_dims, &c.demand);
                 let mut best: Option<(MachineId, f64)> = None;
-                for m in view.machines() {
+                for m in query.iter_all() {
                     if reservations.iter().any(|&(rm, _)| rm == m) {
                         continue;
                     }
@@ -922,7 +1198,7 @@ impl SchedulerPolicy for TetrisScheduler {
                     }
                     // Shortfall: worst normalized gap between demand and
                     // current availability (0 ⇒ it already fits).
-                    let a = visible(cfg.consider_io_dims, &avail[m.index()]);
+                    let a = visible(cfg.consider_io_dims, &avail.get(view, m));
                     let gap = (demand - a)
                         .clamp_non_negative()
                         .normalized_by(&cap)

@@ -9,6 +9,7 @@ pub mod ingestion;
 pub mod knobs;
 pub mod load;
 pub mod motivating;
+pub mod scale;
 pub mod sensitivity;
 pub mod simulation;
 pub mod table8;
@@ -170,6 +171,13 @@ pub fn registry() -> Vec<Experiment> {
             run: table8::table8,
             cost: 20,
         },
+        Experiment {
+            id: "scale",
+            what:
+                "Extension — indexed MachineQuery: sublinear cold-pass placement at 100k machines",
+            run: scale::scale,
+            cost: 40,
+        },
     ]
 }
 
@@ -185,11 +193,11 @@ mod tests {
     #[test]
     fn registry_ids_unique_and_nonempty() {
         let reg = registry();
-        assert_eq!(reg.len(), 22);
+        assert_eq!(reg.len(), 23);
         let mut ids: Vec<_> = reg.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 22);
+        assert_eq!(ids.len(), 23);
     }
 
     #[test]

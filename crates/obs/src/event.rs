@@ -65,6 +65,15 @@ pub struct PlacementProvenance {
     pub dirty_jobs: u32,
     /// Candidates scored on the winning machine for this slot.
     pub candidates: u32,
+    /// Considered machines the free-capacity index pruned from this
+    /// pass's worklist before scoring (0 on warm passes or for policies
+    /// that never consult the index). `serde(default)` keeps pre-index
+    /// traces readable.
+    #[serde(default)]
+    pub index_pruned: u32,
+    /// Machines on this pass's worklist after index pruning.
+    #[serde(default)]
+    pub index_considered: u32,
     /// Top-k losing candidates, best first by the policy's own ordering.
     pub rejected: Vec<RejectedCandidate>,
 }
@@ -337,6 +346,8 @@ mod tests {
                 cache_flushed: false,
                 dirty_jobs: 2,
                 candidates: 7,
+                index_pruned: 3,
+                index_considered: 5,
                 rejected: vec![RejectedCandidate {
                     job: 2,
                     task: 9,

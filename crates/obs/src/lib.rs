@@ -103,6 +103,22 @@ pub mod names {
     pub const FAULT_CLEARED: &str = "fault_cleared";
     /// Blocks re-replicated off crashed machines (counter).
     pub const FAULT_EVACUATIONS: &str = "fault_evacuations";
+    /// Indexed machine queries served by the free-capacity index
+    /// (counter; absent when the index never answered a query).
+    pub const INDEX_QUERIES: &str = "machine_index_queries";
+    /// Considered machines pruned from candidate sets by the index
+    /// (counter).
+    pub const INDEX_PRUNED: &str = "machine_index_pruned";
+    /// Machines returned by indexed queries (counter).
+    pub const INDEX_RETURNED: &str = "machine_index_returned";
+    /// Availability evaluations performed by indexed envelope descents
+    /// (counter; linear envelopes would cost one per considered machine).
+    pub const INDEX_ENV_VISITS: &str = "machine_index_env_visits";
+    /// Sharded cold-pass scoring batches dispatched to the worker pool
+    /// (counter; absent unless a policy runs with `shards > 1`).
+    pub const SHARD_BATCHES: &str = "shard_batches";
+    /// Candidate×machine scoring items fanned out across shards (counter).
+    pub const SHARD_ITEMS: &str = "shard_items";
 }
 
 /// The observability context: one recorder plus one metrics registry,

@@ -160,6 +160,11 @@ pub struct SimConfig {
     /// slowdown windows, and tracker misbehavior. Disabled by default;
     /// a disabled plan perturbs nothing (byte-identical runs).
     pub faults: FaultPlan,
+    /// Maintain the machine-side free-capacity index so `MachineQuery`
+    /// serves cold-pass candidate selection sublinearly (DESIGN.md §13).
+    /// Disable to force the linear-scan oracle every indexed path is
+    /// pinned decision-identical against (`sim/tests/prop_index.rs`).
+    pub machine_index: bool,
 }
 
 impl Default for SimConfig {
@@ -183,6 +188,7 @@ impl Default for SimConfig {
             thrash_exponent: 1.35,
             thrash_floor: 0.25,
             faults: FaultPlan::default(),
+            machine_index: true,
         }
     }
 }

@@ -73,16 +73,6 @@ impl<'o> Simulation<'o> {
         self
     }
 
-    /// Set the scheduling policy from a box.
-    #[deprecated(
-        since = "0.1.0",
-        note = "`scheduler` now accepts boxes too; use `.scheduler(boxed)`"
-    )]
-    #[must_use]
-    pub fn scheduler_boxed(self, p: Box<dyn SchedulerPolicy>) -> Self {
-        self.scheduler(p)
-    }
-
     /// Replace the whole config.
     #[must_use]
     pub fn config(mut self, cfg: SimConfig) -> Self {
@@ -607,6 +597,27 @@ impl<'o> Simulation<'o> {
             timed_out = true;
         }
 
+        // Drain the free-capacity index's hit/prune counters into the
+        // registry (zero-gated: runs without indexed queries — or with
+        // the index disabled — add no names to the snapshot).
+        let idx_stats = state.index.take_stats();
+        if idx_stats.queries > 0 {
+            obs.metrics
+                .counter_add(names::INDEX_QUERIES, idx_stats.queries);
+        }
+        if idx_stats.pruned > 0 {
+            obs.metrics
+                .counter_add(names::INDEX_PRUNED, idx_stats.pruned);
+        }
+        if idx_stats.returned > 0 {
+            obs.metrics
+                .counter_add(names::INDEX_RETURNED, idx_stats.returned);
+        }
+        if idx_stats.env_visits > 0 {
+            obs.metrics
+                .counter_add(names::INDEX_ENV_VISITS, idx_stats.env_visits);
+        }
+
         obs.flush();
         let scheduler = policy.name().to_string();
         finalize(state, scheduler, samples, stats, timed_out)
@@ -791,11 +802,12 @@ impl SchedulerPolicy for GreedyFifo {
     }
 
     fn schedule(&mut self, view: &ClusterView<'_>) -> Vec<crate::view::Assignment> {
-        let mut avail: Vec<ResourceVec> = view.machines().map(|m| view.available(m)).collect();
+        let query = view.query();
+        let mut avail: Vec<ResourceVec> = query.iter_all().map(|m| view.available(m)).collect();
         let mut out = Vec::new();
         for j in view.active_jobs() {
             for t in view.job_pending(j) {
-                for m in view.machines() {
+                for m in query.iter_all() {
                     let plan = view.plan(t, m);
                     // Full feasibility: local demand at the host and
                     // disk/net-out demand at every remote input source.

@@ -51,7 +51,9 @@ mod config;
 mod engine;
 mod events;
 mod fault;
+mod index;
 mod outcome;
+pub mod pool;
 pub mod probe;
 mod state;
 mod telemetry;
@@ -64,11 +66,13 @@ pub use cluster::{ClusterConfig, MachineId};
 pub use config::{ExternalLoad, Interference, SimConfig};
 pub use engine::{GreedyFifo, Simulation};
 pub use fault::{ExpandedFaultPlan, FaultPlan};
+pub use index::IndexStatsSnapshot;
 pub use outcome::{EngineStats, JobRecord, MachineSample, Sample, SimOutcome, TaskRecord};
 pub use state::{PlacementPlan, TaskCompletion};
 pub use time::SimTime;
 pub use view::{
-    Assignment, ClusterView, MarkAllDirty, SchedulerEvent, SchedulerPolicy, StageProgress,
+    Assignment, ClusterView, MachineQuery, MarkAllDirty, SchedulerEvent, SchedulerPolicy,
+    StageProgress,
 };
 // Re-exported so policies can annotate assignments without naming the obs
 // crate themselves.

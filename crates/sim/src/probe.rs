@@ -381,6 +381,241 @@ impl IncrementalProbe {
     }
 }
 
+/// A saturated-cluster snapshot for benchmarking the *cold* scheduling
+/// pass — the one [`MachineQuery`](crate::view::MachineQuery)'s
+/// free-capacity index makes sublinear (DESIGN.md §13).
+///
+/// The scenario is the worst case for a linear cold pass and the best
+/// case for an indexed one: almost every machine is packed full (below
+/// the cheapest candidate's floor, so it can host nothing), a handful of
+/// spread-out machines are left empty, and a deep pending backlog forces
+/// the policy to consider placement everywhere. Two byte-identical
+/// `SimState`s are built — one with `machine_index` on, one off — so the
+/// same policy type can be timed against the indexed and the
+/// linear-oracle query backends on identical inputs, with the assignment
+/// streams asserted equal.
+///
+/// Saturation bypasses the scheduler entirely (a deterministic
+/// first-fit cursor over the machine list), so building a 100k-machine
+/// snapshot costs O(machines + placed tasks), not a full scheduling run.
+pub struct ColdPassProbe {
+    indexed: SimState,
+    linear: SimState,
+    free: Vec<MachineId>,
+}
+
+/// One timed cold pass over both query backends.
+#[derive(Debug, Clone, Copy)]
+pub struct ColdPassSample {
+    /// Nanoseconds for the pass against the indexed backend.
+    pub indexed_ns: u64,
+    /// Nanoseconds for the pass against the linear-oracle backend.
+    pub linear_ns: u64,
+    /// Assignments proposed (asserted identical across backends).
+    pub placements: usize,
+}
+
+impl ColdPassProbe {
+    /// Build the snapshot: `n_machines` uniform
+    /// [`paper_small`](tetris_resources::MachineSpec::paper_small)
+    /// machines, a synthetic single-stage workload sized so `pending`
+    /// tasks remain runnable after saturation, and four spread-out
+    /// machines (n/8, 3n/8, 5n/8, 7n/8) left empty for the pass to fill.
+    ///
+    /// Tracker idle-reclaim is disabled: under reclaim the index's
+    /// availability upper bound for a machine with no usage reports yet
+    /// is its full capacity, which would (correctly but uselessly)
+    /// defeat pruning in this synthetic no-tracker setup.
+    pub fn new(n_machines: usize, pending: usize) -> Self {
+        Self::with_tasks_per_job(n_machines, pending, Self::TASKS_PER_JOB)
+    }
+
+    /// [`ColdPassProbe::new`] with an explicit job granularity. Small
+    /// `tasks_per_job` values multiply the policy's candidate count
+    /// (one candidate per job with pending work), which is how callers
+    /// push a cold pass over a sharded scorer's minimum batch size.
+    pub fn with_tasks_per_job(n_machines: usize, pending: usize, tasks_per_job: usize) -> Self {
+        assert!(n_machines >= 8, "probe needs at least 8 machines");
+        assert!(tasks_per_job >= 1);
+        let workload = Self::workload(n_machines, pending, tasks_per_job);
+        let free = Self::free_machines(n_machines);
+        let build = |machine_index: bool| {
+            let mut cfg = SimConfig::default();
+            cfg.reclaim_idle = false;
+            cfg.machine_index = machine_index;
+            let mut state = SimState::new(
+                ClusterConfig::uniform(n_machines, tetris_resources::MachineSpec::paper_small()),
+                workload.clone(),
+                cfg,
+            );
+            let jobs: Vec<_> = state.workload.jobs.iter().map(|j| j.id).collect();
+            for j in jobs {
+                state.job_arrives(j);
+            }
+            Self::saturate(&mut state, &free);
+            state
+        };
+        ColdPassProbe {
+            indexed: build(true),
+            linear: build(false),
+            free,
+        }
+    }
+
+    /// The synthetic workload: identical CPU/memory-only tasks (no
+    /// inputs, no output, effectively infinite duration) split into jobs
+    /// of [`Self::TASKS_PER_JOB`] so candidate-building cost stays small
+    /// relative to the machine scan under test.
+    fn workload(n_machines: usize, pending: usize, tasks_per_job: usize) -> Workload {
+        use tetris_resources::units::GB;
+        use tetris_workload::gen::{TaskParams, WorkloadBuilder};
+        let total = n_machines * Self::SLOTS_PER_MACHINE + pending;
+        let jobs = total.div_ceil(tasks_per_job);
+        let mut b = WorkloadBuilder::new();
+        let mut left = total;
+        for ji in 0..jobs {
+            let j = b.begin_job(format!("cold-{ji}"), None, 0.0);
+            let n = left.min(tasks_per_job);
+            left -= n;
+            b.add_stage(j, "work", vec![], n, |_| TaskParams {
+                cores: 1.0,
+                mem: 4.0 * GB,
+                duration: 1e7,
+                cpu_frac: 1.0,
+                io_burst: 1.0,
+                inputs: vec![],
+                output_bytes: 0.0,
+                remote_frac: 0.0,
+            });
+        }
+        b.finish()
+    }
+
+    const SLOTS_PER_MACHINE: usize = 4; // paper_small: 16 GB / 4 GB tasks
+    const TASKS_PER_JOB: usize = 5_000;
+
+    fn free_machines(n: usize) -> Vec<MachineId> {
+        let mut free: Vec<MachineId> = [n / 8, 3 * n / 8, 5 * n / 8, 7 * n / 8]
+            .into_iter()
+            .map(MachineId)
+            .collect();
+        free.dedup();
+        free
+    }
+
+    /// First-fit cursor: pack pending tasks onto machines in id order,
+    /// skipping the kept-free set, until the cursor runs off the end.
+    /// `assignment_valid` does not check capacity (the engine trusts the
+    /// policy for that), so the cursor keeps its own availability ledger
+    /// and advances when the next task no longer fits. Identical task
+    /// demands make the cursor monotone, so this is one linear sweep
+    /// regardless of backlog depth.
+    fn saturate(state: &mut SimState, free: &[MachineId]) {
+        let uids: Vec<_> = state
+            .jobs
+            .iter()
+            .flat_map(|j| j.stages.iter())
+            .flat_map(|s| s.pending.iter().copied())
+            .collect();
+        let mut dirty = DirtySet::default();
+        let mut queue = EventQueue::new();
+        let mut mi = 0usize;
+        let mut avail = state.machines.first().map(|m| m.capacity);
+        for uid in uids {
+            loop {
+                if mi >= state.machines.len() {
+                    break;
+                }
+                let m = MachineId(mi);
+                let fits =
+                    avail.is_some_and(|a| state.placement_plan(uid, m).local.fits_within(&a));
+                if !free.contains(&m) && fits && state.assignment_valid(uid, m) {
+                    break;
+                }
+                mi += 1;
+                avail = state.machines.get(mi).map(|m| m.capacity);
+            }
+            if mi >= state.machines.len() {
+                break;
+            }
+            let m = MachineId(mi);
+            let local = state.placement_plan(uid, m).local;
+            state.apply_assignment(uid, m, &mut dirty, &mut queue);
+            if let Some(a) = avail.as_mut() {
+                *a -= local;
+            }
+        }
+        state.recompute_dirty(&mut dirty, &mut queue);
+        state.freed_hint.clear();
+    }
+
+    /// Drain the indexed backend's query counters (queries served,
+    /// machines pruned/returned, envelope visits) accumulated by
+    /// [`measure`](ColdPassProbe::measure) calls so far.
+    pub fn take_index_stats(&self) -> crate::index::IndexStatsSnapshot {
+        self.indexed.index.take_stats()
+    }
+
+    /// Machines deliberately left empty.
+    pub fn free(&self) -> &[MachineId] {
+        &self.free
+    }
+
+    /// Pending runnable tasks in the snapshot (identical across
+    /// backends).
+    pub fn pending(&self) -> usize {
+        self.indexed
+            .jobs
+            .iter()
+            .flat_map(|j| j.stages.iter())
+            .map(|s| s.pending.len())
+            .sum()
+    }
+
+    /// Run one cold `schedule()` against the indexed snapshot only and
+    /// return the placement count. Single-backend entry point for
+    /// Criterion, which wants the two sides as separate measurements;
+    /// cross-backend equivalence is [`measure`](ColdPassProbe::measure)'s
+    /// job. Same freshness contract: pass an unsynced policy.
+    pub fn cold_schedule_indexed(&self, policy: &mut dyn SchedulerPolicy) -> usize {
+        let view = ClusterView::new(&self.indexed, policy.uses_tracker());
+        policy.schedule(&view).len()
+    }
+
+    /// [`cold_schedule_indexed`](ColdPassProbe::cold_schedule_indexed)
+    /// against the linear-scan snapshot.
+    pub fn cold_schedule_linear(&self, policy: &mut dyn SchedulerPolicy) -> usize {
+        let view = ClusterView::new(&self.linear, policy.uses_tracker());
+        policy.schedule(&view).len()
+    }
+
+    /// Time one cold `schedule()` call per backend on the identical
+    /// snapshot and assert the assignment streams match. Pass *fresh,
+    /// unsynced* policies each call — an unsynced policy sees no freed
+    /// hint and takes the cold path, and adaptive internal state (score
+    /// normalization, caches) never leaks between reps.
+    pub fn measure(
+        &self,
+        indexed: &mut dyn SchedulerPolicy,
+        linear: &mut dyn SchedulerPolicy,
+    ) -> ColdPassSample {
+        let view_idx = ClusterView::new(&self.indexed, indexed.uses_tracker());
+        let t0 = Instant::now();
+        let a_idx = indexed.schedule(&view_idx);
+        let indexed_ns = t0.elapsed().as_nanos() as u64;
+        let view_lin = ClusterView::new(&self.linear, linear.uses_tracker());
+        let t1 = Instant::now();
+        let a_lin = linear.schedule(&view_lin);
+        let linear_ns = t1.elapsed().as_nanos() as u64;
+        assert_assignments_eq(&a_idx, &a_lin);
+        ColdPassSample {
+            indexed_ns,
+            linear_ns,
+            placements: a_idx.len(),
+        }
+    }
+}
+
 #[track_caller]
 fn assert_assignments_eq(a: &[Assignment], b: &[Assignment]) {
     assert_eq!(
@@ -466,6 +701,22 @@ mod tests {
         }
         assert!(drained_total > 0, "drains must kill resident tasks");
         assert!(replaced_total > 0, "freed machines must be refilled");
+    }
+
+    #[test]
+    fn cold_pass_probe_saturates_and_backends_agree() {
+        let probe = ColdPassProbe::new(16, 40);
+        // Four machines kept free, the rest packed to their 4-task
+        // brim: 16 machines × 4 slots − 4 free × 4 = 48 placed.
+        assert_eq!(probe.free().len(), 4);
+        assert_eq!(probe.pending(), 40 + 4 * probe.free().len());
+        // GreedyFifo reads the view identically through either backend;
+        // the probe must report both streams equal and nonempty.
+        let mut idx = GreedyFifo::new();
+        let mut lin = GreedyFifo::new();
+        let s = probe.measure(&mut idx, &mut lin);
+        assert!(s.placements > 0, "free machines must accept work");
+        assert!(s.indexed_ns > 0 && s.linear_ns > 0);
     }
 
     #[test]

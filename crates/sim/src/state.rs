@@ -35,6 +35,7 @@ use crate::cluster::{ClusterConfig, MachineId};
 use crate::config::{ExternalLoad, SimConfig};
 use crate::events::{EventKind, EventQueue, FlowId};
 use crate::fault::TrackerMode;
+use crate::index::MachineIndex;
 use crate::time::SimTime;
 use crate::tracker;
 
@@ -448,6 +449,9 @@ pub(crate) struct SimState {
     pub external_cancelled: Vec<bool>,
     /// Tasks permanently failed after exhausting `max_task_attempts`.
     pub tasks_abandoned: u64,
+    /// Free-capacity index serving `MachineQuery` (DESIGN.md §13).
+    /// Disabled (empty) when `cfg.machine_index` is off.
+    pub index: MachineIndex,
 }
 
 impl SimState {
@@ -521,7 +525,17 @@ impl SimState {
         let total_capacity = cluster.total_capacity();
         let jobs_remaining = workload.jobs.len();
         let n_external = cfg.external_loads.len();
-        SimState {
+        let index = if cfg.machine_index {
+            let caps: Vec<ResourceVec> = (0..n_machines)
+                .map(|i| cluster.capacity(MachineId(i)))
+                .collect();
+            let mut idx = MachineIndex::new(&caps);
+            idx.seed();
+            idx
+        } else {
+            MachineIndex::disabled()
+        };
+        let mut state = SimState {
             cluster,
             workload,
             cfg,
@@ -543,6 +557,54 @@ impl SimState {
             external_cancelled: vec![false; n_external],
             dynamic_loads: Vec::new(),
             tasks_abandoned: 0,
+            index,
+        };
+        state.index_rebuild();
+        state
+    }
+
+    /// The index's availability upper bound for one machine: a vector
+    /// dominating `availability(m, _)` for every tracker mode and time
+    /// (see `index.rs` module docs for the per-mode argument).
+    fn index_ub(&self, mi: usize) -> ResourceVec {
+        let ms = &self.machines[mi];
+        if ms.down {
+            return ResourceVec::zero();
+        }
+        let ledger = ms.capacity - ms.allocated;
+        if !self.cfg.reclaim_idle {
+            return ledger;
+        }
+        // Reclaim mode: usage-derived availability can exceed the ledger
+        // (idle reclamation), so bound with the reported usage floor, its
+        // memory component pinned to the allocation ledger exactly as
+        // `availability` pins it.
+        let usage_adj = ms
+            .usage_reported
+            .with(Resource::Mem, ms.allocated.get(Resource::Mem));
+        ledger.max(&(ms.capacity - usage_adj))
+    }
+
+    /// Refresh one machine's index entry after a ledger / liveness /
+    /// suspicion change. No-op when the index is disabled.
+    pub fn index_touch(&mut self, mi: usize) {
+        if !self.index.enabled {
+            return;
+        }
+        let ub = self.index_ub(mi);
+        let ms = &self.machines[mi];
+        let considered = !ms.down && ms.suspicion < crate::tracker::SUSPECT_THRESHOLD;
+        self.index.refresh(mi, ub, considered);
+    }
+
+    /// Refresh every machine's index entry (crash fallout, bulk tracker
+    /// refresh under reclaim). No-op when the index is disabled.
+    pub fn index_rebuild(&mut self) {
+        if !self.index.enabled {
+            return;
+        }
+        for mi in 0..self.machines.len() {
+            self.index_touch(mi);
         }
     }
 
@@ -824,6 +886,10 @@ impl SimState {
             ms.allocated += dem;
             ms.recent.push((now, dem));
         }
+        self.index_touch(machine.index());
+        for &(m, _) in &plan.remote {
+            self.index_touch(m.index());
+        }
 
         // Job/stage bookkeeping.
         let job = &mut self.jobs[ji];
@@ -1069,6 +1135,10 @@ impl SimState {
                 (self.machines[m.index()].allocated - dem).clamp_non_negative();
             self.freed_hint.push(m);
         }
+        self.index_touch(host.index());
+        for &(m, _) in &info.remote_alloc {
+            self.index_touch(m.index());
+        }
         let job = &mut self.jobs[ji];
         job.allocated = (job.allocated - info.local_alloc).clamp_non_negative();
         job.running -= 1;
@@ -1205,8 +1275,15 @@ impl SimState {
                 ms.usage_reported = usage;
                 ms.recent.retain(|(t, _)| now.secs_since(*t) < horizon);
             }
+            if self.cfg.reclaim_idle {
+                // Reported usage moved on every machine and feeds the
+                // reclaim-mode availability bound; the report is already
+                // O(machines), so the index refresh rides along free.
+                self.index_rebuild();
+            }
             return;
         }
+        let transitions_at_entry = transitions.len();
         for mi in 0..self.machines.len() {
             let was_suspect = self.machines[mi].suspicion >= tracker::SUSPECT_THRESHOLD;
             if self.machines[mi].down {
@@ -1261,6 +1338,17 @@ impl SimState {
             let is_suspect = self.machines[mi].suspicion >= tracker::SUSPECT_THRESHOLD;
             if is_suspect != was_suspect {
                 transitions.push((MachineId(mi), is_suspect));
+            }
+        }
+        if self.cfg.reclaim_idle {
+            // Reported usage feeds the reclaim-mode bound on every machine.
+            self.index_rebuild();
+        } else {
+            // Ledger-mode bound ignores reported usage: only suspicion
+            // flips change the considered set.
+            for i in transitions_at_entry..transitions.len() {
+                let m = transitions[i].0;
+                self.index_touch(m.index());
             }
         }
     }
@@ -1389,6 +1477,10 @@ impl SimState {
                 (self.machines[m.index()].allocated - dem).clamp_non_negative();
             self.freed_hint.push(m);
         }
+        self.index_touch(host.index());
+        for &(m, _) in &info.remote_alloc {
+            self.index_touch(m.index());
+        }
         let job = &mut self.jobs[ji];
         job.allocated = (job.allocated - info.local_alloc).clamp_non_negative();
         job.running -= 1;
@@ -1496,6 +1588,10 @@ impl SimState {
         }
 
         report.evacuations = self.evacuate_blocks(machine, queue);
+        // Crash fallout touches many machines (victim kills released
+        // remote ledgers, the dead machine's flags flipped); a crash is
+        // already O(cluster) work, so refresh the whole index.
+        self.index_rebuild();
         report
     }
 
@@ -1585,6 +1681,7 @@ impl SimState {
         ms.external_reported = ResourceVec::zero();
         ms.stale_streak = 0;
         self.freed_hint.push(machine);
+        self.index_touch(machine.index());
     }
 
     /// Enter/leave a straggler window: `factor < 1` scales the machine's

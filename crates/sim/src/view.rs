@@ -325,9 +325,15 @@ impl<'a> ClusterView<'a> {
         self.state.machines.len()
     }
 
-    /// All machine ids.
-    pub fn machines(&self) -> impl Iterator<Item = MachineId> {
-        (0..self.state.machines.len()).map(MachineId)
+    /// Machine-selection interface (indexed when the simulation maintains
+    /// the free-capacity index, linear-scan oracle otherwise). This is the
+    /// only way a policy may enumerate machines — flat iteration lives on
+    /// [`MachineQuery::iter_all`].
+    pub fn query(&self) -> MachineQuery<'a> {
+        MachineQuery {
+            state: self.state,
+            tracker_aware: self.tracker_aware,
+        }
     }
 
     /// Capacity of a machine (zero while it is crashed: a down machine
@@ -626,5 +632,148 @@ impl<'a> ClusterView<'a> {
             .flat_map(|j| j.stages.iter())
             .map(|s| s.pending.len())
             .sum()
+    }
+}
+
+/// Machine-selection interface over one scheduling view: the single
+/// source of machine-enumeration truth for every policy (DESIGN.md §13).
+///
+/// Two interchangeable backends serve it. When the simulation maintains
+/// the free-capacity index (`SimConfig::machine_index`, the default),
+/// threshold queries are answered from per-resource bucket suffixes in
+/// time proportional to the machines that can match, not cluster size;
+/// with the index disabled every method falls back to a linear scan —
+/// the oracle `sim/tests/prop_index.rs` pins the indexed backend
+/// decision-identical against. Results never differ between backends:
+/// the index only ever *prunes* machines whose availability upper bound
+/// already rules them out, and exact predicates re-filter the survivors.
+///
+/// A machine is *considered* when it is neither down nor suspect —
+/// the standing candidate filter shared by every shipping policy.
+pub struct MachineQuery<'a> {
+    state: &'a SimState,
+    tracker_aware: bool,
+}
+
+impl<'a> MachineQuery<'a> {
+    /// True when queries are served by the free-capacity index.
+    pub fn indexed(&self) -> bool {
+        self.state.index.enabled
+    }
+
+    /// All machine ids in id order, down and suspect included — the flat
+    /// iteration that used to live on `ClusterView::machines()`. Prefer
+    /// the filtered queries; this exists for whole-cluster passes
+    /// (starvation sweeps, slot inventories).
+    pub fn iter_all(&self) -> impl Iterator<Item = MachineId> {
+        (0..self.state.machines.len()).map(MachineId)
+    }
+
+    fn is_considered(&self, mi: usize) -> bool {
+        let ms = &self.state.machines[mi];
+        !ms.down && ms.suspicion < crate::tracker::SUSPECT_THRESHOLD
+    }
+
+    /// Number of machines that are neither down nor suspect.
+    pub fn considered_count(&self) -> usize {
+        if self.state.index.enabled {
+            self.state.index.considered_count()
+        } else {
+            (0..self.state.machines.len())
+                .filter(|&mi| self.is_considered(mi))
+                .count()
+        }
+    }
+
+    /// Component-wise maximum capacity over considered machines (the
+    /// demand-clamping envelope of the scheduler prefilter).
+    pub fn capacity_envelope(&self) -> ResourceVec {
+        if self.state.index.enabled {
+            self.state.index.capacity_envelope()
+        } else {
+            let mut env = ResourceVec::zero();
+            for mi in 0..self.state.machines.len() {
+                if self.is_considered(mi) {
+                    env = env.max(&self.state.machines[mi].capacity);
+                }
+            }
+            env
+        }
+    }
+
+    /// Component-wise maximum of non-negative-clamped availability over
+    /// considered machines — exact on both backends (the indexed descent
+    /// stops early but never below the true maximum).
+    pub fn availability_envelope(&self) -> ResourceVec {
+        if self.state.index.enabled {
+            self.state.index.availability_envelope(|mi| {
+                self.state.availability(MachineId(mi), self.tracker_aware)
+            })
+        } else {
+            let mut env = ResourceVec::zero();
+            for mi in 0..self.state.machines.len() {
+                if self.is_considered(mi) {
+                    let a = self.state.availability(MachineId(mi), self.tracker_aware);
+                    env = env.max(&a.clamp_non_negative());
+                }
+            }
+            env
+        }
+    }
+
+    /// Fill `out` with the considered machines whose availability *upper
+    /// bound* meets the given CPU and memory floors, ascending by id — a
+    /// superset of the machines whose true availability meets them, so a
+    /// caller that re-checks exact availability (the cold greedy loop
+    /// does, via its floor break) loses nothing to the pruning. The
+    /// linear backend returns every considered machine: the floors are a
+    /// pruning opportunity, not a correctness filter.
+    pub fn floor_candidates_into(&self, min_cpu: f64, min_mem: f64, out: &mut Vec<MachineId>) {
+        out.clear();
+        if self.state.index.enabled {
+            let mut raw = Vec::new();
+            self.state
+                .index
+                .floor_candidates_into(min_cpu, min_mem, &mut raw);
+            out.extend(raw.into_iter().map(|mi| MachineId(mi as usize)));
+        } else {
+            out.extend(
+                (0..self.state.machines.len())
+                    .filter(|&mi| self.is_considered(mi))
+                    .map(MachineId),
+            );
+        }
+    }
+
+    /// Considered machines the demand vector fits on right now (exact
+    /// availability check, raw — not clamped), ascending by id.
+    /// Identical on both backends.
+    pub fn fits(&self, demand: &ResourceVec) -> Vec<MachineId> {
+        let mut out = Vec::new();
+        if self.state.index.enabled {
+            let mut raw = Vec::new();
+            self.state.index.fits_superset_into(demand, &mut raw);
+            out.extend(
+                raw.into_iter()
+                    .map(|mi| MachineId(mi as usize))
+                    .filter(|&m| {
+                        demand.fits_within(&self.state.availability(m, self.tracker_aware))
+                    }),
+            );
+        } else {
+            out.extend((0..self.state.machines.len()).map(MachineId).filter(|&m| {
+                self.is_considered(m.index())
+                    && demand.fits_within(&self.state.availability(m, self.tracker_aware))
+            }));
+        }
+        out
+    }
+
+    /// At most `k` considered machines the demand fits on, lowest ids
+    /// first (the prefix of [`MachineQuery::fits`]).
+    pub fn candidates_for(&self, demand: &ResourceVec, k: usize) -> Vec<MachineId> {
+        let mut out = self.fits(demand);
+        out.truncate(k);
+        out
     }
 }

@@ -496,22 +496,22 @@ fn flow_throughput_matches_token_bucket_enforcement() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn scheduler_boxed_shim_matches_scheduler_entry() {
-    // The deprecated `scheduler_boxed` builder entry must keep old call
-    // sites compiling and behave exactly like `.scheduler(...)`.
+fn scheduler_accepts_boxed_policies() {
+    // `.scheduler(...)` takes `impl Into<Box<dyn SchedulerPolicy>>`, so
+    // already-boxed policies (the old `scheduler_boxed` callers) pass
+    // straight through and behave identically to unboxed ones.
     let w = WorkloadSuiteConfig::small().generate(9);
     let via_scheduler = Simulation::build(small_cluster(3), w.clone())
         .scheduler(GreedyFifo::new())
         .seed(9)
         .run();
-    let via_shim = Simulation::build(small_cluster(3), w)
-        .scheduler_boxed(Box::new(GreedyFifo::new()))
+    let via_boxed = Simulation::build(small_cluster(3), w)
+        .scheduler(Box::new(GreedyFifo::new()) as Box<dyn tetris_sim::SchedulerPolicy>)
         .seed(9)
         .run();
     assert_eq!(
         serde_json::to_string(&via_scheduler).unwrap(),
-        serde_json::to_string(&via_shim).unwrap(),
-        "shim and primary entry point diverged"
+        serde_json::to_string(&via_boxed).unwrap(),
+        "boxed and unboxed entry points diverged"
     );
 }

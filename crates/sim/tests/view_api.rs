@@ -42,12 +42,13 @@ impl SchedulerPolicy for Capture {
             });
         }
         // Place everything greedily so the run completes.
-        let mut avail: Vec<_> = view.machines().map(|m| view.available(m)).collect();
+        let query = view.query();
+        let mut avail: Vec<_> = query.iter_all().map(|m| view.available(m)).collect();
         let mut out = Vec::new();
         for j in view.active_jobs() {
             for (_, slice) in view.job_pending_stages(j) {
                 for &t in slice {
-                    for m in view.machines() {
+                    for m in query.iter_all() {
                         let plan = view.plan(t, m);
                         if plan.local.fits_within(&avail[m.index()]) {
                             avail[m.index()] -= plan.local;

@@ -35,12 +35,13 @@ impl SchedulerPolicy for WidestFirst {
             .collect();
         tasks.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
 
-        let mut avail: Vec<ResourceVec> = view.machines().map(|m| view.available(m)).collect();
+        let query = view.query();
+        let mut avail: Vec<ResourceVec> = query.iter_all().map(|m| view.available(m)).collect();
         let mut out = Vec::new();
         for (_, t) in tasks {
             // Emptiest machine (most free normalized resources) that fits.
             let mut best: Option<(f64, MachineId)> = None;
-            for m in view.machines() {
+            for m in query.iter_all() {
                 let plan = view.plan(t, m);
                 let fits = plan.local.fits_within(&avail[m.index()])
                     && plan

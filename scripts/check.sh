@@ -79,4 +79,28 @@ echo "$table8_out" | awk '
   END { exit (rows == 4 && !bad) ? 0 : 1 }
 ' || { echo "table8 smoke failed: expected 4 sweep rows with events > 0"; echo "$table8_out"; exit 1; }
 
+echo "== scale smoke (indexed MachineQuery vs linear oracle) =="
+# The ColdPassProbe inside the experiment asserts byte-identical
+# assignment streams between the indexed and linear backends every rep,
+# so a clean exit *is* the equivalence gate; additionally pin that the
+# sharded-scorer smoke actually dispatched work.
+scale_out="$(target/release/reproduce scale --scale 0.02)"
+echo "$scale_out" | grep -q "shard batches" \
+  || { echo "scale smoke missing sharded-scorer section"; echo "$scale_out"; exit 1; }
+batches="$(echo "$scale_out" | grep -oE 'shard batches [0-9]+' | awk '{print $3}')"
+[ "${batches:-0}" -gt 0 ] \
+  || { echo "scale smoke: sharded scorer dispatched no batches"; echo "$scale_out"; exit 1; }
+
+echo "== index equivalence properties (MachineQuery vs linear oracle) =="
+cargo test -q -p tetris-sim --test prop_index
+
+echo "== grep gate: policies go through MachineQuery, not raw machine scans =="
+# view.machines() was removed with the MachineQuery redesign; policy code
+# must not resurrect it or hand-roll id-range iteration over machines.
+# (num_machines() alone stays legal for buffer sizing.)
+if grep -rnE '\.machines\(\)|\(0\.\.(view|v)\.num_machines\(\)\)' \
+    crates/core/src crates/baselines/src examples; then
+  echo "policy code iterates machines outside MachineQuery"; exit 1
+fi
+
 echo "all checks passed"
