@@ -1,0 +1,68 @@
+//! Omega-style sharded heartbeat cost vs shard count (DESIGN.md §14,
+//! companion to the `omega` experiment).
+//!
+//! Times one full sharded heartbeat — parallel per-partition
+//! `schedule()` passes over a shared read-only snapshot, serialized
+//! commit-time conflict resolution, bounded intra-heartbeat retries —
+//! on the saturated 10 k-machine cold-pass scenario with its backlog
+//! split into 2-task jobs so the job partitioner has a wide candidate
+//! set to spread. Each iteration uses a *fresh* `ShardedScheduler`
+//! (unsynced ⇒ every pass genuinely cold; no adaptive state leaks
+//! between iterations), with construction kept outside the timed window
+//! via `iter_custom`. `shards = 1` is the transparent-delegate baseline
+//! the speedup is read against.
+//!
+//! The accumulated quantity is the heartbeat's fan-out **critical path**
+//! (`ShardedScheduler::last_heartbeat_critical_ns`): serial partition
+//! bucketing, plus per round the slowest shard pass and the serialized
+//! commit stage. That is the heartbeat wall-clock of a one-core-per-shard
+//! deployment, and because per-pass timings are taken inside each pass it
+//! stays meaningful even when the host has fewer cores than shards.
+//!
+//! [`ColdPassProbe`]: tetris_sim::probe::ColdPassProbe
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tetris_core::{TetrisConfig, TetrisScheduler};
+use tetris_sim::probe::ColdPassProbe;
+use tetris_sim::ShardedScheduler;
+
+/// Cluster size: the acceptance scenario's 10 k machines.
+const MACHINES: usize = 10_000;
+/// Pending backlog per machine, matching the `omega` experiment.
+const PENDING_PER_MACHINE: usize = 10;
+/// Tasks per job: small, so the backlog becomes many partitionable jobs.
+const TASKS_PER_JOB: usize = 2;
+/// Seed for the deterministic job→shard hash.
+const SEED: u64 = 42;
+
+fn time_sharded(probe: &ColdPassProbe, shards: usize, iters: u64) -> Duration {
+    let mut total = Duration::ZERO;
+    for _ in 0..iters {
+        let mut policy = ShardedScheduler::new(shards, SEED, |_| {
+            Box::new(TetrisScheduler::new(TetrisConfig::default()))
+        });
+        let placed = probe.cold_schedule_indexed(&mut policy);
+        total += Duration::from_nanos(policy.last_heartbeat_critical_ns());
+        black_box(placed);
+    }
+    total
+}
+
+fn bench_omega_heartbeat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("omega_heartbeat");
+    group.sample_size(10);
+
+    let probe =
+        ColdPassProbe::with_tasks_per_job(MACHINES, MACHINES * PENDING_PER_MACHINE, TASKS_PER_JOB);
+    for &shards in &[1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, &shards| {
+            b.iter_custom(|iters| time_sharded(&probe, shards, iters))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_omega_heartbeat);
+criterion_main!(benches);

@@ -60,7 +60,13 @@ pub struct TetrisConfig {
     /// across the deterministic worker pool *within* a heartbeat. The
     /// merge is earliest-candidate-wins in submission order, so shard
     /// count never changes decisions — only wall-clock.
-    pub shards: usize,
+    ///
+    /// Renamed from `shards` (deprecated) when the Omega-style
+    /// scheduler-level shard knob arrived: that one partitions *jobs*
+    /// across whole scheduler instances (`tetris_sim::ShardedScheduler`,
+    /// DESIGN.md §14) and *can* change decisions; this one only fans out
+    /// the scoring scan inside a single Tetris pass.
+    pub score_shards: usize,
 }
 
 /// Parameters of starvation-prevention reservations (§3.5).
@@ -93,7 +99,7 @@ impl Default for TetrisConfig {
             consider_io_dims: true,
             estimation: EstimationMode::Exact,
             starvation: None,
-            shards: 1,
+            score_shards: 1,
         }
     }
 }
@@ -129,8 +135,8 @@ impl TetrisConfig {
                 return Err("invalid starvation config".into());
             }
         }
-        if self.shards == 0 {
-            return Err("shards must be ≥ 1".into());
+        if self.score_shards == 0 {
+            return Err("score_shards must be ≥ 1".into());
         }
         Ok(())
     }
@@ -275,6 +281,12 @@ struct IncState {
     freed: Vec<MachineId>,
     /// Per-job caches, indexed by job id (grown on demand).
     cache: Vec<JobCache>,
+    /// Reusable rebuild slot for cache-off calls (unsynced policy or
+    /// `Learned` estimation): entries could never be revalidated, so
+    /// growing `cache` to the highest job id only to rebuild into slots
+    /// marked invalid would be pure allocation overhead — a real cost
+    /// when a sharded driver runs many short-lived cold passes.
+    cold: JobCache,
 }
 
 /// Above this many cells the grid switches to a sparse pair list: at
@@ -419,7 +431,8 @@ pub struct TetrisScheduler {
     /// anything still here (e.g. for an assignment the engine rejected)
     /// was never going to be collected.
     prov: Vec<(TaskUid, PlacementProvenance)>,
-    /// Scoring scans fanned out across the worker pool (shards > 1 only).
+    /// Scoring scans fanned out across the worker pool (score_shards > 1
+    /// only).
     shard_batches: u64,
     /// Candidate entries dispatched across those fan-outs.
     shard_items: u64,
@@ -442,8 +455,8 @@ impl TetrisScheduler {
         if !cfg.consider_io_dims {
             name.push_str("[cpu-mem-only]");
         }
-        if cfg.shards > 1 {
-            name.push_str(&format!("[shards={}]", cfg.shards));
+        if cfg.score_shards > 1 {
+            name.push_str(&format!("[score_shards={}]", cfg.score_shards));
         }
         TetrisScheduler {
             scorer: CombinedScorer::new(cfg.srtf_multiplier),
@@ -462,7 +475,7 @@ impl TetrisScheduler {
 
     /// Drain the shard-utilization counters: scoring scans dispatched to
     /// the worker pool and candidate entries fanned out across them.
-    /// Always `(0, 0)` with `shards = 1`.
+    /// Always `(0, 0)` with `score_shards = 1`.
     pub fn take_shard_stats(&mut self) -> (u64, u64) {
         (
             std::mem::take(&mut self.shard_batches),
@@ -721,10 +734,18 @@ impl SchedulerPolicy for TetrisScheduler {
         let mut cache_rebuilds = 0u32;
         for &(j, _) in shares.iter() {
             let ji = j.index();
-            if inc.cache.len() <= ji {
-                inc.cache.resize_with(ji + 1, JobCache::default);
-            }
-            let cached = &mut inc.cache[ji];
+            let cached = if use_cache {
+                if inc.cache.len() <= ji {
+                    inc.cache.resize_with(ji + 1, JobCache::default);
+                }
+                &mut inc.cache[ji]
+            } else {
+                // Rebuild into the shared scratch slot: with caching off
+                // the entry is consumed immediately below and never
+                // revalidated, so a table slot would buy nothing.
+                inc.cold.valid = false;
+                &mut inc.cold
+            };
             if !cached.valid {
                 cache_rebuilds += 1;
                 let family = view.job_family(j);
@@ -1032,7 +1053,7 @@ impl SchedulerPolicy for TetrisScheduler {
                             best = Some((ci, c.promoted, score, a));
                         }
                     }
-                } else if cfg.shards > 1 && live.len() >= SHARD_MIN_CANDIDATES {
+                } else if cfg.score_shards > 1 && live.len() >= SHARD_MIN_CANDIDATES {
                     // Shard the scan across the deterministic worker pool.
                     // Each chunk returns its earliest-wins best under the
                     // same strict `(promoted, score)` comparison as the
@@ -1041,11 +1062,11 @@ impl SchedulerPolicy for TetrisScheduler {
                     // earliest-wins choice exactly (DESIGN.md §13).
                     *shard_batches += 1;
                     *shard_items += live.len() as u64;
-                    let chunk_len = live.len().div_ceil(cfg.shards);
+                    let chunk_len = live.len().div_ceil(cfg.score_shards);
                     let chunks: Vec<&[usize]> = live.chunks(chunk_len).collect();
                     let winners = tetris_sim::pool::pool_map(
                         chunks,
-                        cfg.shards,
+                        cfg.score_shards,
                         |chunk, _| {
                             scan_chunk(
                                 chunk,

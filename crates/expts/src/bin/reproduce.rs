@@ -49,6 +49,7 @@ fn main() {
             verbose,
             timeseries,
             crash_frac,
+            shards,
         } => {
             let ctx = tetris_expts::RunCtx::new(p.scale, p.seed).scaled(p.scale_factor);
             let opts = instrument::InstrumentOpts {
@@ -57,6 +58,7 @@ fn main() {
                 verbose,
                 timeseries,
                 crash_frac,
+                shards,
             };
             match instrument::instrumented_run(&ctx, &opts) {
                 Ok(report) => println!("{report}"),

@@ -49,6 +49,11 @@ pub enum Cmd {
         /// crash/recover cycles (churn-style fault injection), so the
         /// telemetry curves can be read against cluster churn.
         crash_frac: f64,
+        /// `--shards N`: run the reference configuration under the
+        /// Omega-style sharded multi-scheduler (`N` optimistic scheduler
+        /// instances over shared state, DESIGN.md §14). 1 = the plain
+        /// single-scheduler path.
+        shards: usize,
     },
 }
 
@@ -91,6 +96,8 @@ pub fn parse(args: &[String], default_jobs: usize) -> Result<Parsed, String> {
     let mut timeseries = None;
     let mut crash_frac = 0.0f64;
     let mut crash_frac_given = false;
+    let mut shards = 1usize;
+    let mut shards_given = false;
     let mut seeds_range = None;
     let mut list = false;
     let mut help = false;
@@ -148,6 +155,15 @@ pub fn parse(args: &[String], default_jobs: usize) -> Result<Parsed, String> {
                     ))?;
                 crash_frac_given = true;
             }
+            "--shards" => {
+                let v = value("--shards")?;
+                shards = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or(format!("--shards expects an integer >= 1 (got '{v}')"))?;
+                shards_given = true;
+            }
             "--bench" => bench = Some(value("--bench")?),
             "--bench-baseline" => bench_baseline = Some(value("--bench-baseline")?),
             other if other.starts_with('-') => {
@@ -178,6 +194,7 @@ pub fn parse(args: &[String], default_jobs: usize) -> Result<Parsed, String> {
             verbose,
             timeseries,
             crash_frac,
+            shards,
         }
     } else if positional.first().map(String::as_str) == Some("sweep") {
         let id = match positional.len() {
@@ -210,9 +227,9 @@ pub fn parse(args: &[String], default_jobs: usize) -> Result<Parsed, String> {
     if (bench.is_some() || bench_baseline.is_some()) && !matches!(cmd, Cmd::Run { .. }) {
         return Err("--bench/--bench-baseline only apply to experiment runs".to_string());
     }
-    if (verbose || crash_frac_given) && !matches!(cmd, Cmd::Instrument { .. }) {
+    if (verbose || crash_frac_given || shards_given) && !matches!(cmd, Cmd::Instrument { .. }) {
         return Err(
-            "--trace-verbose/--crash-frac only apply to the instrumented run \
+            "--trace-verbose/--crash-frac/--shards only apply to the instrumented run \
              (--trace/--metrics/--timeseries)"
                 .to_string(),
         );
@@ -248,7 +265,7 @@ pub fn print_help() {
          usage: reproduce [options] <experiment>... | all\n\
          \x20      reproduce sweep <experiment> [--seeds A..B]\n\
          \x20      reproduce [--trace FILE.jsonl [--trace-verbose]] [--metrics FILE.json]\n\
-         \x20                [--timeseries FILE.jsonl] [--crash-frac F]\n\n\
+         \x20                [--timeseries FILE.jsonl] [--crash-frac F] [--shards N]\n\n\
          --laptop  20-machine cluster, scaled workloads (default; seconds\n\
                    per experiment)\n\
          --full    250-machine cluster, paper-scale workloads (roughly ten\n\
@@ -283,7 +300,14 @@ pub fn print_help() {
                    backlog, suspect machines) as JSON Lines\n\
          --crash-frac F\n\
                    churn-style fault injection for the instrumented run:\n\
-                   fraction of machines crash/recover-cycling in [0,1]"
+                   fraction of machines crash/recover-cycling in [0,1]\n\
+         --shards N\n\
+                   run the instrumented reference configuration under the\n\
+                   Omega-style sharded multi-scheduler: N optimistic\n\
+                   scheduler instances over shared cluster state with\n\
+                   commit-time conflict resolution (default 1 = the plain\n\
+                   single-scheduler path; decisions are byte-identical\n\
+                   only at N=1)"
     );
 }
 
@@ -398,6 +422,7 @@ mod tests {
                 verbose: false,
                 timeseries: None,
                 crash_frac: 0.0,
+                shards: 1,
             }
         );
         assert!(p(&["--trace", "t.jsonl", "fig4"])
@@ -426,6 +451,7 @@ mod tests {
                 verbose: true,
                 timeseries: Some("ts.jsonl".into()),
                 crash_frac: 0.1,
+                shards: 1,
             }
         );
         // --timeseries alone selects instrument mode.
@@ -458,6 +484,32 @@ mod tests {
         assert!(p(&["--timeseries", "ts.jsonl", "fig4"])
             .unwrap_err()
             .contains("cannot"));
+    }
+
+    #[test]
+    fn shards_flag() {
+        match p(&["--metrics", "m.json", "--shards", "4"]).unwrap().cmd {
+            Cmd::Instrument { shards, .. } => assert_eq!(shards, 4),
+            c => panic!("{c:?}"),
+        }
+        // Defaults to the plain single-scheduler path.
+        match p(&["--metrics", "m.json"]).unwrap().cmd {
+            Cmd::Instrument { shards, .. } => assert_eq!(shards, 1),
+            c => panic!("{c:?}"),
+        }
+        assert!(p(&["--metrics", "m.json", "--shards", "0"])
+            .unwrap_err()
+            .contains(">= 1"));
+        assert!(p(&["--metrics", "m.json", "--shards", "x"])
+            .unwrap_err()
+            .contains(">= 1"));
+        assert!(p(&["--metrics", "m.json", "--shards"])
+            .unwrap_err()
+            .contains("value"));
+        // Instrument-only, like the other telemetry flags.
+        assert!(p(&["fig4", "--shards", "2"])
+            .unwrap_err()
+            .contains("only apply"));
     }
 
     #[test]

@@ -9,6 +9,7 @@ pub mod ingestion;
 pub mod knobs;
 pub mod load;
 pub mod motivating;
+pub mod omega;
 pub mod scale;
 pub mod sensitivity;
 pub mod simulation;
@@ -178,6 +179,12 @@ pub fn registry() -> Vec<Experiment> {
             run: scale::scale,
             cost: 40,
         },
+        Experiment {
+            id: "omega",
+            what: "Extension — Omega-style sharded multi-scheduler: heartbeat scaling vs shards",
+            run: omega::omega,
+            cost: 20,
+        },
     ]
 }
 
@@ -193,11 +200,11 @@ mod tests {
     #[test]
     fn registry_ids_unique_and_nonempty() {
         let reg = registry();
-        assert_eq!(reg.len(), 23);
+        assert_eq!(reg.len(), 24);
         let mut ids: Vec<_> = reg.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 23);
+        assert_eq!(ids.len(), 24);
     }
 
     #[test]

@@ -141,7 +141,7 @@ pub fn scale(ctx: &RunCtx) -> Report {
     let probe = ColdPassProbe::with_tasks_per_job(64, 24_000, 2);
     let mut sharded = TetrisScheduler::new({
         let mut c = TetrisConfig::default();
-        c.shards = 2;
+        c.score_shards = 2;
         c
     });
     let mut serial = TetrisScheduler::new(TetrisConfig::default());

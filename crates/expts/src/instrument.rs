@@ -27,10 +27,11 @@
 //!   the telemetry curves can be read against cluster churn.
 
 use tetris_baselines::UpperBoundScheduler;
+use tetris_core::{TetrisConfig, TetrisScheduler};
 use tetris_metrics::table::TextTable;
 use tetris_obs::timeseries::SeriesSummary;
 use tetris_obs::{names, Histogram, JsonlRecorder, NoopRecorder, Obs, Recorder, TimeSeries};
-use tetris_sim::Simulation;
+use tetris_sim::{SchedulerPolicy, ShardedScheduler, Simulation};
 
 use crate::setup::{self, SchedName};
 use crate::RunCtx;
@@ -48,6 +49,13 @@ pub struct InstrumentOpts {
     pub timeseries: Option<String>,
     /// Fraction of machines undergoing crash/recover cycles, in [0,1].
     pub crash_frac: f64,
+    /// Omega-style scheduler shard count (DESIGN.md §14). `0` and `1`
+    /// both mean the plain single-scheduler path; `> 1` wraps the
+    /// reference scheduler in a [`ShardedScheduler`] — optimistic
+    /// parallel per-partition passes over shared state, conflicts
+    /// resolved at a serialized commit stage — and surfaces the conflict
+    /// counters and per-shard pass latencies in the summary table.
+    pub shards: usize,
 }
 
 /// Fault-plan shape used when `--crash-frac` is nonzero: the `churn`
@@ -73,6 +81,19 @@ pub fn instrumented_run(ctx: &RunCtx, opts: &InstrumentOpts) -> Result<String, S
         cfg.faults.flake_lead = CRASH_FLAKE_LEAD;
     }
     let sched = SchedName::Tetris;
+    let shards = opts.shards.max(1);
+    // Both the traced run and the unobserved control run must go through
+    // the same construction path, sharded or not — the identity
+    // cross-check below is only meaningful against the same pipeline.
+    let build = |seed: u64| -> Box<dyn SchedulerPolicy> {
+        if shards > 1 {
+            Box::new(ShardedScheduler::new(shards, seed, |_| {
+                Box::new(TetrisScheduler::new(TetrisConfig::default()))
+            }))
+        } else {
+            sched.build(seed)
+        }
+    };
 
     let recorder: Box<dyn Recorder> = match &opts.trace {
         Some(path) => {
@@ -97,7 +118,7 @@ pub fn instrumented_run(ctx: &RunCtx, opts: &InstrumentOpts) -> Result<String, S
     }
 
     let traced = Simulation::build(cluster.clone(), workload.clone())
-        .scheduler(sched.build(cfg.seed))
+        .scheduler(build(cfg.seed))
         .config(cfg.clone())
         .observe(&mut obs)
         .run();
@@ -108,7 +129,12 @@ pub fn instrumented_run(ctx: &RunCtx, opts: &InstrumentOpts) -> Result<String, S
         .unwrap_or_default();
 
     // The no-recorder control run: observability must be a pure read.
-    let plain = setup::run(ctx, &cluster, &workload, sched, &cfg);
+    let plain = setup::run_observed(
+        ctx,
+        Simulation::build(cluster.clone(), workload.clone())
+            .scheduler(build(cfg.seed))
+            .config(cfg.clone()),
+    );
     let identical = serde_json::to_string(&plain).map_err(|e| e.to_string())?
         == serde_json::to_string(&traced).map_err(|e| e.to_string())?;
 
@@ -121,6 +147,9 @@ pub fn instrumented_run(ctx: &RunCtx, opts: &InstrumentOpts) -> Result<String, S
 
     let mut t = TextTable::new(vec!["metric", "value"]);
     t.row(vec!["scheduler".into(), sched.label().to_string()]);
+    if shards > 1 {
+        t.row(vec!["scheduler shards".into(), shards.to_string()]);
+    }
     t.row(vec!["machines".into(), cluster.len().to_string()]);
     t.row(vec!["jobs".into(), workload.jobs.len().to_string()]);
     if opts.crash_frac > 0.0 {
@@ -161,10 +190,32 @@ pub fn instrumented_run(ctx: &RunCtx, opts: &InstrumentOpts) -> Result<String, S
     ] {
         t.row(vec![name.into(), obs.metrics.counter(name).to_string()]);
     }
+    if shards > 1 {
+        // The sharded driver's commit-stage outcome: rejected proposals
+        // and how many intra-heartbeat retry rounds they triggered.
+        for name in [names::SCHED_CONFLICTS, names::CONFLICT_RETRY_ROUNDS] {
+            t.row(vec![name.into(), obs.metrics.counter(name).to_string()]);
+        }
+        t.row(vec![
+            names::CONFLICT_RETRY_PEAK.into(),
+            format!(
+                "{:.0}",
+                obs.metrics.gauge(names::CONFLICT_RETRY_PEAK).unwrap_or(0.0)
+            ),
+        ]);
+    }
     for name in [names::HEARTBEAT_NS, names::SCHEDULE_NS] {
         if let Some(h) = obs.metrics.histogram(name) {
             t.row(vec![format!("{name} (us)"), hist_us(h)]);
         }
+    }
+    // Per-shard pass wall-times, already in µs (only the sharded driver
+    // records these).
+    if let Some(h) = obs.metrics.histogram(names::SHARD_HEARTBEAT_US) {
+        t.row(vec![
+            format!("{} (us)", names::SHARD_HEARTBEAT_US),
+            tetris_obs::summary::histogram_line(h, 1.0, ""),
+        ]);
     }
     t.row(vec![
         "noop run identical".to_string(),
@@ -244,6 +295,25 @@ mod tests {
     }
 
     #[test]
+    fn sharded_run_is_deterministic_and_surfaces_conflict_metrics() {
+        // shards=2 routes the reference run through the Omega-style
+        // sharded driver. The in-run identity cross-check (traced vs
+        // unobserved control) is the determinism gate; here we also pin
+        // that the commit-stage metrics reach the summary table.
+        let o = InstrumentOpts {
+            shards: 2,
+            ..InstrumentOpts::default()
+        };
+        let report = instrumented_run(&RunCtx::default(), &o).unwrap();
+        assert!(report.contains("noop run identical"), "{report}");
+        assert!(!report.contains("NO (BUG)"), "{report}");
+        assert!(report.contains("scheduler shards"), "{report}");
+        assert!(report.contains(names::SCHED_CONFLICTS), "{report}");
+        assert!(report.contains(names::CONFLICT_RETRY_ROUNDS), "{report}");
+        assert!(report.contains(names::SHARD_HEARTBEAT_US), "{report}");
+    }
+
+    #[test]
     fn verbose_run_attaches_provenance_and_streams_timeseries() {
         let dir = std::env::temp_dir();
         let trace = dir.join(format!("tetris-instr-v-{}.jsonl", std::process::id()));
@@ -254,6 +324,7 @@ mod tests {
             verbose: true,
             timeseries: Some(ts.to_str().unwrap().into()),
             crash_frac: 0.0,
+            shards: 1,
         };
         let report = instrumented_run(&RunCtx::default(), &o).unwrap();
         assert!(report.contains("telemetry"), "{report}");

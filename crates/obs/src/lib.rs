@@ -115,10 +115,26 @@ pub mod names {
     /// (counter; linear envelopes would cost one per considered machine).
     pub const INDEX_ENV_VISITS: &str = "machine_index_env_visits";
     /// Sharded cold-pass scoring batches dispatched to the worker pool
-    /// (counter; absent unless a policy runs with `shards > 1`).
+    /// (counter; absent unless a policy runs with `score_shards > 1`).
     pub const SHARD_BATCHES: &str = "shard_batches";
     /// Candidate×machine scoring items fanned out across shards (counter).
     pub const SHARD_ITEMS: &str = "shard_items";
+
+    // ------- omega family (sharded multi-scheduler, sim::sharded) -------
+
+    /// Proposals rejected at the sharded commit stage because a racing
+    /// shard already claimed the capacity (counter; absent unless a
+    /// sharded scheduler ran with more than one shard and actually
+    /// conflicted).
+    pub const SCHED_CONFLICTS: &str = "scheduling_conflicts_total";
+    /// Intra-heartbeat retry rounds run by losing shards (counter).
+    pub const CONFLICT_RETRY_ROUNDS: &str = "conflict_retry_rounds";
+    /// Most retry rounds any single heartbeat needed (gauge: peak).
+    pub const CONFLICT_RETRY_PEAK: &str = "conflict_retry_rounds_peak";
+    /// Wall time of one shard's `schedule()` pass within a sharded
+    /// heartbeat (histogram, microseconds; one sample per shard per
+    /// fan-out round).
+    pub const SHARD_HEARTBEAT_US: &str = "heartbeat_shard_us";
 }
 
 /// The observability context: one recorder plus one metrics registry,

@@ -282,6 +282,39 @@ mod tests {
         assert_eq!(merged.snapshot(), combined.snapshot());
     }
 
+    /// The Omega metric family (sharded multi-scheduler, DESIGN.md §14)
+    /// merges like any other: conflict counters add across runs, the
+    /// per-shard pass histogram merges bucket-wise, and the retry-peak
+    /// gauge is last-write-wins. Pinned by name because the experiment
+    /// runner folds per-worker registries and the sweep aggregator relies
+    /// on exactly these semantics for the conflict-rate headline.
+    #[test]
+    fn omega_conflict_metrics_merge_across_registries() {
+        use crate::names;
+
+        let mut a = MetricsRegistry::new();
+        a.counter_add(names::SCHED_CONFLICTS, 5);
+        a.counter_add(names::CONFLICT_RETRY_ROUNDS, 2);
+        a.gauge_set(names::CONFLICT_RETRY_PEAK, 1.0);
+        a.observe(names::SHARD_HEARTBEAT_US, 120);
+        a.observe(names::SHARD_HEARTBEAT_US, 480);
+
+        let mut b = MetricsRegistry::new();
+        b.counter_add(names::SCHED_CONFLICTS, 3);
+        b.counter_add(names::CONFLICT_RETRY_ROUNDS, 1);
+        b.gauge_set(names::CONFLICT_RETRY_PEAK, 3.0);
+        b.observe(names::SHARD_HEARTBEAT_US, 9_000);
+
+        a.merge(&b);
+        assert_eq!(a.counter(names::SCHED_CONFLICTS), 8);
+        assert_eq!(a.counter(names::CONFLICT_RETRY_ROUNDS), 3);
+        assert_eq!(a.gauge(names::CONFLICT_RETRY_PEAK), Some(3.0));
+        let h = a.histogram(names::SHARD_HEARTBEAT_US).unwrap();
+        assert_eq!(h.count(), 3);
+        let snap = h.snapshot();
+        assert!(snap.p99.unwrap() >= 480, "{snap:?}");
+    }
+
     #[test]
     fn snapshot_roundtrips_through_json() {
         let mut m = MetricsRegistry::new();

@@ -617,6 +617,10 @@ impl<'o> Simulation<'o> {
             obs.metrics
                 .counter_add(names::INDEX_ENV_VISITS, idx_stats.env_visits);
         }
+        // Let the policy contribute its own accumulated metrics (e.g. the
+        // sharded driver's conflict counters) — zero-gated like the index
+        // drain above, so non-reporting policies add no snapshot names.
+        policy.drain_metrics(&mut obs.metrics);
 
         obs.flush();
         let scheduler = policy.name().to_string();

@@ -101,10 +101,16 @@ pub struct IndexStatsSnapshot {
 /// component, plus its argmax machine. Maintained O(1) by [`MachineIndex::
 /// refresh`] — marked stale (never rescanned eagerly) when the cached
 /// argmax leaves the bucket, drops its value, or stops being considered —
-/// and lazily revalidated by the envelope descent, which owns the only
-/// read path. Atomics (all `Relaxed`) exist purely so that `&self` query
-/// methods can revalidate the cache; the index is never queried
-/// concurrently.
+/// and lazily revalidated by the envelope descent. Atomics exist so that
+/// `&self` query methods can revalidate the cache, including the sharded
+/// heartbeat's concurrent read-only fan-out (`crate::sharded`): all
+/// mutation happens between queries (`refresh` takes `&mut self`), and
+/// concurrent revalidations recompute identical values from `ub`, so any
+/// interleaving of their stores leaves the same cache. The `stale` flag
+/// is released/acquired so a reader seeing `stale == false` also sees
+/// the matching `ub`/`mi` stores. Scoped (overlay-adjusted) availability
+/// closures are safe here too: the cache only ever holds `ub`-derived
+/// values, never closure results.
 #[derive(Debug)]
 struct BucketMax {
     /// Bit pattern of the max `ub` component (`NEG_INFINITY` when the
@@ -372,7 +378,7 @@ impl MachineIndex {
                 // freshly freed machine) — no membership scan, no heap.
                 let bm = &self.bmax[ri][b];
                 let (maxub, bmi);
-                if bm.stale.load(Ordering::Relaxed) {
+                if bm.stale.load(Ordering::Acquire) {
                     let (mut mu, mut mmi) = (f64::NEG_INFINITY, u32::MAX);
                     for &mi in members {
                         if !self.considered[mi as usize] {
@@ -386,7 +392,12 @@ impl MachineIndex {
                     }
                     bm.ub.store(mu.to_bits(), Ordering::Relaxed);
                     bm.mi.store(mmi, Ordering::Relaxed);
-                    bm.stale.store(false, Ordering::Relaxed);
+                    // Release pairs with the Acquire above: a concurrent
+                    // reader that observes `stale == false` also observes
+                    // the ub/mi stores of the revalidation that cleared it
+                    // (all revalidations of one epoch store identical
+                    // values, so racing writers are benign).
+                    bm.stale.store(false, Ordering::Release);
                     (maxub, bmi) = (mu, mmi);
                 } else {
                     maxub = f64::from_bits(bm.ub.load(Ordering::Relaxed));

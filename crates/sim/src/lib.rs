@@ -55,6 +55,7 @@ mod index;
 mod outcome;
 pub mod pool;
 pub mod probe;
+pub mod sharded;
 mod state;
 mod telemetry;
 pub mod time;
@@ -68,6 +69,7 @@ pub use engine::{GreedyFifo, Simulation};
 pub use fault::{ExpandedFaultPlan, FaultPlan};
 pub use index::IndexStatsSnapshot;
 pub use outcome::{EngineStats, JobRecord, MachineSample, Sample, SimOutcome, TaskRecord};
+pub use sharded::{owner_shard, CommitOverlay, ShardedScheduler, ShardedStats};
 pub use state::{PlacementPlan, TaskCompletion};
 pub use time::SimTime;
 pub use view::{

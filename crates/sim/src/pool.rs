@@ -7,8 +7,10 @@
 //! completion for item 3 is buffered until items 0..3 have been
 //! delivered), and the returned vector is in submission order too.
 //! Parallelism changes only the wall-clock, never the output — the
-//! guarantee both the experiment runner (`crates/expts`) and the sharded
-//! cold-pass scoring loop (`crates/core`, DESIGN.md §13) rest on.
+//! guarantee the experiment runner (`crates/expts`), the sharded
+//! cold-pass scoring loop (`crates/core`, DESIGN.md §13) and the
+//! Omega-style sharded heartbeat fan-out (`crate::sharded`, DESIGN.md
+//! §14) all rest on.
 //!
 //! Hoisted from `crates/expts/src/runner.rs` so `sim`-layer consumers can
 //! share the exact pool the experiment suite already trusts; `expts`

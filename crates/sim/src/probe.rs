@@ -589,6 +589,17 @@ impl ColdPassProbe {
         policy.schedule(&view).len()
     }
 
+    /// One cold `schedule()` against the indexed snapshot, returning the
+    /// raw assignment stream — for cross-*policy* equivalence gates (the
+    /// omega experiment pins a one-shard `ShardedScheduler` against its
+    /// bare inner policy this way), where `measure`'s cross-*backend*
+    /// comparison is the wrong axis. Same freshness contract: pass an
+    /// unsynced policy.
+    pub fn cold_assignments_indexed(&self, policy: &mut dyn SchedulerPolicy) -> Vec<Assignment> {
+        let view = ClusterView::new(&self.indexed, policy.uses_tracker());
+        policy.schedule(&view)
+    }
+
     /// Time one cold `schedule()` call per backend on the identical
     /// snapshot and assert the assignment streams match. Pass *fresh,
     /// unsynced* policies each call — an unsynced policy sees no freed

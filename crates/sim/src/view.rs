@@ -25,6 +25,7 @@ use tetris_resources::ResourceVec;
 use tetris_workload::{JobId, TaskSpec, TaskUid};
 
 use crate::cluster::MachineId;
+use crate::sharded::{owner_shard, CommitOverlay};
 use crate::state::{Phase, PlacementPlan, SimState};
 
 /// A scheduling decision: run `task` on `machine`.
@@ -236,6 +237,17 @@ pub trait SchedulerPolicy {
         let _ = task;
         None
     }
+
+    /// Drain any metrics the policy accumulated internally into
+    /// `metrics`, resetting its own tally. Called once by the engine at
+    /// end of run, next to the free-capacity index drain; probes and
+    /// experiments may call it directly. Contributions must be
+    /// zero-gated (a policy with nothing to report adds no names to the
+    /// snapshot) and must never influence scheduling decisions. The
+    /// default reports nothing.
+    fn drain_metrics(&mut self, metrics: &mut tetris_obs::MetricsRegistry) {
+        let _ = metrics;
+    }
 }
 
 /// Any policy converts into a boxed trait object, so builder entry points
@@ -280,6 +292,10 @@ impl<P: SchedulerPolicy> SchedulerPolicy for MarkAllDirty<P> {
     fn take_provenance(&mut self, task: TaskUid) -> Option<tetris_obs::PlacementProvenance> {
         self.0.take_provenance(task)
     }
+
+    fn drain_metrics(&mut self, metrics: &mut tetris_obs::MetricsRegistry) {
+        self.0.drain_metrics(metrics);
+    }
 }
 
 /// Per-stage progress visible to policies (for the barrier knob, §3.5).
@@ -301,10 +317,40 @@ pub struct StageProgress {
     pub unlocked: bool,
 }
 
+/// The job-partition lens a sharded heartbeat applies to a view: which
+/// shard the wrapped policy is, how many shards exist, the stable
+/// partitioning seed, and the demand already committed by earlier
+/// shards/rounds of this heartbeat (see `crate::sharded`).
+///
+/// A scoped view narrows job enumeration to the shard's owned partition
+/// and subtracts the commit overlay from availability, so an inner
+/// policy sees a consistent "my jobs, remaining capacity" world without
+/// knowing it runs sharded. Machine-level facts (capacity, down/suspect
+/// flags, freed hints) stay global — every shard may place anywhere.
+#[derive(Clone, Copy)]
+pub(crate) struct ShardScope<'a> {
+    /// This shard's index in `0..shards`.
+    pub shard: usize,
+    /// Total shard count (≥ 2 on scoped views).
+    pub shards: usize,
+    /// Stable seed of the job → shard hash.
+    pub seed: u64,
+    /// Demand committed by earlier shards/rounds of this heartbeat.
+    pub overlay: &'a CommitOverlay,
+    /// The shard's active owned jobs in id order, pre-bucketed by the
+    /// sharded driver once per heartbeat so each shard's job enumeration
+    /// costs O(partition), not O(cluster jobs) — without this, every
+    /// shard re-scans the whole job table per pass and the fan-out
+    /// cannot beat one scheduler no matter how many cores run it.
+    /// `None` (event delivery) falls back to the hash-filtered scan.
+    pub jobs: Option<&'a [JobId]>,
+}
+
 /// Read-only snapshot interface over the simulation state.
 pub struct ClusterView<'a> {
     state: &'a SimState,
     tracker_aware: bool,
+    scope: Option<ShardScope<'a>>,
 }
 
 impl<'a> ClusterView<'a> {
@@ -312,6 +358,32 @@ impl<'a> ClusterView<'a> {
         ClusterView {
             state,
             tracker_aware,
+            scope: None,
+        }
+    }
+
+    /// This view narrowed to one shard's job partition, with `scope`'s
+    /// commit overlay charged against availability. The result borrows
+    /// for the overlay's (possibly shorter) lifetime — `&'a SimState`
+    /// shrinks covariantly.
+    pub(crate) fn scoped<'b>(&self, scope: ShardScope<'b>) -> ClusterView<'b>
+    where
+        'a: 'b,
+    {
+        ClusterView {
+            state: self.state,
+            tracker_aware: self.tracker_aware,
+            scope: Some(scope),
+        }
+    }
+
+    /// True when `j` belongs to this view's shard partition (always true
+    /// on unscoped views).
+    #[inline]
+    fn owns_job(&self, j: JobId) -> bool {
+        match self.scope {
+            None => true,
+            Some(s) => owner_shard(j, s.shards, s.seed) == s.shard,
         }
     }
 
@@ -333,6 +405,7 @@ impl<'a> ClusterView<'a> {
         MachineQuery {
             state: self.state,
             tracker_aware: self.tracker_aware,
+            scope: self.scope,
         }
     }
 
@@ -364,9 +437,16 @@ impl<'a> ClusterView<'a> {
     /// Scheduler-visible availability of a machine: capacity minus the
     /// demand ledger (minus tracker-reported external usage for
     /// tracker-aware policies). Negative components mean someone
-    /// over-allocated.
+    /// over-allocated. Shard-scoped views additionally subtract the
+    /// demand already committed this heartbeat by racing shards.
     pub fn available(&self, m: MachineId) -> ResourceVec {
-        self.state.availability(m, self.tracker_aware)
+        let mut a = self.state.availability(m, self.tracker_aware);
+        if let Some(s) = self.scope {
+            if let Some(c) = s.overlay.charged(m) {
+                a -= *c;
+            }
+        }
+        a
     }
 
     /// Aggregate cluster capacity.
@@ -392,30 +472,58 @@ impl<'a> ClusterView<'a> {
         &self.state.freed_hint
     }
 
-    /// Jobs that have arrived and not finished, in id order.
+    /// Jobs that have arrived and not finished, in id order. Shard-scoped
+    /// views yield only the shard's owned partition.
     ///
     /// Allocation-free: the iterator borrows the underlying state (not the
     /// view), so it can outlive the `&self` borrow.
     pub fn active_jobs(&self) -> impl Iterator<Item = JobId> + 'a {
-        self.state
+        // Scoped views with a pre-bucketed partition list iterate the
+        // list (O(partition)); everything else scans the job table. The
+        // two halves of the chain are mutually exclusive — `take(0)`
+        // empties the scan when the list exists — and both yield id
+        // order, so the chain does too. The list re-checks `is_active`
+        // for free exactness, though activity cannot change within the
+        // heartbeat that built the list.
+        let state = self.state;
+        let list: Option<&'a [JobId]> = self.scope.and_then(|s| s.jobs);
+        let scan_take = if list.is_some() { 0 } else { usize::MAX };
+        let part = self.scope.map(|s| (s.shard, s.shards, s.seed));
+        state
             .jobs
             .iter()
             .enumerate()
+            .take(scan_take)
             .filter(|(_, j)| j.is_active())
             .map(|(i, _)| JobId(i))
+            .filter(move |&j| match part {
+                None => true,
+                Some((shard, shards, seed)) => owner_shard(j, shards, seed) == shard,
+            })
+            .chain(
+                list.unwrap_or(&[])
+                    .iter()
+                    .copied()
+                    .filter(move |&j| state.jobs[j.index()].is_active()),
+            )
     }
 
-    /// True iff at least one job has arrived and not finished.
+    /// True iff at least one (owned, on scoped views) job has arrived and
+    /// not finished.
     pub fn has_active_jobs(&self) -> bool {
-        self.state.jobs.iter().any(|j| j.is_active())
+        match self.scope {
+            None => self.state.jobs.iter().any(|j| j.is_active()),
+            Some(_) => self.active_jobs().next().is_some(),
+        }
     }
 
     /// True iff this job has arrived and not finished — the membership
     /// test behind [`ClusterView::active_jobs`], exposed so event-driven
     /// policies can prune incrementally maintained job lists without
-    /// scanning every job.
+    /// scanning every job. Scoped views also require ownership, so a
+    /// shard's cached lists converge to its own partition.
     pub fn job_is_active(&self, j: JobId) -> bool {
-        self.state.jobs[j.index()].is_active()
+        self.state.jobs[j.index()].is_active() && self.owns_job(j)
     }
 
     /// Job arrival time (seconds).
@@ -623,15 +731,24 @@ impl<'a> ClusterView<'a> {
         out
     }
 
-    /// Total number of pending runnable tasks across active jobs.
+    /// Total number of pending runnable tasks across active (owned, on
+    /// scoped views) jobs.
     pub fn num_pending(&self) -> usize {
-        self.state
-            .jobs
-            .iter()
-            .filter(|j| j.is_active())
-            .flat_map(|j| j.stages.iter())
-            .map(|s| s.pending.len())
-            .sum()
+        match self.scope {
+            None => self
+                .state
+                .jobs
+                .iter()
+                .filter(|j| j.is_active())
+                .flat_map(|j| j.stages.iter())
+                .map(|s| s.pending.len())
+                .sum(),
+            Some(_) => self
+                .active_jobs()
+                .flat_map(|j| self.state.jobs[j.index()].stages.iter())
+                .map(|s| s.pending.len())
+                .sum(),
+        }
     }
 }
 
@@ -653,9 +770,26 @@ impl<'a> ClusterView<'a> {
 pub struct MachineQuery<'a> {
     state: &'a SimState,
     tracker_aware: bool,
+    scope: Option<ShardScope<'a>>,
 }
 
 impl<'a> MachineQuery<'a> {
+    /// Availability as this query's view sees it: the state's ledger
+    /// value, minus the commit overlay on shard-scoped queries. Exact
+    /// filters and envelopes use this; the `ub`-based pruning paths stay
+    /// unscoped (the overlay only *lowers* availability, so the superset
+    /// stays sound).
+    #[inline]
+    fn scoped_availability(&self, mi: usize) -> ResourceVec {
+        let mut a = self.state.availability(MachineId(mi), self.tracker_aware);
+        if let Some(s) = self.scope {
+            if let Some(c) = s.overlay.charged(MachineId(mi)) {
+                a -= *c;
+            }
+        }
+        a
+    }
+
     /// True when queries are served by the free-capacity index.
     pub fn indexed(&self) -> bool {
         self.state.index.enabled
@@ -706,14 +840,14 @@ impl<'a> MachineQuery<'a> {
     /// stops early but never below the true maximum).
     pub fn availability_envelope(&self) -> ResourceVec {
         if self.state.index.enabled {
-            self.state.index.availability_envelope(|mi| {
-                self.state.availability(MachineId(mi), self.tracker_aware)
-            })
+            self.state
+                .index
+                .availability_envelope(|mi| self.scoped_availability(mi))
         } else {
             let mut env = ResourceVec::zero();
             for mi in 0..self.state.machines.len() {
                 if self.is_considered(mi) {
-                    let a = self.state.availability(MachineId(mi), self.tracker_aware);
+                    let a = self.scoped_availability(mi);
                     env = env.max(&a.clamp_non_negative());
                 }
             }
@@ -756,14 +890,12 @@ impl<'a> MachineQuery<'a> {
             out.extend(
                 raw.into_iter()
                     .map(|mi| MachineId(mi as usize))
-                    .filter(|&m| {
-                        demand.fits_within(&self.state.availability(m, self.tracker_aware))
-                    }),
+                    .filter(|&m| demand.fits_within(&self.scoped_availability(m.index()))),
             );
         } else {
             out.extend((0..self.state.machines.len()).map(MachineId).filter(|&m| {
                 self.is_considered(m.index())
-                    && demand.fits_within(&self.state.availability(m, self.tracker_aware))
+                    && demand.fits_within(&self.scoped_availability(m.index()))
             }));
         }
         out
