@@ -1,0 +1,84 @@
+//! Crash-recovery costs (DESIGN.md §15): one complete engine run bare vs
+//! with the write-ahead decision journal attached, and the recovery path
+//! itself — restore the journal's last checkpoint and re-derive the tail
+//! to the byte-identical outcome.
+//!
+//! Two journaled points separate the WAL's two cost classes. `wal_only`
+//! (one genesis checkpoint, then pure decision records) measures the
+//! per-heartbeat record appends; `journaled_run` at the default
+//! checkpoint cadence adds the periodic full-state snapshots, which
+//! dominate — a snapshot serializes the entire engine state, so its cost
+//! is paid per `checkpoint_every` heartbeats regardless of how cheap the
+//! simulated heartbeats in between are. A simulator burns through
+//! heartbeats about six orders of magnitude faster than the multi-second
+//! cadence of a real cluster, so read the snapshot overhead relative to
+//! the checkpoint count, not to the bare run's wall-clock.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tetris_bench::bench_cluster;
+use tetris_core::{TetrisConfig, TetrisScheduler};
+use tetris_sim::{Journal, RunResult, SimConfig, Simulation};
+use tetris_workload::{Workload, WorkloadSuiteConfig};
+
+fn bench_journal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("journal");
+    group.sample_size(10);
+
+    let w = WorkloadSuiteConfig::scaled(10, 0.05).generate(5);
+    let tasks = w.num_tasks();
+    let mut cfg = SimConfig::default();
+    cfg.seed = 5;
+    let sim = |w: &Workload, cfg: &SimConfig| {
+        Simulation::build(bench_cluster(10), w.clone())
+            .scheduler(TetrisScheduler::new(TetrisConfig::default()))
+            .config(cfg.clone())
+    };
+
+    group.bench_with_input(
+        BenchmarkId::new("bare_run", format!("{tasks}_tasks")),
+        &w,
+        |b, w| b.iter(|| sim(w, &cfg).run()),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("journaled_run", format!("{tasks}_tasks")),
+        &w,
+        |b, w| {
+            b.iter(|| {
+                let mut j = Journal::new();
+                sim(w, &cfg).run_result(Some(&mut j))
+            })
+        },
+    );
+    // Push every periodic snapshot past the end of the run: what remains
+    // is the genesis checkpoint plus the per-decision records.
+    let mut wal_cfg = cfg.clone();
+    wal_cfg.checkpoint_every = u64::MAX;
+    group.bench_with_input(
+        BenchmarkId::new("wal_only", format!("{tasks}_tasks")),
+        &w,
+        |b, w| {
+            b.iter(|| {
+                let mut j = Journal::new();
+                sim(w, &wal_cfg).run_result(Some(&mut j))
+            })
+        },
+    );
+
+    // Recovery input: the journal of a completed run. Recovering from it
+    // restores the last checkpoint and replays the committed tail — the
+    // same path a crashed run takes, minus torn-tail discard.
+    let mut j = Journal::new();
+    match sim(&w, &cfg).run_result(Some(&mut j)) {
+        RunResult::Completed(_) => {}
+        RunResult::Crashed { heartbeat } => unreachable!("no crash configured ({heartbeat})"),
+    }
+    group.bench_with_input(
+        BenchmarkId::new("recover", format!("{tasks}_tasks")),
+        &w,
+        |b, w| b.iter(|| sim(w, &cfg).recover(&j).expect("recovers")),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_journal);
+criterion_main!(benches);

@@ -16,6 +16,11 @@
 //! reproduce --trace run.jsonl --trace-verbose --timeseries ts.jsonl
 //!                          # + decision provenance on TaskPlaced events
 //!                          # and a per-heartbeat telemetry stream
+//! reproduce --journal run.wal --checkpoint-every 4 --crash-at 6 --outcome o.json
+//!                          # journaled run killed at heartbeat 6, then
+//!                          # recovered from the journal; the recovered
+//!                          # outcome must be byte-identical to an
+//!                          # uninterrupted run
 //! ```
 
 use std::time::Instant;
@@ -50,6 +55,10 @@ fn main() {
             timeseries,
             crash_frac,
             shards,
+            journal,
+            checkpoint_every,
+            crash_at,
+            outcome,
         } => {
             let ctx = tetris_expts::RunCtx::new(p.scale, p.seed).scaled(p.scale_factor);
             let opts = instrument::InstrumentOpts {
@@ -59,6 +68,10 @@ fn main() {
                 timeseries,
                 crash_frac,
                 shards,
+                journal,
+                checkpoint_every,
+                crash_at,
+                outcome,
             };
             match instrument::instrumented_run(&ctx, &opts) {
                 Ok(report) => println!("{report}"),

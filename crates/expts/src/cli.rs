@@ -54,6 +54,20 @@ pub enum Cmd {
         /// instances over shared state, DESIGN.md §14). 1 = the plain
         /// single-scheduler path.
         shards: usize,
+        /// `--journal FILE`: append a write-ahead decision journal
+        /// (checkpoints + committed batches, DESIGN.md §15) and save it
+        /// here.
+        journal: Option<String>,
+        /// `--checkpoint-every K`: snapshot cadence of the journal, in
+        /// scheduling heartbeats (requires `--journal`).
+        checkpoint_every: Option<u64>,
+        /// `--crash-at N`: kill the scheduler at heartbeat `N`, then
+        /// recover it from the journal and continue to completion
+        /// (requires `--journal`).
+        crash_at: Option<u64>,
+        /// `--outcome FILE`: write the run's final `SimOutcome` as JSON —
+        /// the byte-identity artifact crash-recovery smokes `cmp` against.
+        outcome: Option<String>,
     },
 }
 
@@ -98,6 +112,10 @@ pub fn parse(args: &[String], default_jobs: usize) -> Result<Parsed, String> {
     let mut crash_frac_given = false;
     let mut shards = 1usize;
     let mut shards_given = false;
+    let mut journal = None;
+    let mut checkpoint_every = None;
+    let mut crash_at = None;
+    let mut outcome = None;
     let mut seeds_range = None;
     let mut list = false;
     let mut help = false;
@@ -164,6 +182,23 @@ pub fn parse(args: &[String], default_jobs: usize) -> Result<Parsed, String> {
                     .ok_or(format!("--shards expects an integer >= 1 (got '{v}')"))?;
                 shards_given = true;
             }
+            "--journal" => journal = Some(value("--journal")?),
+            "--checkpoint-every" => {
+                let v = value("--checkpoint-every")?;
+                checkpoint_every = Some(v.parse::<u64>().ok().filter(|&n| n >= 1).ok_or(
+                    format!("--checkpoint-every expects an integer >= 1 (got '{v}')"),
+                )?);
+            }
+            "--crash-at" => {
+                let v = value("--crash-at")?;
+                crash_at = Some(
+                    v.parse::<u64>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or(format!("--crash-at expects an integer >= 1 (got '{v}')"))?,
+                );
+            }
+            "--outcome" => outcome = Some(value("--outcome")?),
             "--bench" => bench = Some(value("--bench")?),
             "--bench-baseline" => bench_baseline = Some(value("--bench-baseline")?),
             other if other.starts_with('-') => {
@@ -177,16 +212,29 @@ pub fn parse(args: &[String], default_jobs: usize) -> Result<Parsed, String> {
         Cmd::Help
     } else if list {
         Cmd::List
-    } else if trace.is_some() || metrics.is_some() || timeseries.is_some() {
+    } else if trace.is_some()
+        || metrics.is_some()
+        || timeseries.is_some()
+        || journal.is_some()
+        || outcome.is_some()
+    {
         if !positional.is_empty() {
             return Err(format!(
-                "--trace/--metrics/--timeseries run the instrumented reference run \
-                 and cannot be combined with experiment ids (got: {})",
+                "--trace/--metrics/--timeseries/--journal/--outcome run the instrumented \
+                 reference run and cannot be combined with experiment ids (got: {})",
                 positional.join(" ")
             ));
         }
         if verbose && trace.is_none() {
             return Err("--trace-verbose requires --trace FILE.jsonl".to_string());
+        }
+        if checkpoint_every.is_some() && journal.is_none() {
+            return Err("--checkpoint-every requires --journal FILE".to_string());
+        }
+        if crash_at.is_some() && journal.is_none() {
+            return Err(
+                "--crash-at requires --journal FILE (recovery needs the journal)".to_string(),
+            );
         }
         Cmd::Instrument {
             trace,
@@ -195,6 +243,10 @@ pub fn parse(args: &[String], default_jobs: usize) -> Result<Parsed, String> {
             timeseries,
             crash_frac,
             shards,
+            journal,
+            checkpoint_every,
+            crash_at,
+            outcome,
         }
     } else if positional.first().map(String::as_str) == Some("sweep") {
         let id = match positional.len() {
@@ -227,10 +279,16 @@ pub fn parse(args: &[String], default_jobs: usize) -> Result<Parsed, String> {
     if (bench.is_some() || bench_baseline.is_some()) && !matches!(cmd, Cmd::Run { .. }) {
         return Err("--bench/--bench-baseline only apply to experiment runs".to_string());
     }
-    if (verbose || crash_frac_given || shards_given) && !matches!(cmd, Cmd::Instrument { .. }) {
+    if (verbose
+        || crash_frac_given
+        || shards_given
+        || checkpoint_every.is_some()
+        || crash_at.is_some())
+        && !matches!(cmd, Cmd::Instrument { .. })
+    {
         return Err(
-            "--trace-verbose/--crash-frac/--shards only apply to the instrumented run \
-             (--trace/--metrics/--timeseries)"
+            "--trace-verbose/--crash-frac/--shards/--checkpoint-every/--crash-at only \
+             apply to the instrumented run (--trace/--metrics/--timeseries/--journal)"
                 .to_string(),
         );
     }
@@ -265,7 +323,9 @@ pub fn print_help() {
          usage: reproduce [options] <experiment>... | all\n\
          \x20      reproduce sweep <experiment> [--seeds A..B]\n\
          \x20      reproduce [--trace FILE.jsonl [--trace-verbose]] [--metrics FILE.json]\n\
-         \x20                [--timeseries FILE.jsonl] [--crash-frac F] [--shards N]\n\n\
+         \x20                [--timeseries FILE.jsonl] [--crash-frac F] [--shards N]\n\
+         \x20                [--journal FILE [--checkpoint-every K] [--crash-at N]]\n\
+         \x20                [--outcome FILE.json]\n\n\
          --laptop  20-machine cluster, scaled workloads (default; seconds\n\
                    per experiment)\n\
          --full    250-machine cluster, paper-scale workloads (roughly ten\n\
@@ -307,7 +367,24 @@ pub fn print_help() {
                    scheduler instances over shared cluster state with\n\
                    commit-time conflict resolution (default 1 = the plain\n\
                    single-scheduler path; decisions are byte-identical\n\
-                   only at N=1)"
+                   only at N=1)\n\
+         --journal FILE\n\
+                   write-ahead decision journal for the instrumented run:\n\
+                   CRC-framed checkpoints + committed placement batches\n\
+                   (DESIGN.md §15), saved to FILE for crash recovery\n\
+         --checkpoint-every K\n\
+                   full-state snapshot cadence of the journal in\n\
+                   scheduling heartbeats (default 32; bounds recovery's\n\
+                   replay to at most K batches; requires --journal)\n\
+         --crash-at N\n\
+                   kill the scheduler at heartbeat N, then recover it from\n\
+                   the journal and continue — the final outcome must be\n\
+                   byte-identical to the uninterrupted run (requires\n\
+                   --journal)\n\
+         --outcome FILE.json\n\
+                   write the run's final SimOutcome as JSON; recovery\n\
+                   smokes `cmp` a crashed-and-recovered outcome against an\n\
+                   uninterrupted one"
     );
 }
 
@@ -423,6 +500,10 @@ mod tests {
                 timeseries: None,
                 crash_frac: 0.0,
                 shards: 1,
+                journal: None,
+                checkpoint_every: None,
+                crash_at: None,
+                outcome: None,
             }
         );
         assert!(p(&["--trace", "t.jsonl", "fig4"])
@@ -452,6 +533,10 @@ mod tests {
                 timeseries: Some("ts.jsonl".into()),
                 crash_frac: 0.1,
                 shards: 1,
+                journal: None,
+                checkpoint_every: None,
+                crash_at: None,
+                outcome: None,
             }
         );
         // --timeseries alone selects instrument mode.
@@ -510,6 +595,79 @@ mod tests {
         assert!(p(&["fig4", "--shards", "2"])
             .unwrap_err()
             .contains("only apply"));
+    }
+
+    #[test]
+    fn journal_flags() {
+        // --journal alone selects instrument mode.
+        match p(&["--journal", "j.wal"]).unwrap().cmd {
+            Cmd::Instrument {
+                journal: Some(j),
+                checkpoint_every: None,
+                crash_at: None,
+                ..
+            } => assert_eq!(j, "j.wal"),
+            c => panic!("{c:?}"),
+        }
+        match p(&[
+            "--journal",
+            "j.wal",
+            "--checkpoint-every",
+            "4",
+            "--crash-at",
+            "6",
+            "--outcome",
+            "o.json",
+        ])
+        .unwrap()
+        .cmd
+        {
+            Cmd::Instrument {
+                journal: Some(j),
+                checkpoint_every: Some(k),
+                crash_at: Some(n),
+                outcome: Some(o),
+                ..
+            } => {
+                assert_eq!(j, "j.wal");
+                assert_eq!(k, 4);
+                assert_eq!(n, 6);
+                assert_eq!(o, "o.json");
+            }
+            c => panic!("{c:?}"),
+        }
+        // --outcome alone also selects instrument mode (the golden side
+        // of a recovery smoke).
+        match p(&["--outcome", "o.json"]).unwrap().cmd {
+            Cmd::Instrument {
+                outcome: Some(o), ..
+            } => assert_eq!(o, "o.json"),
+            c => panic!("{c:?}"),
+        }
+        // The journal-dependent knobs need the journal.
+        assert!(p(&["--metrics", "m.json", "--checkpoint-every", "4"])
+            .unwrap_err()
+            .contains("requires --journal"));
+        assert!(p(&["--metrics", "m.json", "--crash-at", "3"])
+            .unwrap_err()
+            .contains("requires --journal"));
+        // Value validation.
+        assert!(p(&["--journal", "j", "--checkpoint-every", "0"])
+            .unwrap_err()
+            .contains(">= 1"));
+        assert!(p(&["--journal", "j", "--crash-at", "0"])
+            .unwrap_err()
+            .contains(">= 1"));
+        assert!(p(&["--journal", "j", "--crash-at", "x"])
+            .unwrap_err()
+            .contains(">= 1"));
+        // Instrument-only, like the other telemetry flags.
+        assert!(p(&["fig4", "--crash-at", "3"])
+            .unwrap_err()
+            .contains("only apply"));
+        assert!(p(&["fig4", "--journal", "j.wal"])
+            .unwrap_err()
+            .contains("cannot be combined"));
     }
 
     #[test]

@@ -10,6 +10,7 @@ pub mod knobs;
 pub mod load;
 pub mod motivating;
 pub mod omega;
+pub mod recovery;
 pub mod scale;
 pub mod sensitivity;
 pub mod simulation;
@@ -185,6 +186,12 @@ pub fn registry() -> Vec<Experiment> {
             run: omega::omega,
             cost: 20,
         },
+        Experiment {
+            id: "recovery",
+            what: "Extension — crash-recovery: checkpoint + WAL replay, byte-identical resume",
+            run: recovery::recovery,
+            cost: 15,
+        },
     ]
 }
 
@@ -200,11 +207,11 @@ mod tests {
     #[test]
     fn registry_ids_unique_and_nonempty() {
         let reg = registry();
-        assert_eq!(reg.len(), 24);
+        assert_eq!(reg.len(), 25);
         let mut ids: Vec<_> = reg.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 24);
+        assert_eq!(ids.len(), 25);
     }
 
     #[test]

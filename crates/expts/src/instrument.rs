@@ -25,13 +25,24 @@
 //!   `upper_bound` oracle.
 //! * `--crash-frac F` injects churn-style machine crash/recover cycles so
 //!   the telemetry curves can be read against cluster churn.
+//! * `--journal FILE` attaches the write-ahead decision journal
+//!   (DESIGN.md §15) to the run, `--checkpoint-every K` sets its snapshot
+//!   cadence, and `--crash-at N` kills the scheduler at heartbeat N and
+//!   recovers it from that journal. The recovered outcome feeds the same
+//!   traced-vs-control identity cross-check, so a crashed run only passes
+//!   if recovery reproduced the uninterrupted run byte-for-byte.
+//!   `--outcome FILE.json` writes the final `SimOutcome` so shell smokes
+//!   can `cmp` a recovered run against an uninterrupted one.
 
 use tetris_baselines::UpperBoundScheduler;
 use tetris_core::{TetrisConfig, TetrisScheduler};
 use tetris_metrics::table::TextTable;
 use tetris_obs::timeseries::SeriesSummary;
 use tetris_obs::{names, Histogram, JsonlRecorder, NoopRecorder, Obs, Recorder, TimeSeries};
-use tetris_sim::{SchedulerPolicy, ShardedScheduler, Simulation};
+use tetris_sim::{
+    Journal, RecoveryStats, RunResult, SchedulerCrash, SchedulerPolicy, ShardedScheduler,
+    Simulation,
+};
 
 use crate::setup::{self, SchedName};
 use crate::RunCtx;
@@ -56,6 +67,19 @@ pub struct InstrumentOpts {
     /// resolved at a serialized commit stage — and surfaces the conflict
     /// counters and per-shard pass latencies in the summary table.
     pub shards: usize,
+    /// Write-ahead decision-journal path (DESIGN.md §15). The journal is
+    /// kept for the whole run and saved here after it (and any recovery)
+    /// finishes.
+    pub journal: Option<String>,
+    /// Checkpoint cadence of the journal in scheduling heartbeats
+    /// (`None` keeps [`tetris_sim::SimConfig`]'s default; needs
+    /// `journal`).
+    pub checkpoint_every: Option<u64>,
+    /// Kill the scheduler at this heartbeat (1-based), then recover from
+    /// the journal and continue to completion (needs `journal`).
+    pub crash_at: Option<u64>,
+    /// Write the run's final `SimOutcome` as compact JSON to this path.
+    pub outcome: Option<String>,
 }
 
 /// Fault-plan shape used when `--crash-frac` is nonzero: the `churn`
@@ -79,6 +103,19 @@ pub fn instrumented_run(ctx: &RunCtx, opts: &InstrumentOpts) -> Result<String, S
         cfg.faults.downtime = CRASH_DOWNTIME;
         cfg.faults.window = CRASH_WINDOW;
         cfg.faults.flake_lead = CRASH_FLAKE_LEAD;
+    }
+    if let Some(k) = opts.checkpoint_every {
+        cfg.checkpoint_every = k;
+    }
+    // The scheduler crash goes on the traced run only; the control run
+    // stays uninterrupted so the identity cross-check doubles as the
+    // recovery-equivalence gate.
+    let mut traced_cfg = cfg.clone();
+    if let Some(n) = opts.crash_at {
+        traced_cfg.faults.sched_crash = Some(SchedulerCrash {
+            at_heartbeat: n,
+            mid_commit: false,
+        });
     }
     let sched = SchedName::Tetris;
     let shards = opts.shards.max(1);
@@ -117,11 +154,33 @@ pub fn instrumented_run(ctx: &RunCtx, opts: &InstrumentOpts) -> Result<String, S
         None => {}
     }
 
-    let traced = Simulation::build(cluster.clone(), workload.clone())
+    let mut journal = opts.journal.as_ref().map(|_| Journal::new());
+    let result = Simulation::build(cluster.clone(), workload.clone())
         .scheduler(build(cfg.seed))
-        .config(cfg.clone())
+        .config(traced_cfg)
         .observe(&mut obs)
-        .run();
+        .run_result(journal.as_mut());
+    let mut crash_heartbeat = None;
+    let mut recovery: Option<RecoveryStats> = None;
+    let traced = match result {
+        RunResult::Completed(outcome) => *outcome,
+        RunResult::Crashed { heartbeat } => {
+            crash_heartbeat = Some(heartbeat);
+            let j = journal
+                .as_ref()
+                .expect("the CLI rejects --crash-at without --journal");
+            // A fresh scheduler process: new builder, crash-free config,
+            // state rebuilt from the journal alone.
+            let rec = Simulation::build(cluster.clone(), workload.clone())
+                .scheduler(build(cfg.seed))
+                .config(cfg.clone())
+                .observe(&mut obs)
+                .recover(j)
+                .map_err(|e| format!("recovery from the journal failed: {e}"))?;
+            recovery = Some(rec.stats);
+            rec.outcome
+        }
+    };
     obs.flush();
     let samples = obs
         .take_timeseries()
@@ -144,6 +203,25 @@ pub fn instrumented_run(ctx: &RunCtx, opts: &InstrumentOpts) -> Result<String, S
         let json = serde_json::to_string_pretty(&snap).map_err(|e| e.to_string())?;
         std::fs::write(path, json + "\n").map_err(|e| format!("cannot write {path}: {e}"))?;
     }
+    // Save the journal and re-verify the bytes that actually hit disk:
+    // the strict reader must accept what the engine wrote.
+    let journal_stats = match (&opts.journal, &journal) {
+        (Some(path), Some(j)) => {
+            j.save(std::path::Path::new(path))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            Some(
+                Journal::load(std::path::Path::new(path))
+                    .map_err(|e| format!("cannot read back {path}: {e}"))?
+                    .verify()
+                    .map_err(|e| format!("journal {path} failed verification: {e}"))?,
+            )
+        }
+        _ => None,
+    };
+    if let Some(path) = &opts.outcome {
+        let json = serde_json::to_string(&traced).map_err(|e| e.to_string())?;
+        std::fs::write(path, json + "\n").map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
 
     let mut t = TextTable::new(vec!["metric", "value"]);
     t.row(vec!["scheduler".into(), sched.label().to_string()]);
@@ -157,6 +235,41 @@ pub fn instrumented_run(ctx: &RunCtx, opts: &InstrumentOpts) -> Result<String, S
         t.row(vec![
             "machine crashes".into(),
             traced.stats.machine_crashes.to_string(),
+        ]);
+    }
+    if let Some(hb) = crash_heartbeat {
+        t.row(vec!["scheduler crash heartbeat".into(), hb.to_string()]);
+    }
+    if let Some(rs) = &recovery {
+        t.row(vec![
+            "recovered from checkpoint".into(),
+            rs.checkpoint_heartbeat.to_string(),
+        ]);
+        t.row(vec![
+            "replayed batches".into(),
+            rs.replayed_batches.to_string(),
+        ]);
+        t.row(vec![
+            "replayed placements".into(),
+            rs.replayed_placements.to_string(),
+        ]);
+        t.row(vec![
+            "recovery wall (us)".into(),
+            rs.recovery_wall_us.to_string(),
+        ]);
+        if rs.discarded_records > 0 {
+            t.row(vec![
+                "discarded journal records".into(),
+                rs.discarded_records.to_string(),
+            ]);
+        }
+    }
+    if let Some(js) = &journal_stats {
+        t.row(vec!["journal records".into(), js.records.to_string()]);
+        t.row(vec!["journal bytes".into(), js.bytes.to_string()]);
+        t.row(vec![
+            "journal checkpoints".into(),
+            js.checkpoints.to_string(),
         ]);
     }
     t.row(vec![
@@ -231,6 +344,12 @@ pub fn instrumented_run(ctx: &RunCtx, opts: &InstrumentOpts) -> Result<String, S
     }
     if let Some(path) = &opts.timeseries {
         out.push_str(&format!("timeseries -> {path}\n"));
+    }
+    if let Some(path) = &opts.journal {
+        out.push_str(&format!("journal    -> {path}\n"));
+    }
+    if let Some(path) = &opts.outcome {
+        out.push_str(&format!("outcome    -> {path}\n"));
     }
     out.push('\n');
     out.push_str(&t.render());
@@ -314,6 +433,82 @@ mod tests {
     }
 
     #[test]
+    fn journaled_crash_recovers_to_the_uninterrupted_outcome() {
+        // Kill the scheduler at heartbeat 5, recover from the journal,
+        // and lean on the in-run identity cross-check: instrumented_run
+        // errors out unless the recovered outcome is byte-identical to
+        // the uninterrupted control run.
+        let dir = std::env::temp_dir();
+        let journal = dir.join(format!("tetris-instr-{}.wal", std::process::id()));
+        let outcome = dir.join(format!("tetris-instr-rec-{}.json", std::process::id()));
+        let o = InstrumentOpts {
+            journal: Some(journal.to_str().unwrap().into()),
+            checkpoint_every: Some(3),
+            crash_at: Some(5),
+            outcome: Some(outcome.to_str().unwrap().into()),
+            ..InstrumentOpts::default()
+        };
+        let report = instrumented_run(&RunCtx::default(), &o).unwrap();
+        assert!(report.contains("scheduler crash heartbeat"), "{report}");
+        assert!(report.contains("recovered from checkpoint"), "{report}");
+        assert!(report.contains("replayed batches"), "{report}");
+        assert!(report.contains("journal records"), "{report}");
+        assert!(!report.contains("NO (BUG)"), "{report}");
+
+        // The saved journal round-trips through the strict reader.
+        let stats = tetris_sim::Journal::load(&journal)
+            .unwrap()
+            .verify()
+            .unwrap();
+        assert!(stats.checkpoints >= 1);
+        // Replay is bounded by the checkpoint interval on a clean journal.
+        let line = report
+            .lines()
+            .find(|l| l.contains("replayed batches"))
+            .unwrap();
+        let replayed: u64 = line
+            .split_whitespace()
+            .last()
+            .unwrap()
+            .parse()
+            .expect("numeric cell");
+        assert!(
+            replayed <= 3,
+            "replay must be <= checkpoint interval: {line}"
+        );
+
+        // The outcome file is the recovered run's SimOutcome, parseable
+        // and complete — shell smokes `cmp` it against a crash-free one.
+        let text = std::fs::read_to_string(&outcome).unwrap();
+        let parsed: tetris_sim::SimOutcome = serde_json::from_str(text.trim()).unwrap();
+        assert!(parsed.stats.placements > 0);
+
+        std::fs::remove_file(&journal).ok();
+        std::fs::remove_file(&outcome).ok();
+    }
+
+    #[test]
+    fn journaled_run_without_crash_writes_a_verifiable_journal() {
+        let dir = std::env::temp_dir();
+        let journal = dir.join(format!("tetris-instr-nc-{}.wal", std::process::id()));
+        let o = InstrumentOpts {
+            journal: Some(journal.to_str().unwrap().into()),
+            checkpoint_every: Some(4),
+            ..InstrumentOpts::default()
+        };
+        let report = instrumented_run(&RunCtx::default(), &o).unwrap();
+        assert!(report.contains("journal records"), "{report}");
+        assert!(!report.contains("scheduler crash heartbeat"), "{report}");
+        let stats = tetris_sim::Journal::load(&journal)
+            .unwrap()
+            .verify()
+            .unwrap();
+        assert!(stats.committed_batches > 0);
+        assert!(stats.placements > 0);
+        std::fs::remove_file(&journal).ok();
+    }
+
+    #[test]
     fn verbose_run_attaches_provenance_and_streams_timeseries() {
         let dir = std::env::temp_dir();
         let trace = dir.join(format!("tetris-instr-v-{}.jsonl", std::process::id()));
@@ -323,8 +518,7 @@ mod tests {
             metrics: None,
             verbose: true,
             timeseries: Some(ts.to_str().unwrap().into()),
-            crash_frac: 0.0,
-            shards: 1,
+            ..InstrumentOpts::default()
         };
         let report = instrumented_run(&RunCtx::default(), &o).unwrap();
         assert!(report.contains("telemetry"), "{report}");

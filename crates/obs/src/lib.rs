@@ -135,6 +135,28 @@ pub mod names {
     /// heartbeat (histogram, microseconds; one sample per shard per
     /// fan-out round).
     pub const SHARD_HEARTBEAT_US: &str = "heartbeat_shard_us";
+
+    // ------- recovery family (journal + crash recovery, sim::recovery) -------
+
+    /// Records appended to the write-ahead decision journal (counter;
+    /// absent unless the run journaled).
+    pub const JOURNAL_RECORDS: &str = "journal_records_total";
+    /// Bytes appended to the write-ahead decision journal (counter).
+    pub const JOURNAL_BYTES: &str = "journal_bytes_total";
+    /// State checkpoints written into the journal, including the genesis
+    /// checkpoint (counter).
+    pub const CHECKPOINTS: &str = "checkpoints_total";
+    /// Scheduling batches re-applied from the journal during crash
+    /// recovery (counter; absent unless a recovery ran).
+    pub const RECOVERY_REPLAYED_BATCHES: &str = "recovery_replayed_batches";
+    /// Journaled placements re-applied during crash recovery (counter).
+    pub const RECOVERY_REPLAYED_PLACEMENTS: &str = "recovery_replayed_placements";
+    /// Torn/truncated trailing journal records discarded by the lenient
+    /// recovery scan (counter; absent when the tail was clean).
+    pub const RECOVERY_DISCARDED_RECORDS: &str = "recovery_discarded_records";
+    /// Wall time to restore the checkpoint and replay the journal tail
+    /// back to the crash frontier (histogram, microseconds).
+    pub const RECOVERY_LATENCY_US: &str = "recovery_latency_us";
 }
 
 /// The observability context: one recorder plus one metrics registry,

@@ -76,7 +76,7 @@ impl Interference {
 /// (paper §4.3). The resource tracker observes it and reports it to the
 /// scheduler; schedulers that ignore the tracker (slot-based baselines)
 /// keep placing tasks onto the loaded machine — the Figure-6 experiment.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct ExternalLoad {
     /// The loaded machine.
     pub machine: MachineId,
@@ -165,6 +165,11 @@ pub struct SimConfig {
     /// Disable to force the linear-scan oracle every indexed path is
     /// pinned decision-identical against (`sim/tests/prop_index.rs`).
     pub machine_index: bool,
+    /// Checkpoint cadence of the write-ahead journal (DESIGN.md §15): a
+    /// full engine snapshot every K scheduling heartbeats, bounding crash
+    /// recovery's replay to at most K batches. Ignored unless the run
+    /// journals.
+    pub checkpoint_every: u64,
 }
 
 impl Default for SimConfig {
@@ -189,6 +194,7 @@ impl Default for SimConfig {
             thrash_floor: 0.25,
             faults: FaultPlan::default(),
             machine_index: true,
+            checkpoint_every: 32,
         }
     }
 }
@@ -242,6 +248,9 @@ impl SimConfig {
                 return Err(format!("external load {i} has invalid load vector"));
             }
         }
+        if self.checkpoint_every == 0 {
+            return Err("checkpoint_every must be ≥ 1".into());
+        }
         self.faults.validate(self.max_time)?;
         Ok(())
     }
@@ -289,6 +298,25 @@ mod tests {
         let mut c = SimConfig::default();
         c.shuffle_fanin = 0;
         assert!(c.validate().is_err());
+
+        let mut c = SimConfig::default();
+        c.checkpoint_every = 0;
+        assert!(c.validate().is_err());
+        c.checkpoint_every = 1;
+        assert_eq!(c.validate(), Ok(()));
+
+        // Scheduler crashes are 1-based: heartbeat 0 never happens.
+        let mut c = SimConfig::default();
+        c.faults.sched_crash = Some(crate::fault::SchedulerCrash {
+            at_heartbeat: 0,
+            mid_commit: false,
+        });
+        assert!(c.validate().is_err());
+        c.faults.sched_crash = Some(crate::fault::SchedulerCrash {
+            at_heartbeat: 1,
+            mid_commit: true,
+        });
+        assert_eq!(c.validate(), Ok(()));
 
         // Fault plans are validated against the sim horizon.
         let mut c = SimConfig::default();

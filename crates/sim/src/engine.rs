@@ -10,7 +10,11 @@ use crate::cluster::{ClusterConfig, MachineId};
 use crate::config::SimConfig;
 use crate::events::{EventKind, EventQueue};
 use crate::fault::{ExpandedFaultPlan, FaultKind};
+use crate::journal::{Journal, JournalRecord, JOURNAL_VERSION};
 use crate::outcome::{EngineStats, JobRecord, MachineSample, Sample, SimOutcome, TaskRecord};
+use crate::recovery::{
+    run_fingerprint, CheckpointState, Recovered, RecoveryError, ReplayPlan, RunResult,
+};
 use crate::state::{DirtySet, Phase, SimState, TaskCompletion};
 use crate::time::SimTime;
 use crate::view::{ClusterView, SchedulerEvent, SchedulerPolicy};
@@ -141,8 +145,68 @@ impl<'o> Simulation<'o> {
     ///
     /// # Panics
     /// On invalid configuration or workload — these are programming errors
-    /// in experiment setup, not runtime conditions to recover from.
+    /// in experiment setup, not runtime conditions to recover from. Also
+    /// panics if the fault plan configures a
+    /// [`SchedulerCrash`](crate::SchedulerCrash): a crash is a
+    /// [`RunResult`], so callers expecting one use
+    /// [`Simulation::run_result`].
     pub fn run(self) -> SimOutcome {
+        assert!(
+            self.cfg.faults.sched_crash.is_none(),
+            "sched_crash configured: use run_result(), which can report the crash"
+        );
+        match self
+            .run_core(None, None, None)
+            .expect("no replay: recovery errors are impossible")
+        {
+            RunResult::Completed(outcome) => *outcome,
+            RunResult::Crashed { .. } => unreachable!("sched_crash asserted off above"),
+        }
+    }
+
+    /// Run like [`Simulation::run`], optionally appending every engine
+    /// event and commit decision to a write-ahead `journal`, and report
+    /// how the run ended instead of panicking when the fault plan's
+    /// [`SchedulerCrash`](crate::SchedulerCrash) fires (DESIGN.md §15).
+    pub fn run_result(self, journal: Option<&mut Journal>) -> RunResult {
+        self.run_core(journal, None, None)
+            .expect("no replay: recovery errors are impossible")
+    }
+
+    /// Recover a crashed run from its journal: restore the most recent
+    /// checkpoint, deterministically replay the committed batches past it,
+    /// then continue live to completion. The recovered outcome is
+    /// byte-identical to what the uninterrupted run would have produced.
+    ///
+    /// The builder must describe the run the journal was written by
+    /// (cluster, workload, seed) — recovery refuses on fingerprint
+    /// mismatch. A configured `sched_crash` is ignored: recovery always
+    /// runs to the end. Torn trailing records (a mid-commit crash's
+    /// artifact) are discarded, never replayed.
+    pub fn recover(self, journal: &Journal) -> Result<Recovered, RecoveryError> {
+        let fingerprint = run_fingerprint(&self.cluster, &self.workload, self.cfg.seed);
+        let (cp, mut plan) = crate::recovery::plan_recovery(journal, fingerprint)?;
+        match self.run_core(None, Some(&mut plan), Some(Box::new(cp)))? {
+            RunResult::Completed(outcome) => Ok(Recovered {
+                outcome: *outcome,
+                stats: plan.stats,
+            }),
+            RunResult::Crashed { .. } => unreachable!("resumed runs ignore sched_crash"),
+        }
+    }
+
+    /// The engine loop behind [`run`](Simulation::run),
+    /// [`run_result`](Simulation::run_result) and
+    /// [`recover`](Simulation::recover): optionally journaling (live runs),
+    /// optionally substituting journaled decisions for policy calls
+    /// (`replay`), optionally starting from a restored checkpoint instead
+    /// of a fresh state (`resume`).
+    fn run_core(
+        self,
+        mut journal: Option<&mut Journal>,
+        mut replay: Option<&mut ReplayPlan>,
+        resume: Option<Box<CheckpointState>>,
+    ) -> Result<RunResult, RecoveryError> {
         let mut policy = self.policy.expect("Simulation requires a scheduler");
         self.cfg.validate().expect("invalid SimConfig");
         self.workload.validate().expect("invalid workload");
@@ -174,65 +238,127 @@ impl<'o> Simulation<'o> {
         }
 
         let tracker_aware = policy.uses_tracker();
-        let mut state = SimState::new(self.cluster, self.workload, self.cfg);
-        let mut queue = EventQueue::new();
-        let mut stats = EngineStats::default();
-        let mut samples: Vec<Sample> = Vec::new();
-        let mut dirty = DirtySet::default();
 
-        // Seed the queue.
-        for job in &state.workload.jobs {
-            queue.push(
-                SimTime::from_secs(job.arrival),
-                EventKind::JobArrival(job.id),
-            );
-        }
-        for (i, e) in state.cfg.external_loads.iter().enumerate() {
-            queue.push(SimTime::from_secs(e.start), EventKind::ExternalStart(i));
-            queue.push(
-                SimTime::from_secs(e.start + e.duration),
-                EventKind::ExternalEnd(i),
-            );
-        }
-        if state.cfg.sample_period.is_some() {
-            queue.push(SimTime::ZERO, EventKind::Sample);
-        }
-        queue.push(
-            SimTime::from_secs(state.cfg.tracker_period),
-            EventKind::TrackerReport,
+        // The journal header carries a fingerprint of the builder's
+        // inputs, computed before they are consumed below. Recovery
+        // refuses a journal whose fingerprint disagrees with its builder.
+        let fingerprint = journal
+            .is_some()
+            .then(|| run_fingerprint(&self.cluster, &self.workload, self.cfg.seed));
+        // A scheduler crash fires only on a live run: recovering *from* a
+        // crash must reach the end, whatever the builder's plan says.
+        let sched_crash = if resume.is_some() {
+            None
+        } else {
+            self.cfg.faults.sched_crash
+        };
+        debug_assert!(
+            journal.is_none() || resume.is_none(),
+            "journaling a resumed run is not supported"
         );
-        // Fault plan expansion draws from the sim RNG *after* all other
-        // seeding, and only when enabled: a disabled plan draws nothing
-        // and pushes nothing, keeping fault-free runs byte-identical.
-        if state.cfg.faults.enabled() {
-            let plan = state.cfg.faults.clone();
-            let expanded = plan.expand(state.machines.len(), state.cfg.max_time, &mut state.rng);
-            // A caller-supplied pre-expansion replaces the run's own —
-            // the draws above still happened, so the RNG stream (and every
-            // later legacy draw) is unchanged, and the two plans must
-            // agree whenever the builder configs do.
-            let expanded = match self.pre_expanded {
-                Some(pre) => {
-                    debug_assert_eq!(
-                        pre, expanded,
-                        "pre-expanded fault plan disagrees with this run's expansion"
-                    );
-                    pre
+
+        let mut dirty = DirtySet::default();
+        let (mut state, mut queue, mut stats, mut samples, mut heartbeats) = match resume {
+            // A restored checkpoint was taken at a batch boundary: the
+            // dirty set was empty and every pending event (including the
+            // next TrackerReport and remaining fault schedule) is inside
+            // its event-queue snapshot, so no re-seeding happens here.
+            Some(mut cp) => {
+                // Persistent policy state (reservations, learned demand
+                // families) rides in the checkpoint; hand it back before
+                // the policy sees any event or schedule call, so replayed
+                // heartbeats re-derive the original decisions.
+                if let Some(ps) = cp.policy_state.take() {
+                    policy.import_state(&ps);
                 }
-                None => expanded,
-            };
-            state.tracker_modes = expanded.tracker_modes.clone();
-            state.tracker_modes_baseline = expanded.tracker_modes;
-            for (t, k) in expanded.events {
-                let kind = match k {
-                    FaultKind::Down(m) => EventKind::MachineDown(MachineId(m)),
-                    FaultKind::Up(m) => EventKind::MachineUp(MachineId(m)),
-                    FaultKind::SlowStart(m) => EventKind::SlowdownStart(MachineId(m)),
-                    FaultKind::SlowEnd(m) => EventKind::SlowdownEnd(MachineId(m)),
-                    FaultKind::Flake(m) => EventKind::TrackerFlake(MachineId(m)),
-                };
-                queue.push(SimTime::from_secs(t), kind);
+                cp.restore(self.cluster, self.workload, self.cfg)
             }
+            None => {
+                let mut state = SimState::new(self.cluster, self.workload, self.cfg);
+                let mut queue = EventQueue::new();
+
+                // Seed the queue.
+                for job in &state.workload.jobs {
+                    queue.push(
+                        SimTime::from_secs(job.arrival),
+                        EventKind::JobArrival(job.id),
+                    );
+                }
+                for (i, e) in state.cfg.external_loads.iter().enumerate() {
+                    queue.push(SimTime::from_secs(e.start), EventKind::ExternalStart(i));
+                    queue.push(
+                        SimTime::from_secs(e.start + e.duration),
+                        EventKind::ExternalEnd(i),
+                    );
+                }
+                if state.cfg.sample_period.is_some() {
+                    queue.push(SimTime::ZERO, EventKind::Sample);
+                }
+                queue.push(
+                    SimTime::from_secs(state.cfg.tracker_period),
+                    EventKind::TrackerReport,
+                );
+                // Fault plan expansion draws from the sim RNG *after* all other
+                // seeding, and only when enabled: a disabled plan draws nothing
+                // and pushes nothing, keeping fault-free runs byte-identical.
+                if state.cfg.faults.enabled() {
+                    let plan = state.cfg.faults.clone();
+                    let expanded =
+                        plan.expand(state.machines.len(), state.cfg.max_time, &mut state.rng);
+                    // A caller-supplied pre-expansion replaces the run's own —
+                    // the draws above still happened, so the RNG stream (and every
+                    // later legacy draw) is unchanged, and the two plans must
+                    // agree whenever the builder configs do.
+                    let expanded = match self.pre_expanded {
+                        Some(pre) => {
+                            debug_assert_eq!(
+                                pre, expanded,
+                                "pre-expanded fault plan disagrees with this run's expansion"
+                            );
+                            pre
+                        }
+                        None => expanded,
+                    };
+                    state.tracker_modes = expanded.tracker_modes.clone();
+                    state.tracker_modes_baseline = expanded.tracker_modes;
+                    for (t, k) in expanded.events {
+                        let kind = match k {
+                            FaultKind::Down(m) => EventKind::MachineDown(MachineId(m)),
+                            FaultKind::Up(m) => EventKind::MachineUp(MachineId(m)),
+                            FaultKind::SlowStart(m) => EventKind::SlowdownStart(MachineId(m)),
+                            FaultKind::SlowEnd(m) => EventKind::SlowdownEnd(MachineId(m)),
+                            FaultKind::Flake(m) => EventKind::TrackerFlake(MachineId(m)),
+                        };
+                        queue.push(SimTime::from_secs(t), kind);
+                    }
+                }
+                (state, queue, EngineStats::default(), Vec::new(), 0u64)
+            }
+        };
+
+        // Journal prologue: identify the run, then a genesis checkpoint so
+        // recovery always has a snapshot to restore, however early the
+        // crash.
+        let mut checkpoints_written = 0u64;
+        if let Some(j) = journal.as_deref_mut() {
+            j.append(&JournalRecord::RunHeader {
+                version: JOURNAL_VERSION,
+                seed: state.cfg.seed,
+                fingerprint: fingerprint.expect("fingerprint computed when journaling"),
+                checkpoint_every: state.cfg.checkpoint_every,
+            });
+            j.append(&JournalRecord::Checkpoint {
+                heartbeat: heartbeats,
+                state: Box::new(CheckpointState::capture(
+                    &state,
+                    &queue,
+                    &stats,
+                    &samples,
+                    heartbeats,
+                    policy.export_state(),
+                )),
+            });
+            checkpoints_written += 1;
         }
 
         let max_t = state.cfg.max_sim_time();
@@ -463,7 +589,61 @@ impl<'o> Simulation<'o> {
 
             state.recompute_dirty(&mut dirty, &mut queue);
 
-            if want_schedule && state.jobs_remaining > 0 {
+            let did_heartbeat = want_schedule && state.jobs_remaining > 0;
+            if did_heartbeat {
+                heartbeats += 1;
+                // Crash point (a): between batches. Nothing of this
+                // heartbeat reaches the journal — recovery resumes exactly
+                // at its commit frontier.
+                if let Some(c) = sched_crash {
+                    if !c.mid_commit && heartbeats == c.at_heartbeat {
+                        return Ok(RunResult::Crashed {
+                            heartbeat: heartbeats,
+                        });
+                    }
+                }
+                let crash_mid_commit =
+                    sched_crash.is_some_and(|c| c.mid_commit && heartbeats == c.at_heartbeat);
+                if let Some(j) = journal.as_deref_mut() {
+                    j.append(&JournalRecord::BatchStart {
+                        heartbeat: heartbeats,
+                        now_us: state.now.0,
+                    });
+                }
+                // When recovering, the batch journaled for this heartbeat
+                // rides along as a witness: the rounds below re-invoke the
+                // policy as usual (its checkpointed state makes every
+                // decision deterministic) and each applied placement is
+                // checked against the journal. Committed batches chain
+                // gaplessly from the restored checkpoint, so any
+                // misalignment means the journal belongs to a different
+                // run (or its payloads lie) — a typed error, never a
+                // silent divergence.
+                let mut replay_batch = match replay.as_deref_mut() {
+                    Some(p) if !p.batches.is_empty() => {
+                        let b = p.batches.pop_front().expect("checked non-empty");
+                        if b.heartbeat != heartbeats {
+                            return Err(RecoveryError::ReplayDivergence {
+                                heartbeat: heartbeats,
+                                msg: format!(
+                                    "journal holds batch {} at engine heartbeat {heartbeats}",
+                                    b.heartbeat
+                                ),
+                            });
+                        }
+                        if b.now_us != state.now.0 {
+                            return Err(RecoveryError::ReplayDivergence {
+                                heartbeat: heartbeats,
+                                msg: format!(
+                                    "journaled batch time {}µs, engine at {}µs",
+                                    b.now_us, state.now.0
+                                ),
+                            });
+                        }
+                        Some(b)
+                    }
+                    _ => None,
+                };
                 // Deliver the batch's scheduler events, then mirror each
                 // freed-machine hint, before the round's schedule calls —
                 // the protocol documented on [`SchedulerEvent`].
@@ -486,8 +666,10 @@ impl<'o> Simulation<'o> {
                 let pending_before =
                     observing.then(|| ClusterView::new(&state, tracker_aware).num_pending());
                 let placed_before = stats.placements;
+                let calls_before = stats.schedule_calls;
+                let rejected_before = stats.rejected_assignments;
                 let heartbeat_start = Instant::now();
-                for _round in 0..MAX_SCHEDULE_ROUNDS {
+                for round in 0..MAX_SCHEDULE_ROUNDS {
                     let schedule_start = Instant::now();
                     let assignments = {
                         let view = ClusterView::new(&state, tracker_aware);
@@ -501,9 +683,51 @@ impl<'o> Simulation<'o> {
                     if assignments.is_empty() {
                         break;
                     }
+                    // Crash point (b): mid-commit. Only the first half of
+                    // this heartbeat's first-round placements reach the
+                    // journal and no commit record does — with a sharded
+                    // policy, that is some shards' plans journaled and
+                    // others lost. Recovery discards the torn batch and
+                    // re-derives the frontier at the last commit.
+                    let cut = if round == 0 && crash_mid_commit {
+                        assignments.len() / 2
+                    } else {
+                        usize::MAX
+                    };
+                    let mut applied = 0usize;
                     let mut placed = false;
                     for a in assignments {
                         if state.assignment_valid(a.task, a.machine) {
+                            if applied >= cut {
+                                return Ok(RunResult::Crashed {
+                                    heartbeat: heartbeats,
+                                });
+                            }
+                            applied += 1;
+                            // Replay cross-check: the restored policy must
+                            // re-derive exactly the journaled decision
+                            // sequence, placement by placement.
+                            if let Some(b) = replay_batch.as_mut() {
+                                let expected = b.expected.pop_front();
+                                if expected != Some((round as u32, a.task, a.machine)) {
+                                    return Err(RecoveryError::ReplayDivergence {
+                                        heartbeat: heartbeats,
+                                        msg: format!(
+                                            "policy placed task {} on machine {} in round \
+                                             {round}, journal expected {expected:?}",
+                                            a.task.index(),
+                                            a.machine.index(),
+                                        ),
+                                    });
+                                }
+                            }
+                            if let Some(j) = journal.as_deref_mut() {
+                                j.append(&JournalRecord::Placement {
+                                    task: a.task,
+                                    machine: a.machine,
+                                    round: round as u32,
+                                });
+                            }
                             state.apply_assignment(a.task, a.machine, &mut dirty, &mut queue);
                             stats.placements += 1;
                             obs.metrics.counter_inc(names::PLACEMENTS);
@@ -552,6 +776,53 @@ impl<'o> Simulation<'o> {
                         break;
                     }
                 }
+                // Batch-end cross-check: everything the journal committed
+                // for this heartbeat was re-derived, and the policy's
+                // call/rejection tallies match the commit record — the
+                // recovered `EngineStats` is byte-identical to the
+                // uninterrupted run's or recovery fails loudly.
+                if let Some(b) = replay_batch.take() {
+                    if !b.expected.is_empty() {
+                        return Err(RecoveryError::ReplayDivergence {
+                            heartbeat: heartbeats,
+                            msg: format!(
+                                "{} journaled placements were not re-derived by the policy",
+                                b.expected.len()
+                            ),
+                        });
+                    }
+                    let calls = stats.schedule_calls - calls_before;
+                    let rejected = stats.rejected_assignments - rejected_before;
+                    if calls != b.schedule_calls || rejected != b.rejected {
+                        return Err(RecoveryError::ReplayDivergence {
+                            heartbeat: heartbeats,
+                            msg: format!(
+                                "replayed batch made {calls} schedule calls ({} journaled) \
+                                 and {rejected} rejections ({} journaled)",
+                                b.schedule_calls, b.rejected
+                            ),
+                        });
+                    }
+                }
+                if crash_mid_commit {
+                    // The policy produced nothing to tear this heartbeat —
+                    // die anyway, before the commit record, so the batch
+                    // still reads as uncommitted.
+                    return Ok(RunResult::Crashed {
+                        heartbeat: heartbeats,
+                    });
+                }
+                if let Some(j) = journal.as_deref_mut() {
+                    // The commit makes the batch durable. Its deltas let
+                    // recovery cross-check the replayed policy's tallies
+                    // without trusting them.
+                    j.append(&JournalRecord::BatchCommit {
+                        heartbeat: heartbeats,
+                        placements: stats.placements - placed_before,
+                        schedule_calls: stats.schedule_calls - calls_before,
+                        rejected: stats.rejected_assignments - rejected_before,
+                    });
+                }
                 let wall_ns = heartbeat_start.elapsed().as_nanos() as u64;
                 obs.metrics.observe(names::HEARTBEAT_NS, wall_ns);
                 if let Some(pending) = pending_before {
@@ -582,10 +853,36 @@ impl<'o> Simulation<'o> {
                     let sample = crate::telemetry::sample_cluster(&state);
                     obs.record_sample(sample);
                 }
+
+                // The commit frontier is reached the moment the last
+                // journaled batch is consumed; everything after runs live.
+                if let Some(p) = replay.as_deref_mut() {
+                    finish_replay(p, &mut obs.metrics);
+                }
             }
 
             if want_sample {
                 samples.push(take_sample(&state));
+            }
+
+            // Periodic checkpoint, at the batch boundary the snapshot
+            // contract requires (dirty set drained, samples current): a
+            // resumed run re-enters the loop exactly here.
+            if did_heartbeat && heartbeats % state.cfg.checkpoint_every == 0 {
+                if let Some(j) = journal.as_deref_mut() {
+                    j.append(&JournalRecord::Checkpoint {
+                        heartbeat: heartbeats,
+                        state: Box::new(CheckpointState::capture(
+                            &state,
+                            &queue,
+                            &stats,
+                            &samples,
+                            heartbeats,
+                            policy.export_state(),
+                        )),
+                    });
+                    checkpoints_written += 1;
+                }
             }
 
             if state.jobs_remaining == 0 {
@@ -622,10 +919,48 @@ impl<'o> Simulation<'o> {
         // drain above, so non-reporting policies add no snapshot names.
         policy.drain_metrics(&mut obs.metrics);
 
+        // A recovery whose journal held no batches past the checkpoint
+        // never entered a heartbeat replay — close it out here.
+        if let Some(p) = replay {
+            finish_replay(p, &mut obs.metrics);
+        }
+        // Journal accounting (zero-gated by journaling itself: runs
+        // without a journal add no names to the snapshot).
+        if let Some(j) = journal.as_deref() {
+            obs.metrics
+                .counter_add(names::JOURNAL_RECORDS, j.appended_records());
+            obs.metrics
+                .counter_add(names::JOURNAL_BYTES, j.bytes().len() as u64);
+            obs.metrics
+                .counter_add(names::CHECKPOINTS, checkpoints_written);
+        }
+
         obs.flush();
         let scheduler = policy.name().to_string();
-        finalize(state, scheduler, samples, stats, timed_out)
+        Ok(RunResult::Completed(Box::new(finalize(
+            state, scheduler, samples, stats, timed_out,
+        ))))
     }
+}
+
+/// Close out a replay once its batches are exhausted: stamp the recovery
+/// wall clock (restore begin → frontier reached) and publish the
+/// recovery counters. Idempotent past the first call.
+fn finish_replay(p: &mut ReplayPlan, metrics: &mut tetris_obs::MetricsRegistry) {
+    if p.replay_done || !p.batches.is_empty() {
+        return;
+    }
+    p.replay_done = true;
+    p.stats.recovery_wall_us = p.started.elapsed().as_micros() as u64;
+    metrics.counter_add(names::RECOVERY_REPLAYED_BATCHES, p.stats.replayed_batches);
+    metrics.counter_add(
+        names::RECOVERY_REPLAYED_PLACEMENTS,
+        p.stats.replayed_placements,
+    );
+    if p.stats.discarded_records > 0 {
+        metrics.counter_add(names::RECOVERY_DISCARDED_RECORDS, p.stats.discarded_records);
+    }
+    metrics.observe(names::RECOVERY_LATENCY_US, p.stats.recovery_wall_us);
 }
 
 /// The machine owning external load `idx` (static config loads first,

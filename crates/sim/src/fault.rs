@@ -75,6 +75,25 @@ pub struct FaultPlan {
     /// size blocks individually; this calibration constant stands in for
     /// an HDFS block).
     pub rerep_bytes: f64,
+    /// Kill the *scheduler* (not a machine) at a given heartbeat, leaving
+    /// the journal as the only record of its decisions. Exercised by the
+    /// crash-recovery path (DESIGN.md §15); requires the run to journal.
+    pub sched_crash: Option<SchedulerCrash>,
+}
+
+/// A scheduler process crash, for crash-recovery testing. Unlike machine
+/// faults this draws no randomness and schedules no events, so it is
+/// deliberately *excluded* from [`FaultPlan::enabled`]: configuring a
+/// crash must not perturb fault-expansion RNG draws, or the recovered
+/// run could never be byte-identical to an uninterrupted one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedulerCrash {
+    /// 1-based scheduling heartbeat at which the scheduler dies.
+    pub at_heartbeat: u64,
+    /// Die *mid-commit*: journal only half of the heartbeat's placements
+    /// and no commit record, leaving a torn trailing batch for recovery
+    /// to discard (the sharded mid-commit scenario).
+    pub mid_commit: bool,
 }
 
 impl Default for FaultPlan {
@@ -95,13 +114,17 @@ impl Default for FaultPlan {
             evacuate: true,
             rerep_bandwidth: 50.0 * 1024.0 * 1024.0,
             rerep_bytes: 128.0 * 1024.0 * 1024.0,
+            sched_crash: None,
         }
     }
 }
 
 impl FaultPlan {
-    /// True iff the plan injects anything. A disabled plan draws no
-    /// randomness and schedules no events — the byte-identity guarantee.
+    /// True iff the plan injects anything *into the simulated cluster*. A
+    /// disabled plan draws no randomness and schedules no events — the
+    /// byte-identity guarantee. `sched_crash` is intentionally absent: a
+    /// scheduler crash kills the engine process mid-run but must not
+    /// change what an uninterrupted run would have computed.
     pub fn enabled(&self) -> bool {
         (self.crash_frac > 0.0 && self.crash_cycles > 0)
             || self.slowdown_frac > 0.0
@@ -158,6 +181,14 @@ impl FaultPlan {
                 if b + self.slowdown_duration > max_time {
                     return Err("fault window + slowdown_duration exceeds max_time".into());
                 }
+            }
+        }
+        if let Some(sc) = &self.sched_crash {
+            // Heartbeats are event-driven, so the horizon in heartbeats is
+            // not statically derivable from max_time; a crash heartbeat the
+            // run never reaches simply means the run completes uncrashed.
+            if sc.at_heartbeat == 0 {
+                return Err("fault sched_crash.at_heartbeat must be ≥ 1".into());
             }
         }
         Ok(())
@@ -289,7 +320,7 @@ impl FaultKind {
 }
 
 /// How a machine's tracker behaves (assigned per machine at expansion).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub(crate) enum TrackerMode {
     /// Reports true usage.
     Honest,

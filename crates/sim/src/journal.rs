@@ -1,0 +1,674 @@
+//! Write-ahead decision journal (DESIGN.md §15).
+//!
+//! An append-only, CRC-framed record stream that makes the *scheduler*
+//! restart-safe: the engine journals every scheduling batch's commit
+//! decisions plus periodic checkpoints of the full ledger state, and
+//! [`crate::Simulation::recover`] restores the latest surviving
+//! checkpoint and deterministically replays the tail so the recovered
+//! run's outcome is byte-identical to an uninterrupted run.
+//!
+//! ## Frame format
+//!
+//! ```text
+//! [len: u32 LE] [crc32: u32 LE] [payload: len bytes]
+//! ```
+//!
+//! `crc32` is the IEEE CRC-32 of the payload. The payload is the compact
+//! JSON encoding of one [`JournalRecord`] — the same wire idiom as the
+//! obs trace stream, framed so a torn tail (the scheduler died mid-write)
+//! is detected by length or checksum rather than by a JSON parse panic.
+//!
+//! ## Record stream grammar
+//!
+//! ```text
+//! RunHeader Checkpoint(0)
+//!   ( BatchStart Placement* BatchCommit Checkpoint? )*
+//! ```
+//!
+//! A batch is *committed* iff its `BatchCommit` made it into the journal;
+//! recovery replays only committed batches (the commit frontier) and
+//! discards a trailing `BatchStart` whose commit never landed — exactly
+//! the torn state a mid-commit crash leaves behind.
+//!
+//! Two readers share the frame scanner:
+//!
+//! * `Journal::records_lenient` — the lenient scan used by recovery:
+//!   stops at the first invalid frame and reports how many bytes/records
+//!   were dropped, because a torn tail is an expected crash artifact.
+//! * [`Journal::verify`] — the *strict* scan used by tests and tooling:
+//!   any invalid frame or grammar violation is a typed [`JournalError`]
+//!   carrying the byte offset of the failing record.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use tetris_workload::TaskUid;
+
+use crate::cluster::MachineId;
+use crate::recovery::CheckpointState;
+
+/// Journal wire-format version; bumped on any frame or record change.
+pub const JOURNAL_VERSION: u32 = 1;
+
+/// Frame header size: `len` + `crc32`.
+const FRAME_HEADER: usize = 8;
+
+/// Hard cap on a single record's payload so a corrupt length field can't
+/// ask the scanner to allocate the universe (checkpoints of very large
+/// clusters are tens of MB; 1 GiB is far beyond any real record).
+const MAX_RECORD_LEN: u32 = 1 << 30;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `bytes`.
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// One journal record.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub(crate) enum JournalRecord {
+    /// First record of every journal: identifies the run it belongs to.
+    RunHeader {
+        /// Wire-format version ([`JOURNAL_VERSION`]).
+        version: u32,
+        /// Simulator seed of the journaled run.
+        seed: u64,
+        /// Fingerprint of (cluster, workload, seed) — recovery refuses a
+        /// journal whose fingerprint disagrees with the builder's.
+        fingerprint: u64,
+        /// Checkpoint cadence the run was configured with.
+        checkpoint_every: u64,
+    },
+    /// Full engine snapshot at a batch boundary (heartbeat 0 = genesis,
+    /// written immediately after the header).
+    Checkpoint {
+        /// Scheduling heartbeats completed when the snapshot was taken.
+        heartbeat: u64,
+        /// The snapshot itself.
+        state: Box<CheckpointState>,
+    },
+    /// A scheduling batch began.
+    BatchStart {
+        /// 1-based scheduling-heartbeat number.
+        heartbeat: u64,
+        /// Simulated time of the batch, microseconds.
+        now_us: u64,
+    },
+    /// One committed placement decision within the current batch.
+    Placement {
+        /// Task placed.
+        task: TaskUid,
+        /// Machine it was placed on.
+        machine: MachineId,
+        /// Scheduling round within the batch (placements must re-apply in
+        /// per-round groups: rate recomputation between rounds pushes
+        /// queue events whose sequence numbers feed event ordering).
+        round: u32,
+    },
+    /// The scheduling batch committed.
+    BatchCommit {
+        /// Heartbeat being committed (must match the open `BatchStart`).
+        heartbeat: u64,
+        /// Placements applied in the batch (cross-check for replay).
+        placements: u64,
+        /// `schedule()` invocations the batch made — not re-derivable
+        /// during replay (the policy is not re-invoked), so the delta is
+        /// journaled to keep [`crate::EngineStats`] byte-identical.
+        schedule_calls: u64,
+        /// Assignments the engine rejected as invalid in the batch.
+        rejected: u64,
+    },
+}
+
+/// A typed journal defect, located by the byte offset of the offending
+/// frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalError {
+    /// The journal has no bytes at all.
+    Empty,
+    /// The first record is not a `RunHeader` (or a later record is a
+    /// second one).
+    MissingHeader {
+        /// Offset of the record that should have been the header.
+        offset: u64,
+    },
+    /// A second `RunHeader` appeared mid-stream.
+    DuplicateHeader {
+        /// Offset of the duplicate.
+        offset: u64,
+    },
+    /// The file ends inside a frame (torn tail).
+    Truncated {
+        /// Offset of the incomplete frame.
+        offset: u64,
+    },
+    /// A frame's checksum does not match its payload.
+    BadCrc {
+        /// Offset of the corrupt frame.
+        offset: u64,
+    },
+    /// A frame's payload is not a decodable record.
+    BadPayload {
+        /// Offset of the undecodable frame.
+        offset: u64,
+        /// Decoder diagnostic.
+        msg: String,
+    },
+    /// A structurally impossible record sequence (duplicate commit,
+    /// placement outside a batch, out-of-order heartbeat, …) somewhere
+    /// other than a discardable tail.
+    OutOfOrder {
+        /// Offset of the violating record.
+        offset: u64,
+        /// What was violated.
+        msg: String,
+    },
+    /// The journal belongs to a different run than the builder describes.
+    FingerprintMismatch {
+        /// Fingerprint the builder computed.
+        expected: u64,
+        /// Fingerprint stored in the journal header.
+        found: u64,
+    },
+    /// The journal version is not supported.
+    BadVersion {
+        /// Version stored in the header.
+        found: u32,
+    },
+    /// No checkpoint survives in the readable prefix — nothing to restore.
+    NoCheckpoint,
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Empty => write!(f, "journal is empty"),
+            JournalError::MissingHeader { offset } => {
+                write!(f, "record at byte {offset} is not the run header")
+            }
+            JournalError::DuplicateHeader { offset } => {
+                write!(f, "duplicate run header at byte {offset}")
+            }
+            JournalError::Truncated { offset } => {
+                write!(f, "journal truncated inside the frame at byte {offset}")
+            }
+            JournalError::BadCrc { offset } => {
+                write!(f, "checksum mismatch in the frame at byte {offset}")
+            }
+            JournalError::BadPayload { offset, msg } => {
+                write!(f, "undecodable record at byte {offset}: {msg}")
+            }
+            JournalError::OutOfOrder { offset, msg } => {
+                write!(f, "impossible record sequence at byte {offset}: {msg}")
+            }
+            JournalError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "journal belongs to a different run (fingerprint {found:#x}, expected {expected:#x})"
+            ),
+            JournalError::BadVersion { found } => {
+                write!(f, "unsupported journal version {found} (expected {JOURNAL_VERSION})")
+            }
+            JournalError::NoCheckpoint => write!(f, "no checkpoint survives in the journal"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// What the lenient scan dropped from the tail, if anything.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscardedTail {
+    /// Byte offset where the readable prefix ends.
+    pub offset: u64,
+    /// Bytes dropped.
+    pub bytes: u64,
+    /// Why the scan stopped (display form of the frame defect).
+    pub reason: String,
+}
+
+/// Aggregate counts from a strict scan ([`Journal::verify`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JournalStats {
+    /// Records in the journal.
+    pub records: u64,
+    /// Total bytes.
+    pub bytes: u64,
+    /// Checkpoints (including genesis).
+    pub checkpoints: u64,
+    /// Committed batches.
+    pub committed_batches: u64,
+    /// Placements journaled inside committed batches.
+    pub placements: u64,
+}
+
+/// An append-only, CRC-framed journal buffer.
+///
+/// The engine appends records while running; [`Journal::save`] /
+/// [`Journal::load`] move the byte stream to and from disk. All decoding
+/// goes through the scanning methods, never through direct indexing, so
+/// corrupt input surfaces as [`JournalError`]s.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Journal {
+    buf: Vec<u8>,
+    records: u64,
+}
+
+impl Journal {
+    /// New empty journal.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wrap raw journal bytes (e.g. read from elsewhere, or corrupted on
+    /// purpose by a test).
+    pub fn from_bytes(buf: Vec<u8>) -> Self {
+        Journal { buf, records: 0 }
+    }
+
+    /// The raw byte stream.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Records appended through this handle (not counting pre-loaded
+    /// bytes).
+    pub fn appended_records(&self) -> u64 {
+        self.records
+    }
+
+    /// Append one framed record.
+    pub(crate) fn append(&mut self, rec: &JournalRecord) {
+        let payload = serde_json::to_string(rec)
+            .expect("journal records always serialize")
+            .into_bytes();
+        let len = u32::try_from(payload.len()).expect("record fits a u32 length");
+        self.buf.extend_from_slice(&len.to_le_bytes());
+        self.buf.extend_from_slice(&crc32(&payload).to_le_bytes());
+        self.buf.extend_from_slice(&payload);
+        self.records += 1;
+    }
+
+    /// Write the journal to `path` (atomic enough for the simulator: a
+    /// single create+write).
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        fs::write(path, &self.buf)
+    }
+
+    /// Read a journal byte stream from `path`. No validation happens
+    /// here — corrupt content surfaces from the scanning methods.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        Ok(Journal::from_bytes(fs::read(path)?))
+    }
+
+    /// Lenient scan: decode records until the first invalid frame, which
+    /// (with everything after it) is discarded rather than reported as an
+    /// error. This is the recovery reader — a torn tail is an expected
+    /// crash artifact. Each record comes with its byte offset so grammar
+    /// violations found later can still name the failing record.
+    pub(crate) fn records_lenient(&self) -> (Vec<(u64, JournalRecord)>, Option<DiscardedTail>) {
+        let mut out = Vec::new();
+        let mut pos = 0usize;
+        loop {
+            match next_frame(&self.buf, pos) {
+                Ok(None) => return (out, None),
+                Ok(Some((rec, next))) => {
+                    out.push((pos as u64, rec));
+                    pos = next;
+                }
+                Err(e) => {
+                    let tail = DiscardedTail {
+                        offset: pos as u64,
+                        bytes: (self.buf.len() - pos) as u64,
+                        reason: e.to_string(),
+                    };
+                    return (out, Some(tail));
+                }
+            }
+        }
+    }
+
+    /// Strict scan: decode every record or fail with the first frame
+    /// defect, plus validate the record-stream grammar (header first and
+    /// unique, batches open/commit in order with ascending heartbeats,
+    /// placements only inside an open batch). A torn *trailing* batch —
+    /// `BatchStart` and placements with no `BatchCommit` at EOF — is
+    /// legal: that is the documented crash artifact.
+    pub fn verify(&self) -> Result<JournalStats, JournalError> {
+        if self.buf.is_empty() {
+            return Err(JournalError::Empty);
+        }
+        let mut stats = JournalStats {
+            bytes: self.buf.len() as u64,
+            ..JournalStats::default()
+        };
+        let mut pos = 0usize;
+        let mut seen_header = false;
+        let mut open_batch: Option<u64> = None;
+        let mut open_placements = 0u64;
+        let mut last_heartbeat = 0u64;
+        loop {
+            let offset = pos as u64;
+            let (rec, next) = match next_frame(&self.buf, pos)? {
+                None => break,
+                Some(x) => x,
+            };
+            stats.records += 1;
+            match rec {
+                JournalRecord::RunHeader { version, .. } => {
+                    if seen_header {
+                        return Err(JournalError::DuplicateHeader { offset });
+                    }
+                    if offset != 0 {
+                        return Err(JournalError::MissingHeader { offset: 0 });
+                    }
+                    if version != JOURNAL_VERSION {
+                        return Err(JournalError::BadVersion { found: version });
+                    }
+                    seen_header = true;
+                }
+                _ if !seen_header => {
+                    return Err(JournalError::MissingHeader { offset });
+                }
+                JournalRecord::Checkpoint { heartbeat, .. } => {
+                    if open_batch.is_some() {
+                        return Err(JournalError::OutOfOrder {
+                            offset,
+                            msg: format!("checkpoint inside uncommitted batch {heartbeat}"),
+                        });
+                    }
+                    if heartbeat != last_heartbeat {
+                        return Err(JournalError::OutOfOrder {
+                            offset,
+                            msg: format!(
+                                "checkpoint at heartbeat {heartbeat} after batch {last_heartbeat}"
+                            ),
+                        });
+                    }
+                    stats.checkpoints += 1;
+                }
+                JournalRecord::BatchStart { heartbeat, .. } => {
+                    if let Some(open) = open_batch {
+                        return Err(JournalError::OutOfOrder {
+                            offset,
+                            msg: format!("batch {heartbeat} opened while batch {open} is open"),
+                        });
+                    }
+                    if heartbeat != last_heartbeat + 1 {
+                        return Err(JournalError::OutOfOrder {
+                            offset,
+                            msg: format!(
+                                "batch {heartbeat} does not follow batch {last_heartbeat}"
+                            ),
+                        });
+                    }
+                    open_batch = Some(heartbeat);
+                    open_placements = 0;
+                }
+                JournalRecord::Placement { .. } => {
+                    if open_batch.is_none() {
+                        return Err(JournalError::OutOfOrder {
+                            offset,
+                            msg: "placement outside any open batch".into(),
+                        });
+                    }
+                    open_placements += 1;
+                }
+                JournalRecord::BatchCommit {
+                    heartbeat,
+                    placements,
+                    ..
+                } => {
+                    match open_batch.take() {
+                        Some(open) if open == heartbeat => {}
+                        Some(open) => {
+                            return Err(JournalError::OutOfOrder {
+                                offset,
+                                msg: format!("commit for batch {heartbeat} closes batch {open}"),
+                            });
+                        }
+                        None => {
+                            return Err(JournalError::OutOfOrder {
+                                offset,
+                                msg: format!("commit for batch {heartbeat} with no open batch"),
+                            });
+                        }
+                    }
+                    if placements != open_placements {
+                        return Err(JournalError::OutOfOrder {
+                            offset,
+                            msg: format!(
+                                "batch {heartbeat} commits {placements} placements but journaled {open_placements}"
+                            ),
+                        });
+                    }
+                    last_heartbeat = heartbeat;
+                    stats.committed_batches += 1;
+                    stats.placements += placements;
+                }
+            }
+            pos = next;
+        }
+        if !seen_header {
+            return Err(JournalError::MissingHeader { offset: 0 });
+        }
+        Ok(stats)
+    }
+}
+
+/// Decode the frame starting at `pos`. `Ok(None)` = clean EOF;
+/// `Ok(Some((record, next_pos)))` = one frame; `Err` = the frame is torn
+/// or corrupt (error offsets point at `pos`).
+fn next_frame(buf: &[u8], pos: usize) -> Result<Option<(JournalRecord, usize)>, JournalError> {
+    if pos == buf.len() {
+        return Ok(None);
+    }
+    let offset = pos as u64;
+    if buf.len() - pos < FRAME_HEADER {
+        return Err(JournalError::Truncated { offset });
+    }
+    let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().expect("4 bytes"));
+    let crc = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().expect("4 bytes"));
+    if len > MAX_RECORD_LEN {
+        return Err(JournalError::BadPayload {
+            offset,
+            msg: format!("record length {len} exceeds the {MAX_RECORD_LEN}-byte cap"),
+        });
+    }
+    let start = pos + FRAME_HEADER;
+    let end = start + len as usize;
+    if end > buf.len() {
+        return Err(JournalError::Truncated { offset });
+    }
+    let payload = &buf[start..end];
+    if crc32(payload) != crc {
+        return Err(JournalError::BadCrc { offset });
+    }
+    let text = std::str::from_utf8(payload).map_err(|e| JournalError::BadPayload {
+        offset,
+        msg: e.to_string(),
+    })?;
+    let rec = serde_json::from_str(text).map_err(|e| JournalError::BadPayload {
+        offset,
+        msg: e.to_string(),
+    })?;
+    Ok(Some((rec, end)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> JournalRecord {
+        JournalRecord::RunHeader {
+            version: JOURNAL_VERSION,
+            seed: 7,
+            fingerprint: 0xfeed,
+            checkpoint_every: 4,
+        }
+    }
+
+    fn commit(hb: u64, placements: u64) -> JournalRecord {
+        JournalRecord::BatchCommit {
+            heartbeat: hb,
+            placements,
+            schedule_calls: 2,
+            rejected: 0,
+        }
+    }
+
+    fn placement() -> JournalRecord {
+        JournalRecord::Placement {
+            task: TaskUid(3),
+            machine: MachineId(1),
+            round: 0,
+        }
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // IEEE CRC-32 of "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn append_scan_roundtrip() {
+        let mut j = Journal::new();
+        j.append(&header());
+        j.append(&JournalRecord::BatchStart {
+            heartbeat: 1,
+            now_us: 1_000_000,
+        });
+        j.append(&placement());
+        j.append(&commit(1, 1));
+        let (recs, tail) = j.records_lenient();
+        assert!(tail.is_none());
+        assert_eq!(recs.len(), 4);
+        assert_eq!(recs[0].1, header());
+        assert_eq!(recs[2].1, placement());
+        assert_eq!(recs[0].0, 0);
+        let stats = j.verify().unwrap();
+        assert_eq!(stats.records, 4);
+        assert_eq!(stats.committed_batches, 1);
+        assert_eq!(stats.placements, 1);
+    }
+
+    #[test]
+    fn empty_journal_is_typed() {
+        assert_eq!(Journal::new().verify(), Err(JournalError::Empty));
+    }
+
+    #[test]
+    fn bit_flip_is_bad_crc_with_offset() {
+        let mut j = Journal::new();
+        j.append(&header());
+        j.append(&commit(1, 0)); // grammar checked later; CRC first
+        let second = {
+            // offset of the second frame = first frame's total size
+            let len = u32::from_le_bytes(j.buf[0..4].try_into().unwrap());
+            FRAME_HEADER + len as usize
+        };
+        let mut bytes = j.buf.clone();
+        *bytes.last_mut().unwrap() ^= 0x40;
+        let j2 = Journal::from_bytes(bytes);
+        assert_eq!(
+            j2.verify(),
+            Err(JournalError::BadCrc {
+                offset: second as u64
+            })
+        );
+        let (recs, tail) = j2.records_lenient();
+        assert_eq!(recs.len(), 1);
+        let tail = tail.unwrap();
+        assert_eq!(tail.offset, second as u64);
+        assert!(tail.reason.contains("checksum"));
+    }
+
+    #[test]
+    fn truncation_mid_frame_is_typed_and_droppable() {
+        let mut j = Journal::new();
+        j.append(&header());
+        j.append(&placement());
+        for cut in 1..j.buf.len() {
+            let j2 = Journal::from_bytes(j.buf[..cut].to_vec());
+            match j2.verify() {
+                // Cuts at a frame boundary after the header verify clean.
+                Ok(stats) => assert!(stats.records >= 1),
+                Err(
+                    JournalError::Truncated { .. }
+                    | JournalError::BadCrc { .. }
+                    | JournalError::MissingHeader { .. }
+                    | JournalError::OutOfOrder { .. },
+                ) => {}
+                Err(other) => panic!("unexpected error at cut {cut}: {other}"),
+            }
+            // The lenient scan never panics and never reports more
+            // records than the prefix holds.
+            let (recs, _) = j2.records_lenient();
+            assert!(recs.len() <= 2);
+        }
+    }
+
+    #[test]
+    fn duplicated_record_is_out_of_order_with_offset() {
+        let mut j = Journal::new();
+        j.append(&header());
+        j.append(&JournalRecord::BatchStart {
+            heartbeat: 1,
+            now_us: 5,
+        });
+        j.append(&commit(1, 0));
+        let end = j.buf.len();
+        // Duplicate the commit frame verbatim: valid CRC, impossible
+        // grammar.
+        let len = {
+            let hdr_len = u32::from_le_bytes(j.buf[0..4].try_into().unwrap()) as usize;
+            let bs_off = FRAME_HEADER + hdr_len;
+            let bs_len = u32::from_le_bytes(j.buf[bs_off..bs_off + 4].try_into().unwrap()) as usize;
+            let commit_off = bs_off + FRAME_HEADER + bs_len;
+            j.buf[commit_off..].to_vec()
+        };
+        let mut bytes = j.buf.clone();
+        bytes.extend_from_slice(&len);
+        let j2 = Journal::from_bytes(bytes);
+        match j2.verify() {
+            Err(JournalError::OutOfOrder { offset, msg }) => {
+                assert_eq!(offset, end as u64);
+                assert!(msg.contains("no open batch"), "{msg}");
+            }
+            other => panic!("expected OutOfOrder, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_header_is_typed() {
+        let mut j = Journal::new();
+        j.append(&placement());
+        assert_eq!(j.verify(), Err(JournalError::MissingHeader { offset: 0 }));
+    }
+
+    #[test]
+    fn torn_trailing_batch_verifies_clean() {
+        let mut j = Journal::new();
+        j.append(&header());
+        j.append(&JournalRecord::BatchStart {
+            heartbeat: 1,
+            now_us: 5,
+        });
+        j.append(&placement());
+        // No commit: the torn mid-commit artifact. Strict scan accepts it
+        // (the tail is discardable), counting only committed batches.
+        let stats = j.verify().unwrap();
+        assert_eq!(stats.committed_batches, 0);
+        assert_eq!(stats.placements, 0);
+        assert_eq!(stats.records, 3);
+    }
+}

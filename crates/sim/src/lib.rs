@@ -52,9 +52,11 @@ mod engine;
 mod events;
 mod fault;
 mod index;
+mod journal;
 mod outcome;
 pub mod pool;
 pub mod probe;
+mod recovery;
 pub mod sharded;
 mod state;
 mod telemetry;
@@ -66,9 +68,11 @@ mod view;
 pub use cluster::{ClusterConfig, MachineId};
 pub use config::{ExternalLoad, Interference, SimConfig};
 pub use engine::{GreedyFifo, Simulation};
-pub use fault::{ExpandedFaultPlan, FaultPlan};
+pub use fault::{ExpandedFaultPlan, FaultPlan, SchedulerCrash};
 pub use index::IndexStatsSnapshot;
+pub use journal::{DiscardedTail, Journal, JournalError, JournalStats, JOURNAL_VERSION};
 pub use outcome::{EngineStats, JobRecord, MachineSample, Sample, SimOutcome, TaskRecord};
+pub use recovery::{Recovered, RecoveryError, RecoveryStats, RunResult};
 pub use sharded::{owner_shard, CommitOverlay, ShardedScheduler, ShardedStats};
 pub use state::{PlacementPlan, TaskCompletion};
 pub use time::SimTime;

@@ -1,0 +1,610 @@
+//! Crash recovery: checkpoint restore + deterministic journal replay
+//! (DESIGN.md §15).
+//!
+//! The journal ([`crate::journal`]) records enough to rebuild the engine
+//! at any *batch boundary*: a periodic [`CheckpointState`] snapshot of
+//! everything event processing reads or writes (ledgers, queue, RNG,
+//! stats, samples), plus the per-batch commit decisions. Recovery is then
+//! three deterministic steps:
+//!
+//! 1. **Scan** — read the journal leniently, discarding a torn tail, and
+//!    derive the *commit frontier*: the last batch whose `BatchCommit`
+//!    survived. Records of an uncommitted trailing batch (the mid-commit
+//!    crash artifact — e.g. only some of a `ShardedScheduler`'s merged
+//!    shard plans made it out) are dropped with the tail.
+//! 2. **Restore** — rebuild the engine from the last checkpoint at or
+//!    before the frontier, including the policy's persistent state
+//!    ([`crate::SchedulerPolicy::import_state`]: §3.5 reservations and
+//!    the like — cache state is excluded, it rebuilds from the view).
+//! 3. **Replay** — re-run the event loop from the checkpoint. Events are
+//!    recomputed (they are a pure function of restored state), and the
+//!    scheduling rounds of replayed heartbeats re-invoke the policy —
+//!    determinism makes its decisions a pure function of the restored
+//!    state — while every applied placement is cross-checked against the
+//!    journaled decision stream. Any disagreement is a typed
+//!    [`RecoveryError::ReplayDivergence`], never a silent fork. Past the
+//!    frontier the run continues live to completion.
+//!
+//! Because every input to the event loop is restored exactly — queue
+//! order *and* sequence counter, RNG state, ledger contents, policy
+//! state — the recovered outcome is byte-identical to the uninterrupted
+//! run's (pinned by `prop_recovery` and the `recovery` experiment).
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use tetris_workload::{TaskUid, Workload};
+
+use crate::cluster::{ClusterConfig, MachineId};
+use crate::config::{ExternalLoad, SimConfig};
+use crate::events::{Event, EventQueue};
+use crate::fault::TrackerMode;
+use crate::journal::{DiscardedTail, Journal, JournalError, JournalRecord, JOURNAL_VERSION};
+use crate::outcome::{EngineStats, Sample, SimOutcome};
+use crate::state::{Flow, JobState, MachineState, SimState, TaskState};
+use crate::time::SimTime;
+
+/// How a journaled run ended.
+#[derive(Debug)]
+pub enum RunResult {
+    /// The run completed (or hit the hard stop) normally.
+    Completed(Box<SimOutcome>),
+    /// A configured [`crate::SchedulerCrash`] fired: the scheduler died at
+    /// this 1-based heartbeat, leaving the journal as its only trace.
+    Crashed {
+        /// Heartbeat at which the scheduler died.
+        heartbeat: u64,
+    },
+}
+
+impl RunResult {
+    /// The outcome, if the run completed.
+    pub fn completed(self) -> Option<SimOutcome> {
+        match self {
+            RunResult::Completed(o) => Some(*o),
+            RunResult::Crashed { .. } => None,
+        }
+    }
+}
+
+/// Why a recovery attempt failed. Never a panic: corrupt journals and
+/// divergent replays both surface as values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoveryError {
+    /// The journal could not be read back to a usable prefix.
+    Journal(JournalError),
+    /// Replay contradicted the live engine: a journaled decision was
+    /// invalid against the reconstructed state, or batches misaligned.
+    /// Indicates a journal from a different run slipping past the
+    /// fingerprint, or corruption inside a CRC-valid payload.
+    ReplayDivergence {
+        /// Heartbeat at which replay diverged.
+        heartbeat: u64,
+        /// What disagreed.
+        msg: String,
+    },
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::Journal(e) => write!(f, "journal unusable: {e}"),
+            RecoveryError::ReplayDivergence { heartbeat, msg } => {
+                write!(f, "replay diverged at heartbeat {heartbeat}: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+impl From<JournalError> for RecoveryError {
+    fn from(e: JournalError) -> Self {
+        RecoveryError::Journal(e)
+    }
+}
+
+/// A successful recovery: the reconstructed outcome plus what it took.
+#[derive(Debug)]
+pub struct Recovered {
+    /// The recovered run's outcome — byte-identical to an uninterrupted
+    /// run of the same builder.
+    pub outcome: SimOutcome,
+    /// Recovery diagnostics.
+    pub stats: RecoveryStats,
+}
+
+/// Diagnostics of one recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RecoveryStats {
+    /// Heartbeat of the checkpoint restored from.
+    pub checkpoint_heartbeat: u64,
+    /// Committed batches replayed from the journal (frontier −
+    /// checkpoint; ≤ the configured checkpoint interval when the journal
+    /// is untruncated).
+    pub replayed_batches: u64,
+    /// Journaled placements re-derived and cross-checked during replay.
+    pub replayed_placements: u64,
+    /// Records dropped with the torn tail (0 for a clean journal).
+    pub discarded_records: u64,
+    /// Byte offset where the torn tail began, if one was discarded.
+    pub discarded_offset: Option<u64>,
+    /// Wall-clock of restore + replay back to the commit frontier,
+    /// microseconds.
+    pub recovery_wall_us: u64,
+}
+
+/// Everything the engine needs to resume at a batch boundary. Fields not
+/// stored are derivable: `task_loc` and `total_capacity` from the
+/// builder's cluster/workload, the machine index via `index_rebuild`, and
+/// the dirty set is empty at every batch boundary.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub(crate) struct CheckpointState {
+    pub now_us: u64,
+    pub heartbeat: u64,
+    pub machines: Vec<MachineState>,
+    pub tasks: Vec<TaskState>,
+    pub jobs: Vec<JobState>,
+    pub blocks: Vec<Vec<MachineId>>,
+    pub flows: Vec<Flow>,
+    pub jobs_remaining: usize,
+    pub rng: [u64; 4],
+    pub completions: usize,
+    pub tracker_modes: Vec<TrackerMode>,
+    pub tracker_modes_baseline: Vec<TrackerMode>,
+    pub dynamic_loads: Vec<ExternalLoad>,
+    pub external_active: Vec<bool>,
+    pub external_cancelled: Vec<bool>,
+    pub tasks_abandoned: u64,
+    pub freed_hint: Vec<MachineId>,
+    pub events: Vec<Event>,
+    pub next_seq: u64,
+    pub stats: EngineStats,
+    pub samples: Vec<Sample>,
+    /// The policy's persistent cross-call state
+    /// ([`crate::SchedulerPolicy::export_state`]); `None` for policies
+    /// whose only cross-call state is rebuildable cache.
+    pub policy_state: Option<String>,
+}
+
+// Snapshot equality via the wire form: the runtime-state types don't
+// implement `PartialEq`, and the wire form is exactly what recovery sees.
+impl PartialEq for CheckpointState {
+    fn eq(&self, other: &Self) -> bool {
+        serde_json::to_string(self).ok() == serde_json::to_string(other).ok()
+    }
+}
+
+impl CheckpointState {
+    /// Snapshot the engine at a batch boundary.
+    pub(crate) fn capture(
+        state: &SimState,
+        queue: &EventQueue,
+        stats: &EngineStats,
+        samples: &[Sample],
+        heartbeat: u64,
+        policy_state: Option<String>,
+    ) -> Self {
+        let (events, next_seq) = queue.snapshot();
+        CheckpointState {
+            now_us: state.now.0,
+            heartbeat,
+            machines: state.machines.clone(),
+            tasks: state.tasks.clone(),
+            jobs: state.jobs.clone(),
+            blocks: state.blocks.clone(),
+            flows: state.flows.clone(),
+            jobs_remaining: state.jobs_remaining,
+            rng: state.rng.state(),
+            completions: state.completions,
+            tracker_modes: state.tracker_modes.clone(),
+            tracker_modes_baseline: state.tracker_modes_baseline.clone(),
+            dynamic_loads: state.dynamic_loads.clone(),
+            external_active: state.external_active.clone(),
+            external_cancelled: state.external_cancelled.clone(),
+            tasks_abandoned: state.tasks_abandoned,
+            freed_hint: state.freed_hint.clone(),
+            events,
+            next_seq,
+            stats: stats.clone(),
+            samples: samples.to_vec(),
+            policy_state,
+        }
+    }
+
+    /// Rebuild engine state from this snapshot. The builder supplies the
+    /// static inputs (cluster, workload, config); the snapshot overwrites
+    /// every runtime field, so the `SimState::new` RNG draws (block
+    /// placement) are discarded along with its fresh block binding.
+    pub(crate) fn restore(
+        self,
+        cluster: ClusterConfig,
+        workload: Workload,
+        cfg: SimConfig,
+    ) -> (SimState, EventQueue, EngineStats, Vec<Sample>, u64) {
+        let mut state = SimState::new(cluster, workload, cfg);
+        state.now = SimTime(self.now_us);
+        state.machines = self.machines;
+        state.tasks = self.tasks;
+        state.jobs = self.jobs;
+        state.blocks = self.blocks;
+        state.flows = self.flows;
+        state.jobs_remaining = self.jobs_remaining;
+        state.rng = StdRng::from_state(self.rng);
+        state.completions = self.completions;
+        state.tracker_modes = self.tracker_modes;
+        state.tracker_modes_baseline = self.tracker_modes_baseline;
+        state.dynamic_loads = self.dynamic_loads;
+        state.external_active = self.external_active;
+        state.external_cancelled = self.external_cancelled;
+        state.tasks_abandoned = self.tasks_abandoned;
+        state.freed_hint = self.freed_hint;
+        state.index_rebuild();
+        let queue = EventQueue::restore(self.events, self.next_seq);
+        (state, queue, self.stats, self.samples, self.heartbeat)
+    }
+}
+
+/// One committed batch reconstructed from the journal. During replay the
+/// policy is re-invoked and its applied placements are popped off
+/// `expected` one by one — the journal is the witness the live decisions
+/// must reproduce, not a substitute for them.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ReplayBatch {
+    pub heartbeat: u64,
+    pub now_us: u64,
+    /// `(round, task, machine)` in commit order.
+    pub expected: VecDeque<(u32, TaskUid, MachineId)>,
+    pub placements: u64,
+    pub schedule_calls: u64,
+    pub rejected: u64,
+}
+
+/// The replay half of a recovery: the batches between the restored
+/// checkpoint and the commit frontier, plus bookkeeping the engine fills
+/// in as it consumes them.
+#[derive(Debug)]
+pub(crate) struct ReplayPlan {
+    pub batches: VecDeque<ReplayBatch>,
+    pub stats: RecoveryStats,
+    /// Started at restore begin; stops when the last batch is consumed.
+    pub started: Instant,
+    pub replay_done: bool,
+}
+
+impl ReplayPlan {
+    /// Total placements across all batches.
+    fn total_placements(&self) -> u64 {
+        self.batches.iter().map(|b| b.placements).sum()
+    }
+}
+
+/// Scan `journal`, validate it against the builder's `fingerprint`, and
+/// derive (checkpoint to restore, batches to replay).
+pub(crate) fn plan_recovery(
+    journal: &Journal,
+    expected_fingerprint: u64,
+) -> Result<(CheckpointState, ReplayPlan), RecoveryError> {
+    let started = Instant::now();
+    if journal.bytes().is_empty() {
+        return Err(JournalError::Empty.into());
+    }
+    let (records, tail) = journal.records_lenient();
+
+    // Header first, and it must belong to this run.
+    match records.first() {
+        Some((
+            _,
+            JournalRecord::RunHeader {
+                version,
+                fingerprint,
+                ..
+            },
+        )) => {
+            if *version != JOURNAL_VERSION {
+                return Err(JournalError::BadVersion { found: *version }.into());
+            }
+            if *fingerprint != expected_fingerprint {
+                return Err(JournalError::FingerprintMismatch {
+                    expected: expected_fingerprint,
+                    found: *fingerprint,
+                }
+                .into());
+            }
+        }
+        _ => return Err(JournalError::MissingHeader { offset: 0 }.into()),
+    }
+
+    // Walk the committed prefix: remember the last checkpoint and the
+    // batches after it. An uncommitted trailing batch is dropped exactly
+    // like a torn tail; a structural violation *before* the tail is a
+    // hard error (the lenient scan only forgives frame damage, not
+    // grammar damage).
+    let mut checkpoint: Option<(u64, CheckpointState)> = None;
+    let mut committed: Vec<ReplayBatch> = Vec::new();
+    let mut open: Option<ReplayBatch> = None;
+    let mut discarded_records = 0u64;
+    for (offset, rec) in records.into_iter().skip(1) {
+        match rec {
+            JournalRecord::RunHeader { .. } => {
+                return Err(JournalError::DuplicateHeader { offset }.into());
+            }
+            JournalRecord::Checkpoint { heartbeat, state } => {
+                if open.is_some() {
+                    return Err(structural(offset, "checkpoint inside an open batch"));
+                }
+                checkpoint = Some((heartbeat, *state));
+                // Batches at or before the snapshot are baked into it.
+                committed.clear();
+            }
+            JournalRecord::BatchStart { heartbeat, now_us } => {
+                if let Some(b) = &open {
+                    return Err(structural(
+                        offset,
+                        &format!("batch opened while batch {} is open", b.heartbeat),
+                    ));
+                }
+                open = Some(ReplayBatch {
+                    heartbeat,
+                    now_us,
+                    expected: VecDeque::new(),
+                    placements: 0,
+                    schedule_calls: 0,
+                    rejected: 0,
+                });
+            }
+            JournalRecord::Placement {
+                task,
+                machine,
+                round,
+            } => match &mut open {
+                None => return Err(structural(offset, "placement outside any open batch")),
+                Some(b) => {
+                    b.expected.push_back((round, task, machine));
+                    b.placements += 1;
+                }
+            },
+            JournalRecord::BatchCommit {
+                heartbeat,
+                placements,
+                schedule_calls,
+                rejected,
+            } => match open.take() {
+                Some(mut b) if b.heartbeat == heartbeat => {
+                    if b.placements != placements {
+                        return Err(structural(
+                            offset,
+                            &format!(
+                                "commit claims {placements} placements, journal holds {}",
+                                b.placements
+                            ),
+                        ));
+                    }
+                    b.schedule_calls = schedule_calls;
+                    b.rejected = rejected;
+                    committed.push(b);
+                }
+                Some(b) => {
+                    return Err(structural(
+                        offset,
+                        &format!("commit for batch {heartbeat} closes batch {}", b.heartbeat),
+                    ));
+                }
+                None => {
+                    return Err(structural(
+                        offset,
+                        &format!("commit for batch {heartbeat} with no open batch"),
+                    ))
+                }
+            },
+        }
+    }
+    if let Some(b) = open {
+        // Torn final batch (mid-commit crash): discard its records.
+        discarded_records += 1 + b.placements;
+    }
+
+    let (checkpoint_heartbeat, cp) = checkpoint.ok_or(JournalError::NoCheckpoint)?;
+    // Only batches after the checkpoint remain (earlier ones were cleared
+    // when the checkpoint record was seen), and they must chain directly
+    // from it.
+    let mut expect = checkpoint_heartbeat;
+    for b in &committed {
+        if b.heartbeat != expect + 1 {
+            return Err(structural(
+                0,
+                &format!("batch {} does not follow heartbeat {expect}", b.heartbeat),
+            ));
+        }
+        expect = b.heartbeat;
+    }
+
+    let stats = RecoveryStats {
+        checkpoint_heartbeat,
+        replayed_batches: committed.len() as u64,
+        replayed_placements: committed.iter().map(|b| b.placements).sum(),
+        discarded_records,
+        discarded_offset: tail.as_ref().map(|t: &DiscardedTail| t.offset),
+        recovery_wall_us: 0,
+    };
+    let plan = ReplayPlan {
+        batches: committed.into(),
+        stats,
+        started,
+        replay_done: false,
+    };
+    debug_assert_eq!(plan.stats.replayed_placements, plan.total_placements());
+    Ok((cp, plan))
+}
+
+fn structural(offset: u64, msg: &str) -> RecoveryError {
+    RecoveryError::Journal(JournalError::OutOfOrder {
+        offset,
+        msg: msg.to_string(),
+    })
+}
+
+/// FNV-1a fingerprint binding a journal to its run: cluster shape,
+/// workload size, and seed. Deliberately excludes the crash plan and
+/// checkpoint cadence so a crash-free builder can recover a crashed
+/// run's journal.
+pub(crate) fn run_fingerprint(cluster: &ClusterConfig, workload: &Workload, seed: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    let cluster_json = serde_json::to_string(cluster).expect("cluster serializes");
+    eat(cluster_json.as_bytes());
+    eat(&(workload.jobs.len() as u64).to_le_bytes());
+    eat(&(workload.num_tasks() as u64).to_le_bytes());
+    eat(&(workload.num_blocks as u64).to_le_bytes());
+    eat(&seed.to_le_bytes());
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mini_journal() -> Journal {
+        let mut j = Journal::new();
+        j.append(&JournalRecord::RunHeader {
+            version: JOURNAL_VERSION,
+            seed: 1,
+            fingerprint: 42,
+            checkpoint_every: 2,
+        });
+        j.append(&JournalRecord::Checkpoint {
+            heartbeat: 0,
+            state: Box::new(empty_checkpoint(0)),
+        });
+        j
+    }
+
+    fn empty_checkpoint(heartbeat: u64) -> CheckpointState {
+        CheckpointState {
+            now_us: 0,
+            heartbeat,
+            machines: Vec::new(),
+            tasks: Vec::new(),
+            jobs: Vec::new(),
+            blocks: Vec::new(),
+            flows: Vec::new(),
+            jobs_remaining: 0,
+            rng: [1, 2, 3, 4],
+            completions: 0,
+            tracker_modes: Vec::new(),
+            tracker_modes_baseline: Vec::new(),
+            dynamic_loads: Vec::new(),
+            external_active: Vec::new(),
+            external_cancelled: Vec::new(),
+            tasks_abandoned: 0,
+            freed_hint: Vec::new(),
+            events: Vec::new(),
+            next_seq: 0,
+            stats: EngineStats::default(),
+            samples: Vec::new(),
+            policy_state: None,
+        }
+    }
+
+    #[test]
+    fn plan_requires_matching_fingerprint() {
+        let j = mini_journal();
+        match plan_recovery(&j, 7) {
+            Err(RecoveryError::Journal(JournalError::FingerprintMismatch { expected, found })) => {
+                assert_eq!((expected, found), (7, 42));
+            }
+            other => panic!("expected fingerprint mismatch, got {other:?}"),
+        }
+        assert!(plan_recovery(&j, 42).is_ok());
+    }
+
+    #[test]
+    fn torn_trailing_batch_is_discarded() {
+        let mut j = mini_journal();
+        j.append(&JournalRecord::BatchStart {
+            heartbeat: 1,
+            now_us: 10,
+        });
+        j.append(&JournalRecord::Placement {
+            task: TaskUid(0),
+            machine: MachineId(0),
+            round: 0,
+        });
+        // No commit: the batch must not be replayed.
+        let (cp, plan) = plan_recovery(&j, 42).unwrap();
+        assert_eq!(cp.heartbeat, 0);
+        assert!(plan.batches.is_empty());
+        assert_eq!(plan.stats.discarded_records, 2);
+    }
+
+    #[test]
+    fn committed_batches_after_checkpoint_are_replayed() {
+        let mut j = mini_journal();
+        j.append(&JournalRecord::BatchStart {
+            heartbeat: 1,
+            now_us: 10,
+        });
+        j.append(&JournalRecord::Placement {
+            task: TaskUid(0),
+            machine: MachineId(0),
+            round: 0,
+        });
+        j.append(&JournalRecord::Placement {
+            task: TaskUid(1),
+            machine: MachineId(0),
+            round: 1,
+        });
+        j.append(&JournalRecord::BatchCommit {
+            heartbeat: 1,
+            placements: 2,
+            schedule_calls: 3,
+            rejected: 0,
+        });
+        let (_, plan) = plan_recovery(&j, 42).unwrap();
+        assert_eq!(plan.batches.len(), 1);
+        let b = &plan.batches[0];
+        assert_eq!(
+            Vec::from(b.expected.clone()),
+            vec![(0, TaskUid(0), MachineId(0)), (1, TaskUid(1), MachineId(0))]
+        );
+        assert_eq!(b.schedule_calls, 3);
+        assert_eq!(plan.stats.replayed_placements, 2);
+    }
+
+    #[test]
+    fn later_checkpoint_supersedes_earlier_batches() {
+        let mut j = mini_journal();
+        j.append(&JournalRecord::BatchStart {
+            heartbeat: 1,
+            now_us: 10,
+        });
+        j.append(&JournalRecord::BatchCommit {
+            heartbeat: 1,
+            placements: 0,
+            schedule_calls: 1,
+            rejected: 0,
+        });
+        j.append(&JournalRecord::Checkpoint {
+            heartbeat: 1,
+            state: Box::new(empty_checkpoint(1)),
+        });
+        let (cp, plan) = plan_recovery(&j, 42).unwrap();
+        assert_eq!(cp.heartbeat, 1);
+        assert!(plan.batches.is_empty());
+    }
+
+    #[test]
+    fn empty_journal_is_typed_not_a_panic() {
+        match plan_recovery(&Journal::new(), 0) {
+            Err(RecoveryError::Journal(JournalError::Empty)) => {}
+            other => panic!("expected Empty, got {other:?}"),
+        }
+    }
+}

@@ -396,7 +396,14 @@ impl SchedulerPolicy for ShardedScheduler {
                     if committed_tasks.contains(&a.task) {
                         // Re-proposal of a task this heartbeat already
                         // committed (the proposing shard has not seen a
-                        // TaskPlaced event yet) — not a conflict.
+                        // TaskPlaced event yet) — not a conflict. Audit
+                        // note: this guard is what keeps the commit stage
+                        // idempotent under retries — the overlay is
+                        // charged and `stats.committed` bumped exactly
+                        // once per task, and `stats.conflicts` counts
+                        // only genuine capacity losses. Pinned by
+                        // `reproposals_commit_once_without_double_charging`
+                        // in tests/prop_sharded.rs.
                         continue;
                     }
                     let plan = view.plan(a.task, a.machine);
@@ -444,6 +451,33 @@ impl SchedulerPolicy for ShardedScheduler {
 
     fn uses_tracker(&self) -> bool {
         self.inner[0].uses_tracker()
+    }
+
+    fn export_state(&self) -> Option<String> {
+        // One slot per shard, in shard order: job→shard ownership is a
+        // pure hash, so a restored driver routes every job to the shard
+        // whose state it re-imports. `None` when no shard carries state,
+        // keeping stateless configurations blob-free.
+        let per_shard: Vec<Option<String>> = self.inner.iter().map(|p| p.export_state()).collect();
+        if per_shard.iter().all(Option::is_none) {
+            return None;
+        }
+        Some(serde_json::to_string(&per_shard).expect("shard states serialize"))
+    }
+
+    fn import_state(&mut self, state: &str) {
+        let per_shard: Vec<Option<String>> =
+            serde_json::from_str(state).expect("valid sharded state blob");
+        assert_eq!(
+            per_shard.len(),
+            self.inner.len(),
+            "checkpointed shard count differs from this driver's"
+        );
+        for (p, s) in self.inner.iter_mut().zip(per_shard) {
+            if let Some(s) = s {
+                p.import_state(&s);
+            }
+        }
     }
 
     fn set_capture_provenance(&mut self, on: bool) {

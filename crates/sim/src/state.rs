@@ -45,7 +45,7 @@ const WORK_EPS_REL: f64 = 1e-9;
 const WORK_EPS_ABS: f64 = 1e-6;
 
 /// One unit of schedulable work in flight.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub(crate) struct Flow {
     pub task: TaskUid,
     pub host: MachineId,
@@ -66,7 +66,7 @@ impl Flow {
 }
 
 /// Runtime state of one machine.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub(crate) struct MachineState {
     pub capacity: ResourceVec,
     /// Demand ledger: sum of peak demands of everything placed here
@@ -185,7 +185,7 @@ impl MachineState {
 }
 
 /// Lifecycle of a task.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub(crate) enum Phase {
     /// Waiting on upstream stages.
     Blocked,
@@ -204,7 +204,7 @@ pub(crate) enum Phase {
 }
 
 /// Bookkeeping for a running task.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub(crate) struct RunInfo {
     pub machine: MachineId,
     /// Flow ids of this attempt (torn down on a crash).
@@ -215,7 +215,7 @@ pub(crate) struct RunInfo {
     pub gen: u64,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub(crate) struct TaskState {
     pub phase: Phase,
     pub attempts: u32,
@@ -247,7 +247,51 @@ pub(crate) struct StageState {
     pub total_out: f64,
 }
 
-#[derive(Debug, Clone)]
+// Hand-written: the vendored serde maps only `BTreeMap<String, _>` to
+// JSON objects, so `out_by_machine` checkpoints as sorted
+// `[machine, bytes]` pairs (BTreeMap iteration order is already
+// deterministic).
+impl serde::Serialize for StageState {
+    fn to_value(&self) -> serde::Value {
+        let outs: Vec<(MachineId, f64)> =
+            self.out_by_machine.iter().map(|(k, v)| (*k, *v)).collect();
+        serde::Value::Obj(vec![
+            ("unlocked".into(), self.unlocked.to_value()),
+            ("pending".into(), self.pending.to_value()),
+            ("running".into(), self.running.to_value()),
+            ("finished".into(), self.finished.to_value()),
+            ("total".into(), self.total.to_value()),
+            ("feeds_downstream".into(), self.feeds_downstream.to_value()),
+            ("out_by_machine".into(), outs.to_value()),
+            ("total_out".into(), self.total_out.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for StageState {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = v
+            .as_obj()
+            .ok_or_else(|| serde::Error::custom("StageState: expected object"))?;
+        let outs: Vec<(MachineId, f64)> =
+            serde::Deserialize::from_value(serde::Value::field(obj, "out_by_machine"))?;
+        Ok(StageState {
+            unlocked: serde::Deserialize::from_value(serde::Value::field(obj, "unlocked"))?,
+            pending: serde::Deserialize::from_value(serde::Value::field(obj, "pending"))?,
+            running: serde::Deserialize::from_value(serde::Value::field(obj, "running"))?,
+            finished: serde::Deserialize::from_value(serde::Value::field(obj, "finished"))?,
+            total: serde::Deserialize::from_value(serde::Value::field(obj, "total"))?,
+            feeds_downstream: serde::Deserialize::from_value(serde::Value::field(
+                obj,
+                "feeds_downstream",
+            ))?,
+            out_by_machine: outs.into_iter().collect(),
+            total_out: serde::Deserialize::from_value(serde::Value::field(obj, "total_out"))?,
+        })
+    }
+}
+
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub(crate) struct JobState {
     pub arrived: bool,
     pub finish: Option<SimTime>,

@@ -192,3 +192,30 @@ proptest! {
         }
     }
 }
+
+/// Regression for the retry-accounting audit (commit idempotence): under
+/// forced intra-heartbeat contention — 16 commit slots, many more pending
+/// tasks, four shards racing — a task is committed at most once however
+/// many shards or retry rounds re-propose it. The committed-task guard
+/// skips re-proposals without charging the overlay a second time and
+/// without counting them as conflicts, so `stats.committed` equals the
+/// accepted assignment count exactly, and the pass still fills every free
+/// slot (a double charge would leave phantom demand and strand slots).
+#[test]
+fn reproposals_commit_once_without_double_charging() {
+    const SLOTS: usize = 4 * 4; // 4 free paper_small machines × 4 slots
+    let probe = ColdPassProbe::with_tasks_per_job(32, 64, 2);
+    let mut sched = sharded(4, 11);
+    let asg = probe.cold_assignments_indexed(&mut sched);
+    let mut seen = std::collections::HashSet::new();
+    for a in &asg {
+        assert!(seen.insert(a.task), "task {:?} committed twice", a.task);
+    }
+    let stats = sched.stats();
+    assert_eq!(
+        stats.committed,
+        asg.len() as u64,
+        "committed tally disagrees with the accepted assignments"
+    );
+    assert_eq!(asg.len(), SLOTS, "free slots left stranded");
+}

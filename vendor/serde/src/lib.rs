@@ -460,6 +460,25 @@ impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
     }
 }
 
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Arr(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v.as_arr() {
+            Some([a, b, c]) => Ok((A::from_value(a)?, B::from_value(b)?, C::from_value(c)?)),
+            _ => Err(Error::custom("expected 3-element array")),
+        }
+    }
+}
+
 impl<V: Serialize> Serialize for BTreeMap<String, V> {
     fn to_value(&self) -> Value {
         Value::Obj(
@@ -528,5 +547,15 @@ mod tests {
     fn u64_max_roundtrip() {
         let v = u64::MAX.to_value();
         assert_eq!(u64::from_value(&v).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn triple_roundtrip() {
+        let t = (3u64, "x".to_string(), -1i64);
+        let v = t.to_value();
+        let back: (u64, String, i64) = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, t);
+        let wrong: Result<(u64, String, i64), _> = Deserialize::from_value(&Value::Arr(vec![]));
+        assert!(wrong.is_err());
     }
 }
