@@ -210,17 +210,23 @@ impl SlotScheduler {
             // suspect ones sorted behind trusted ones — both exact no-ops
             // without fault injection (nothing is down or suspect, and
             // the extra leading key is then `true` everywhere), keeping
-            // decisions byte-identical to the pre-fault pass.
+            // decisions byte-identical to the pre-fault pass. Placement
+            // constraints (§16 spec API) filter the same way: `allow` is
+            // the constant `true` on unconstrained runs, so all-batch
+            // decisions stay byte-identical too.
+            let job = jobs[ji].id;
+            let constrained = view.taints_active() || view.job_constraints(job).has_any();
+            let allow = |m: MachineId| !constrained || view.constraints_allow(job, m);
             view.preferred_machines_into(task, &mut preferred);
             let target = preferred
                 .iter()
                 .copied()
-                .filter(|&m| !view.is_down(m) && !view.is_suspect(m))
+                .filter(|&m| !view.is_down(m) && !view.is_suspect(m) && allow(m))
                 .find(|m| free[m.index()] >= need)
                 .or_else(|| {
                     query
                         .iter_all()
-                        .filter(|&m| !view.is_down(m) && free[m.index()] >= need)
+                        .filter(|&m| !view.is_down(m) && free[m.index()] >= need && allow(m))
                         .max_by_key(|m| {
                             (
                                 !view.is_suspect(*m),
@@ -295,6 +301,13 @@ impl SlotScheduler {
                 }
                 None => break, // no machine has enough free slots
             }
+        }
+        // Priority preemption (DESIGN.md §16): when enabled and a
+        // higher-priority job placed nothing above, evict strictly
+        // lower-priority tasks to make room. No-op (None) with
+        // `SimConfig::preemption` off, so batch runs are unchanged.
+        if let Some(pre) = tetris_sim::plan_priority_preemption(view, &out) {
+            out.push(pre);
         }
         out
     }

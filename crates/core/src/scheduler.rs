@@ -984,6 +984,31 @@ impl SchedulerPolicy for TetrisScheduler {
             }));
         }
 
+        // Placement constraints (§16 spec API): pre-ban every (candidate,
+        // machine) pair the job's constraints or machine taints disallow,
+        // reusing the `banned` stamp grid so the scoring scans need no
+        // extra per-pair checks. Unconstrained runs insert nothing
+        // (`banned.any` stays false), keeping all-batch decisions
+        // byte-identical to the pre-constraint scheduler.
+        let taints = view.taints_active();
+        if taints
+            || live
+                .iter()
+                .any(|&ci| view.job_constraints(cands[ci].job).has_any())
+        {
+            for &ci in live.iter() {
+                let job = cands[ci].job;
+                if !taints && !view.job_constraints(job).has_any() {
+                    continue;
+                }
+                for &m in machines.iter() {
+                    if !view.constraints_allow(job, m) {
+                        banned.insert(ci, m.index());
+                    }
+                }
+            }
+        }
+
         // Decision bookkeeping: how many machines this pass *considered*
         // (the pre-index cold-pass scope), and how many the index pruned
         // away before scoring. Cold passes report the full considered
@@ -1229,6 +1254,19 @@ impl SchedulerPolicy for TetrisScheduler {
                 }
                 cands[ci].next += 1;
                 cands[ci].alive = cands[ci].head(view).is_some();
+                // In-call spread approximation: until the job's *running*
+                // tasks span the spread floor, place at most one task per
+                // machine per call (the authoritative running-state check
+                // lives in `constraints_allow`; this just stops one call
+                // from stacking a whole wave on one machine before any of
+                // it starts). Conservative — never bans a machine the
+                // steady-state predicate would allow forever.
+                let cons = view.job_constraints(cands[ci].job);
+                if let Some(n) = cons.spread {
+                    if view.job_spread(cands[ci].job) < n {
+                        banned.insert(ci, m.index());
+                    }
+                }
             }
         }
 
@@ -1282,6 +1320,14 @@ impl SchedulerPolicy for TetrisScheduler {
                     reservations.push((m, head));
                 }
             }
+        }
+
+        // Priority preemption (DESIGN.md §16): when enabled and a
+        // higher-priority job placed nothing above, evict strictly
+        // lower-priority tasks to make room. No-op (None) with
+        // `SimConfig::preemption` off, so batch runs are unchanged.
+        if let Some(pre) = tetris_sim::plan_priority_preemption(view, &out) {
+            out.push(pre);
         }
         out
     }

@@ -13,6 +13,7 @@ pub mod omega;
 pub mod recovery;
 pub mod scale;
 pub mod sensitivity;
+pub mod serving;
 pub mod simulation;
 pub mod table8;
 pub mod upper_bound;
@@ -192,6 +193,13 @@ pub fn registry() -> Vec<Experiment> {
             run: recovery::recovery,
             cost: 15,
         },
+        Experiment {
+            id: "serving",
+            what:
+                "Extension — serving SLOs: diurnal services + preemption over a batch backlog (§16)",
+            run: serving::serving,
+            cost: 12,
+        },
     ]
 }
 
@@ -207,11 +215,11 @@ mod tests {
     #[test]
     fn registry_ids_unique_and_nonempty() {
         let reg = registry();
-        assert_eq!(reg.len(), 25);
+        assert_eq!(reg.len(), 26);
         let mut ids: Vec<_> = reg.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 25);
+        assert_eq!(ids.len(), 26);
     }
 
     #[test]

@@ -117,6 +117,11 @@ pub enum Event {
         /// to pre-provenance versions.
         #[serde(skip_serializing_if = "Option::is_none", default)]
         provenance: Option<Box<PlacementProvenance>>,
+        /// Priority class of the owning job. Present only when the job
+        /// carries a non-default priority, so all-batch traces stay
+        /// byte-identical to pre-priority versions.
+        #[serde(skip_serializing_if = "Option::is_none", default)]
+        priority: Option<u8>,
     },
     /// A task finished for good.
     TaskCompleted {
@@ -138,10 +143,20 @@ pub enum Event {
         task: usize,
         /// Machine the attempt was running on.
         machine: usize,
-        /// Why the slot was lost (`"failure_retry"`, `"machine_crash"`).
-        /// `Cow` so emitters can pass interned `&'static str` tags without
-        /// allocating; deserialization produces the owned form.
+        /// Why the slot was lost (`"failure_retry"`, `"machine_crash"`,
+        /// `"priority_preemption"`). `Cow` so emitters can pass interned
+        /// `&'static str` tags without allocating; deserialization
+        /// produces the owned form.
         reason: std::borrow::Cow<'static, str>,
+        /// Priority class of the *victim's* job. Present only for
+        /// priority preemptions; failure/crash kills skip it on the
+        /// wire, keeping fault traces byte-identical to earlier versions.
+        #[serde(skip_serializing_if = "Option::is_none", default)]
+        priority: Option<u8>,
+        /// Task uid of the higher-priority task whose placement evicted
+        /// this one (priority preemptions only).
+        #[serde(skip_serializing_if = "Option::is_none", default)]
+        preempted_by: Option<usize>,
     },
     /// One full "resources freed → pick tasks" pass completed — the
     /// continuous version of the paper's Table-8 heartbeat measurement.
@@ -272,6 +287,7 @@ mod tests {
             combined_score: Some(0.875),
             considered_machines: Some(20),
             provenance: None,
+            priority: None,
         };
         let line = serde_json::to_string(&TraceRecord {
             t: 12.5,
@@ -295,6 +311,7 @@ mod tests {
             combined_score: None,
             considered_machines: None,
             provenance: None,
+            priority: None,
         };
         let json = serde_json::to_string(&e).unwrap();
         assert!(json.contains("\"alignment_score\":null"), "{json}");
@@ -317,6 +334,7 @@ mod tests {
             combined_score: Some(0.875),
             considered_machines: Some(20),
             provenance: None,
+            priority: None,
         };
         let json = serde_json::to_string(&e).unwrap();
         assert_eq!(
@@ -356,6 +374,7 @@ mod tests {
                     score: 0.45,
                 }],
             })),
+            priority: None,
         };
         let json = serde_json::to_string(&e).unwrap();
         assert!(json.contains("\"provenance\""), "{json}");

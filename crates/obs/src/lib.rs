@@ -66,6 +66,9 @@ pub mod names {
     pub const SCHED_EVENTS: &str = "scheduler_events";
     /// Task attempts re-queued by the failure model (counter).
     pub const TASK_RETRIES: &str = "task_retries";
+    /// Running tasks evicted by priority preemption (counter;
+    /// zero-gated — preemption-free runs add no name).
+    pub const PREEMPTIONS: &str = "sched_preemptions_total";
     /// Tracker report rounds processed (counter).
     pub const TRACKER_REPORTS: &str = "tracker_reports";
     /// Pending runnable tasks observed at each heartbeat (gauge: latest).

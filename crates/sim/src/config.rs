@@ -170,6 +170,21 @@ pub struct SimConfig {
     /// recovery's replay to at most K batches. Ignored unless the run
     /// journals.
     pub checkpoint_every: u64,
+    /// Priority preemption (DESIGN.md §16): when on, policies may return
+    /// assignments that evict strictly-lower-priority running tasks to
+    /// place a higher class that cannot fit. Off by default — batch-only
+    /// runs stay byte-identical to pre-serving behaviour.
+    pub preemption: bool,
+    /// Cap on evicted tasks per preemptive assignment (guards against a
+    /// single placement flushing a whole machine). Checked ≥ 1 when
+    /// preemption is on.
+    pub max_preemptions_per_assignment: usize,
+    /// Per-machine taint bitmasks, indexed by machine id (Kubernetes-style
+    /// taints). Tasks only land on a tainted machine when their job's
+    /// `PlacementConstraints::tolerations` covers every taint bit. Empty
+    /// (the default) means an untainted cluster; when non-empty the length
+    /// must equal the cluster size (checked at build time).
+    pub machine_taints: Vec<u64>,
 }
 
 impl Default for SimConfig {
@@ -195,6 +210,9 @@ impl Default for SimConfig {
             faults: FaultPlan::default(),
             machine_index: true,
             checkpoint_every: 32,
+            preemption: false,
+            max_preemptions_per_assignment: 8,
+            machine_taints: Vec::new(),
         }
     }
 }
@@ -251,8 +269,17 @@ impl SimConfig {
         if self.checkpoint_every == 0 {
             return Err("checkpoint_every must be ≥ 1".into());
         }
+        if self.preemption && self.max_preemptions_per_assignment == 0 {
+            return Err("max_preemptions_per_assignment must be ≥ 1 when preemption is on".into());
+        }
         self.faults.validate(self.max_time)?;
         Ok(())
+    }
+
+    /// Taint bitmask of one machine (0 = untainted; also the answer for
+    /// machines beyond an empty/short taint table).
+    pub(crate) fn machine_taint(&self, m: usize) -> u64 {
+        self.machine_taints.get(m).copied().unwrap_or(0)
     }
 
     /// Hard-stop time as [`SimTime`].
@@ -303,6 +330,15 @@ mod tests {
         c.checkpoint_every = 0;
         assert!(c.validate().is_err());
         c.checkpoint_every = 1;
+        assert_eq!(c.validate(), Ok(()));
+
+        // The eviction cap only matters when preemption can evict.
+        let mut c = SimConfig::default();
+        c.max_preemptions_per_assignment = 0;
+        assert_eq!(c.validate(), Ok(()));
+        c.preemption = true;
+        assert!(c.validate().is_err());
+        c.max_preemptions_per_assignment = 1;
         assert_eq!(c.validate(), Ok(()));
 
         // Scheduler crashes are 1-based: heartbeat 0 never happens.

@@ -28,6 +28,7 @@ const MAX_SCHEDULE_ROUNDS: usize = 16;
 /// field, so emitting a retry allocates nothing for the reason.
 const REASON_FAILURE_RETRY: &str = "failure_retry";
 const REASON_MACHINE_CRASH: &str = "machine_crash";
+const REASON_PRIORITY_PREEMPTION: &str = "priority_preemption";
 
 /// Builder for one simulation run.
 ///
@@ -209,8 +210,17 @@ impl<'o> Simulation<'o> {
     ) -> Result<RunResult, RecoveryError> {
         let mut policy = self.policy.expect("Simulation requires a scheduler");
         self.cfg.validate().expect("invalid SimConfig");
-        self.workload.validate().expect("invalid workload");
+        self.workload
+            .validate_for_cluster(self.cluster.len())
+            .expect("invalid workload");
         assert!(!self.cluster.is_empty());
+        assert!(
+            self.cfg.machine_taints.is_empty()
+                || self.cfg.machine_taints.len() == self.cluster.len(),
+            "machine_taints defines {} entries for a {}-machine cluster",
+            self.cfg.machine_taints.len(),
+            self.cluster.len()
+        );
 
         // Without an attached context the engine observes into a local
         // noop one (discarded at the end), so the loop below never
@@ -513,6 +523,8 @@ impl<'o> Simulation<'o> {
                                 task: uid.index(),
                                 machine: m.index(),
                                 reason: REASON_MACHINE_CRASH.into(),
+                                priority: None,
+                                preempted_by: None,
                             });
                         }
                         for &(uid, host) in &rep.abandoned {
@@ -697,7 +709,27 @@ impl<'o> Simulation<'o> {
                     let mut applied = 0usize;
                     let mut placed = false;
                     for a in assignments {
-                        if state.assignment_valid(a.task, a.machine) {
+                        // Priority-preemption guard (DESIGN.md §16):
+                        // honoring an eviction list requires preemption
+                        // enabled, every victim still running on the
+                        // target machine, and victim job priority
+                        // *strictly below* the placing job's — the
+                        // engine-enforced no-priority-inversion
+                        // invariant. One invalid victim rejects the
+                        // assignment whole; nothing is torn down first.
+                        let evictions_valid = a.evict.is_empty()
+                            || (state.cfg.preemption && {
+                                let placer =
+                                    state.workload.jobs[state.task_loc[a.task.index()].0].priority;
+                                a.evict.iter().all(|&v| {
+                                    matches!(
+                                        &state.tasks[v.index()].phase,
+                                        Phase::Running(info) if info.machine == a.machine
+                                    ) && state.workload.jobs[state.task_loc[v.index()].0].priority
+                                        < placer
+                                })
+                            });
+                        if evictions_valid && state.assignment_valid(a.task, a.machine) {
                             if applied >= cut {
                                 return Ok(RunResult::Crashed {
                                     heartbeat: heartbeats,
@@ -728,6 +760,42 @@ impl<'o> Simulation<'o> {
                                     round: round as u32,
                                 });
                             }
+                            // Evictions land before the placement. They
+                            // are *not* journaled: replay re-invokes the
+                            // policy live, which re-derives the same
+                            // eviction lists, and a torn mid-commit
+                            // batch is discarded wholesale — so partial
+                            // eviction application can never leak into
+                            // recovery.
+                            for &v in &a.evict {
+                                let vjob = JobId(state.task_loc[v.index()].0);
+                                let Some((_lost, host)) = state.preempt_task(v, &mut dirty) else {
+                                    continue;
+                                };
+                                stats.preemptions += 1;
+                                obs.metrics.counter_inc(names::PREEMPTIONS);
+                                {
+                                    let view = ClusterView::new(&state, tracker_aware);
+                                    policy.on_event(
+                                        &view,
+                                        &SchedulerEvent::TaskPreempted {
+                                            job: vjob,
+                                            task: v,
+                                            machine: host,
+                                        },
+                                    );
+                                }
+                                obs.metrics.counter_inc(names::SCHED_EVENTS);
+                                let vprio = state.workload.jobs[vjob.index()].priority.0;
+                                obs.emit(state.now.as_secs(), || Event::TaskPreempted {
+                                    job: vjob.index(),
+                                    task: v.index(),
+                                    machine: host.index(),
+                                    reason: REASON_PRIORITY_PREEMPTION.into(),
+                                    priority: Some(vprio),
+                                    preempted_by: Some(a.task.index()),
+                                });
+                            }
                             state.apply_assignment(a.task, a.machine, &mut dirty, &mut queue);
                             stats.placements += 1;
                             obs.metrics.counter_inc(names::PLACEMENTS);
@@ -755,6 +823,9 @@ impl<'o> Simulation<'o> {
                             };
                             obs.emit(state.now.as_secs(), || {
                                 let job = state.workload.task(a.task).expect("task").job;
+                                // Present only for non-default priority:
+                                // all-batch traces stay byte-identical.
+                                let p = state.workload.jobs[job.index()].priority.0;
                                 Event::TaskPlaced {
                                     job: job.index(),
                                     task: a.task.index(),
@@ -764,6 +835,7 @@ impl<'o> Simulation<'o> {
                                     combined_score: a.scores.map(|s| s.combined),
                                     considered_machines: a.scores.map(|s| s.considered_machines),
                                     provenance,
+                                    priority: (p != 0).then_some(p),
                                 }
                             });
                         } else {
@@ -1005,6 +1077,8 @@ fn observe_completion(obs: &mut Obs, state: &SimState, task: TaskUid, done: Task
                 task: task.index(),
                 machine: machine.index(),
                 reason: REASON_FAILURE_RETRY.into(),
+                priority: None,
+                preempted_by: None,
             });
         }
         TaskCompletion::Finished {

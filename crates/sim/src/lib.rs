@@ -77,8 +77,8 @@ pub use sharded::{owner_shard, CommitOverlay, ShardedScheduler, ShardedStats};
 pub use state::{PlacementPlan, TaskCompletion};
 pub use time::SimTime;
 pub use view::{
-    Assignment, ClusterView, MachineQuery, MarkAllDirty, SchedulerEvent, SchedulerPolicy,
-    StageProgress,
+    plan_priority_preemption, Assignment, ClusterView, MachineQuery, MarkAllDirty, SchedulerEvent,
+    SchedulerPolicy, StageProgress,
 };
 // Re-exported so policies can annotate assignments without naming the obs
 // crate themselves.

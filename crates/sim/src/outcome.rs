@@ -136,6 +136,10 @@ pub struct EngineStats {
     /// Seconds of task progress lost to crashes.
     #[serde(default)]
     pub lost_task_seconds: f64,
+    /// Running tasks evicted by priority preemption (DESIGN.md §16;
+    /// always 0 with `SimConfig::preemption` off).
+    #[serde(default)]
+    pub preemptions: u64,
 }
 
 /// Everything a run produced.

@@ -1475,6 +1475,71 @@ impl SimState {
         queue: &mut EventQueue,
     ) -> Option<(bool, f64, MachineId)> {
         let (ji, si, _) = self.task_loc[uid.index()];
+        let info = self.teardown_attempt(uid, dirty)?;
+        let host = info.machine;
+        let now = self.now;
+        let backoff = self.cfg.faults.restart_backoff;
+        let max_attempts = self.cfg.max_task_attempts;
+        let t = &mut self.tasks[uid.index()];
+        let lost = t.start.map_or(0.0, |s| now.secs_since(s));
+        t.machine = None;
+        if t.attempts >= max_attempts {
+            // Out of attempts: permanently failed, but still terminal so
+            // the owning stage/job completes instead of hanging.
+            t.phase = Phase::Abandoned;
+            t.finish = Some(now);
+            self.tasks_abandoned += 1;
+            self.note_task_terminal(ji, si);
+            Some((true, lost, host))
+        } else if backoff > 0.0 {
+            t.phase = Phase::Backoff;
+            queue.push(now.after_secs(backoff), EventKind::TaskRestart(uid));
+            Some((false, lost, host))
+        } else {
+            t.phase = Phase::Runnable;
+            t.runnable_since = Some(now);
+            self.jobs[ji].stages[si].pending.push(uid);
+            Some((false, lost, host))
+        }
+    }
+
+    /// Priority preemption (DESIGN.md §16): tear down a running attempt
+    /// and requeue the task immediately. Unlike [`SimState::kill_task`],
+    /// the lost attempt is *not* charged against `max_task_attempts` (the
+    /// eviction is the scheduler's choice, not the task's failure — a
+    /// repeatedly preempted task must never be abandoned) and no crash
+    /// backoff applies — the victim is pending again within the same
+    /// scheduling round.
+    ///
+    /// Returns `None` if the task was not actually running, else
+    /// `Some((lost_task_seconds, host_machine))`.
+    pub(crate) fn preempt_task(
+        &mut self,
+        uid: TaskUid,
+        dirty: &mut DirtySet,
+    ) -> Option<(f64, MachineId)> {
+        let (ji, si, _) = self.task_loc[uid.index()];
+        let info = self.teardown_attempt(uid, dirty)?;
+        let host = info.machine;
+        let now = self.now;
+        let t = &mut self.tasks[uid.index()];
+        let lost = t.start.map_or(0.0, |s| now.secs_since(s));
+        t.machine = None;
+        // The attempt counter was bumped at placement; hand it back.
+        t.attempts = t.attempts.saturating_sub(1);
+        t.phase = Phase::Runnable;
+        t.runnable_since = Some(now);
+        self.jobs[ji].stages[si].pending.push(uid);
+        Some((lost, host))
+    }
+
+    /// Shared attempt teardown behind [`SimState::kill_task`] and
+    /// [`SimState::preempt_task`]: invalidate the attempt's flows, release
+    /// every ledger it charged, and decrement the job/stage running
+    /// counters. The task's phase is left `Runnable`; callers refine it.
+    /// Returns `None` (phase restored) if the task was not running.
+    fn teardown_attempt(&mut self, uid: TaskUid, dirty: &mut DirtySet) -> Option<RunInfo> {
+        let (ji, si, _) = self.task_loc[uid.index()];
         let info = match std::mem::replace(&mut self.tasks[uid.index()].phase, Phase::Runnable) {
             Phase::Running(info) => info,
             other => {
@@ -1529,31 +1594,7 @@ impl SimState {
         job.allocated = (job.allocated - info.local_alloc).clamp_non_negative();
         job.running -= 1;
         job.stages[si].running -= 1;
-
-        let now = self.now;
-        let backoff = self.cfg.faults.restart_backoff;
-        let max_attempts = self.cfg.max_task_attempts;
-        let t = &mut self.tasks[uid.index()];
-        let lost = t.start.map_or(0.0, |s| now.secs_since(s));
-        t.machine = None;
-        if t.attempts >= max_attempts {
-            // Out of attempts: permanently failed, but still terminal so
-            // the owning stage/job completes instead of hanging.
-            t.phase = Phase::Abandoned;
-            t.finish = Some(now);
-            self.tasks_abandoned += 1;
-            self.note_task_terminal(ji, si);
-            Some((true, lost, host))
-        } else if backoff > 0.0 {
-            t.phase = Phase::Backoff;
-            queue.push(now.after_secs(backoff), EventKind::TaskRestart(uid));
-            Some((false, lost, host))
-        } else {
-            t.phase = Phase::Runnable;
-            t.runnable_since = Some(now);
-            self.jobs[ji].stages[si].pending.push(uid);
-            Some((false, lost, host))
-        }
+        Some(info)
     }
 
     /// Crash a machine: kill every resident task attempt *and* every

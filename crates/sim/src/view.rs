@@ -22,19 +22,26 @@
 
 use tetris_obs::DecisionScores;
 use tetris_resources::ResourceVec;
-use tetris_workload::{JobId, TaskSpec, TaskUid};
+use tetris_workload::{JobClass, JobId, PlacementConstraints, PriorityClass, TaskSpec, TaskUid};
 
 use crate::cluster::MachineId;
 use crate::sharded::{owner_shard, CommitOverlay};
 use crate::state::{Phase, PlacementPlan, SimState};
 
-/// A scheduling decision: run `task` on `machine`.
+/// A scheduling decision: run `task` on `machine`, optionally after
+/// evicting strictly-lower-priority running tasks from it (priority
+/// preemption, DESIGN.md §16).
 ///
 /// Scoring policies (Tetris) attach a [`DecisionScores`] breakdown so the
 /// trace can explain *why* each placement won; slot baselines leave it
 /// `None`. Scores are observability payload only — the engine ignores
-/// them when applying the assignment.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// them when applying the assignment. The eviction list is *not*
+/// advisory: the engine tears each victim down (requeueing it without
+/// charging an attempt) before applying the placement, after verifying
+/// that every victim runs on `machine` and has strictly lower priority
+/// than `task`'s job — an assignment with an invalid victim is rejected
+/// whole.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Assignment {
     /// The task to place (must currently be runnable).
     pub task: TaskUid,
@@ -42,6 +49,10 @@ pub struct Assignment {
     pub machine: MachineId,
     /// Optional score breakdown for decision tracing.
     pub scores: Option<DecisionScores>,
+    /// Running tasks to evict from `machine` before placing (empty for
+    /// ordinary placements; only honored when `SimConfig::preemption` is
+    /// on).
+    pub evict: Vec<TaskUid>,
 }
 
 impl Assignment {
@@ -51,12 +62,21 @@ impl Assignment {
             task,
             machine,
             scores: None,
+            evict: Vec::new(),
         }
     }
 
     /// Attach a score breakdown (scoring policies).
+    #[must_use]
     pub fn with_scores(mut self, scores: DecisionScores) -> Self {
         self.scores = Some(scores);
+        self
+    }
+
+    /// Attach an eviction list (priority preemption).
+    #[must_use]
+    pub fn with_evictions(mut self, evict: Vec<TaskUid>) -> Self {
+        self.evict = evict;
         self
     }
 }
@@ -765,6 +785,78 @@ impl<'a> ClusterView<'a> {
         out
     }
 
+    /// Typed class of a job: batch, or a service with an SLO and diurnal
+    /// curve (spec API, DESIGN.md §16).
+    pub fn job_class(&self, j: JobId) -> &'a JobClass {
+        &self.state.workload.jobs[j.index()].class
+    }
+
+    /// Priority class of a job. Higher classes may preempt strictly lower
+    /// ones when `SimConfig::preemption` is on.
+    pub fn job_priority(&self, j: JobId) -> PriorityClass {
+        self.state.workload.jobs[j.index()].priority
+    }
+
+    /// Priority class of a task's owning job (for victim selection).
+    pub fn task_priority(&self, uid: TaskUid) -> PriorityClass {
+        let (j, _, _) = self.state.task_loc[uid.index()];
+        self.state.workload.jobs[j].priority
+    }
+
+    /// Placement constraints of a job (affinity / anti-affinity / spread /
+    /// taint tolerations). [`PlacementConstraints::has_any`] is the cheap
+    /// fast-path test policies use to skip constraint filtering entirely
+    /// on unconstrained (all-batch) workloads.
+    pub fn job_constraints(&self, j: JobId) -> &'a PlacementConstraints {
+        &self.state.workload.jobs[j.index()].constraints
+    }
+
+    /// True when the run allows priority preemption
+    /// (`SimConfig::preemption`).
+    pub fn preemption_enabled(&self) -> bool {
+        self.state.cfg.preemption
+    }
+
+    /// Cap on victims per preemptive assignment
+    /// (`SimConfig::max_preemptions_per_assignment`).
+    pub fn max_evictions(&self) -> usize {
+        self.state.cfg.max_preemptions_per_assignment
+    }
+
+    /// Taint mask of a machine (0 when the run defines no taints).
+    pub fn machine_taint(&self, m: MachineId) -> u64 {
+        self.state.cfg.machine_taint(m.index())
+    }
+
+    /// True when the run defines machine taints — with job constraints'
+    /// [`PlacementConstraints::has_any`], the cheap test policies use to
+    /// skip constraint filtering on unconstrained runs entirely.
+    pub fn taints_active(&self) -> bool {
+        !self.state.cfg.machine_taints.is_empty()
+    }
+
+    /// True iff at least one running task of job `j` is hosted on `m`.
+    pub fn machine_hosts_job(&self, m: MachineId, j: JobId) -> bool {
+        machine_hosts_job_raw(self.state, m, j)
+    }
+
+    /// Number of distinct machines currently hosting running tasks of the
+    /// job (the spread count of its constraint floor).
+    pub fn job_spread(&self, j: JobId) -> usize {
+        job_spread_raw(self.state, j)
+    }
+
+    /// Whether job `j`'s placement constraints allow machine `m` *right
+    /// now* (DESIGN.md §16): taints, anti-affinity, affinity (vacuous
+    /// while no listed job has a running task, so first replicas can
+    /// bootstrap), and the spread floor (a machine already hosting the
+    /// job is ineligible until its running tasks span the floor).
+    /// Down/suspect filtering is *not* included — compose with the query
+    /// layer's considered filter.
+    pub fn constraints_allow(&self, j: JobId, m: MachineId) -> bool {
+        constraints_allow_raw(self.state, j, self.job_constraints(j), m)
+    }
+
     /// Total number of pending runnable tasks across active (owned, on
     /// scoped views) jobs.
     pub fn num_pending(&self) -> usize {
@@ -942,4 +1034,232 @@ impl<'a> MachineQuery<'a> {
         out.truncate(k);
         out
     }
+
+    /// Considered machines the demand fits on **and** that `job`'s
+    /// placement constraints allow, ascending by id — the constrained
+    /// form of [`MachineQuery::fits`] (DESIGN.md §16). The indexed
+    /// backend composes the bucketed superset prune with the exact
+    /// availability re-filter and the constraint predicate; the linear
+    /// oracle applies the identical predicate, so both backends return
+    /// the same list (`prop_index.rs` pins this). The constraint filter
+    /// is exact, never an inflated demand envelope: folding constraints
+    /// into the demand vector would change which buckets prune and is
+    /// not decision-safe.
+    ///
+    /// `job` is the placing task's owning job — needed because spread
+    /// and self-exclusion are evaluated against that job's own running
+    /// replicas, not just the constraint literals.
+    pub fn fits_constrained(
+        &self,
+        demand: &ResourceVec,
+        job: JobId,
+        constraints: &PlacementConstraints,
+    ) -> Vec<MachineId> {
+        let mut out = Vec::new();
+        if self.state.index.enabled {
+            let mut raw = Vec::new();
+            self.state.index.fits_superset_into(demand, &mut raw);
+            out.extend(
+                raw.into_iter()
+                    .map(|mi| MachineId(mi as usize))
+                    .filter(|&m| {
+                        demand.fits_within(&self.scoped_availability(m.index()))
+                            && constraints_allow_raw(self.state, job, constraints, m)
+                    }),
+            );
+        } else {
+            out.extend((0..self.state.machines.len()).map(MachineId).filter(|&m| {
+                self.is_considered(m.index())
+                    && demand.fits_within(&self.scoped_availability(m.index()))
+                    && constraints_allow_raw(self.state, job, constraints, m)
+            }));
+        }
+        out
+    }
+}
+
+/// True iff at least one running task of job `j` is hosted on `m` —
+/// resolved through the machine's resident list (placement order), which
+/// is short relative to the job's task count.
+fn machine_hosts_job_raw(state: &SimState, m: MachineId, j: JobId) -> bool {
+    state.machines[m.index()]
+        .running_tasks
+        .iter()
+        .any(|&uid| state.task_loc[uid.index()].0 == j.index())
+}
+
+/// Number of distinct machines hosting running tasks of job `j`. Scans
+/// the job's own tasks (constrained jobs are small service waves), using
+/// a tiny vec for distinctness — replica counts stay far below any
+/// threshold where a hash set would win.
+fn job_spread_raw(state: &SimState, j: JobId) -> usize {
+    let mut machines: Vec<MachineId> = Vec::new();
+    for stage in &state.workload.jobs[j.index()].stages {
+        for t in &stage.tasks {
+            if let Phase::Running(info) = &state.tasks[t.uid.index()].phase {
+                if !machines.contains(&info.machine) {
+                    machines.push(info.machine);
+                }
+            }
+        }
+    }
+    machines.len()
+}
+
+/// The §16 constraint predicate, shared verbatim by both query backends
+/// and [`ClusterView::constraints_allow`] so indexed and linear paths
+/// cannot drift.
+pub(crate) fn constraints_allow_raw(
+    state: &SimState,
+    j: JobId,
+    cons: &PlacementConstraints,
+    m: MachineId,
+) -> bool {
+    // Taints: every taint bit of the machine must be tolerated. Checked
+    // even when the rest of the constraint set is empty — taints live on
+    // the cluster config, not the job spec.
+    if state.cfg.machine_taint(m.index()) & !cons.tolerations != 0 {
+        return false;
+    }
+    if !cons.has_any() {
+        return true;
+    }
+    // Anti-affinity: a machine hosting any listed job is ineligible.
+    if cons
+        .anti_affinity
+        .iter()
+        .any(|&aj| machine_hosts_job_raw(state, m, aj))
+    {
+        return false;
+    }
+    // Affinity: while at least one listed job has a running task
+    // anywhere, only machines hosting one are eligible. Vacuous when
+    // none runs, so the first replica can bootstrap anywhere.
+    if !cons.affinity.is_empty() {
+        let anywhere = cons
+            .affinity
+            .iter()
+            .any(|&aj| state.jobs[aj.index()].running > 0);
+        if anywhere
+            && !cons
+                .affinity
+                .iter()
+                .any(|&aj| machine_hosts_job_raw(state, m, aj))
+        {
+            return false;
+        }
+    }
+    // Spread floor: a machine already hosting this job is ineligible
+    // until the job's running tasks span the floor.
+    if let Some(n) = cons.spread {
+        if machine_hosts_job_raw(state, m, j) && job_spread_raw(state, j) < n {
+            return false;
+        }
+    }
+    true
+}
+
+/// Plan one priority-preemptive assignment, if the round needs one
+/// (DESIGN.md §16). Shared epilogue for Tetris and the slot baselines:
+/// policies call it after their ordinary placement loop with the
+/// assignments they just produced, and append the result (if any) to the
+/// batch.
+///
+/// The plan targets the highest-priority job (above the lowest class)
+/// that has pending work and got *nothing* this `schedule()` call, and
+/// only fires when no constrained fit exists for its head task — if a
+/// machine can take the task as-is, placement (this round or next call of
+/// the round) is the policy's job, not preemption's. Victims are running
+/// tasks of strictly-lower-priority jobs, taken in placement order per
+/// machine, at most [`ClusterView::max_evictions`]; among machines whose
+/// evictable capacity covers the placement-adjusted demand, the plan
+/// picks the fewest victims, lowest machine id. One preemptive
+/// assignment per `schedule()` call keeps rounds bounded — the engine
+/// re-calls `schedule` until the batch is empty, so a backlogged service
+/// drains at one eviction set per call, every step validated against
+/// fresh state.
+///
+/// Returns `None` whenever `SimConfig::preemption` is off, so policies
+/// can call it unconditionally without perturbing batch-only runs.
+pub fn plan_priority_preemption(
+    view: &ClusterView<'_>,
+    placed: &[Assignment],
+) -> Option<Assignment> {
+    if !view.preemption_enabled() {
+        return None;
+    }
+    // Highest-priority starved job: pending work, nothing placed this
+    // call, priority above the floor class (which can never evict).
+    // `active_jobs` yields id order, so strict `>` ties to lowest id.
+    let mut starved: Option<(PriorityClass, JobId, TaskUid)> = None;
+    for j in view.active_jobs() {
+        let p = view.job_priority(j);
+        if p == PriorityClass::BATCH {
+            continue;
+        }
+        if starved.is_some_and(|(bp, _, _)| p <= bp) {
+            continue;
+        }
+        if placed.iter().any(|a| view.task_stage(a.task).0 == j) {
+            continue;
+        }
+        if let Some(task) = view.job_pending(j).next() {
+            starved = Some((p, j, task));
+        }
+    }
+    let (prio, job, task) = starved?;
+    let cons = view.job_constraints(job);
+    let query = view.query();
+
+    // A constrained fit exists → not preemption's problem.
+    let demand = view.task(task).demand;
+    if !query.fits_constrained(&demand, job, cons).is_empty() {
+        return None;
+    }
+
+    // Best (victim-count, machine) plan across eligible machines.
+    let cap = view.max_evictions();
+    let mut best: Option<(usize, MachineId, Vec<TaskUid>)> = None;
+    for m in query.iter_all() {
+        if view.is_down(m) || view.is_suspect(m) {
+            continue;
+        }
+        if !view.constraints_allow(job, m) {
+            continue;
+        }
+        let plan = view.plan(task, m);
+        // Remote demands must fit without eviction: evicting here frees
+        // nothing on the input hosts.
+        if plan
+            .remote
+            .iter()
+            .any(|&(rm, ref dem)| !dem.fits_within(&view.available(rm)))
+        {
+            continue;
+        }
+        let mut avail = view.available(m);
+        let mut victims: Vec<TaskUid> = Vec::new();
+        for &v in view.machine_tasks(m) {
+            if plan.local.fits_within(&avail) || victims.len() >= cap {
+                break;
+            }
+            if view.task_priority(v) < prio {
+                if let Phase::Running(info) = &view.state.tasks[v.index()].phase {
+                    avail += info.local_alloc;
+                    victims.push(v);
+                }
+            }
+        }
+        if !victims.is_empty() && plan.local.fits_within(&avail) {
+            let better = match &best {
+                None => true,
+                Some((n, bm, _)) => victims.len() < *n || (victims.len() == *n && m < *bm),
+            };
+            if better {
+                best = Some((victims.len(), m, victims));
+            }
+        }
+    }
+    let (_, machine, victims) = best?;
+    Some(Assignment::new(task, machine).with_evictions(victims))
 }

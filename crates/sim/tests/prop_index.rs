@@ -155,6 +155,21 @@ impl QueryAudit {
             assert_eq!(query.fits(d), oracle, "fits({d:?})");
         }
 
+        // `fits_constrained` (§16): this workload carries no constraints
+        // and the config no taints, so the predicate must be vacuous —
+        // pinning the unconstrained path to `fits` exactly. (The
+        // constrained cases are prop_serving's oracle test.)
+        for j in view.active_jobs() {
+            let cons = view.job_constraints(j);
+            for d in &probes {
+                assert_eq!(
+                    query.fits_constrained(d, j, cons),
+                    query.fits(d),
+                    "unconstrained fits_constrained must equal fits"
+                );
+            }
+        }
+
         // Floor candidates: a sorted, considered superset of the machines
         // whose true availability meets the CPU+memory floors.
         for (fc, fm) in [

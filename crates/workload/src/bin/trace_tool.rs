@@ -189,10 +189,12 @@ fn explain(args: &[String]) {
                 combined_score,
                 considered_machines,
                 provenance,
+                priority,
             } if matches_filter(*job, *task) => {
                 shown += 1;
+                let prio = priority.map_or(String::new(), |p| format!(" priority=p{p}"));
                 println!(
-                    "t={:.2} job={job} task={task} PLACED on machine {machine}",
+                    "t={:.2} job={job} task={task} PLACED on machine {machine}{prio}",
                     r.t
                 );
                 println!(
@@ -236,9 +238,14 @@ fn explain(args: &[String]) {
                 task,
                 machine,
                 reason,
+                priority,
+                preempted_by,
             } if matches_filter(*job, *task) => {
+                let prio = priority.map_or(String::new(), |p| format!(" priority=p{p}"));
+                let by = preempted_by.map_or(String::new(), |t| format!(" preempted_by=task {t}"));
                 println!(
-                    "t={:.2} job={job} task={task} PREEMPTED from machine {machine} ({reason})",
+                    "t={:.2} job={job} task={task} PREEMPTED from machine {machine} \
+                     ({reason}){prio}{by}",
                     r.t
                 );
             }

@@ -3,7 +3,10 @@
 use tetris_resources::{Resource, ResourceVec};
 
 use crate::ids::{BlockId, JobId, TaskUid};
-use crate::spec::{InputSource, InputSpec, JobSpec, StageSpec, TaskSpec, Workload};
+use crate::spec::{
+    DiurnalCurve, InputSource, InputSpec, JobClass, JobSpec, PlacementConstraints, PriorityClass,
+    StageSpec, TaskSpec, Workload,
+};
 
 /// Parameters describing one task to be built.
 ///
@@ -128,8 +131,54 @@ impl WorkloadBuilder {
             name: name.into(),
             family,
             arrival,
+            class: JobClass::Batch,
+            priority: PriorityClass::default(),
+            constraints: PlacementConstraints::none(),
             stages: Vec::new(),
         });
+        id
+    }
+
+    /// Set the workload class of a job begun earlier (default: batch).
+    pub fn set_class(&mut self, job: JobId, class: JobClass) {
+        self.jobs[job.index()].class = class;
+    }
+
+    /// Set the preemption priority of a job begun earlier (default:
+    /// [`PriorityClass::BATCH`]).
+    pub fn set_priority(&mut self, job: JobId, priority: PriorityClass) {
+        self.jobs[job.index()].priority = priority;
+    }
+
+    /// Set the placement constraints of a job begun earlier (default:
+    /// none).
+    pub fn set_constraints(&mut self, job: JobId, constraints: PlacementConstraints) {
+        self.jobs[job.index()].constraints = constraints;
+    }
+
+    /// Convenience: start a service job with its class, priority and
+    /// constraints in one call.
+    #[allow(clippy::too_many_arguments)]
+    pub fn begin_service_job(
+        &mut self,
+        name: impl Into<String>,
+        family: Option<String>,
+        arrival: f64,
+        priority: PriorityClass,
+        slo_latency: f64,
+        diurnal_curve: DiurnalCurve,
+        constraints: PlacementConstraints,
+    ) -> JobId {
+        let id = self.begin_job(name, family, arrival);
+        self.set_class(
+            id,
+            JobClass::Service {
+                slo_latency,
+                diurnal_curve,
+            },
+        );
+        self.set_priority(id, priority);
+        self.set_constraints(id, constraints);
         id
     }
 

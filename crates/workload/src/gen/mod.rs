@@ -12,9 +12,11 @@
 mod builder;
 mod examples;
 mod facebook;
+mod serving;
 mod suite;
 
 pub use builder::{TaskParams, WorkloadBuilder};
 pub use examples::{diamond_dag, motivating_example, two_job_packing_example, MotivatingExample};
 pub use facebook::FacebookTraceConfig;
-pub use suite::{JobClass, WorkloadSuiteConfig};
+pub use serving::ServingMixConfig;
+pub use suite::{JobSizeClass, WorkloadSuiteConfig};

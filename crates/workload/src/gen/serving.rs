@@ -1,0 +1,221 @@
+//! Mixed batch + serving workload generator (ROADMAP item 3).
+//!
+//! Services are modeled as *replica waves*: a long-running service under a
+//! diurnal load curve needs `peak_replicas × load(t)` replicas up at time
+//! `t`, so the generator emits one single-stage job per sample point of
+//! the curve, each holding that wave's replicas as long-lived, CPU+memory
+//! tasks. Every wave job carries the typed serving spec — `JobClass::
+//! Service` with the SLO and curve, an elevated [`PriorityClass`], and
+//! spread [`PlacementConstraints`] — so schedulers see services through
+//! the same spec API as batch work.
+//!
+//! A batch backlog (suite-style map/reduce jobs, all arriving at t = 0)
+//! saturates the cluster underneath; at curve peaks the services can only
+//! start on time if the scheduler preempts strictly-lower-priority batch
+//! tasks.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tetris_resources::units::GB;
+use tetris_resources::MachineSpec;
+
+use crate::gen::builder::{TaskParams, WorkloadBuilder};
+use crate::gen::suite::{JobSizeClass, WorkloadSuiteConfig};
+use crate::spec::{DiurnalCurve, PlacementConstraints, PriorityClass, Workload};
+
+/// Configuration of the mixed batch + serving generator.
+#[derive(Debug, Clone)]
+pub struct ServingMixConfig {
+    /// Number of distinct services.
+    pub n_services: usize,
+    /// Replica waves per service: sample points of the diurnal curve over
+    /// one period. Each wave is one service job.
+    pub waves: usize,
+    /// Diurnal period in seconds; waves arrive at `k × period / waves`.
+    pub period: f64,
+    /// Replicas per service at curve peak (load multiplier 1.0).
+    pub peak_replicas: usize,
+    /// Seconds each replica runs at peak allocation.
+    pub replica_duration: f64,
+    /// Cores per replica.
+    pub replica_cores: f64,
+    /// Memory per replica in bytes.
+    pub replica_mem: f64,
+    /// Placement-latency SLO in seconds for every service.
+    pub slo_latency: f64,
+    /// Priority of every service job (batch backlog stays at the default
+    /// lowest class).
+    pub priority: PriorityClass,
+    /// Spread floor for each wave: replicas must span at least this many
+    /// machines (`None` = unconstrained).
+    pub spread: Option<usize>,
+    /// The diurnal load shape shared by all services.
+    pub curve: DiurnalCurve,
+    /// Number of backlog batch jobs (all arrive at t = 0).
+    pub batch_jobs: usize,
+    /// Suite configuration the backlog jobs are drawn from.
+    pub batch: WorkloadSuiteConfig,
+    /// Machine profile capping every task's peak demand.
+    pub machine_profile: MachineSpec,
+}
+
+impl Default for ServingMixConfig {
+    fn default() -> Self {
+        ServingMixConfig {
+            n_services: 4,
+            waves: 8,
+            period: 800.0,
+            peak_replicas: 24,
+            replica_duration: 100.0,
+            replica_cores: 2.0,
+            replica_mem: 3.0 * GB,
+            slo_latency: 15.0,
+            priority: PriorityClass::SERVICE,
+            spread: Some(4),
+            curve: DiurnalCurve {
+                period: 800.0,
+                points: vec![0.25, 0.45, 0.8, 1.0, 0.85, 0.55, 0.35, 0.2],
+            },
+            batch_jobs: 16,
+            batch: WorkloadSuiteConfig::scaled(16, 0.05),
+            machine_profile: MachineSpec::paper_large(),
+        }
+    }
+}
+
+impl ServingMixConfig {
+    /// A laptop-scale mix for the 20-machine default cluster. `scale`
+    /// multiplies replica counts and the batch backlog (CI smokes use
+    /// e.g. 0.2).
+    pub fn laptop(scale: f64) -> Self {
+        let d = Self::default();
+        ServingMixConfig {
+            peak_replicas: ((d.peak_replicas as f64 * scale).round() as usize).max(2),
+            batch_jobs: ((d.batch_jobs as f64 * scale).round() as usize).max(2),
+            spread: d
+                .spread
+                .map(|s| ((s as f64 * scale).round() as usize).clamp(1, 4)),
+            ..d
+        }
+    }
+
+    /// Arrival time of wave `k`.
+    pub fn wave_arrival(&self, k: usize) -> f64 {
+        k as f64 * self.period / self.waves as f64
+    }
+
+    /// Replica count of one service's wave `k` (at least 1).
+    pub fn wave_replicas(&self, k: usize) -> usize {
+        let load = self.curve.load_at(self.wave_arrival(k));
+        ((self.peak_replicas as f64 * load).round() as usize).max(1)
+    }
+
+    /// Generate the mixed workload from a seed. Batch backlog jobs come
+    /// first (dense low job ids), then each service's waves in time
+    /// order — all from one deterministic rng stream.
+    pub fn generate(&self, seed: u64) -> Workload {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = WorkloadBuilder::new().with_demand_cap(self.machine_profile.capacity());
+
+        // Batch backlog: suite-style jobs, all already queued at t = 0.
+        for jn in 0..self.batch_jobs {
+            let class = JobSizeClass::ALL[rng.gen_range(0..JobSizeClass::ALL.len())];
+            self.batch.add_job(&mut b, &mut rng, jn, class, 0.0);
+        }
+
+        // Service replica waves.
+        for svc in 0..self.n_services {
+            let family = format!("svc{svc}");
+            // Per-service deterministic jitter so services are not clones.
+            let dur_jitter = rng.gen_range(0.9..1.1);
+            let mem_jitter = rng.gen_range(0.9..1.1);
+            for k in 0..self.waves {
+                let replicas = self.wave_replicas(k);
+                let constraints = match self.spread {
+                    Some(s) => PlacementConstraints::none().with_spread(s.min(replicas)),
+                    None => PlacementConstraints::none(),
+                };
+                let job = b.begin_service_job(
+                    format!("{family}-w{k}"),
+                    Some(family.clone()),
+                    self.wave_arrival(k),
+                    self.priority,
+                    self.slo_latency,
+                    self.curve.clone(),
+                    constraints,
+                );
+                let cores = self.replica_cores;
+                let mem = self.replica_mem * mem_jitter;
+                let duration = self.replica_duration * dur_jitter;
+                b.add_stage(job, "replicas", vec![], replicas, |_| TaskParams {
+                    cores,
+                    mem,
+                    duration,
+                    cpu_frac: 1.0,
+                    // Pure CPU+memory replicas: no IO flows.
+                    io_burst: 1.0,
+                    inputs: vec![],
+                    output_bytes: 0.0,
+                    remote_frac: 0.0,
+                });
+            }
+        }
+        b.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_backlog_plus_waves() {
+        let cfg = ServingMixConfig::laptop(0.5);
+        let w = cfg.generate(7);
+        assert_eq!(w.jobs.len(), cfg.batch_jobs + cfg.n_services * cfg.waves);
+        assert!(w.validate().is_ok());
+        let services: Vec<_> = w.jobs.iter().filter(|j| j.class.is_service()).collect();
+        assert_eq!(services.len(), cfg.n_services * cfg.waves);
+        for j in &services {
+            assert_eq!(j.priority, cfg.priority);
+            assert_eq!(j.class.slo_latency(), Some(cfg.slo_latency));
+            assert!(j.constraints.spread.is_some());
+            assert_eq!(j.stages.len(), 1);
+        }
+        // Backlog is all-batch, lowest priority, arriving at 0.
+        for j in w.jobs.iter().filter(|j| !j.class.is_service()) {
+            assert_eq!(j.priority, PriorityClass::BATCH);
+            assert_eq!(j.arrival, 0.0);
+        }
+    }
+
+    #[test]
+    fn wave_sizes_follow_curve() {
+        let cfg = ServingMixConfig::default();
+        let sizes: Vec<usize> = (0..cfg.waves).map(|k| cfg.wave_replicas(k)).collect();
+        let peak = *sizes.iter().max().unwrap();
+        let trough = *sizes.iter().min().unwrap();
+        assert_eq!(peak, cfg.peak_replicas);
+        assert!(trough < peak / 2, "diurnal swing expected: {sizes:?}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = ServingMixConfig::laptop(0.3);
+        assert_eq!(cfg.generate(42), cfg.generate(42));
+        assert_ne!(cfg.generate(42), cfg.generate(43));
+    }
+
+    #[test]
+    fn replicas_run_for_their_duration() {
+        let cfg = ServingMixConfig::laptop(0.3);
+        let w = cfg.generate(1);
+        let svc = w.jobs.iter().find(|j| j.class.is_service()).unwrap();
+        let t = &svc.stages[0].tasks[0];
+        // CPU-bound, no IO: ideal duration = cpu_work / cores ≈ jittered
+        // replica_duration (zero-IO tasks must not be zero-work).
+        assert!(t.ideal_duration() > 0.5 * cfg.replica_duration);
+        assert!(t.inputs.is_empty());
+        assert_eq!(t.output_bytes, 0.0);
+    }
+}

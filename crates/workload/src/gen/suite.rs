@@ -19,7 +19,7 @@ use crate::spec::{InputSource, InputSpec, Workload};
 
 /// The four job classes of §5.1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum JobClass {
+pub enum JobSizeClass {
     /// ~2000 tasks, output:input = 0.1.
     LargeHighlySelective,
     /// ~500 tasks, output:input = 2.0.
@@ -30,40 +30,40 @@ pub enum JobClass {
     SmallSelective,
 }
 
-impl JobClass {
+impl JobSizeClass {
     /// All classes, picked uniformly at random by the generator.
-    pub const ALL: [JobClass; 4] = [
-        JobClass::LargeHighlySelective,
-        JobClass::MediumInflating,
-        JobClass::MediumSelective,
-        JobClass::SmallSelective,
+    pub const ALL: [JobSizeClass; 4] = [
+        JobSizeClass::LargeHighlySelective,
+        JobSizeClass::MediumInflating,
+        JobSizeClass::MediumSelective,
+        JobSizeClass::SmallSelective,
     ];
 
     /// Number of map tasks before scaling.
     pub fn map_tasks(self) -> usize {
         match self {
-            JobClass::LargeHighlySelective => 2000,
-            JobClass::MediumInflating | JobClass::MediumSelective => 500,
-            JobClass::SmallSelective => 100,
+            JobSizeClass::LargeHighlySelective => 2000,
+            JobSizeClass::MediumInflating | JobSizeClass::MediumSelective => 500,
+            JobSizeClass::SmallSelective => 100,
         }
     }
 
     /// Output-to-input ratio.
     pub fn selectivity(self) -> f64 {
         match self {
-            JobClass::LargeHighlySelective => 0.1,
-            JobClass::MediumInflating => 2.0,
-            JobClass::MediumSelective | JobClass::SmallSelective => 0.5,
+            JobSizeClass::LargeHighlySelective => 0.1,
+            JobSizeClass::MediumInflating => 2.0,
+            JobSizeClass::MediumSelective | JobSizeClass::SmallSelective => 0.5,
         }
     }
 
     /// Short label for reports.
     pub fn label(self) -> &'static str {
         match self {
-            JobClass::LargeHighlySelective => "L-HS",
-            JobClass::MediumInflating => "M-I",
-            JobClass::MediumSelective => "M-S",
-            JobClass::SmallSelective => "S-S",
+            JobSizeClass::LargeHighlySelective => "L-HS",
+            JobSizeClass::MediumInflating => "M-I",
+            JobSizeClass::MediumSelective => "M-S",
+            JobSizeClass::SmallSelective => "S-S",
         }
     }
 }
@@ -144,7 +144,7 @@ impl WorkloadSuiteConfig {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut b = WorkloadBuilder::new().with_demand_cap(self.machine_profile.capacity());
         for jn in 0..self.n_jobs {
-            let class = JobClass::ALL[rng.gen_range(0..JobClass::ALL.len())];
+            let class = JobSizeClass::ALL[rng.gen_range(0..JobSizeClass::ALL.len())];
             let arrival = rng.gen_range(0.0..self.arrival_horizon);
             self.add_job(&mut b, &mut rng, jn, class, arrival);
         }
@@ -158,7 +158,7 @@ impl WorkloadSuiteConfig {
         b: &mut WorkloadBuilder,
         rng: &mut StdRng,
         ordinal: usize,
-        class: JobClass,
+        class: JobSizeClass,
         arrival: f64,
     ) {
         let n_maps = ((class.map_tasks() as f64 * self.scale).round() as usize).max(2);
@@ -346,9 +346,9 @@ mod tests {
 
     #[test]
     fn paper_scale_class_sizes() {
-        assert_eq!(JobClass::LargeHighlySelective.map_tasks(), 2000);
-        assert_eq!(JobClass::SmallSelective.map_tasks(), 100);
-        assert_eq!(JobClass::MediumInflating.selectivity(), 2.0);
+        assert_eq!(JobSizeClass::LargeHighlySelective.map_tasks(), 2000);
+        assert_eq!(JobSizeClass::SmallSelective.map_tasks(), 100);
+        assert_eq!(JobSizeClass::MediumInflating.selectivity(), 2.0);
     }
 
     #[test]

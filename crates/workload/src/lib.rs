@@ -38,8 +38,9 @@ mod spec;
 pub mod stats;
 pub mod trace;
 
-pub use gen::{FacebookTraceConfig, WorkloadSuiteConfig};
+pub use gen::{FacebookTraceConfig, ServingMixConfig, WorkloadSuiteConfig};
 pub use ids::{BlockId, JobId, TaskUid};
 pub use spec::{
-    InputSource, InputSpec, Job, JobSpec, StageSpec, TaskSpec, ValidationError, Workload,
+    DiurnalCurve, InputSource, InputSpec, Job, JobClass, JobSpec, PlacementConstraints,
+    PriorityClass, StageSpec, TaskSpec, ValidationError, Workload,
 };

@@ -107,6 +107,188 @@ impl TaskSpec {
     }
 }
 
+/// Workload class of a job: finite batch analytics (the paper's default)
+/// or a long-running service whose replicas must start promptly.
+///
+/// The class changes what "good scheduling" means. Batch jobs are measured
+/// by completion time (JCT, makespan); a service is measured by *placement
+/// latency* — how long a replica waits between becoming runnable and
+/// actually starting — against its SLO, because a replica that is not
+/// running is capacity the service does not have at peak.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum JobClass {
+    /// Finite analytics job: runs to completion, then leaves.
+    #[default]
+    Batch,
+    /// Long-running service with latency-sensitive replicas.
+    Service {
+        /// Placement-latency SLO in seconds: a replica that waits longer
+        /// than this before starting counts as an SLO violation.
+        slo_latency: f64,
+        /// Diurnal load curve the service's replica demand follows
+        /// (generators size replica waves from it; reports group
+        /// violations by its load points).
+        diurnal_curve: DiurnalCurve,
+    },
+}
+
+impl JobClass {
+    /// True for the service variant.
+    pub fn is_service(&self) -> bool {
+        matches!(self, JobClass::Service { .. })
+    }
+
+    /// The placement-latency SLO, if this is a service.
+    pub fn slo_latency(&self) -> Option<f64> {
+        match self {
+            JobClass::Batch => None,
+            JobClass::Service { slo_latency, .. } => Some(*slo_latency),
+        }
+    }
+}
+
+/// A periodic load curve: relative load multipliers sampled uniformly over
+/// one period, linearly interpolated and wrapping. Services follow one of
+/// these (user traffic rises by day, falls by night); generators emit
+/// replica waves sized by [`DiurnalCurve::load_at`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DiurnalCurve {
+    /// Curve period in seconds.
+    pub period: f64,
+    /// Relative load multipliers (≥ 0), sampled uniformly over the period.
+    pub points: Vec<f64>,
+}
+
+impl DiurnalCurve {
+    /// Constant load 1.0 (a service with no diurnal swing).
+    pub fn flat() -> Self {
+        DiurnalCurve {
+            period: 1.0,
+            points: vec![1.0],
+        }
+    }
+
+    /// Load multiplier at absolute time `t` (linear interpolation between
+    /// sample points, wrapping at the period).
+    pub fn load_at(&self, t: f64) -> f64 {
+        let n = self.points.len();
+        if n == 1 {
+            return self.points[0];
+        }
+        let phase = (t.rem_euclid(self.period)) / self.period * n as f64;
+        let i = (phase as usize).min(n - 1);
+        let frac = phase - i as f64;
+        let a = self.points[i];
+        let b = self.points[(i + 1) % n];
+        a + (b - a) * frac
+    }
+}
+
+/// Preemption priority of a job. Higher values may evict strictly lower
+/// ones when they cannot place ("Priority Matters"-style preemption);
+/// equal classes never preempt each other. Valid range is
+/// `0..=PriorityClass::MAX` (checked by [`Workload::validate`]).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub struct PriorityClass(pub u8);
+
+impl PriorityClass {
+    /// Highest allowed priority.
+    pub const MAX: PriorityClass = PriorityClass(9);
+    /// Default batch priority (lowest).
+    pub const BATCH: PriorityClass = PriorityClass(0);
+    /// Conventional serving priority.
+    pub const SERVICE: PriorityClass = PriorityClass(5);
+
+    /// True iff a task of this class may evict a running task of `other`
+    /// (strictly greater — equal classes never preempt each other).
+    pub fn preempts(self, other: PriorityClass) -> bool {
+        self.0 > other.0
+    }
+}
+
+impl Default for PriorityClass {
+    fn default() -> Self {
+        PriorityClass::BATCH
+    }
+}
+
+impl fmt::Display for PriorityClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Kubernetes-style placement constraints a scheduler must honor for every
+/// task of the job. The empty default constrains nothing, so batch
+/// workloads are untouched.
+///
+/// All predicates are evaluated against *running* tasks and the machine
+/// taint table — scheduler-visible state only, never simulation ground
+/// truth.
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct PlacementConstraints {
+    /// Affinity: while at least one listed job has a running task, only
+    /// machines hosting one are eligible. Vacuous when none runs anywhere,
+    /// so the first replica can bootstrap.
+    pub affinity: Vec<JobId>,
+    /// Anti-affinity: machines hosting a running task of any listed job
+    /// are ineligible.
+    pub anti_affinity: Vec<JobId>,
+    /// Spread floor: the job's running tasks must cover at least this many
+    /// distinct machines before any machine may host a *second* task of
+    /// the job. Must be ≤ cluster size (checked at bind time by
+    /// [`Workload::validate_for_cluster`]).
+    pub spread: Option<usize>,
+    /// Taint-toleration bitmask: a machine whose `SimConfig::machine_taints`
+    /// entry has bits outside this mask is ineligible. Untainted machines
+    /// are always eligible; the default `0` tolerates no taints.
+    pub tolerations: u64,
+}
+
+impl PlacementConstraints {
+    /// No constraints (the batch default).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// True if any job-level predicate is set (taint checks still apply on
+    /// tainted clusters — use this only as a hot-path skip on untainted
+    /// ones).
+    pub fn has_any(&self) -> bool {
+        !self.affinity.is_empty() || !self.anti_affinity.is_empty() || self.spread.is_some()
+    }
+
+    /// Builder: require co-location with `job`.
+    #[must_use]
+    pub fn with_affinity(mut self, job: JobId) -> Self {
+        self.affinity.push(job);
+        self
+    }
+
+    /// Builder: forbid co-location with `job`.
+    #[must_use]
+    pub fn with_anti_affinity(mut self, job: JobId) -> Self {
+        self.anti_affinity.push(job);
+        self
+    }
+
+    /// Builder: require the job to span at least `machines` machines.
+    #[must_use]
+    pub fn with_spread(mut self, machines: usize) -> Self {
+        self.spread = Some(machines);
+        self
+    }
+
+    /// Builder: tolerate the given taint bits.
+    #[must_use]
+    pub fn with_tolerations(mut self, mask: u64) -> Self {
+        self.tolerations |= mask;
+        self
+    }
+}
+
 /// A stage: a set of tasks doing the same computation over different data
 /// partitions, separated from upstream stages by a barrier.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -145,6 +327,16 @@ pub struct JobSpec {
     pub family: Option<String>,
     /// Arrival time in seconds from the start of the trace.
     pub arrival: f64,
+    /// Workload class: batch analytics or long-running service. Absent in
+    /// pre-serving traces, so deserialization defaults to batch.
+    #[serde(default)]
+    pub class: JobClass,
+    /// Preemption priority (default: lowest, the batch class).
+    #[serde(default)]
+    pub priority: PriorityClass,
+    /// Placement constraints (default: none).
+    #[serde(default)]
+    pub constraints: PlacementConstraints,
     /// Stages in topological order (deps always point backwards).
     pub stages: Vec<StageSpec>,
 }
@@ -221,6 +413,33 @@ pub enum ValidationError {
     BadArrival(JobId),
     /// A job has no stages or a stage has no tasks.
     Empty(JobId),
+    /// Priority outside `0..=PriorityClass::MAX`.
+    BadPriority(JobId),
+    /// Service SLO is zero, negative or NaN.
+    BadSlo(JobId),
+    /// Diurnal curve has a non-positive period, no points, or a
+    /// negative/NaN point.
+    BadDiurnal(JobId),
+    /// Spread floor of zero (meaningless: every placement spans ≥ 1
+    /// machine).
+    BadSpread(JobId),
+    /// Affinity/anti-affinity references an unknown job or the job itself.
+    BadConstraintJob {
+        /// Job carrying the constraint.
+        job: JobId,
+        /// The invalid referenced job.
+        target: JobId,
+    },
+    /// Spread floor exceeds the cluster size the workload is bound to
+    /// (only from [`Workload::validate_for_cluster`]).
+    SpreadExceedsMachines {
+        /// Job carrying the constraint.
+        job: JobId,
+        /// The requested spread floor.
+        spread: usize,
+        /// Machines in the target cluster.
+        machines: usize,
+    },
 }
 
 impl fmt::Display for ValidationError {
@@ -241,6 +460,20 @@ impl fmt::Display for ValidationError {
             }
             ValidationError::BadArrival(j) => write!(f, "{j} has negative arrival"),
             ValidationError::Empty(j) => write!(f, "{j} has an empty stage list or stage"),
+            ValidationError::BadPriority(j) => {
+                write!(f, "{j} priority above {}", PriorityClass::MAX)
+            }
+            ValidationError::BadSlo(j) => write!(f, "{j} has non-positive SLO latency"),
+            ValidationError::BadDiurnal(j) => write!(f, "{j} has an invalid diurnal curve"),
+            ValidationError::BadSpread(j) => write!(f, "{j} has a zero spread floor"),
+            ValidationError::BadConstraintJob { job, target } => {
+                write!(f, "{job} constraint references invalid {target}")
+            }
+            ValidationError::SpreadExceedsMachines {
+                job,
+                spread,
+                machines,
+            } => write!(f, "{job} spread {spread} exceeds cluster size {machines}"),
         }
     }
 }
@@ -279,6 +512,40 @@ impl Workload {
             }
             if job.stages.is_empty() || job.stages.iter().any(|s| s.is_empty()) {
                 return Err(ValidationError::Empty(job.id));
+            }
+            if job.priority > PriorityClass::MAX {
+                return Err(ValidationError::BadPriority(job.id));
+            }
+            if let JobClass::Service {
+                slo_latency,
+                diurnal_curve,
+            } = &job.class
+            {
+                if !(*slo_latency > 0.0) {
+                    return Err(ValidationError::BadSlo(job.id));
+                }
+                if !(diurnal_curve.period > 0.0)
+                    || diurnal_curve.points.is_empty()
+                    || diurnal_curve.points.iter().any(|p| !(*p >= 0.0))
+                {
+                    return Err(ValidationError::BadDiurnal(job.id));
+                }
+            }
+            if job.constraints.spread == Some(0) {
+                return Err(ValidationError::BadSpread(job.id));
+            }
+            for &target in job
+                .constraints
+                .affinity
+                .iter()
+                .chain(job.constraints.anti_affinity.iter())
+            {
+                if target.index() >= self.jobs.len() || target == job.id {
+                    return Err(ValidationError::BadConstraintJob {
+                        job: job.id,
+                        target,
+                    });
+                }
             }
             for (si, stage) in job.stages.iter().enumerate() {
                 for &dep in &stage.deps {
@@ -336,6 +603,26 @@ impl Workload {
         }
         Ok(())
     }
+
+    /// [`Workload::validate`] plus the bind-time checks that need the
+    /// target cluster: a spread floor can only be met on a cluster with at
+    /// least that many machines. The simulator calls this when a workload
+    /// is bound to a concrete cluster.
+    pub fn validate_for_cluster(&self, machines: usize) -> Result<(), ValidationError> {
+        self.validate()?;
+        for job in &self.jobs {
+            if let Some(spread) = job.constraints.spread {
+                if spread > machines {
+                    return Err(ValidationError::SpreadExceedsMachines {
+                        job: job.id,
+                        spread,
+                        machines,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -385,6 +672,9 @@ mod tests {
                 name: "job0".into(),
                 family: None,
                 arrival: 0.0,
+                class: JobClass::Batch,
+                priority: PriorityClass::default(),
+                constraints: PlacementConstraints::none(),
                 stages: vec![map, reduce],
             }],
             num_blocks: 1,
@@ -496,6 +786,143 @@ mod tests {
     }
 
     #[test]
+    fn detects_bad_priority() {
+        let mut w = simple_workload();
+        w.jobs[0].priority = PriorityClass(PriorityClass::MAX.0 + 1);
+        assert!(matches!(w.validate(), Err(ValidationError::BadPriority(_))));
+    }
+
+    #[test]
+    fn detects_bad_slo() {
+        let mut w = simple_workload();
+        w.jobs[0].class = JobClass::Service {
+            slo_latency: 0.0,
+            diurnal_curve: DiurnalCurve::flat(),
+        };
+        assert!(matches!(w.validate(), Err(ValidationError::BadSlo(_))));
+    }
+
+    #[test]
+    fn detects_bad_diurnal_curve() {
+        let mut w = simple_workload();
+        for curve in [
+            DiurnalCurve {
+                period: 0.0,
+                points: vec![1.0],
+            },
+            DiurnalCurve {
+                period: 10.0,
+                points: vec![],
+            },
+            DiurnalCurve {
+                period: 10.0,
+                points: vec![1.0, -0.5],
+            },
+        ] {
+            w.jobs[0].class = JobClass::Service {
+                slo_latency: 5.0,
+                diurnal_curve: curve,
+            };
+            assert!(matches!(w.validate(), Err(ValidationError::BadDiurnal(_))));
+        }
+    }
+
+    #[test]
+    fn detects_zero_spread() {
+        let mut w = simple_workload();
+        w.jobs[0].constraints.spread = Some(0);
+        assert!(matches!(w.validate(), Err(ValidationError::BadSpread(_))));
+    }
+
+    #[test]
+    fn detects_bad_constraint_target() {
+        let mut w = simple_workload();
+        // Unknown job.
+        w.jobs[0].constraints.anti_affinity = vec![JobId(7)];
+        assert!(matches!(
+            w.validate(),
+            Err(ValidationError::BadConstraintJob { .. })
+        ));
+        // Self-reference.
+        w.jobs[0].constraints.anti_affinity.clear();
+        w.jobs[0].constraints.affinity = vec![JobId(0)];
+        assert!(matches!(
+            w.validate(),
+            Err(ValidationError::BadConstraintJob { .. })
+        ));
+    }
+
+    #[test]
+    fn spread_checked_against_cluster() {
+        let mut w = simple_workload();
+        w.jobs[0].constraints.spread = Some(5);
+        assert_eq!(w.validate(), Ok(()));
+        assert!(matches!(
+            w.validate_for_cluster(3),
+            Err(ValidationError::SpreadExceedsMachines {
+                spread: 5,
+                machines: 3,
+                ..
+            })
+        ));
+        assert_eq!(w.validate_for_cluster(5), Ok(()));
+    }
+
+    #[test]
+    fn valid_service_job_passes() {
+        let mut w = simple_workload();
+        w.jobs[0].class = JobClass::Service {
+            slo_latency: 10.0,
+            diurnal_curve: DiurnalCurve {
+                period: 3600.0,
+                points: vec![0.2, 1.0, 0.6],
+            },
+        };
+        w.jobs[0].priority = PriorityClass::SERVICE;
+        w.jobs[0].constraints = PlacementConstraints::none().with_spread(2);
+        assert_eq!(w.validate(), Ok(()));
+        assert!(w.jobs[0].class.is_service());
+        assert_eq!(w.jobs[0].class.slo_latency(), Some(10.0));
+    }
+
+    #[test]
+    fn priority_preempts_is_strict() {
+        assert!(PriorityClass::SERVICE.preempts(PriorityClass::BATCH));
+        assert!(!PriorityClass::BATCH.preempts(PriorityClass::BATCH));
+        assert!(!PriorityClass::BATCH.preempts(PriorityClass::SERVICE));
+    }
+
+    #[test]
+    fn diurnal_curve_interpolates_and_wraps() {
+        let c = DiurnalCurve {
+            period: 100.0,
+            points: vec![0.0, 1.0],
+        };
+        assert!((c.load_at(0.0) - 0.0).abs() < 1e-9);
+        assert!((c.load_at(25.0) - 0.5).abs() < 1e-9);
+        // Second half interpolates back toward points[0] (wrap).
+        assert!((c.load_at(75.0) - 0.5).abs() < 1e-9);
+        assert!((c.load_at(125.0) - 0.5).abs() < 1e-9);
+        assert_eq!(DiurnalCurve::flat().load_at(123.0), 1.0);
+    }
+
+    #[test]
+    fn constraints_builder_and_emptiness() {
+        let c = PlacementConstraints::none();
+        assert!(!c.has_any());
+        let c = c
+            .with_affinity(JobId(1))
+            .with_anti_affinity(JobId(2))
+            .with_spread(3)
+            .with_tolerations(0b101);
+        assert!(c.has_any());
+        assert_eq!(c.affinity, vec![JobId(1)]);
+        assert_eq!(c.anti_affinity, vec![JobId(2)]);
+        assert_eq!(c.spread, Some(3));
+        assert_eq!(c.tolerations, 0b101);
+    }
+
+    #[test]
     fn validation_errors_display() {
         // Every variant renders without panicking.
         let errs: Vec<ValidationError> = vec![
@@ -518,6 +945,19 @@ mod tests {
             },
             ValidationError::BadArrival(JobId(0)),
             ValidationError::Empty(JobId(0)),
+            ValidationError::BadPriority(JobId(0)),
+            ValidationError::BadSlo(JobId(0)),
+            ValidationError::BadDiurnal(JobId(0)),
+            ValidationError::BadSpread(JobId(0)),
+            ValidationError::BadConstraintJob {
+                job: JobId(0),
+                target: JobId(1),
+            },
+            ValidationError::SpreadExceedsMachines {
+                job: JobId(0),
+                spread: 4,
+                machines: 2,
+            },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

@@ -26,6 +26,14 @@ cargo build --release -p tetris-expts -q
 target/release/reproduce fig1 table2 --jobs 2 >/dev/null
 target/release/reproduce sweep table2 --seeds 1..2 --jobs 2 >/dev/null
 
+echo "== batch golden (typed-spec layer is invisible to all-batch runs) =="
+# The §16 spec API (classes, priorities, constraints, preemption) must
+# be a pure extension: an all-batch reproduce run renders byte-identical
+# output to the checked-in pre-§16 golden. cmp, not a tolerance.
+target/release/reproduce fig1 table2 --jobs 2 | sed '/finished in/d' \
+  | cmp - scripts/golden/batch_reproduce.txt \
+  || { echo "batch reproduce output diverged from the pre-§16 golden"; exit 1; }
+
 echo "== churn smoke (fault sweep at toy scale) =="
 target/release/reproduce churn --scale 0.05 >/dev/null
 
@@ -93,6 +101,29 @@ batches="$(echo "$scale_out" | grep -oE 'shard batches [0-9]+' | awk '{print $3}
 
 echo "== index equivalence properties (MachineQuery vs linear oracle) =="
 cargo test -q -p tetris-sim --test prop_index
+
+echo "== serving smoke (diurnal SLOs + preemption, §16) =="
+# The per-wave Tetris <= Capacity SLO gate is asserted by the serving
+# unit tests; the smoke pins that the experiment runs end to end and
+# that preemption actually fired (a nonzero preempt column).
+serving_out="$(target/release/reproduce serving --scale 0.5)"
+echo "$serving_out" | grep -q "preempt" \
+  || { echo "serving smoke missing summary table"; echo "$serving_out"; exit 1; }
+echo "$serving_out" | awk '
+  $1 == "tetris" && NF == 7 { if ($6 + 0 > 0) ok = 1 }
+  END { exit ok ? 0 : 1 }
+' || { echo "serving smoke: tetris preempted nothing"; echo "$serving_out"; exit 1; }
+
+echo "== serving properties (no inversion, conservation, constrained oracle) =="
+cargo test -q -p tetris-sim --test prop_serving
+
+echo "== grep gate: policies place through the constraint filter =="
+# Raw MachineQuery::fits() bypasses the §16 constraint predicate; policy
+# code must use fits_constrained (or constraints_allow on its own scan).
+# (fits_within — plain vector comparison — stays legal.)
+if grep -rnE '\.fits\(' crates/core/src crates/baselines/src examples; then
+  echo "policy code calls raw fits() and bypasses placement constraints"; exit 1
+fi
 
 echo "== grep gate: policies go through MachineQuery, not raw machine scans =="
 # view.machines() was removed with the MachineQuery redesign; policy code
